@@ -1,0 +1,193 @@
+//! Regenerates the paper's Figs. 1, 3, 4 and 5 as printed data series.
+//!
+//! ```bash
+//! cargo bench --bench figures           # all figures
+//! cargo bench --bench figures -- fig3   # one figure
+//! ```
+
+use hetsolve_bench::{bench_backend, bench_load, should_run};
+use hetsolve_core::{
+    convergence_study, run, run_ensemble, Backend, EnsembleConfig, MethodKind, PartitionedProblem,
+    RunConfig, StudyConfig,
+};
+use hetsolve_fem::FemProblem;
+use hetsolve_machine::{
+    alps_node, box_halo_pattern, single_gh200, weak_scaling_efficiency, weak_scaling_step_time,
+};
+use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+use hetsolve_signal::WelchConfig;
+
+fn main() {
+    if should_run("fig1") {
+        fig1();
+    }
+    if should_run("fig3") {
+        fig3();
+    }
+    if should_run("fig4") {
+        fig4();
+    }
+    if should_run("fig5") {
+        fig5();
+    }
+}
+
+/// Fig. 1: three ground structures and their surface dominant-frequency
+/// distributions obtained from ensemble simulation + FDD.
+fn fig1() {
+    println!("\n================ Fig. 1: ground structures & FDD dominant frequencies ================");
+    for (name, shape) in [
+        ("(a) stratified", InterfaceShape::Stratified),
+        ("(b) inclined", InterfaceShape::Inclined),
+        ("(c) basin", InterfaceShape::Basin),
+    ] {
+        let spec = GroundModelSpec::paper_like(4, 4, 6, shape);
+        let problem = FemProblem::build(&spec, 0.02, 0.2, 5.0, 0.01);
+        let backend = Backend::new(problem, false, true);
+        let mut cfg = EnsembleConfig::new(single_gh200(), 2, 1024);
+        cfg.run.r = 2;
+        cfg.run.s_max = 8;
+        cfg.run.tol = 1e-7;
+        cfg.run.load = bench_load();
+        let (res, _) = run_ensemble(&backend, &cfg);
+        let welch = WelchConfig::new(512, 256, res.dt);
+        let fmap = res.dominant_frequency_map(&welch, 5.0);
+        let mean: f64 = fmap.iter().sum::<f64>() / fmap.len() as f64;
+        let lo = fmap.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = fmap.iter().cloned().fold(0.0f64, f64::max);
+        // coarse histogram of the distribution
+        let mut hist = [0usize; 10];
+        for &f in &fmap {
+            let b = ((f / 5.0) * 10.0).floor().min(9.0) as usize;
+            hist[b] += 1;
+        }
+        println!("\n--- {name}: {} surface points, {} cases ---", res.n_points(), res.n_cases());
+        println!("dominant frequency: mean {mean:.3} Hz, range [{lo:.3}, {hi:.3}] Hz");
+        println!("histogram (0-5 Hz, 10 bins): {hist:?}");
+        let f_th: Vec<f64> = res
+            .coords
+            .iter()
+            .map(|c| backend.problem.model.theoretical_site_frequency(c[0], c[1]))
+            .collect();
+        let th_mean: f64 = f_th.iter().sum::<f64>() / f_th.len() as f64;
+        println!("1-D layer theory (Vs/4H): mean {th_mean:.3} Hz");
+    }
+    println!("\n(paper Fig. 1: all three models show distinct dominant-frequency distributions)");
+}
+
+/// Fig. 3: convergence history of the solver for each initial-guess method
+/// at one representative time step.
+fn fig3() {
+    println!("\n================ Fig. 3: convergence history per initial guess ================\n");
+    let backend = bench_backend(6, 6, 4);
+    let cfg = StudyConfig {
+        warmup_steps: 40,
+        windows: vec![8, 16, 32],
+        ..Default::default()
+    };
+    let study = convergence_study(&backend, &cfg);
+    println!("probe step: {}\n", study.probe_step);
+    println!("{:<20} | {:>12} | {:>10}", "initial guess", "initial res", "iters@1e-8");
+    for r in &study.results {
+        println!("{:<20} | {:>12.3e} | {:>10}", r.label, r.initial_rel_res, r.iterations);
+    }
+    println!("\nresidual histories (semi-log series, every 4th iteration):");
+    for r in &study.results {
+        let pts: Vec<String> = r
+            .history
+            .iter()
+            .step_by(4)
+            .map(|v| format!("{v:.1e}"))
+            .collect();
+        println!("{:<20}: {}", r.label, pts.join(" "));
+    }
+    println!("\npaper Fig. 3: AB 1.86e-3 -> 154 iters; data-driven 9.46e-7 -> 59/51/43 iters (s=8/16/32)");
+}
+
+/// Fig. 4: per-step breakdown of solver/predictor time and the adaptive
+/// window s during an EBE-MCG@CPU-GPU run.
+fn fig4() {
+    println!("\n================ Fig. 4: elapsed-time breakdown & adaptive s ================\n");
+    let backend = bench_backend(6, 6, 4);
+    let mut cfg = RunConfig::new(MethodKind::EbeMcgCpuGpu, single_gh200(), 120);
+    cfg.r = 4;
+    cfg.s_max = 32;
+    cfg.load = bench_load();
+    let result = run(&backend, &cfg);
+    println!("step,solver_s_per_case,predictor_s_per_case,s_used,iterations");
+    for rec in result.records.iter().step_by(4) {
+        println!(
+            "{},{:.6e},{:.6e},{},{:.1}",
+            rec.step,
+            rec.solver_time_per_case,
+            rec.predictor_time_per_case,
+            rec.s_used,
+            rec.iterations
+        );
+    }
+    let from = 60;
+    println!(
+        "\nsteady state: solver {:.4} s/case, predictor {:.4} s/case (balanced by design), s -> {}",
+        result.mean_solver_time(from),
+        result.mean_predictor_time(from),
+        result.records.last().map(|r| r.s_used).unwrap_or(0)
+    );
+    println!("paper Fig. 4: s adapts so predictor time tracks solver time through the run");
+}
+
+/// Fig. 5: weak scaling of EBE-MCG@CPU-GPU on Alps, 1 -> 1920 nodes.
+fn fig5() {
+    println!("\n================ Fig. 5: weak scaling on Alps ================\n");
+    // real partitioned halo sizes from the benchmark mesh validate the
+    // surface-area halo model used for the paper-scale extrapolation
+    let backend = bench_backend(6, 6, 4);
+    let parts = PartitionedProblem::new(&backend.problem, 4, true);
+    let measured = parts.halo_pattern(0, 4);
+    let nodes_per_part = backend.problem.n_nodes() as f64 / 4.0;
+    let modeled = box_halo_pattern(nodes_per_part, 4, measured.n_neighbors());
+    println!(
+        "halo validation at {} nodes/part: measured {:.1} kB vs surface-area model {:.1} kB per exchange",
+        nodes_per_part as usize,
+        measured.total_bytes() / 1e3,
+        modeled.total_bytes() / 1e3
+    );
+
+    // Per-module compute per step at PAPER scale: 2 sets x `iters`
+    // MCG iterations, each costing an EBE4 apply + block-Jacobi +
+    // vector passes on the modeled (power-capped) H100. The iteration
+    // count per step at full scale is taken from the paper's Table 4
+    // (70.4) — it is an input to the timing extrapolation here, not a
+    // reproduced output (Fig. 3/Table 3 reproduce iteration *reductions*
+    // at our scale).
+    let node = alps_node();
+    let iters_per_set = 70.4;
+    let n_dofs = 46_529_709f64;
+    let ebe4 = hetsolve_fem::compact_ebe_counts(11_365_697, 145_920, n_dofs as usize, 4);
+    let per_iter = hetsolve_sparse::KernelCounts {
+        // block-Jacobi (15 flops/node) + ~10 vector passes for 4 fused cases
+        flops: ebe4.flops + 4.0 * (5.0 * n_dofs + 10.0 * n_dofs),
+        bytes_stream: ebe4.bytes_stream + 4.0 * (96.0 + 80.0) * n_dofs / 2.0,
+        ..ebe4
+    };
+    let mut clock = hetsolve_machine::ModuleClock::new(node.module, 16, true);
+    let t_iter = clock.run_gpu(&per_iter);
+    let compute = 2.0 * iters_per_set * t_iter;
+    let exchanges = 2.0 * iters_per_set;
+    let pat = box_halo_pattern(15.5e6, 4, 4);
+    println!(
+        "\nper-module compute: {:.3} s/step ({:.2} ms per MCG iteration x 2 sets x {:.1} iters)",
+        compute,
+        t_iter * 1e3,
+        iters_per_set
+    );
+
+    println!("\nnodes,GPUs,time_per_step_s,efficiency_pct");
+    let t1 = weak_scaling_step_time(&node, compute, exchanges, &pat, 1);
+    for nodes in [1usize, 2, 8, 32, 120, 480, 960, 1920] {
+        let p = nodes * 4;
+        let tp = weak_scaling_step_time(&node, compute, exchanges, &pat, p);
+        let eff = weak_scaling_efficiency(t1, tp);
+        println!("{},{},{:.5},{:.1}", nodes, p, tp, eff * 100.0);
+    }
+    println!("\npaper Fig. 5: flat elapsed time 1 -> 1920 nodes, 94.3% efficiency at 1920 nodes");
+}

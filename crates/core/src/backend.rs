@@ -1,0 +1,304 @@
+//! Solver backend: owns the discretized problem and builds the operators
+//! each method needs (assembled BCRS for the CRS-CG baselines, compact
+//! matrix-free EBE for the proposed method), plus the exact Newmark
+//! right-hand side.
+//!
+//! All methods produce *identical numerics*: the RHS is always evaluated
+//! with the exact matrix-free operators, so the four methods differ only in
+//! which operator drives the CG iteration (assembled CRS vs. matrix-free
+//! EBE — themselves equal to rounding) and in the modeled execution
+//! timeline. This realizes the paper's "accuracy is guaranteed" property
+//! and is verified by the cross-method equivalence tests.
+
+use hetsolve_fem::{CompactEbe, CompactElements, FemProblem};
+use hetsolve_mesh::{color_elements, Coloring};
+use hetsolve_sparse::{assemble_global, Bcrs3, BlockJacobi, KernelCounts, LinearOperator};
+
+/// Owned problem + every precomputed structure the methods share.
+pub struct Backend {
+    pub problem: FemProblem,
+    pub coloring: Coloring,
+    pub compact: CompactElements,
+    /// Dirichlet mask as a bool slice.
+    pub fixed: Vec<bool>,
+    /// Assembled system matrix `A` (built on demand by CRS methods).
+    pub crs_a: Option<Bcrs3>,
+    /// Assembled mass matrix `M` (RHS cost accounting for CRS methods).
+    pub crs_m: Option<Bcrs3>,
+    /// Block-Jacobi preconditioner of `A`.
+    pub precond: BlockJacobi,
+    /// Run kernels with rayon.
+    pub parallel: bool,
+}
+
+impl Backend {
+    /// Build the backend; `with_crs` assembles the global matrices (the
+    /// CRS-CG baselines need them; EBE-MCG does not).
+    pub fn new(problem: FemProblem, with_crs: bool, parallel: bool) -> Self {
+        let coloring = color_elements(&problem.model.mesh);
+        let compact = CompactElements::compute(&problem.model.mesh, &problem.materials);
+        let fixed: Vec<bool> = problem.mask.as_slice().to_vec();
+        let a = problem.a_coeffs();
+        let (crs_a, crs_m) = if with_crs {
+            let mesh = &problem.model.mesh;
+            let crs_a = assemble_global(
+                mesh.n_nodes(),
+                &mesh.elems,
+                &problem.elements.me,
+                &problem.elements.ke,
+                a.c_m,
+                a.c_k,
+                &problem.dashpots.faces,
+                &problem.dashpots.cb,
+                a.c_b,
+                &fixed,
+                parallel,
+            );
+            let crs_m = assemble_global(
+                mesh.n_nodes(),
+                &mesh.elems,
+                &problem.elements.me,
+                &problem.elements.ke,
+                1.0,
+                0.0,
+                &[],
+                &[],
+                0.0,
+                &[],
+                parallel,
+            );
+            (Some(crs_a), Some(crs_m))
+        } else {
+            (None, None)
+        };
+        // preconditioner blocks from the matrix-free diagonal (identical to
+        // the assembled diagonal; see fem::ebe_compact tests)
+        let op = Self::compact_op_parts(&problem, &compact, &coloring, &fixed, (a.c_m, a.c_k, a.c_b), parallel, 1);
+        let precond = BlockJacobi::from_blocks(&op.diagonal_blocks(), parallel);
+        Backend { problem, coloring, compact, fixed, crs_a, crs_m, precond, parallel }
+    }
+
+    fn compact_op_parts<'a>(
+        problem: &'a FemProblem,
+        compact: &'a CompactElements,
+        coloring: &'a Coloring,
+        fixed: &'a [bool],
+        coeffs: (f64, f64, f64),
+        parallel: bool,
+        r: usize,
+    ) -> CompactEbe<'a> {
+        CompactEbe::new(
+            problem.n_nodes(),
+            &problem.model.mesh.elems,
+            compact,
+            &problem.dashpots.faces,
+            &problem.dashpots.cb,
+            coeffs,
+            fixed,
+            coloring,
+            parallel,
+            r,
+        )
+    }
+
+    /// Matrix-free system operator `A` with `r` fused RHS.
+    pub fn ebe_a(&self, r: usize) -> CompactEbe<'_> {
+        let a = self.problem.a_coeffs();
+        Self::compact_op_parts(
+            &self.problem,
+            &self.compact,
+            &self.coloring,
+            &self.fixed,
+            (a.c_m, a.c_k, a.c_b),
+            self.parallel,
+            r,
+        )
+    }
+
+    /// Matrix-free mass operator `M` (no Dirichlet identity: used inside
+    /// the RHS where fixed rows are projected to zero afterwards).
+    pub fn ebe_m(&self) -> CompactEbe<'_> {
+        Self::compact_op_parts(
+            &self.problem,
+            &self.compact,
+            &self.coloring,
+            &[],
+            (1.0, 0.0, 0.0),
+            self.parallel,
+            1,
+        )
+    }
+
+    /// Matrix-free damping operator `C = α M + β K + C_b`.
+    pub fn ebe_c(&self) -> CompactEbe<'_> {
+        let c = self.problem.c_coeffs();
+        Self::compact_op_parts(
+            &self.problem,
+            &self.compact,
+            &self.coloring,
+            &[],
+            (c.c_m, c.c_k, c.c_b),
+            self.parallel,
+            1,
+        )
+    }
+
+    /// Assembled system matrix (panics if built without CRS).
+    pub fn crs_a(&self) -> &Bcrs3 {
+        self.crs_a.as_ref().expect("backend built without CRS matrices")
+    }
+
+    /// Newmark RHS for one case:
+    /// `rhs = f + M (c_m u + 4/dt v + a) + C (c_c u + v)`, with fixed DOFs
+    /// zeroed.
+    pub fn newmark_rhs(
+        &self,
+        f: &[f64],
+        u: &[f64],
+        v: &[f64],
+        a: &[f64],
+        rhs: &mut [f64],
+        scratch: &mut RhsScratch,
+    ) {
+        let nm = &self.problem.newmark;
+        nm.rhs_aux(u, v, a, &mut scratch.m_aux, &mut scratch.c_aux);
+        let op_m = self.ebe_m();
+        let op_c = self.ebe_c();
+        op_m.apply(&scratch.m_aux, &mut scratch.t1);
+        op_c.apply(&scratch.c_aux, &mut scratch.t2);
+        for i in 0..rhs.len() {
+            rhs[i] = f[i] + scratch.t1[i] + scratch.t2[i];
+        }
+        self.problem.mask.project(rhs);
+    }
+
+    /// Modeled cost of the RHS evaluation when performed with assembled
+    /// matrices (charged to CRS methods): A·x-shaped + M·x-shaped SpMVs.
+    pub fn rhs_counts_crs(&self) -> KernelCounts {
+        let a = self.crs_a().counts();
+        let m = self.crs_m.as_ref().expect("CRS backend").counts();
+        a.merged(m)
+    }
+
+    /// Modeled cost of the RHS evaluation with matrix-free operators
+    /// (charged to EBE methods), for `r` fused cases.
+    pub fn rhs_counts_ebe(&self, r: usize) -> KernelCounts {
+        use hetsolve_fem::compact_ebe_counts;
+        let p = &self.problem;
+        compact_ebe_counts(
+            p.model.mesh.n_elems(),
+            p.dashpots.n_faces(),
+            p.n_dofs(),
+            r,
+        )
+        .scaled(2.0)
+    }
+
+    pub fn n_dofs(&self) -> usize {
+        self.problem.n_dofs()
+    }
+}
+
+/// Scratch vectors reused across RHS evaluations.
+pub struct RhsScratch {
+    pub m_aux: Vec<f64>,
+    pub c_aux: Vec<f64>,
+    pub t1: Vec<f64>,
+    pub t2: Vec<f64>,
+}
+
+impl RhsScratch {
+    pub fn new(n: usize) -> Self {
+        RhsScratch {
+            m_aux: vec![0.0; n],
+            c_aux: vec![0.0; n],
+            t1: vec![0.0; n],
+            t2: vec![0.0; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+    use hetsolve_sparse::{pcg, CgConfig};
+
+    fn backend() -> Backend {
+        let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
+        Backend::new(FemProblem::paper_like(&spec), true, false)
+    }
+
+    #[test]
+    fn ebe_and_crs_systems_agree() {
+        let b = backend();
+        let n = b.n_dofs();
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.21).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        b.ebe_a(1).apply(&x, &mut y1);
+        b.crs_a().apply(&x, &mut y2);
+        let scale = y2.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        for i in 0..n {
+            assert!((y1[i] - y2[i]).abs() < 1e-9 * scale, "dof {i}");
+        }
+    }
+
+    #[test]
+    fn cg_converges_with_both_operators_to_same_solution() {
+        let b = backend();
+        let n = b.n_dofs();
+        let mut f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.13).cos()).collect();
+        b.problem.mask.project(&mut f);
+        let cfg = CgConfig { tol: 1e-10, max_iter: 2000 };
+        let mut x1 = vec![0.0; n];
+        let s1 = pcg(&b.ebe_a(1), &b.precond, &f, &mut x1, &cfg);
+        let mut x2 = vec![0.0; n];
+        let s2 = pcg(b.crs_a(), &b.precond, &f, &mut x2, &cfg);
+        assert!(s1.converged && s2.converged, "{} {}", s1.final_rel_res, s2.final_rel_res);
+        let scale = x2.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        for i in 0..n {
+            assert!((x1[i] - x2[i]).abs() < 1e-6 * scale, "dof {i}");
+        }
+        // iteration counts should be essentially identical
+        assert!((s1.iterations as i64 - s2.iterations as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn rhs_is_zero_at_fixed_dofs() {
+        let b = backend();
+        let n = b.n_dofs();
+        let mut scratch = RhsScratch::new(n);
+        let f: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos() * 1e-3).collect();
+        let v = vec![1e-4; n];
+        let a = vec![1e-5; n];
+        let mut rhs = vec![0.0; n];
+        b.newmark_rhs(&f, &u, &v, &a, &mut rhs, &mut scratch);
+        for d in b.problem.mask.fixed_dofs() {
+            assert_eq!(rhs[d], 0.0);
+        }
+        // and nonzero somewhere free
+        assert!(rhs.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn rhs_cost_models_exist() {
+        let b = backend();
+        let crs = b.rhs_counts_crs();
+        let ebe = b.rhs_counts_ebe(4);
+        assert!(crs.flops > 0.0 && ebe.flops > 0.0);
+        assert!(crs.bytes_stream > ebe.bytes_stream);
+    }
+
+    #[test]
+    fn backend_without_crs_skips_assembly() {
+        let spec = GroundModelSpec::small(InterfaceShape::Stratified);
+        let b = Backend::new(FemProblem::paper_like(&spec), false, false);
+        assert!(b.crs_a.is_none());
+        // EBE operator still available
+        let n = b.n_dofs();
+        let mut y = vec![0.0; n];
+        b.ebe_a(1).apply(&vec![1.0; n], &mut y);
+    }
+}

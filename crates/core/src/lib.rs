@@ -1,0 +1,35 @@
+//! # hetsolve-core
+//!
+//! The paper's primary contribution for the `hetsolve` reproduction of the
+//! SC24 paper *"Heterogeneous computing in a strongly-connected CPU-GPU
+//! environment"* (Ichimura et al.): the four solution methods over one
+//! shared discretization, the CPU/GPU pipelining, ensemble simulation, and
+//! multi-node execution.
+//!
+//! * [`backend`] — owns the FE problem; builds assembled-CRS and
+//!   matrix-free EBE operators plus the exact Newmark right-hand side,
+//! * [`methods`] — `CRS-CG@CPU`, `CRS-CG@GPU`, `CRS-CG@CPU-GPU`,
+//!   `EBE-MCG@CPU-GPU` drivers (Algorithms 2–4) with per-step records,
+//! * [`ensemble`] — many-case simulation + FDD dominant-frequency maps
+//!   (Fig. 1 application),
+//! * [`multinode`] — partitioned/distributed operators consistent with the
+//!   sequential ones (Fig. 2, Fig. 5),
+//! * [`report`] — table/series formatting for the benchmark harnesses.
+
+pub mod backend;
+pub mod ensemble;
+pub mod methods;
+pub mod multinode;
+pub mod nonlinear_run;
+pub mod realtime;
+pub mod report;
+pub mod study;
+
+pub use backend::{Backend, RhsScratch};
+pub use ensemble::{run_ensemble, run_ensemble_for_model, EnsembleConfig, EnsembleResult};
+pub use methods::{run, MethodKind, RunConfig, RunResult, StepRecord};
+pub use multinode::{DistributedOperator, LocalPart, PartitionedProblem};
+pub use nonlinear_run::{run_nonlinear, NonlinearResult, NonlinearStepRecord};
+pub use realtime::{run_realtime, RealtimeReport};
+pub use report::{apply_speedups, format_application_table, format_series, MethodSummary};
+pub use study::{convergence_study, ConvergenceStudy, GuessResult, StudyConfig};

@@ -1,0 +1,655 @@
+//! The four solution methods of the paper, over one [`Backend`]:
+//!
+//! * `CRS-CG@CPU`, `CRS-CG@GPU` — Algorithm 2: Adams-Bashforth initial
+//!   guess + assembled-matrix CG, one case, one device;
+//! * `CRS-CG@CPU-GPU` — Algorithm 4: data-driven predictor on the CPU
+//!   overlapped with the assembled-matrix CG of the *other* case on the
+//!   GPU (2 processes × 1 case);
+//! * `EBE-MCG@CPU-GPU` — Algorithm 3 (the proposal): matrix-free EBE
+//!   multi-RHS CG on the GPU overlapped with the data-driven predictors of
+//!   the other set on the CPU (2 processes × r cases), with the snapshot
+//!   window `s` adapted online.
+//!
+//! Numerics are always exact (real solves on the host); the execution
+//! timeline and energy come from the `hetsolve-machine` model, mirroring
+//! the overlap/synchronization/transfer structure of the paper's
+//! algorithms. Per-step records regenerate Tables 3–4 and Fig. 4.
+
+use hetsolve_fem::{RandomLoad, RandomLoadSpec, TimeState};
+use hetsolve_machine::{EnergyReport, ModuleClock, NodeSpec};
+use hetsolve_predictor::{AdamsState, AdaptiveWindow, DataDrivenPredictor};
+use hetsolve_sparse::{mcg, pcg, CgConfig, KernelCounts};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::backend::{Backend, RhsScratch};
+
+/// Which of the paper's methods to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    CrsCgCpu,
+    CrsCgGpu,
+    CrsCgCpuGpu,
+    EbeMcgCpuGpu,
+}
+
+impl MethodKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodKind::CrsCgCpu => "CRS-CG@CPU",
+            MethodKind::CrsCgGpu => "CRS-CG@GPU",
+            MethodKind::CrsCgCpuGpu => "CRS-CG@CPU-GPU",
+            MethodKind::EbeMcgCpuGpu => "EBE-MCG@CPU-GPU",
+        }
+    }
+
+    /// Number of simulation cases a single run advances (Table 3: 1, 1, 2,
+    /// and 2r).
+    pub fn n_cases(&self, r: usize) -> usize {
+        match self {
+            MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => 1,
+            MethodKind::CrsCgCpuGpu => 2,
+            MethodKind::EbeMcgCpuGpu => 2 * r,
+        }
+    }
+
+    /// Does this method use the data-driven predictor?
+    pub fn data_driven(&self) -> bool {
+        matches!(self, MethodKind::CrsCgCpuGpu | MethodKind::EbeMcgCpuGpu)
+    }
+}
+
+/// Run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub method: MethodKind,
+    pub node: NodeSpec,
+    /// Predictor CPU threads per process (Table 4 sweeps 36/24/16).
+    pub cpu_threads: usize,
+    /// Cases per set for EBE-MCG (paper: 4).
+    pub r: usize,
+    /// Snapshot-window cap (memory bound; paper: 32 / 11).
+    pub s_max: usize,
+    /// Predictor region size in DOFs.
+    pub region_dofs: usize,
+    /// CG relative tolerance (paper: 1e-8).
+    pub tol: f64,
+    pub n_steps: usize,
+    /// Base RNG seed; case `c` uses `seed + c`.
+    pub seed: u64,
+    pub load: RandomLoadSpec,
+    /// Steps before this index are excluded from the summary averages
+    /// (the paper measures steps 250–500).
+    pub measure_from: usize,
+    /// Record surface z-waveforms for FDD post-processing.
+    pub record_surface: bool,
+}
+
+impl RunConfig {
+    pub fn new(method: MethodKind, node: NodeSpec, n_steps: usize) -> Self {
+        RunConfig {
+            method,
+            node,
+            cpu_threads: 36,
+            r: 4,
+            s_max: 16,
+            region_dofs: 384,
+            tol: 1e-8,
+            n_steps,
+            seed: 2024,
+            load: RandomLoadSpec::default(),
+            measure_from: n_steps / 4,
+            record_surface: false,
+        }
+    }
+}
+
+/// Per-step record (regenerates Fig. 4 and the per-step columns of
+/// Tables 3–4).
+#[derive(Debug, Clone, Copy)]
+pub struct StepRecord {
+    pub step: usize,
+    /// Modeled wall time of the step per case (s).
+    pub step_time_per_case: f64,
+    /// Modeled solver time per case (s).
+    pub solver_time_per_case: f64,
+    /// Modeled predictor time per case (s).
+    pub predictor_time_per_case: f64,
+    /// Modeled CPU↔GPU transfer time of the step (s).
+    pub transfer_time: f64,
+    /// Mean CG iterations per case.
+    pub iterations: f64,
+    /// Snapshot window used (0 for Adams-Bashforth-only methods).
+    pub s_used: usize,
+    /// Mean initial relative residual (initial-guess quality).
+    pub initial_rel_res: f64,
+}
+
+/// Result of a time-history run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub method: MethodKind,
+    pub n_cases: usize,
+    pub records: Vec<StepRecord>,
+    pub energy: EnergyReport,
+    /// Surface z-waveforms `[case][point][step]` (when recorded).
+    pub waveforms: Vec<Vec<Vec<f64>>>,
+    /// Final displacement of each case (accuracy cross-checks).
+    pub final_u: Vec<Vec<f64>>,
+}
+
+impl RunResult {
+    fn measured<'a>(&'a self, from: usize) -> impl Iterator<Item = &'a StepRecord> {
+        self.records.iter().filter(move |r| r.step >= from)
+    }
+
+    /// Mean step time per case over the measurement window.
+    pub fn mean_step_time(&self, from: usize) -> f64 {
+        let (mut s, mut n) = (0.0, 0);
+        for r in self.measured(from) {
+            s += r.step_time_per_case;
+            n += 1;
+        }
+        s / n.max(1) as f64
+    }
+
+    pub fn mean_solver_time(&self, from: usize) -> f64 {
+        let (mut s, mut n) = (0.0, 0);
+        for r in self.measured(from) {
+            s += r.solver_time_per_case;
+            n += 1;
+        }
+        s / n.max(1) as f64
+    }
+
+    pub fn mean_predictor_time(&self, from: usize) -> f64 {
+        let (mut s, mut n) = (0.0, 0);
+        for r in self.measured(from) {
+            s += r.predictor_time_per_case;
+            n += 1;
+        }
+        s / n.max(1) as f64
+    }
+
+    pub fn mean_iterations(&self, from: usize) -> f64 {
+        let (mut s, mut n) = (0.0, 0);
+        for r in self.measured(from) {
+            s += r.iterations;
+            n += 1;
+        }
+        s / n.max(1) as f64
+    }
+
+    /// Energy per step per case over the whole run (J).
+    pub fn energy_per_step_per_case(&self) -> f64 {
+        self.energy.energy / (self.records.len().max(1) * self.n_cases) as f64
+    }
+}
+
+/// Per-case simulation state.
+struct CaseState {
+    time: TimeState,
+    load: RandomLoad,
+    adams: AdamsState,
+    dd: DataDrivenPredictor,
+    /// Scratch: force, rhs, AB guess, solution guess.
+    f: Vec<f64>,
+    rhs: Vec<f64>,
+    guess: Vec<f64>,
+    waveform: Vec<Vec<f64>>,
+}
+
+impl CaseState {
+    fn new(backend: &Backend, cfg: &RunConfig, case: usize, obs: usize) -> Self {
+        let n = backend.n_dofs();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + case as u64);
+        let load = RandomLoad::generate(
+            &cfg.load,
+            &backend.problem.surface_nodes,
+            cfg.n_steps,
+            &mut rng,
+        );
+        CaseState {
+            time: TimeState::zeros(n),
+            load,
+            adams: AdamsState::new(),
+            dd: DataDrivenPredictor::new(n, cfg.region_dofs.max(3), cfg.s_max.max(1)),
+            f: vec![0.0; n],
+            rhs: vec![0.0; n],
+            guess: vec![0.0; n],
+            waveform: vec![Vec::new(); obs],
+        }
+    }
+
+    /// Build the initial guess: Adams-Bashforth extrapolation plus (when
+    /// enabled and warmed up) the data-driven correction with window `s`.
+    /// Returns the window actually used.
+    fn predict(&mut self, backend: &Backend, dt: f64, data_driven: bool, s: usize) -> usize {
+        self.adams.predict(&self.time.u, dt, &mut self.guess);
+        let mut s_used = 0;
+        if data_driven && s >= 1 {
+            let mut corr = vec![0.0; self.guess.len()];
+            if self.dd.predict(s, &mut corr) {
+                for (g, c) in self.guess.iter_mut().zip(&corr) {
+                    *g += c;
+                }
+                s_used = s.min(self.dd.available_s());
+            }
+        }
+        backend.problem.mask.project(&mut self.guess);
+        s_used
+    }
+
+    /// After solving into `u_new`: record predictor data and advance the
+    /// Newmark state.
+    fn advance(&mut self, backend: &Backend, u_new: &[f64], ab_guess: &[f64]) {
+        // correction snapshot: delta = u_true - u_adams
+        let delta: Vec<f64> = u_new.iter().zip(ab_guess).map(|(u, g)| u - g).collect();
+        self.dd.record(&delta);
+        let nm = &backend.problem.newmark;
+        let u_old = std::mem::replace(&mut self.time.u, u_new.to_vec());
+        nm.advance(&self.time.u, &u_old, &mut self.time.v, &mut self.time.a);
+        self.adams.push(&self.time.v);
+        self.time.step += 1;
+    }
+
+    fn record_waveform(&mut self, obs_dofs: &[usize]) {
+        for (w, &d) in self.waveform.iter_mut().zip(obs_dofs) {
+            w.push(self.time.u[d]);
+        }
+    }
+}
+
+/// Run a time-history simulation with the configured method.
+pub fn run(backend: &Backend, cfg: &RunConfig) -> RunResult {
+    match cfg.method {
+        MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => run_crs_single(backend, cfg),
+        MethodKind::CrsCgCpuGpu => run_crs_pipelined(backend, cfg),
+        MethodKind::EbeMcgCpuGpu => run_ebe_mcg(backend, cfg),
+    }
+}
+
+/// Algorithm 2: single case, single device, Adams-Bashforth predictor.
+fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
+    let on_gpu = cfg.method == MethodKind::CrsCgGpu;
+    let n = backend.n_dofs();
+    let obs = backend.problem.surface_dofs_z();
+    let mut case = CaseState::new(backend, cfg, 0, if cfg.record_surface { obs.len() } else { 0 });
+    let mut clock = ModuleClock::new(cfg.node.module, backend.problem_threads(cfg), false);
+    let mut scratch = RhsScratch::new(n);
+    let cg_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let mut records = Vec::with_capacity(cfg.n_steps);
+    let a = backend.crs_a();
+    let rhs_counts = backend.rhs_counts_crs();
+
+    for step in 0..cfg.n_steps {
+        case.load.force_into(step, &mut case.f);
+        backend.problem.mask.project(&mut case.f);
+        backend.newmark_rhs(&case.f, &case.time.u, &case.time.v, &case.time.a, &mut case.rhs, &mut scratch);
+        case.predict(backend, backend.problem.newmark.dt, false, 0);
+        let ab_guess = case.guess.clone();
+        let mut x = ab_guess.clone();
+        let stats = pcg(a, &backend.precond, &case.rhs, &mut x, &cg_cfg);
+        debug_assert!(stats.converged, "CG failed at step {step}");
+        // charge the device: RHS + predictor (3 vector passes) + solve
+        let total = rhs_counts.merged(vector_counts(n, 4.0)).merged(stats.counts);
+        let t = if on_gpu { clock.run_gpu(&total) } else { clock.run_cpu(&total) };
+        case.advance(backend, &x, &ab_guess);
+        if cfg.record_surface {
+            case.record_waveform(&obs);
+        }
+        records.push(StepRecord {
+            step,
+            step_time_per_case: t,
+            solver_time_per_case: t,
+            predictor_time_per_case: 0.0,
+            transfer_time: 0.0,
+            iterations: stats.iterations as f64,
+            s_used: 0,
+            initial_rel_res: stats.initial_rel_res,
+        });
+    }
+
+    RunResult {
+        method: cfg.method,
+        n_cases: 1,
+        records,
+        energy: clock.report(),
+        waveforms: if cfg.record_surface { vec![case.waveform] } else { Vec::new() },
+        final_u: vec![case.time.u],
+    }
+}
+
+/// Algorithm 4: 2 cases; data-driven predictor on CPU overlaps the CRS
+/// solve of the other case on GPU.
+fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
+    let n = backend.n_dofs();
+    let obs = backend.problem.surface_dofs_z();
+    let n_obs = if cfg.record_surface { obs.len() } else { 0 };
+    let mut cases: Vec<CaseState> =
+        (0..2).map(|c| CaseState::new(backend, cfg, c, n_obs)).collect();
+    let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
+    let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
+    let mut scratch = RhsScratch::new(n);
+    let cg_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let mut records = Vec::with_capacity(cfg.n_steps);
+    let a = backend.crs_a();
+    let rhs_counts = backend.rhs_counts_crs();
+
+    for step in 0..cfg.n_steps {
+        let s = adaptive.current().min(cases[0].dd.available_s());
+        let mut iter_sum = 0.0;
+        let mut res_sum = 0.0;
+        let mut s_used = 0;
+        let mut solver_t = 0.0;
+        let mut pred_t = 0.0;
+        for case in cases.iter_mut() {
+            case.load.force_into(step, &mut case.f);
+            backend.problem.mask.project(&mut case.f);
+            backend.newmark_rhs(&case.f, &case.time.u, &case.time.v, &case.time.a, &mut case.rhs, &mut scratch);
+            // Adams guess first (kept for the correction snapshot)...
+            case.predict(backend, backend.problem.newmark.dt, false, 0);
+            let ab_guess = case.guess.clone();
+            // ...then the full data-driven guess
+            s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
+            let mut x = case.guess.clone();
+            let stats = pcg(a, &backend.precond, &case.rhs, &mut x, &cg_cfg);
+            debug_assert!(stats.converged, "CG failed at step {step}");
+            iter_sum += stats.iterations as f64;
+            res_sum += stats.initial_rel_res;
+            // GPU lane: RHS + solve; CPU lane: predictor
+            let gpu = rhs_counts.merged(stats.counts);
+            solver_t += clock.run_gpu(&gpu);
+            pred_t += clock.run_cpu(&case.dd.cost(s_used.max(1)));
+            case.advance(backend, &x, &ab_guess);
+            if cfg.record_surface {
+                case.record_waveform(&obs);
+            }
+        }
+        clock.sync();
+        // exchange: one solution down, one guess up, per process pair
+        let xfer = clock.transfer(2.0 * n as f64 * 8.0);
+        adaptive.observe(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+        records.push(StepRecord {
+            step,
+            step_time_per_case: solver_t.max(pred_t) / 2.0 + xfer,
+            solver_time_per_case: solver_t / 2.0,
+            predictor_time_per_case: pred_t / 2.0,
+            transfer_time: xfer,
+            iterations: iter_sum / 2.0,
+            s_used,
+            initial_rel_res: res_sum / 2.0,
+        });
+    }
+
+    finish(backend, cfg, cases, records, clock)
+}
+
+/// Algorithm 3 (the proposal): 2 sets × r cases, matrix-free multi-RHS CG
+/// on the GPU overlapped with the predictors of the other set on the CPU.
+fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
+    let n = backend.n_dofs();
+    let r = cfg.r;
+    let n_cases = 2 * r;
+    let obs = backend.problem.surface_dofs_z();
+    let n_obs = if cfg.record_surface { obs.len() } else { 0 };
+    let mut cases: Vec<CaseState> =
+        (0..n_cases).map(|c| CaseState::new(backend, cfg, c, n_obs)).collect();
+    let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
+    let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
+    let mut scratch = RhsScratch::new(n);
+    let cg_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let mut records = Vec::with_capacity(cfg.n_steps);
+    let op = backend.ebe_a(r);
+    let rhs_counts = backend.rhs_counts_ebe(r);
+
+    let mut f_multi = vec![0.0; n * r];
+    let mut x_multi = vec![0.0; n * r];
+
+    for step in 0..cfg.n_steps {
+        let s = adaptive.current();
+        let mut iter_sum = 0.0;
+        let mut res_sum = 0.0;
+        let mut s_used = 0;
+        let mut solver_t = 0.0;
+        let mut pred_t = 0.0;
+
+        for set in 0..2 {
+            let set_cases = set * r..(set + 1) * r;
+            // predictors (CPU lane)
+            let mut ab_guesses: Vec<Vec<f64>> = Vec::with_capacity(r);
+            for c in set_cases.clone() {
+                let case = &mut cases[c];
+                case.load.force_into(step, &mut case.f);
+                backend.problem.mask.project(&mut case.f);
+                backend.newmark_rhs(&case.f, &case.time.u, &case.time.v, &case.time.a, &mut case.rhs, &mut scratch);
+                case.predict(backend, backend.problem.newmark.dt, false, 0);
+                ab_guesses.push(case.guess.clone());
+                s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
+                pred_t += clock.run_cpu(&case.dd.cost(s_used.max(1)));
+            }
+            // fused solve (GPU lane)
+            for (k, c) in set_cases.clone().enumerate() {
+                hetsolve_sparse::vecops::insert_case(&mut f_multi, r, k, &cases[c].rhs);
+                hetsolve_sparse::vecops::insert_case(&mut x_multi, r, k, &cases[c].guess);
+            }
+            let stats = mcg(&op, &backend.precond, &f_multi, &mut x_multi, &cg_cfg);
+            debug_assert!(stats.converged, "MCG failed at step {step}");
+            solver_t += clock.run_gpu(&rhs_counts.merged(stats.counts));
+            for (k, c) in set_cases.clone().enumerate() {
+                let mut x = vec![0.0; n];
+                hetsolve_sparse::vecops::extract_case(&x_multi, r, k, &mut x);
+                iter_sum += stats.case_iterations[k] as f64;
+                res_sum += stats.initial_rel_res[k];
+                cases[c].advance(backend, &x, &ab_guesses[k]);
+                if cfg.record_surface {
+                    cases[c].record_waveform(&obs);
+                }
+            }
+            // sync + exchange predictions/solutions between the processes
+            clock.sync();
+            let _ = clock.transfer(2.0 * (n * r) as f64 * 8.0);
+        }
+        clock.sync();
+        let xfer = 0.0; // transfers already charged inside the set loop
+        adaptive.observe(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+        records.push(StepRecord {
+            step,
+            step_time_per_case: solver_t.max(pred_t) / n_cases as f64
+                + 2.0 * (2.0 * (n * r) as f64 * 8.0 / cfg.node.module.link.bw) / n_cases as f64,
+            solver_time_per_case: solver_t / n_cases as f64,
+            predictor_time_per_case: pred_t / n_cases as f64,
+            transfer_time: xfer,
+            iterations: iter_sum / n_cases as f64,
+            s_used,
+            initial_rel_res: res_sum / n_cases as f64,
+        });
+    }
+
+    finish(backend, cfg, cases, records, clock)
+}
+
+fn finish(
+    backend: &Backend,
+    cfg: &RunConfig,
+    cases: Vec<CaseState>,
+    records: Vec<StepRecord>,
+    clock: ModuleClock,
+) -> RunResult {
+    let _ = backend;
+    let n_cases = cases.len();
+    let mut waveforms = Vec::new();
+    let mut final_u = Vec::new();
+    for case in cases {
+        if cfg.record_surface {
+            waveforms.push(case.waveform);
+        }
+        final_u.push(case.time.u);
+    }
+    RunResult {
+        method: cfg.method,
+        n_cases,
+        records,
+        energy: clock.report(),
+        waveforms,
+        final_u,
+    }
+}
+
+/// Vector-pass costs (n-length streams).
+fn vector_counts(n: usize, passes: f64) -> KernelCounts {
+    KernelCounts {
+        flops: passes * n as f64,
+        bytes_stream: passes * 16.0 * n as f64,
+        bytes_rand: 0.0,
+        rand_transactions: 0.0,
+        rhs_fused: 1,
+    }
+}
+
+impl Backend {
+    /// Threads used by non-pipelined methods: all CPU cores for @CPU,
+    /// a service thread's worth for @GPU.
+    fn problem_threads(&self, cfg: &RunConfig) -> usize {
+        match cfg.method {
+            MethodKind::CrsCgCpu => cfg.node.module.cpu.n_cores,
+            _ => cfg.cpu_threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsolve_fem::FemProblem;
+    use hetsolve_machine::single_gh200;
+    use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+
+    fn small_backend() -> Backend {
+        let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
+        Backend::new(FemProblem::paper_like(&spec), true, false)
+    }
+
+    fn cfg(method: MethodKind, steps: usize) -> RunConfig {
+        let mut c = RunConfig::new(method, single_gh200(), steps);
+        c.r = 2;
+        c.s_max = 6;
+        c.load = RandomLoadSpec {
+            n_sources: 4,
+            impulses_per_source: 2.0,
+            amplitude: 1e6,
+            active_window: 0.2,
+        };
+        c.region_dofs = 300;
+        c
+    }
+
+    #[test]
+    fn all_methods_advance_and_record() {
+        let b = small_backend();
+        for method in [
+            MethodKind::CrsCgCpu,
+            MethodKind::CrsCgGpu,
+            MethodKind::CrsCgCpuGpu,
+            MethodKind::EbeMcgCpuGpu,
+        ] {
+            let r = run(&b, &cfg(method, 6));
+            assert_eq!(r.records.len(), 6, "{method:?}");
+            assert_eq!(r.n_cases, method.n_cases(2), "{method:?}");
+            assert!(r.energy.energy > 0.0);
+            assert!(r.records.iter().all(|s| s.step_time_per_case > 0.0));
+            assert!(r.final_u.iter().any(|u| u.iter().any(|&x| x != 0.0)), "{method:?} static");
+        }
+    }
+
+    /// The paper's central accuracy claim: every method produces the same
+    /// solution (to solver tolerance) for the same case.
+    #[test]
+    fn methods_agree_on_case_zero() {
+        let b = small_backend();
+        let steps = 8;
+        let runs: Vec<RunResult> = [
+            MethodKind::CrsCgCpu,
+            MethodKind::CrsCgGpu,
+            MethodKind::CrsCgCpuGpu,
+            MethodKind::EbeMcgCpuGpu,
+        ]
+        .iter()
+        .map(|&m| run(&b, &cfg(m, steps)))
+        .collect();
+        let reference = &runs[0].final_u[0];
+        let scale = reference.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        assert!(scale > 0.0);
+        for r in &runs[1..] {
+            for (i, (&x, &y)) in r.final_u[0].iter().zip(reference).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-4 * scale,
+                    "{:?} dof {i}: {x} vs {y}",
+                    r.method
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn data_driven_reduces_iterations() {
+        let b = small_backend();
+        let steps = 40;
+        let base = run(&b, &cfg(MethodKind::CrsCgGpu, steps));
+        let dd = run(&b, &cfg(MethodKind::CrsCgCpuGpu, steps));
+        let from = steps / 2;
+        let it_base = base.mean_iterations(from);
+        let it_dd = dd.mean_iterations(from);
+        assert!(
+            it_dd < 0.8 * it_base,
+            "data-driven {it_dd} vs Adams-Bashforth {it_base} iterations"
+        );
+    }
+
+    #[test]
+    fn ebe_mcg_is_fastest_and_most_efficient() {
+        let b = small_backend();
+        let steps = 16;
+        let from = steps / 2;
+        let cpu = run(&b, &cfg(MethodKind::CrsCgCpu, steps));
+        let gpu = run(&b, &cfg(MethodKind::CrsCgGpu, steps));
+        let ebe = run(&b, &cfg(MethodKind::EbeMcgCpuGpu, steps));
+        let (t_cpu, t_gpu, t_ebe) = (
+            cpu.mean_step_time(from),
+            gpu.mean_step_time(from),
+            ebe.mean_step_time(from),
+        );
+        assert!(t_gpu < t_cpu, "GPU {t_gpu} vs CPU {t_cpu}");
+        assert!(t_ebe < t_gpu, "EBE-MCG {t_ebe} vs CRS-CG@GPU {t_gpu}");
+        // energy-to-solution ordering (paper: 9944 J > 2163 J > 309 J)
+        let (e_cpu, e_gpu, e_ebe) = (
+            cpu.energy_per_step_per_case(),
+            gpu.energy_per_step_per_case(),
+            ebe.energy_per_step_per_case(),
+        );
+        assert!(e_gpu < e_cpu, "energy: GPU {e_gpu} vs CPU {e_cpu}");
+        assert!(e_ebe < e_gpu, "energy: EBE {e_ebe} vs GPU {e_gpu}");
+    }
+
+    #[test]
+    fn waveforms_recorded_when_requested() {
+        let b = small_backend();
+        let mut c = cfg(MethodKind::CrsCgGpu, 5);
+        c.record_surface = true;
+        let r = run(&b, &c);
+        assert_eq!(r.waveforms.len(), 1);
+        assert_eq!(r.waveforms[0].len(), b.problem.surface_nodes.len());
+        assert_eq!(r.waveforms[0][0].len(), 5);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let b = small_backend();
+        let r = run(&b, &cfg(MethodKind::EbeMcgCpuGpu, 10));
+        assert!(r.mean_step_time(0) > 0.0);
+        assert!(r.mean_iterations(0) > 0.0);
+        assert!(r.mean_solver_time(0) > 0.0);
+        assert!(r.mean_predictor_time(0) >= 0.0);
+        assert!(r.energy_per_step_per_case() > 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Convergence study (the paper's Fig. 3): warm up a single-case
+//! time-history simulation, then at one representative step solve the same
+//! system repeatedly from different initial guesses — zero, Adams-Bashforth,
+//! and the data-driven predictor at several window sizes — recording the
+//! full CG residual history of each.
+
+use hetsolve_fem::{RandomLoad, RandomLoadSpec};
+use hetsolve_predictor::{AdamsState, DataDrivenPredictor};
+use hetsolve_sparse::{pcg, CgConfig, CgStats};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::backend::{Backend, RhsScratch};
+
+/// One initial-guess strategy probed by the study.
+#[derive(Debug, Clone)]
+pub struct GuessResult {
+    pub label: String,
+    /// `‖r₀‖/‖f‖` of the guess.
+    pub initial_rel_res: f64,
+    pub iterations: usize,
+    /// Residual history, index 0 = initial.
+    pub history: Vec<f64>,
+}
+
+/// Full study output.
+#[derive(Debug, Clone)]
+pub struct ConvergenceStudy {
+    /// Step at which the probe was taken.
+    pub probe_step: usize,
+    pub results: Vec<GuessResult>,
+}
+
+/// Configuration of the study.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Time steps to simulate before probing (history build-up).
+    pub warmup_steps: usize,
+    /// Data-driven windows to probe (paper: 8, 16, 32).
+    pub windows: Vec<usize>,
+    pub region_dofs: usize,
+    pub tol: f64,
+    pub seed: u64,
+    pub load: RandomLoadSpec,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            warmup_steps: 48,
+            windows: vec![8, 16, 32],
+            region_dofs: 384,
+            tol: 1e-8,
+            seed: 4242,
+            load: RandomLoadSpec {
+                n_sources: 12,
+                impulses_per_source: 3.0,
+                amplitude: 1e6,
+                active_window: 0.3,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Run the study on a backend (uses the matrix-free operator).
+pub fn convergence_study(backend: &Backend, cfg: &StudyConfig) -> ConvergenceStudy {
+    let n = backend.n_dofs();
+    let s_max = cfg.windows.iter().copied().max().unwrap_or(8).max(1);
+    assert!(
+        cfg.warmup_steps > s_max + 4,
+        "warmup ({}) must exceed the largest window ({s_max}) plus AB history",
+        cfg.warmup_steps
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let load = RandomLoad::generate(
+        &cfg.load,
+        &backend.problem.surface_nodes,
+        cfg.warmup_steps + 1,
+        &mut rng,
+    );
+
+    let mut time = hetsolve_fem::TimeState::zeros(n);
+    let mut adams = AdamsState::new();
+    let mut dd = DataDrivenPredictor::new(n, cfg.region_dofs.max(3), s_max);
+    let mut scratch = RhsScratch::new(n);
+    let mut f = vec![0.0; n];
+    let mut rhs = vec![0.0; n];
+    let mut guess = vec![0.0; n];
+    let op = backend.ebe_a(1);
+    let dt = backend.problem.newmark.dt;
+    let solve_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+
+    // warm up with the standard data-driven-accelerated loop so the
+    // snapshot history reflects a realistic mid-simulation state
+    for step in 0..cfg.warmup_steps {
+        load.force_into(step, &mut f);
+        backend.problem.mask.project(&mut f);
+        backend.newmark_rhs(&f, &time.u, &time.v, &time.a, &mut rhs, &mut scratch);
+        adams.predict(&time.u, dt, &mut guess);
+        backend.problem.mask.project(&mut guess);
+        let ab_guess = guess.clone();
+        let mut corr = vec![0.0; n];
+        if dd.predict(dd.available_s().min(s_max), &mut corr) {
+            for (g, c) in guess.iter_mut().zip(&corr) {
+                *g += c;
+            }
+            backend.problem.mask.project(&mut guess);
+        }
+        let mut x = guess.clone();
+        let stats = pcg(&op, &backend.precond, &rhs, &mut x, &solve_cfg);
+        assert!(stats.converged, "warmup CG failed at step {step}");
+        let delta: Vec<f64> = x.iter().zip(&ab_guess).map(|(u, g)| u - g).collect();
+        dd.record(&delta);
+        let u_old = std::mem::replace(&mut time.u, x);
+        backend.problem.newmark.advance(&time.u, &u_old, &mut time.v, &mut time.a);
+        adams.push(&time.v);
+        time.step += 1;
+    }
+
+    // probe step: assemble its RHS once, then solve from each guess
+    let probe = cfg.warmup_steps;
+    load.force_into(probe, &mut f);
+    backend.problem.mask.project(&mut f);
+    backend.newmark_rhs(&f, &time.u, &time.v, &time.a, &mut rhs, &mut scratch);
+
+    let run_one = |label: String, x0: &[f64]| -> GuessResult {
+        let mut x = x0.to_vec();
+        backend.problem.mask.project(&mut x);
+        let stats: CgStats = pcg(&op, &backend.precond, &rhs, &mut x, &solve_cfg);
+        GuessResult {
+            label,
+            initial_rel_res: stats.initial_rel_res,
+            iterations: stats.iterations,
+            history: stats.history,
+        }
+    };
+
+    let mut results = Vec::new();
+    results.push(run_one("zero".into(), &vec![0.0; n]));
+    adams.predict(&time.u, dt, &mut guess);
+    results.push(run_one("Adams-Bashforth".into(), &guess.clone()));
+    for &s in &cfg.windows {
+        let mut g = guess.clone();
+        let mut corr = vec![0.0; n];
+        if dd.predict(s, &mut corr) {
+            for (gi, c) in g.iter_mut().zip(&corr) {
+                *gi += c;
+            }
+        }
+        results.push(run_one(format!("data-driven s={s}"), &g));
+    }
+
+    ConvergenceStudy { probe_step: probe, results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsolve_fem::FemProblem;
+    use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+
+    #[test]
+    fn study_reproduces_fig3_ordering() {
+        let spec = GroundModelSpec::paper_like(4, 4, 3, InterfaceShape::Stratified);
+        let backend = Backend::new(FemProblem::paper_like(&spec), false, true);
+        let cfg = StudyConfig {
+            warmup_steps: 24,
+            windows: vec![4, 8, 16],
+            ..Default::default()
+        };
+        let study = convergence_study(&backend, &cfg);
+        assert_eq!(study.results.len(), 5);
+        let by_label: Vec<(&str, usize, f64)> = study
+            .results
+            .iter()
+            .map(|r| (r.label.as_str(), r.iterations, r.initial_rel_res))
+            .collect();
+        // zero is worst; AB better; data-driven better still (paper Fig. 3)
+        let zero = by_label[0];
+        let ab = by_label[1];
+        let dd16 = by_label[4];
+        assert!(ab.1 <= zero.1, "AB {} vs zero {}", ab.1, zero.1);
+        assert!(dd16.1 < ab.1, "dd s=16 {} vs AB {}", dd16.1, ab.1);
+        assert!(dd16.2 < ab.2, "dd initial res {} vs AB {}", dd16.2, ab.2);
+        // larger window at least as good as the smallest
+        let dd4 = by_label[2];
+        assert!(dd16.1 <= dd4.1 + 2);
+        // histories recorded
+        for r in &study.results {
+            assert_eq!(r.history.len(), r.iterations + 1);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Virtual two-lane module clock: overlapped CPU/GPU execution with energy
+//! integration.
+//!
+//! The paper's Algorithms 3–4 run the predictor on the CPU *while* the
+//! solver runs on the GPU, synchronizing and exchanging data over
+//! NVLink-C2C between phases. [`ModuleClock`] models exactly that: two
+//! timelines that advance independently between `sync()` points, with every
+//! kernel charged by the roofline model and every busy interval integrated
+//! into per-device energy. The GPU clock factor reflects the module power
+//! cap given the CPU's concurrent draw (Alps behaviour, Table 4).
+
+use hetsolve_sparse::KernelCounts;
+
+use crate::roofline::{kernel_time, transfer_time, ExecCtx};
+use crate::spec::ModuleSpec;
+
+/// One device timeline.
+#[derive(Debug, Clone, Copy, Default)]
+struct Lane {
+    /// Local time (s).
+    time: f64,
+    /// Seconds spent busy.
+    busy: f64,
+    /// Busy-energy accumulated (J), excluding idle draw.
+    busy_energy: f64,
+}
+
+/// Virtual clock of one GH200 module.
+#[derive(Debug, Clone)]
+pub struct ModuleClock {
+    pub spec: ModuleSpec,
+    /// CPU threads used by predictor work (power + speed).
+    pub cpu_threads: usize,
+    /// Whether CPU work overlaps GPU work (drives the power-cap throttle).
+    pub overlapped: bool,
+    cpu: Lane,
+    gpu: Lane,
+}
+
+/// Summary of a finished (or in-progress) timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyReport {
+    /// Makespan (s).
+    pub elapsed: f64,
+    pub cpu_busy: f64,
+    pub gpu_busy: f64,
+    /// Total energy (J): busy energy + idle draw over the makespan.
+    pub energy: f64,
+    /// Time-averaged module power (W).
+    pub avg_power: f64,
+}
+
+impl ModuleClock {
+    pub fn new(spec: ModuleSpec, cpu_threads: usize, overlapped: bool) -> Self {
+        ModuleClock { spec, cpu_threads, overlapped, cpu: Lane::default(), gpu: Lane::default() }
+    }
+
+    /// GPU clock factor under the power cap.
+    pub fn gpu_clock(&self) -> f64 {
+        let cpu_power = if self.overlapped {
+            self.spec.cpu.power_threads(self.cpu_threads)
+        } else {
+            self.spec.cpu.power(0.0)
+        };
+        self.spec.gpu_throttle(cpu_power)
+    }
+
+    /// Charge a kernel to the CPU lane; returns its modeled time.
+    pub fn run_cpu(&mut self, counts: &KernelCounts) -> f64 {
+        let ctx = ExecCtx { threads: self.cpu_threads, clock: 1.0 };
+        let t = kernel_time(&self.spec.cpu, counts, &ctx);
+        let frac = self.spec.cpu.thread_frac(self.cpu_threads);
+        self.cpu.time += t;
+        self.cpu.busy += t;
+        self.cpu.busy_energy += t * self.spec.cpu.active_power * frac;
+        t
+    }
+
+    /// Charge a kernel to the GPU lane; returns its modeled time.
+    pub fn run_gpu(&mut self, counts: &KernelCounts) -> f64 {
+        let clock = self.gpu_clock();
+        let ctx = ExecCtx { threads: usize::MAX, clock };
+        let t = kernel_time(&self.spec.gpu, counts, &ctx);
+        self.gpu.time += t;
+        self.gpu.busy += t;
+        // a throttled GPU draws proportionally less active power
+        self.gpu.busy_energy += t * self.spec.gpu.active_power * clock;
+        t
+    }
+
+    /// Synchronize both lanes (barrier): both advance to the later time.
+    pub fn sync(&mut self) {
+        let t = self.cpu.time.max(self.gpu.time);
+        self.cpu.time = t;
+        self.gpu.time = t;
+    }
+
+    /// CPU↔GPU transfer of `bytes` over the C2C link; occupies both lanes
+    /// (call after `sync()` to model the paper's sync-transfer-sync).
+    pub fn transfer(&mut self, bytes: f64) -> f64 {
+        let t = transfer_time(&self.spec.link, bytes);
+        self.cpu.time += t;
+        self.gpu.time += t;
+        // DMA engines draw little; fold into idle power.
+        t
+    }
+
+    /// Current CPU / GPU lane times.
+    pub fn times(&self) -> (f64, f64) {
+        (self.cpu.time, self.gpu.time)
+    }
+
+    /// Makespan so far.
+    pub fn elapsed(&self) -> f64 {
+        self.cpu.time.max(self.gpu.time)
+    }
+
+    /// Energy / power summary so far.
+    pub fn report(&self) -> EnergyReport {
+        let elapsed = self.elapsed();
+        let idle = (self.spec.cpu.power(0.0) + self.spec.gpu.power(0.0)) * elapsed;
+        let energy = idle + self.cpu.busy_energy + self.gpu.busy_energy;
+        EnergyReport {
+            elapsed,
+            cpu_busy: self.cpu.busy,
+            gpu_busy: self.gpu.busy,
+            energy,
+            avg_power: if elapsed > 0.0 { energy / elapsed } else { 0.0 },
+        }
+    }
+
+    /// Reset the timeline (keep the configuration).
+    pub fn reset(&mut self) {
+        self.cpu = Lane::default();
+        self.gpu = Lane::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{alps_node, single_gh200};
+
+    fn counts(flops: f64) -> KernelCounts {
+        KernelCounts { flops, ..Default::default() }
+    }
+
+    #[test]
+    fn lanes_overlap_until_sync() {
+        let mut clk = ModuleClock::new(single_gh200().module, 72, true);
+        let tc = clk.run_cpu(&counts(1e12));
+        let tg = clk.run_gpu(&counts(1e12));
+        assert!(tc > tg, "CPU should be slower on equal flops");
+        // overlapped: elapsed is the max, not the sum
+        assert!((clk.elapsed() - tc).abs() < 1e-12);
+        clk.sync();
+        let (c, g) = clk.times();
+        assert_eq!(c, g);
+    }
+
+    #[test]
+    fn transfer_charges_both_lanes() {
+        let mut clk = ModuleClock::new(single_gh200().module, 72, true);
+        clk.sync();
+        let t = clk.transfer(450e9 * 0.01); // 10 ms of link time
+        assert!((t - 0.01 - 5e-6).abs() < 1e-9);
+        let (c, g) = clk.times();
+        assert_eq!(c, g);
+        assert!((c - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_matches_hand_computation() {
+        let m = single_gh200().module;
+        let mut clk = ModuleClock::new(m, 72, true);
+        let tg = clk.run_gpu(&counts(34e12 * 0.72)); // exactly 1 s of GPU work
+        assert!((tg - 1.0).abs() < 1e-9);
+        let rep = clk.report();
+        let expect = (m.cpu.power(0.0) + m.gpu.power(0.0)) * 1.0 + m.gpu.active_power;
+        assert!((rep.energy - expect).abs() < 1e-6, "{} vs {expect}", rep.energy);
+        assert!(rep.avg_power > m.cpu.power(0.0) + m.gpu.power(0.0));
+    }
+
+    #[test]
+    fn alps_cap_throttles_gpu_when_overlapped() {
+        let m = alps_node().module;
+        let with_cpu = ModuleClock::new(m, 72, true).gpu_clock();
+        let idle_cpu = ModuleClock::new(m, 72, false).gpu_clock();
+        assert!(with_cpu < idle_cpu);
+        let fewer_threads = ModuleClock::new(m, 16, true).gpu_clock();
+        assert!(
+            fewer_threads > with_cpu,
+            "16 threads {fewer_threads} should beat 72 threads {with_cpu}"
+        );
+    }
+
+    #[test]
+    fn single_gh200_never_throttles() {
+        let m = single_gh200().module;
+        assert_eq!(ModuleClock::new(m, 72, true).gpu_clock(), 1.0);
+    }
+
+    #[test]
+    fn throttled_gpu_is_slower_but_cheaper_per_second() {
+        let alps = alps_node().module;
+        let mut hot = ModuleClock::new(alps, 72, true);
+        let mut cold = ModuleClock::new(alps, 72, false);
+        let c = counts(1e13);
+        let t_hot = hot.run_gpu(&c);
+        let t_cold = cold.run_gpu(&c);
+        assert!(t_hot > t_cold);
+    }
+
+    #[test]
+    fn reset_clears_timeline() {
+        let mut clk = ModuleClock::new(single_gh200().module, 72, true);
+        clk.run_gpu(&counts(1e12));
+        clk.reset();
+        assert_eq!(clk.elapsed(), 0.0);
+        assert_eq!(clk.report().energy, 0.0);
+    }
+}

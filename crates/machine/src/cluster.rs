@@ -1,0 +1,161 @@
+//! Multi-node cluster model: inter-GPU halo exchange and weak-scaling
+//! prediction (the paper's Fig. 2 execution scheme and Fig. 5 measurement).
+//!
+//! Per CG iteration each partition exchanges its interface ("shared node")
+//! values with its neighbours over the interconnect (GPUDirect in the
+//! paper: GPU↔GPU without staging through the CPU). The predictor needs no
+//! communication at all — the key reason the method weak-scales at 94.3 %.
+
+use crate::spec::NodeSpec;
+
+/// Communication pattern of one partition: bytes per neighbour.
+#[derive(Debug, Clone, Default)]
+pub struct HaloPattern {
+    /// For each neighbour: bytes exchanged per CG iteration (per case).
+    pub neighbor_bytes: Vec<f64>,
+}
+
+impl HaloPattern {
+    pub fn total_bytes(&self) -> f64 {
+        self.neighbor_bytes.iter().sum()
+    }
+
+    pub fn n_neighbors(&self) -> usize {
+        self.neighbor_bytes.len()
+    }
+}
+
+/// Modeled time of one halo exchange for a partition on a node.
+///
+/// Messages to different neighbours are serialized on the module's NIC
+/// (bandwidth shared), each paying the interconnect latency; an extra
+/// synchronization latency models the collective nature of the exchange.
+pub fn halo_exchange_time(node: &NodeSpec, pattern: &HaloPattern) -> f64 {
+    if pattern.neighbor_bytes.is_empty() || !node.interconnect_bw.is_finite() {
+        return 0.0;
+    }
+    let bw_time = pattern.total_bytes() / node.interconnect_bw;
+    let lat = node.interconnect_latency * (pattern.n_neighbors() as f64 + 1.0);
+    bw_time + lat
+}
+
+/// Fraction of halo-exchange time hidden behind interior computation.
+///
+/// The paper's Algorithm 3 synchronizes point-to-point around each
+/// exchange (GPUDirect, but no boundary/interior overlap is described), so
+/// the default model keeps exchanges fully visible.
+pub const COMM_OVERLAP: f64 = 0.0;
+
+/// Weak-scaling model: per-step time on `p` modules given the single-module
+/// compute time per step, the iteration count, and the (worst-partition)
+/// halo pattern. Compute time is assumed constant per module (same local
+/// problem size — the definition of weak scaling); the non-overlapped part
+/// of communication adds per iteration.
+pub fn weak_scaling_step_time(
+    node: &NodeSpec,
+    compute_per_step: f64,
+    iterations_per_step: f64,
+    pattern: &HaloPattern,
+    p_modules: usize,
+) -> f64 {
+    if p_modules <= 1 {
+        return compute_per_step;
+    }
+    // allreduce-style residual norms: 2 small messages per iteration with
+    // log2(p) latency depth
+    let allreduce = 2.0 * node.interconnect_latency * (p_modules as f64).log2().max(1.0);
+    let visible_halo = (1.0 - COMM_OVERLAP) * halo_exchange_time(node, pattern);
+    compute_per_step + iterations_per_step * (visible_halo + allreduce)
+}
+
+/// Weak-scaling efficiency `t(1) / t(p)`.
+pub fn weak_scaling_efficiency(t1: f64, tp: f64) -> f64 {
+    t1 / tp
+}
+
+/// Surface-area model of halo size for a box-partitioned domain: a
+/// partition holding `nodes_per_part` grid nodes has ≈ `6 (n^(1/3))²`
+/// interface nodes split over up to 6 face neighbours. Returns bytes per
+/// iteration for `dofs_per_node × 8`-byte values and `r` fused cases.
+pub fn box_halo_pattern(nodes_per_part: f64, r: usize, n_neighbors: usize) -> HaloPattern {
+    let side = nodes_per_part.powf(1.0 / 3.0);
+    let face_nodes = side * side;
+    let bytes = face_nodes * 3.0 * 8.0 * r as f64;
+    HaloPattern { neighbor_bytes: vec![bytes; n_neighbors] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::alps_node;
+
+    #[test]
+    fn empty_pattern_costs_nothing() {
+        let node = alps_node();
+        assert_eq!(halo_exchange_time(&node, &HaloPattern::default()), 0.0);
+    }
+
+    #[test]
+    fn exchange_time_scales_with_bytes() {
+        let node = alps_node();
+        let p1 = HaloPattern { neighbor_bytes: vec![24e9 * 0.001] }; // 1 ms of BW
+        let t1 = halo_exchange_time(&node, &p1);
+        let p2 = HaloPattern { neighbor_bytes: vec![24e9 * 0.002] };
+        let t2 = halo_exchange_time(&node, &p2);
+        assert!(t2 > t1);
+        assert!((t1 - (0.001 + 2.0 * node.interconnect_latency)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_module_has_no_comm() {
+        let node = alps_node();
+        let pat = box_halo_pattern(1e6, 4, 6);
+        let t = weak_scaling_step_time(&node, 0.45, 70.0, &pat, 1);
+        assert_eq!(t, 0.45);
+    }
+
+    #[test]
+    fn paper_scale_weak_scaling_efficiency() {
+        // Fig. 5 scenario: one module advances 2 sets x 4 cases per step
+        // (wall ~ 8 x 0.447 s = 3.58 s), with 2 x 70.4 halo exchanges per
+        // step; 7680 GPUs: the paper measures 94.3 % efficiency.
+        let node = alps_node();
+        // one Alps module handles a 950x950x120 m slab (~15.5M nodes);
+        // x-y slab partitioning gives 4 face neighbours.
+        let pat = box_halo_pattern(15.5e6, 4, 4);
+        let compute = 8.0 * 0.447;
+        let exchanges = 2.0 * 70.4;
+        let t1 = weak_scaling_step_time(&node, compute, exchanges, &pat, 1);
+        let tp = weak_scaling_step_time(&node, compute, exchanges, &pat, 7680);
+        let eff = weak_scaling_efficiency(t1, tp);
+        assert!(
+            (0.90..0.99).contains(&eff),
+            "weak-scaling efficiency {eff} out of the paper's band (94.3 %)"
+        );
+    }
+
+    #[test]
+    fn efficiency_degrades_gracefully_with_modules() {
+        let node = alps_node();
+        let pat = box_halo_pattern(15.5e6, 4, 4);
+        let (compute, exchanges) = (8.0 * 0.447, 2.0 * 70.4);
+        let t1 = weak_scaling_step_time(&node, compute, exchanges, &pat, 1);
+        let mut last = 1.0;
+        for p in [4usize, 64, 1024, 7680] {
+            let e = weak_scaling_efficiency(
+                t1,
+                weak_scaling_step_time(&node, compute, exchanges, &pat, p),
+            );
+            assert!(e <= last + 1e-12, "efficiency must be non-increasing");
+            last = e;
+        }
+        assert!(last > 0.85);
+    }
+
+    #[test]
+    fn halo_grows_with_r() {
+        let p1 = box_halo_pattern(1e6, 1, 6);
+        let p4 = box_halo_pattern(1e6, 4, 6);
+        assert!((p4.total_bytes() / p1.total_bytes() - 4.0).abs() < 1e-12);
+    }
+}

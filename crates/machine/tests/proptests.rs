@@ -1,0 +1,110 @@
+//! Property-based tests of the machine model: physical sanity of the
+//! roofline/energy/power-cap models under arbitrary workloads.
+
+use hetsolve_machine::{
+    alps_node, ebe_mcg_cpu_gpu, grace_480, h100, kernel_time, single_gh200, ExecCtx, ModuleClock,
+    ProblemDims,
+};
+use hetsolve_sparse::KernelCounts;
+use proptest::prelude::*;
+
+fn counts(flops: f64, stream: f64, rand: f64, txn: f64) -> KernelCounts {
+    KernelCounts {
+        flops,
+        bytes_stream: stream,
+        bytes_rand: rand,
+        rand_transactions: txn,
+        rhs_fused: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Time is positive and monotone in every work component.
+    #[test]
+    fn kernel_time_monotone(
+        flops in 1e6f64..1e15,
+        stream in 0.0f64..1e12,
+        rand in 0.0f64..1e11,
+        txn in 0.0f64..1e10,
+    ) {
+        let ctx = ExecCtx::default();
+        for dev in [grace_480(), h100()] {
+            let base = kernel_time(&dev, &counts(flops, stream, rand, txn), &ctx);
+            prop_assert!(base > 0.0 && base.is_finite());
+            let more_flops = kernel_time(&dev, &counts(2.0 * flops, stream, rand, txn), &ctx);
+            let more_bytes = kernel_time(&dev, &counts(flops, 2.0 * stream + 1.0, rand, txn), &ctx);
+            let more_txn = kernel_time(&dev, &counts(flops, stream, rand, 2.0 * txn + 1.0), &ctx);
+            prop_assert!(more_flops >= base);
+            prop_assert!(more_bytes >= base);
+            prop_assert!(more_txn > base);
+        }
+    }
+
+    /// Throttling never speeds a kernel up; full clocks never slow it down.
+    #[test]
+    fn throttle_monotone(
+        flops in 1e9f64..1e14,
+        clock in 0.1f64..1.0,
+    ) {
+        let c = counts(flops, 1e9, 1e8, 1e7);
+        let full = kernel_time(&h100(), &c, &ExecCtx { threads: usize::MAX, clock: 1.0 });
+        let thr = kernel_time(&h100(), &c, &ExecCtx { threads: usize::MAX, clock });
+        prop_assert!(thr >= full);
+    }
+
+    /// More CPU threads never slow a kernel down.
+    #[test]
+    fn threads_monotone(flops in 1e9f64..1e13, t1 in 1usize..72, t2 in 1usize..72) {
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let c = counts(flops, 1e9, 1e8, 1e7);
+        let d = grace_480();
+        let t_lo = kernel_time(&d, &c, &ExecCtx { threads: lo, clock: 1.0 });
+        let t_hi = kernel_time(&d, &c, &ExecCtx { threads: hi, clock: 1.0 });
+        prop_assert!(t_hi <= t_lo + 1e-12);
+    }
+
+    /// Energy accounting: total energy >= idle floor, average power within
+    /// the physical band of the module.
+    #[test]
+    fn energy_within_physical_band(
+        gpu_work in 1e10f64..1e14,
+        cpu_work in 1e9f64..1e13,
+    ) {
+        let m = single_gh200().module;
+        let mut clk = ModuleClock::new(m, 72, true);
+        clk.run_gpu(&counts(gpu_work, 0.0, 0.0, 0.0));
+        clk.run_cpu(&counts(cpu_work, 0.0, 0.0, 0.0));
+        clk.sync();
+        let rep = clk.report();
+        let idle = m.cpu.power(0.0) + m.gpu.power(0.0);
+        let max = m.cpu.power(1.0) + m.gpu.power(1.0);
+        prop_assert!(rep.energy >= idle * rep.elapsed * 0.999);
+        prop_assert!(rep.avg_power <= max * 1.001, "{} > {}", rep.avg_power, max);
+        prop_assert!(rep.avg_power >= idle * 0.999);
+    }
+
+    /// The Alps power-cap throttle reacts monotonically to CPU load.
+    #[test]
+    fn alps_throttle_monotone(t1 in 1usize..72, t2 in 1usize..72) {
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let m = alps_node().module;
+        let f_lo = ModuleClock::new(m, lo, true).gpu_clock();
+        let f_hi = ModuleClock::new(m, hi, true).gpu_clock();
+        prop_assert!(f_hi <= f_lo + 1e-12, "more threads must not raise GPU clocks");
+    }
+
+    /// Memory model: monotone in window size and case count, and the
+    /// snapshot window that fits never grows when memory shrinks.
+    #[test]
+    fn memory_monotone(s1 in 1usize..40, s2 in 1usize..40, r in 1u64..9) {
+        let d = ProblemDims::paper_model_a();
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        let m_lo = ebe_mcg_cpu_gpu(&d, lo, r);
+        let m_hi = ebe_mcg_cpu_gpu(&d, hi, r);
+        prop_assert!(m_hi.cpu >= m_lo.cpu);
+        let m_r1 = ebe_mcg_cpu_gpu(&d, lo, 1);
+        prop_assert!(m_lo.cpu >= m_r1.cpu || r == 1);
+    }
+}

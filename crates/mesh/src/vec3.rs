@@ -1,0 +1,211 @@
+//! Minimal 3-component vector used for nodal coordinates and geometry.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 3-D point / vector with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Build from a `[f64; 3]` array (the storage format used by meshes).
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Vec3 { x: a[0], y: a[1], z: a[2] }
+    }
+
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction. Returns `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise midpoint of two points.
+    #[inline]
+    pub fn midpoint(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: 0.5 * (self.x + o.x),
+            y: 0.5 * (self.y + o.y),
+            z: 0.5 * (self.z + o.z),
+        }
+    }
+
+    /// Euclidean distance between two points.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+/// Signed volume of the tetrahedron (a, b, c, d).
+///
+/// Positive when (b-a, c-a, d-a) form a right-handed frame.
+pub fn tet_volume(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> f64 {
+    (b - a).cross(c - a).dot(d - a) / 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, -3.0, 9.0));
+        assert_eq!(a - b, Vec3::new(-3.0, 7.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert!((a.dot(b) - (4.0 - 10.0 + 18.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!((v.norm() - 5.0).abs() < 1e-15);
+        let u = v.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-15);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn unit_tet_volume() {
+        let v = tet_volume(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        );
+        assert!((v - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swapped_tet_volume_is_negative() {
+        let v = tet_volume(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        );
+        assert!(v < 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_distance() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 2.0, 2.0);
+        assert_eq!(a.midpoint(b), Vec3::new(1.0, 1.0, 1.0));
+        assert!((a.distance(b) - (12.0f64).sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,157 @@
+//! Adaptive predictor-window controller.
+//!
+//! The paper adjusts the number of snapshot steps `s` "automatically during
+//! the time-history analysis to balance the computation times of the
+//! predictor on the CPU and the solver on the GPU" (§2.2, Fig. 4), within
+//! the bound set by CPU memory capacity.
+//!
+//! The controller keeps an exponentially-weighted estimate of the
+//! predictor's cost-per-`s²` (the MGS term dominates) and, each step, picks
+//! the largest `s` whose predicted time fits the latest solver time, bounded
+//! by `s_min..=s_cap` where `s_cap` also reflects the memory limit.
+
+/// Controller state.
+#[derive(Debug, Clone)]
+pub struct AdaptiveWindow {
+    pub s_min: usize,
+    /// Hard cap (memory bound: the paper's 32 on 480 GB, 11 on 128 GB).
+    pub s_cap: usize,
+    /// Current choice.
+    s: usize,
+    /// EWMA of predictor_time / s² (seconds).
+    unit_cost: Option<f64>,
+    /// EWMA smoothing factor.
+    alpha: f64,
+    /// Safety margin: target predictor_time <= margin * solver_time.
+    margin: f64,
+}
+
+impl AdaptiveWindow {
+    pub fn new(s_min: usize, s_cap: usize) -> Self {
+        assert!(1 <= s_min && s_min <= s_cap);
+        AdaptiveWindow { s_min, s_cap, s: s_min, unit_cost: None, alpha: 0.3, margin: 0.95 }
+    }
+
+    /// Window to use for the next step.
+    pub fn current(&self) -> usize {
+        self.s
+    }
+
+    /// Report the measured (or modeled) times of the step just finished:
+    /// `predictor_time` with the window actually used, and `solver_time`
+    /// to hide it behind. Returns the window chosen for the next step.
+    pub fn observe(&mut self, s_used: usize, predictor_time: f64, solver_time: f64) -> usize {
+        if s_used >= 1 && predictor_time > 0.0 {
+            let unit = predictor_time / (s_used * s_used) as f64;
+            self.unit_cost = Some(match self.unit_cost {
+                Some(u) => u + self.alpha * (unit - u),
+                None => unit,
+            });
+        }
+        if let Some(u) = self.unit_cost {
+            if u > 0.0 && solver_time > 0.0 {
+                let fit = (self.margin * solver_time / u).sqrt().floor() as usize;
+                // limit growth to +50% per step to avoid oscillation on
+                // noisy timings; shrink immediately when over budget.
+                let grown = (self.s + (self.s / 2).max(1)).min(fit);
+                self.s = if fit < self.s { fit } else { grown }.clamp(self.s_min, self.s_cap);
+            }
+        }
+        self.s
+    }
+
+    /// Clamp the cap (e.g. when memory gets tighter at runtime).
+    pub fn set_cap(&mut self, cap: usize) {
+        self.s_cap = cap.max(self.s_min);
+        self.s = self.s.min(self.s_cap);
+    }
+}
+
+/// The largest window `s` whose snapshot history fits in `mem_bytes` for a
+/// problem with `n_dofs` unknowns and `cases` concurrent cases — how the
+/// paper derives 32 steps on the 480 GB node and 11 on the 128 GB node.
+pub fn max_window_for_memory(mem_bytes: usize, n_dofs: usize, cases: usize) -> usize {
+    // history stores (s + 1) correction vectors per case
+    let per_step = 8 * n_dofs * cases;
+    (mem_bytes / per_step).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulated predictor with true cost `c * s²`; controller should find
+    /// the largest s with c s² <= solver_time.
+    #[test]
+    fn converges_to_balance() {
+        let c = 1e-4;
+        let solver_time = 0.1; // => s* = sqrt(0.95*0.1/1e-4) ≈ 30.8 -> 30
+        let mut ctl = AdaptiveWindow::new(2, 64);
+        let mut s = ctl.current();
+        for _ in 0..40 {
+            let pred_time = c * (s * s) as f64;
+            s = ctl.observe(s, pred_time, solver_time);
+        }
+        assert!((29..=31).contains(&s), "converged to s = {s}");
+    }
+
+    #[test]
+    fn respects_cap() {
+        let mut ctl = AdaptiveWindow::new(2, 11);
+        let mut s = ctl.current();
+        for _ in 0..30 {
+            let pred_time = 1e-6 * (s * s) as f64; // tiny: wants huge s
+            s = ctl.observe(s, pred_time, 1.0);
+        }
+        assert_eq!(s, 11);
+    }
+
+    #[test]
+    fn shrinks_when_solver_gets_faster() {
+        let c = 1e-4;
+        let mut ctl = AdaptiveWindow::new(2, 64);
+        let mut s = ctl.current();
+        for _ in 0..40 {
+            s = ctl.observe(s, c * (s * s) as f64, 0.1);
+        }
+        let s_big = s;
+        for _ in 0..40 {
+            s = ctl.observe(s, c * (s * s) as f64, 0.01);
+        }
+        assert!(s < s_big, "did not shrink: {s_big} -> {s}");
+        assert!((8..=10).contains(&s), "s = {s}"); // sqrt(0.95*0.01/1e-4) ≈ 9.7
+    }
+
+    #[test]
+    fn growth_is_rate_limited() {
+        let mut ctl = AdaptiveWindow::new(2, 1000);
+        // first observation suggests s could be ~1000, but growth per step
+        // is limited to +50%
+        let s1 = ctl.observe(2, 4e-8, 1.0);
+        assert!(s1 <= 3);
+    }
+
+    #[test]
+    fn memory_bound_matches_paper_shape() {
+        // 46.5M dofs, 4 cases/process, 2 processes sharing ~400 GB of the
+        // single-GH200's CPU memory: s in the tens.
+        let n_dofs = 46_529_709usize;
+        let s480 = max_window_for_memory(380_000_000_000, n_dofs, 8);
+        let s128 = max_window_for_memory(35_000_000_000, n_dofs, 8); // Alps share
+        assert!(s480 > s128);
+        assert!((100..200).contains(&s480) || s480 > 30, "s480 = {s480}");
+        assert!(s128 < 15, "s128 = {s128}");
+    }
+
+    #[test]
+    fn set_cap_clamps_current() {
+        let mut ctl = AdaptiveWindow::new(2, 64);
+        for _ in 0..30 {
+            let s = ctl.current();
+            ctl.observe(s, 1e-6 * (s * s) as f64, 1.0);
+        }
+        assert!(ctl.current() > 11);
+        ctl.set_cap(11);
+        assert_eq!(ctl.current(), 11);
+    }
+}

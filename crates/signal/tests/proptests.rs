@@ -1,0 +1,124 @@
+//! Property-based tests of the signal-processing substrate.
+
+use hetsolve_signal::{herm_eig, ifft, next_pow2, rfft, welch_psd, C64, WelchConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT round-trip is the identity for any real signal.
+    #[test]
+    fn fft_roundtrip(xs in proptest::collection::vec(-100.0f64..100.0, 1..300)) {
+        let spec = rfft(&xs);
+        let back = ifft(&spec);
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert!((back[i].re - x).abs() < 1e-8 * (1.0 + x.abs()));
+            prop_assert!(back[i].im.abs() < 1e-8);
+        }
+        // padding is zero-extended
+        for b in back.iter().skip(xs.len()) {
+            prop_assert!(b.re.abs() < 1e-8 && b.im.abs() < 1e-8);
+        }
+    }
+
+    /// Parseval holds for any power-of-two signal.
+    #[test]
+    fn parseval(xs in proptest::collection::vec(-10.0f64..10.0, 64..65)) {
+        let spec = rfft(&xs);
+        let t: f64 = xs.iter().map(|v| v * v).sum();
+        let f: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / spec.len() as f64;
+        prop_assert!((t - f).abs() < 1e-8 * t.max(1.0));
+    }
+
+    /// FFT is linear: F(a x + b y) = a F(x) + b F(y).
+    #[test]
+    fn fft_linear(
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let n = 128usize;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) % 1000) as f64 / 500.0 - 1.0
+        };
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let y: Vec<f64> = (0..n).map(|_| next()).collect();
+        let z: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + b * yi).collect();
+        let (sx, sy, sz) = (rfft(&x), rfft(&y), rfft(&z));
+        for k in 0..n {
+            let lin = sx[k].scale(a) + sy[k].scale(b);
+            prop_assert!((sz[k] - lin).abs() < 1e-7);
+        }
+    }
+
+    /// PSD is non-negative and scales quadratically with amplitude.
+    #[test]
+    fn psd_scaling(amp in 0.1f64..50.0, f0 in 0.5f64..4.0) {
+        let dt = 0.01;
+        let n = 1024;
+        let x: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 * dt).sin()).collect();
+        let xs: Vec<f64> = x.iter().map(|v| amp * v).collect();
+        let cfg = WelchConfig::new(256, 128, dt);
+        let p1 = welch_psd(&x, &cfg);
+        let p2 = welch_psd(&xs, &cfg);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!(*a >= 0.0 && *b >= 0.0);
+            prop_assert!((b - amp * amp * a).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Hermitian eigendecomposition: trace preserved, eigenvalues sorted,
+    /// residual small, for random Hermitian PSD matrices.
+    #[test]
+    fn herm_eig_invariants(n in 2usize..8, seed in any::<u64>()) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 33) % 1000) as f64 / 500.0 - 1.0
+        };
+        // A = B^H B + 0.1 I
+        let b: Vec<C64> = (0..n * n).map(|_| C64::new(next(), next())).collect();
+        let mut a = vec![C64::ZERO; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = if i == j { C64::from_re(0.1) } else { C64::ZERO };
+                for k in 0..n {
+                    acc += b[k * n + i].conj() * b[k * n + j];
+                }
+                a[i * n + j] = acc;
+            }
+        }
+        let e = herm_eig(&a, n);
+        // sorted descending, all >= 0 (PSD)
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(e.values.iter().all(|&v| v > -1e-9));
+        // trace preserved
+        let tr: f64 = (0..n).map(|i| a[i * n + i].re).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((tr - sum).abs() < 1e-7 * tr.abs().max(1.0));
+        // A v = lambda v for the dominant pair
+        let v = &e.vectors[..n];
+        for row in 0..n {
+            let mut av = C64::ZERO;
+            for k in 0..n {
+                av += a[row * n + k] * v[k];
+            }
+            let expect = v[row].scale(e.values[0]);
+            prop_assert!((av - expect).abs() < 1e-6 * (1.0 + e.values[0]));
+        }
+    }
+
+    /// next_pow2 sanity.
+    #[test]
+    fn next_pow2_properties(n in 1usize..1_000_000) {
+        let p = next_pow2(n);
+        prop_assert!(p >= n);
+        prop_assert!(p < 2 * n);
+        prop_assert_eq!(p & (p - 1), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Mixed-precision cached-matrix EBE: element matrices stored in `f32`
+//! (halving both the memory footprint and the streamed bytes of the cached
+//! variant), gathers/accumulation in `f64`.
+//!
+//! This is the standard mixed-precision lever for memory-capacity-limited
+//! GPU solvers; the solution still converges to the `f64` CG tolerance
+//! because the *operator* merely changes by an O(1e-7) relative
+//! perturbation, which CG absorbs (it solves the perturbed SPD system
+//! exactly; tests verify agreement with the f64 operator to single
+//! precision and solve agreement to the CG tolerance).
+
+use hetsolve_mesh::Coloring;
+use rayon::prelude::*;
+
+use crate::ebe::color_faces;
+use crate::op::{KernelCounts, MultiOperator};
+use crate::sym::sym2_matvec_add_multi_f32;
+
+const TP: usize = 465;
+const FP: usize = 171;
+
+#[derive(Copy, Clone)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// f32 copies of packed element/face matrices.
+#[derive(Debug, Clone)]
+pub struct EbeStore32 {
+    pub me: Vec<f32>,
+    pub ke: Vec<f32>,
+    pub cb: Vec<f32>,
+}
+
+impl EbeStore32 {
+    /// Demote f64 packed stores to f32.
+    pub fn from_f64(me: &[f64], ke: &[f64], cb: &[f64]) -> Self {
+        EbeStore32 {
+            me: me.iter().map(|&v| v as f32).collect(),
+            ke: ke.iter().map(|&v| v as f32).collect(),
+            cb: cb.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Bytes stored — half the f64 cached variant.
+    pub fn bytes(&self) -> usize {
+        (self.me.len() + self.ke.len() + self.cb.len()) * 4
+    }
+}
+
+/// Mixed-precision multi-RHS EBE operator over cached f32 matrices.
+pub struct EbeOperator32<'a> {
+    pub n_nodes: usize,
+    pub elems: &'a [[u32; 10]],
+    pub store: &'a EbeStore32,
+    pub faces: &'a [[u32; 6]],
+    pub c_m: f64,
+    pub c_k: f64,
+    pub c_b: f64,
+    pub fixed: &'a [bool],
+    pub coloring: &'a Coloring,
+    pub face_groups: Vec<Vec<u32>>,
+    pub parallel: bool,
+    pub r: usize,
+}
+
+impl<'a> EbeOperator32<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n_nodes: usize,
+        elems: &'a [[u32; 10]],
+        store: &'a EbeStore32,
+        faces: &'a [[u32; 6]],
+        coeffs: (f64, f64, f64),
+        fixed: &'a [bool],
+        coloring: &'a Coloring,
+        parallel: bool,
+        r: usize,
+    ) -> Self {
+        assert!(matches!(r, 1 | 2 | 4 | 8), "fused RHS count must be 1, 2, 4 or 8");
+        assert_eq!(store.me.len(), elems.len() * TP);
+        assert_eq!(store.cb.len(), faces.len() * FP);
+        let face_groups = color_faces(n_nodes, faces);
+        EbeOperator32 {
+            n_nodes,
+            elems,
+            store,
+            faces,
+            c_m: coeffs.0,
+            c_k: coeffs.1,
+            c_b: coeffs.2,
+            fixed,
+            coloring,
+            face_groups,
+            parallel,
+            r,
+        }
+    }
+
+    #[inline]
+    fn masked(&self, dof: usize, v: f64) -> f64 {
+        if !self.fixed.is_empty() && self.fixed[dof] {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    fn apply_r<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        let yp = SendPtr(y.as_mut_ptr());
+        for group in &self.coloring.groups {
+            let run = |&e: &u32| {
+                #[allow(clippy::redundant_locals)] // capture whole SendPtr
+                let yp = yp;
+                let e = e as usize;
+                let el = &self.elems[e];
+                let mut xl = [0.0f64; 240];
+                let mut yl = [0.0f64; 240];
+                let xl = &mut xl[..30 * R];
+                let yl = &mut yl[..30 * R];
+                for (k, &n) in el.iter().enumerate() {
+                    for a in 0..3 {
+                        let dof = 3 * n as usize + a;
+                        for c in 0..R {
+                            xl[(3 * k + a) * R + c] = self.masked(dof, x[dof * R + c]);
+                        }
+                    }
+                }
+                sym2_matvec_add_multi_f32::<R>(
+                    self.c_m,
+                    &self.store.me[e * TP..(e + 1) * TP],
+                    self.c_k,
+                    &self.store.ke[e * TP..(e + 1) * TP],
+                    xl,
+                    yl,
+                    30,
+                );
+                // SAFETY: color-disjoint writes.
+                unsafe {
+                    for (k, &n) in el.iter().enumerate() {
+                        for a in 0..3 {
+                            let dof = 3 * n as usize + a;
+                            for c in 0..R {
+                                *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                            }
+                        }
+                    }
+                }
+            };
+            if self.parallel {
+                group.par_iter().for_each(run);
+            } else {
+                group.iter().for_each(run);
+            }
+        }
+        if self.c_b != 0.0 {
+            for group in &self.face_groups {
+                let run = |&f: &u32| {
+                    #[allow(clippy::redundant_locals)] // capture whole SendPtr
+                    let yp = yp;
+                    let f = f as usize;
+                    let fc = &self.faces[f];
+                    let mut xl = [0.0f64; 144];
+                    let mut yl = [0.0f64; 144];
+                    let xl = &mut xl[..18 * R];
+                    let yl = &mut yl[..18 * R];
+                    for (k, &n) in fc.iter().enumerate() {
+                        for a in 0..3 {
+                            let dof = 3 * n as usize + a;
+                            for c in 0..R {
+                                xl[(3 * k + a) * R + c] = self.masked(dof, x[dof * R + c]);
+                            }
+                        }
+                    }
+                    let cb = &self.store.cb[f * FP..(f + 1) * FP];
+                    sym2_matvec_add_multi_f32::<R>(self.c_b, cb, 0.0, cb, xl, yl, 18);
+                    // SAFETY: color-disjoint writes.
+                    unsafe {
+                        for (k, &n) in fc.iter().enumerate() {
+                            for a in 0..3 {
+                                let dof = 3 * n as usize + a;
+                                for c in 0..R {
+                                    *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                                }
+                            }
+                        }
+                    }
+                };
+                if self.parallel {
+                    group.par_iter().for_each(run);
+                } else {
+                    group.iter().for_each(run);
+                }
+            }
+        }
+        if !self.fixed.is_empty() {
+            for (i, &fx) in self.fixed.iter().enumerate() {
+                if fx {
+                    for c in 0..R {
+                        y[i * R + c] = x[i * R + c];
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MultiOperator for EbeOperator32<'_> {
+    fn n(&self) -> usize {
+        3 * self.n_nodes
+    }
+
+    fn r(&self) -> usize {
+        self.r
+    }
+
+    fn apply_multi(&self, x: &[f64], y: &mut [f64]) {
+        match self.r {
+            1 => self.apply_r::<1>(x, y),
+            2 => self.apply_r::<2>(x, y),
+            4 => self.apply_r::<4>(x, y),
+            8 => self.apply_r::<8>(x, y),
+            _ => unreachable!(),
+        }
+    }
+
+    fn counts(&self) -> KernelCounts {
+        let mut c = crate::ebe::ebe_counts(self.elems.len(), self.faces.len(), self.n(), self.r);
+        // matrices stream half the bytes in f32
+        c.bytes_stream = self.elems.len() as f64 * (2.0 * 465.0 * 4.0 + 40.0)
+            + self.faces.len() as f64 * (171.0 * 4.0 + 24.0);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ebe::{EbeData, EbeMultiOperator};
+    use hetsolve_mesh::{color_elements, GroundModelSpec, InterfaceShape};
+
+    struct Fx {
+        n_nodes: usize,
+        elems: Vec<[u32; 10]>,
+        me: Vec<f64>,
+        ke: Vec<f64>,
+        faces: Vec<[u32; 6]>,
+        cb: Vec<f64>,
+        fixed: Vec<bool>,
+        coloring: hetsolve_mesh::Coloring,
+    }
+
+    fn fixture() -> Fx {
+        let gm = GroundModelSpec::paper_like(2, 2, 2, InterfaceShape::Stratified).build();
+        let mesh = gm.mesh;
+        let coloring = color_elements(&mesh);
+        let ne = mesh.n_elems();
+        let n_nodes = mesh.n_nodes();
+        let mut s: u64 = 777;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) % 1000) as f64 / 500.0 - 1.0
+        };
+        let me: Vec<f64> = (0..ne * TP).map(|_| next()).collect();
+        let ke: Vec<f64> = (0..ne * TP).map(|_| next()).collect();
+        let el0 = mesh.elems[0];
+        let faces = vec![[el0[0], el0[1], el0[2], el0[4], el0[5], el0[6]]];
+        let cb: Vec<f64> = (0..FP).map(|_| next()).collect();
+        let fixed: Vec<bool> = (0..3 * n_nodes).map(|d| d % 13 == 0).collect();
+        Fx { n_nodes, elems: mesh.elems, me, ke, faces, cb, fixed, coloring }
+    }
+
+    #[test]
+    fn f32_operator_matches_f64_to_single_precision() {
+        let fx = fixture();
+        let store = EbeStore32::from_f64(&fx.me, &fx.ke, &fx.cb);
+        let coeffs = (2.0, 0.7, 0.3);
+        for r in [1usize, 4] {
+            let op32 = EbeOperator32::new(
+                fx.n_nodes, &fx.elems, &store, &fx.faces, coeffs, &fx.fixed, &fx.coloring, false,
+                r,
+            );
+            let data = EbeData {
+                n_nodes: fx.n_nodes,
+                elems: &fx.elems,
+                me: &fx.me,
+                ke: &fx.ke,
+                faces: &fx.faces,
+                cb: &fx.cb,
+                c_m: coeffs.0,
+                c_k: coeffs.1,
+                c_b: coeffs.2,
+                fixed: &fx.fixed,
+            };
+            let op64 = EbeMultiOperator::new(data, &fx.coloring, false, r);
+            let n = op64.n();
+            let x: Vec<f64> = (0..n * r).map(|i| ((i as f64) * 0.19).sin()).collect();
+            let mut y32 = vec![0.0; n * r];
+            let mut y64 = vec![0.0; n * r];
+            op32.apply_multi(&x, &mut y32);
+            op64.apply_multi(&x, &mut y64);
+            let scale = y64.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            for k in 0..n * r {
+                assert!(
+                    (y32[k] - y64[k]).abs() < 1e-5 * scale,
+                    "r={r} slot {k}: {} vs {}",
+                    y32[k],
+                    y64[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_half() {
+        let fx = fixture();
+        let store = EbeStore32::from_f64(&fx.me, &fx.ke, &fx.cb);
+        let f64_bytes = (fx.me.len() + fx.ke.len() + fx.cb.len()) * 8;
+        assert_eq!(store.bytes() * 2, f64_bytes);
+    }
+
+    #[test]
+    fn counts_stream_half_the_matrix_bytes() {
+        let fx = fixture();
+        let store = EbeStore32::from_f64(&fx.me, &fx.ke, &fx.cb);
+        let op32 = EbeOperator32::new(
+            fx.n_nodes,
+            &fx.elems,
+            &store,
+            &fx.faces,
+            (1.0, 1.0, 1.0),
+            &[],
+            &fx.coloring,
+            false,
+            1,
+        );
+        let c32 = op32.counts();
+        let c64 = crate::ebe::ebe_counts(fx.elems.len(), fx.faces.len(), 3 * fx.n_nodes, 1);
+        assert!(c32.bytes_stream < 0.6 * c64.bytes_stream);
+        assert_eq!(c32.flops, c64.flops);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hetsolve-sparse
+//!
+//! Sparse linear algebra substrate for the `hetsolve` reproduction of the
+//! SC24 paper *"Heterogeneous computing in a strongly-connected CPU-GPU
+//! environment"* (Ichimura et al.):
+//!
+//! * [`bcrs`] — 3×3 block CRS (the paper's baseline storage format),
+//! * [`ebe`] — the matrix-free Element-by-Element operator with 1–8 fused
+//!   right-hand sides (the paper's Eq. (2)/(8)/(9)), color-parallel scatter,
+//! * [`cg`] / [`mcg`] — single- and multi-RHS preconditioned conjugate
+//!   gradient (Algorithm 1 and the MCG of EBE-MCG@CPU-GPU),
+//! * [`blockjacobi`] — the 3×3 block-Jacobi preconditioner,
+//! * [`assembly`] — packed element matrices → global BCRS with Dirichlet
+//!   elimination,
+//! * [`sym`] — packed symmetric element-matrix kernels (shared with
+//!   `hetsolve-fem`),
+//! * [`vecops`] / [`dense`] — vector primitives and small dense solvers,
+//! * [`op`] — operator traits and hardware-independent [`op::KernelCounts`]
+//!   that the machine model converts into modeled time/energy.
+
+pub mod assembly;
+pub mod bcrs;
+pub mod blockjacobi;
+pub mod blockssor;
+pub mod cg;
+pub mod dense;
+pub mod ebe;
+pub mod ebe32;
+pub mod mcg;
+pub mod op;
+pub mod sym;
+pub mod vecops;
+
+pub use assembly::{apply_dirichlet, assemble_global};
+pub use bcrs::{Bcrs3, BcrsBuilder};
+pub use blockjacobi::BlockJacobi;
+pub use blockssor::BlockSsor;
+pub use cg::{pcg, CgConfig, CgStats};
+pub use ebe::{color_faces, ebe_counts, EbeData, EbeMultiOperator, EbeOperator};
+pub use ebe32::{EbeOperator32, EbeStore32};
+pub use mcg::{mcg, McgStats};
+pub use op::{KernelCounts, LinearOperator, MultiOperator, Preconditioner};

@@ -1,0 +1,156 @@
+//! Operator abstractions and hardware-independent work accounting.
+//!
+//! Every kernel in this crate can report a [`KernelCounts`] record — flops,
+//! streamed bytes, and randomly-accessed bytes per invocation, plus the
+//! number of fused right-hand sides. The `hetsolve-machine` roofline model
+//! converts these counts into modeled time/energy on a device profile
+//! (H100, Grace, …); the counts themselves are exact properties of the
+//! algorithm and data structure, not of any machine.
+
+/// Hardware-independent cost of one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelCounts {
+    /// Floating point operations (adds + muls).
+    pub flops: f64,
+    /// Bytes moved with streaming (unit-stride, prefetchable) access.
+    pub bytes_stream: f64,
+    /// DRAM-visible bytes moved by data-dependent (gather/scatter)
+    /// accesses. Because FE gathers have high node reuse (~14 elements per
+    /// node), caches filter most of them: operators report the *footprint*
+    /// traffic (vector size × miss factor), not raw access bytes.
+    pub bytes_rand: f64,
+    /// Number of gather/scatter transactions issued (address generation /
+    /// issue-slot overhead, modeled separately from bandwidth). With `r`
+    /// fused right-hand sides one transaction serves `r` values — the EBE
+    /// multi-RHS amortization of the paper's Eq. (9).
+    pub rand_transactions: f64,
+    /// Number of fused right-hand sides.
+    pub rhs_fused: usize,
+}
+
+impl KernelCounts {
+    /// Sum of two counts (e.g. operator + preconditioner).
+    pub fn merged(self, o: KernelCounts) -> KernelCounts {
+        KernelCounts {
+            flops: self.flops + o.flops,
+            bytes_stream: self.bytes_stream + o.bytes_stream,
+            bytes_rand: self.bytes_rand + o.bytes_rand,
+            rand_transactions: self.rand_transactions + o.rand_transactions,
+            rhs_fused: self.rhs_fused.max(o.rhs_fused),
+        }
+    }
+
+    /// Scale all counts (e.g. by an iteration count).
+    pub fn scaled(self, k: f64) -> KernelCounts {
+        KernelCounts {
+            flops: self.flops * k,
+            bytes_stream: self.bytes_stream * k,
+            bytes_rand: self.bytes_rand * k,
+            rand_transactions: self.rand_transactions * k,
+            rhs_fused: self.rhs_fused,
+        }
+    }
+
+    /// Total bytes.
+    pub fn bytes(&self) -> f64 {
+        self.bytes_stream + self.bytes_rand
+    }
+
+    /// Arithmetic intensity (flops per byte).
+    pub fn intensity(&self) -> f64 {
+        self.flops / self.bytes().max(1.0)
+    }
+}
+
+/// A symmetric positive (semi-)definite linear operator `y = A x`.
+pub trait LinearOperator: Sync {
+    /// Dimension (number of DOFs).
+    fn n(&self) -> usize;
+
+    /// Compute `y = A x`. `x.len() == y.len() == self.n()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Cost of one `apply`.
+    fn counts(&self) -> KernelCounts;
+}
+
+/// A linear operator applied to `r` fused right-hand sides stored
+/// interleaved: `x[dof * r + case]`.
+pub trait MultiOperator: Sync {
+    fn n(&self) -> usize;
+    fn r(&self) -> usize;
+
+    /// `Y = A X` for all `r` cases at once.
+    fn apply_multi(&self, x: &[f64], y: &mut [f64]);
+
+    /// Cost of one fused `apply_multi` (covering all `r` cases).
+    fn counts(&self) -> KernelCounts;
+}
+
+/// A preconditioner `z = B⁻¹ r`.
+pub trait Preconditioner: Sync {
+    fn n(&self) -> usize;
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+    fn counts(&self) -> KernelCounts;
+
+    /// Interleaved multi-RHS application; default loops case-by-case via
+    /// scratch vectors (implementations override with fused kernels).
+    fn apply_multi(&self, r_vec: &[f64], z: &mut [f64], r: usize) {
+        let n = self.n();
+        let mut rs = vec![0.0; n];
+        let mut zs = vec![0.0; n];
+        for c in 0..r {
+            for i in 0..n {
+                rs[i] = r_vec[i * r + c];
+            }
+            self.apply(&rs, &mut zs);
+            for i in 0..n {
+                z[i * r + c] = zs[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_scale() {
+        let a = KernelCounts {
+            flops: 10.0,
+            bytes_stream: 100.0,
+            bytes_rand: 20.0,
+            rand_transactions: 7.0,
+            rhs_fused: 1,
+        };
+        let b = KernelCounts {
+            flops: 5.0,
+            bytes_stream: 50.0,
+            bytes_rand: 0.0,
+            rand_transactions: 3.0,
+            rhs_fused: 4,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.flops, 15.0);
+        assert_eq!(m.bytes(), 170.0);
+        assert_eq!(m.rhs_fused, 4);
+        assert_eq!(m.rand_transactions, 10.0);
+        let s = a.scaled(2.0);
+        assert_eq!(s.flops, 20.0);
+        assert_eq!(s.bytes_rand, 40.0);
+        assert_eq!(s.rand_transactions, 14.0);
+    }
+
+    #[test]
+    fn intensity() {
+        let a = KernelCounts {
+            flops: 300.0,
+            bytes_stream: 100.0,
+            bytes_rand: 50.0,
+            rand_transactions: 0.0,
+            rhs_fused: 1,
+        };
+        assert!((a.intensity() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! Vector primitives used by the CG solvers, in single- and multi-RHS
+//! (interleaved) layouts. Rayon-parallel above a size threshold; the
+//! threshold keeps small test problems on one thread where parallel
+//! dispatch would dominate.
+
+use rayon::prelude::*;
+
+/// Below this length, run sequentially.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Dot product `x·y`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    } else {
+        x.par_chunks(4096)
+            .zip(y.par_chunks(4096))
+            .map(|(xc, yc)| xc.iter().zip(yc).map(|(a, b)| a * b).sum::<f64>())
+            .sum()
+    }
+}
+
+/// Squared Euclidean norm.
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    norm2_sq(x).sqrt()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    } else {
+        y.par_chunks_mut(4096).zip(x.par_chunks(4096)).for_each(|(yc, xc)| {
+            for (yi, xi) in yc.iter_mut().zip(xc) {
+                *yi += alpha * xi;
+            }
+        });
+    }
+}
+
+/// `y = x + beta * y` (the CG direction update `p = z + beta p`).
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi + beta * *yi;
+        }
+    } else {
+        y.par_chunks_mut(4096).zip(x.par_chunks(4096)).for_each(|(yc, xc)| {
+            for (yi, xi) in yc.iter_mut().zip(xc) {
+                *yi = xi + beta * *yi;
+            }
+        });
+    }
+}
+
+/// Per-case dot products of interleaved multi-vectors:
+/// `out[c] = Σ_i x[i*r+c] * y[i*r+c]`.
+pub fn dot_multi(x: &[f64], y: &[f64], r: usize, out: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len() % r, 0);
+    debug_assert_eq!(out.len(), r);
+    out.fill(0.0);
+    if x.len() < PAR_THRESHOLD {
+        for (xc, yc) in x.chunks_exact(r).zip(y.chunks_exact(r)) {
+            for c in 0..r {
+                out[c] += xc[c] * yc[c];
+            }
+        }
+    } else {
+        let partials: Vec<Vec<f64>> = x
+            .par_chunks(4096 * r)
+            .zip(y.par_chunks(4096 * r))
+            .map(|(xc, yc)| {
+                let mut acc = vec![0.0; r];
+                for (xr, yr) in xc.chunks_exact(r).zip(yc.chunks_exact(r)) {
+                    for c in 0..r {
+                        acc[c] += xr[c] * yr[c];
+                    }
+                }
+                acc
+            })
+            .collect();
+        for p in partials {
+            for c in 0..r {
+                out[c] += p[c];
+            }
+        }
+    }
+}
+
+/// Per-case `y[.,c] += alpha[c] * x[.,c]` on interleaved multi-vectors.
+/// Cases with `active[c] == false` are left untouched (used to freeze
+/// converged cases in the multi-RHS CG).
+pub fn axpy_multi(alpha: &[f64], x: &[f64], y: &mut [f64], r: usize, active: &[bool]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(alpha.len(), r);
+    debug_assert_eq!(active.len(), r);
+    let body = |yc: &mut [f64], xc: &[f64]| {
+        for (yr, xr) in yc.chunks_exact_mut(r).zip(xc.chunks_exact(r)) {
+            for c in 0..r {
+                if active[c] {
+                    yr[c] += alpha[c] * xr[c];
+                }
+            }
+        }
+    };
+    if x.len() < PAR_THRESHOLD {
+        body(y, x);
+    } else {
+        y.par_chunks_mut(4096 * r).zip(x.par_chunks(4096 * r)).for_each(|(yc, xc)| body(yc, xc));
+    }
+}
+
+/// Per-case `y[.,c] = x[.,c] + beta[c] * y[.,c]` on interleaved
+/// multi-vectors, skipping inactive cases.
+pub fn xpby_multi(x: &[f64], beta: &[f64], y: &mut [f64], r: usize, active: &[bool]) {
+    debug_assert_eq!(x.len(), y.len());
+    let body = |yc: &mut [f64], xc: &[f64]| {
+        for (yr, xr) in yc.chunks_exact_mut(r).zip(xc.chunks_exact(r)) {
+            for c in 0..r {
+                if active[c] {
+                    yr[c] = xr[c] + beta[c] * yr[c];
+                }
+            }
+        }
+    };
+    if x.len() < PAR_THRESHOLD {
+        body(y, x);
+    } else {
+        y.par_chunks_mut(4096 * r).zip(x.par_chunks(4096 * r)).for_each(|(yc, xc)| body(yc, xc));
+    }
+}
+
+/// Gather case `c` of an interleaved multi-vector into a contiguous vector.
+pub fn extract_case(x: &[f64], r: usize, c: usize, out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len() * r);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = x[i * r + c];
+    }
+}
+
+/// Scatter a contiguous vector into case `c` of an interleaved multi-vector.
+pub fn insert_case(x: &mut [f64], r: usize, c: usize, v: &[f64]) {
+    debug_assert_eq!(x.len(), v.len() * r);
+    for (i, vi) in v.iter().enumerate() {
+        x[i * r + c] = *vi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_small_and_large() {
+        let n = PAR_THRESHOLD + 17;
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+        let seq: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - seq).abs() < 1e-9 * seq.abs().max(1.0));
+        assert!((dot(&x[..10], &y[..10]) - 21.0).abs() < 1e-12); // 0+1+4+0+4+10+0+0+2+0
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![7.0, 14.0, 21.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn multi_dot_matches_per_case() {
+        let r = 3;
+        let n = 50;
+        let x: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.1).sin()).collect();
+        let y: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.2).cos()).collect();
+        let mut out = vec![0.0; r];
+        dot_multi(&x, &y, r, &mut out);
+        for c in 0..r {
+            let mut xc = vec![0.0; n];
+            let mut yc = vec![0.0; n];
+            extract_case(&x, r, c, &mut xc);
+            extract_case(&y, r, c, &mut yc);
+            assert!((out[c] - dot(&xc, &yc)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_axpy_respects_active_mask() {
+        let r = 2;
+        let x = vec![1.0, 100.0, 2.0, 200.0];
+        let mut y = vec![0.0, 0.0, 0.0, 0.0];
+        axpy_multi(&[2.0, 3.0], &x, &mut y, r, &[true, false]);
+        assert_eq!(y, vec![2.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_xpby_respects_active_mask() {
+        let r = 2;
+        let x = vec![1.0, 10.0, 2.0, 20.0];
+        let mut y = vec![5.0, 50.0, 6.0, 60.0];
+        xpby_multi(&x, &[2.0, 2.0], &mut y, r, &[false, true]);
+        assert_eq!(y, vec![5.0, 110.0, 6.0, 140.0]);
+    }
+
+    #[test]
+    fn case_roundtrip() {
+        let r = 4;
+        let n = 6;
+        let mut x = vec![0.0; n * r];
+        let v: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        insert_case(&mut x, r, 2, &v);
+        let mut back = vec![0.0; n];
+        extract_case(&x, r, 2, &mut back);
+        assert_eq!(v, back);
+        // other cases untouched
+        let mut other = vec![1.0; n];
+        extract_case(&x, r, 0, &mut other);
+        assert!(other.iter().all(|&o| o == 0.0));
+    }
+
+    #[test]
+    fn multi_ops_large_path() {
+        let r = 2;
+        let n = PAR_THRESHOLD; // total length 2*PAR_THRESHOLD > threshold
+        let x: Vec<f64> = (0..n * r).map(|i| ((i * 37) % 11) as f64).collect();
+        let mut y = vec![1.0; n * r];
+        let mut expect = y.clone();
+        for (i, e) in expect.iter_mut().enumerate() {
+            let c = i % r;
+            *e += [0.5, -0.25][c] * x[i];
+        }
+        axpy_multi(&[0.5, -0.25], &x, &mut y, r, &[true, true]);
+        for i in 0..y.len() {
+            assert!((y[i] - expect[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a small layered ground model, run the paper's four
+//! methods on a short time history, and print a Table-3-style comparison.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use hetsolve::core::{
+    apply_speedups, format_application_table, run, Backend, MethodKind, MethodSummary, RunConfig,
+};
+use hetsolve::fem::{FemProblem, RandomLoadSpec};
+use hetsolve::machine::{
+    crs_cg_cpu, crs_cg_cpu_gpu, crs_cg_gpu, ebe_mcg_cpu_gpu, single_gh200, ProblemDims,
+};
+use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
+
+fn main() {
+    // A scaled-down version of the paper's horizontally stratified ground
+    // model (950 x 950 x 120 m, soft sediment over bedrock).
+    let spec = GroundModelSpec::paper_like(6, 6, 4, InterfaceShape::Stratified);
+    let problem = FemProblem::paper_like(&spec);
+    println!(
+        "built: {} Tet10 elements, {} nodes, {} unknowns, {} dashpot faces, {} fixed DOFs",
+        problem.model.mesh.n_elems(),
+        problem.n_nodes(),
+        problem.n_dofs(),
+        problem.dashpots.n_faces(),
+        problem.mask.n_fixed(),
+    );
+
+    let backend = Backend::new(problem, true, true);
+    let node = single_gh200();
+    let steps = 60;
+    let from = steps / 3;
+
+    // memory columns are evaluated at PAPER scale (46.5M unknowns)
+    let dims = ProblemDims::paper_model_a();
+    let mems = [
+        crs_cg_cpu(&dims),
+        crs_cg_gpu(&dims),
+        crs_cg_cpu_gpu(&dims, 32),
+        ebe_mcg_cpu_gpu(&dims, 32, 4),
+    ];
+
+    let mut rows = Vec::new();
+    for (i, method) in [
+        MethodKind::CrsCgCpu,
+        MethodKind::CrsCgGpu,
+        MethodKind::CrsCgCpuGpu,
+        MethodKind::EbeMcgCpuGpu,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut cfg = RunConfig::new(method, node, steps);
+        cfg.s_max = 12;
+        cfg.load = RandomLoadSpec {
+            n_sources: 12,
+            impulses_per_source: 3.0,
+            amplitude: 1e6,
+            active_window: 0.15,
+        };
+        let result = run(&backend, &cfg);
+        println!(
+            "{:<17} done: {} cases x {} steps, mean {:.1} CG iterations/step",
+            method.label(),
+            result.n_cases,
+            steps,
+            result.mean_iterations(from)
+        );
+        rows.push(MethodSummary::from_run(&result, mems[i], from));
+    }
+    apply_speedups(&mut rows);
+
+    println!("\nTable-3-style comparison (modeled single-GH200 timings, paper-scale memory):\n");
+    print!("{}", format_application_table(&rows));
+    println!(
+        "\npaper (Table 3): speedups 1.00 / 9.96 / 26.1 / 86.4; energy 9944 / 2163 / 1001 / 309 J"
+    );
+}

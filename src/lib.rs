@@ -1,0 +1,44 @@
+//! # hetsolve
+//!
+//! A Rust reproduction of the SC24 paper *"Heterogeneous computing in a
+//! strongly-connected CPU-GPU environment: fast multiple time-evolution
+//! equation-based modeling accelerated using data-driven approach"*
+//! (Ichimura, Fujita, Hori, Lalith, Wells, Gray, Karlin, Linford).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`mesh`] — layered 3-D ground models, Tet10 meshes, partitioning,
+//!   element coloring,
+//! * [`fem`] — Tet10 elasticity, Newmark-β, absorbing boundaries, loads,
+//!   and the compact matrix-free EBE operator,
+//! * [`sparse`] — block CRS, (multi-RHS) preconditioned CG, block-Jacobi,
+//! * [`predictor`] — Adams-Bashforth + the data-driven (MGS/POD)
+//!   correction predictor with adaptive window,
+//! * [`machine`] — the calibrated GH200/Alps hardware model (roofline,
+//!   energy, power caps, interconnect),
+//! * [`signal`] — FFT, Welch spectra, frequency domain decomposition,
+//! * [`core`] — the four methods (`CRS-CG@CPU/GPU/CPU-GPU`,
+//!   `EBE-MCG@CPU-GPU`), ensembles, and multi-node execution.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
+//! the reproduction methodology and measured results.
+
+pub use hetsolve_core as core;
+pub use hetsolve_fem as fem;
+pub use hetsolve_machine as machine;
+pub use hetsolve_mesh as mesh;
+pub use hetsolve_predictor as predictor;
+pub use hetsolve_signal as signal;
+pub use hetsolve_sparse as sparse;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use hetsolve_core::{
+        run, run_ensemble, Backend, EnsembleConfig, MethodKind, PartitionedProblem, RunConfig,
+        RunResult,
+    };
+    pub use hetsolve_fem::{FemProblem, RandomLoadSpec};
+    pub use hetsolve_machine::{alps_node, single_gh200, NodeSpec};
+    pub use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+    pub use hetsolve_signal::WelchConfig;
+}
