@@ -143,7 +143,10 @@ fn ablate_coloring() {
 fn ablate_region_size() {
     println!("\n===== ablation: predictor region size (DOFs per MGS block) =====\n");
     let backend = bench_backend(6, 6, 4);
-    println!("{:>12} | {:>12} | {:>12}", "region_dofs", "init res", "iters@1e-8");
+    println!(
+        "{:>12} | {:>12} | {:>12}",
+        "region_dofs", "init res", "iters@1e-8"
+    );
     for region in [96usize, 384, 1536, usize::MAX / 2] {
         let cfg = StudyConfig {
             warmup_steps: 40,
@@ -174,7 +177,10 @@ fn ablate_window() {
     let study = convergence_study(&backend, &cfg);
     println!("{:<20} | {:>12} | {:>10}", "guess", "init res", "iters");
     for r in &study.results {
-        println!("{:<20} | {:>12.3e} | {:>10}", r.label, r.initial_rel_res, r.iterations);
+        println!(
+            "{:<20} | {:>12.3e} | {:>10}",
+            r.label, r.initial_rel_res, r.iterations
+        );
     }
     println!("(larger s -> better guess but quadratically growing MGS cost: the Fig. 4 balance)");
 }
@@ -205,7 +211,10 @@ fn ablate_preconditioner() {
     let n = backend.n_dofs();
     let mut f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.29).sin()).collect();
     backend.problem.mask.project(&mut f);
-    let cfg = hetsolve_sparse::CgConfig { tol: 1e-8, max_iter: 10_000 };
+    let cfg = hetsolve_sparse::CgConfig {
+        tol: 1e-8,
+        max_iter: 10_000,
+    };
     let a = backend.crs_a();
     let mut x1 = vec![0.0; n];
     let s_bj = hetsolve_sparse::pcg(a, &backend.precond, &f, &mut x1, &cfg);
@@ -269,12 +278,19 @@ fn ablate_precision() {
         &ctx,
     );
     let t32 = kernel_time(&h100(), &op32.counts(), &ctx);
-    println!("modeled H100 apply: f64 {:.4} ms vs f32 {:.4} ms", t64 * 1e3, t32 * 1e3);
+    println!(
+        "modeled H100 apply: f64 {:.4} ms vs f32 {:.4} ms",
+        t64 * 1e3,
+        t32 * 1e3
+    );
     // convergence check: solve one system with both operators
     let n = backend.n_dofs();
     let mut f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.2).sin()).collect();
     backend.problem.mask.project(&mut f);
-    let cfg = hetsolve_sparse::CgConfig { tol: 1e-8, max_iter: 10_000 };
+    let cfg = hetsolve_sparse::CgConfig {
+        tol: 1e-8,
+        max_iter: 10_000,
+    };
     let mut x64 = vec![0.0; n];
     let s64 = hetsolve_sparse::pcg(&backend.ebe_a(1), &backend.precond, &f, &mut x64, &cfg);
     let mut x32 = vec![0.0; n];
@@ -298,7 +314,11 @@ fn ablate_fusing() {
     println!("\n===== ablation: multi-RHS fusing degree r (modeled H100, paper scale) =====\n");
     println!("{:>3} | {:>14} | {:>14}", "r", "time/case (ms)", "vs r=1");
     let ctx = ExecCtx::default();
-    let t1 = kernel_time(&h100(), &compact_ebe_counts(11_365_697, 145_920, 46_529_709, 1), &ctx);
+    let t1 = kernel_time(
+        &h100(),
+        &compact_ebe_counts(11_365_697, 145_920, 46_529_709, 1),
+        &ctx,
+    );
     for r in [1usize, 2, 4, 8] {
         let c = compact_ebe_counts(11_365_697, 145_920, 46_529_709, r);
         let t = kernel_time(&h100(), &c, &ctx) / r as f64;

@@ -35,7 +35,9 @@ fn main() {
 /// Fig. 1: three ground structures and their surface dominant-frequency
 /// distributions obtained from ensemble simulation + FDD.
 fn fig1() {
-    println!("\n================ Fig. 1: ground structures & FDD dominant frequencies ================");
+    println!(
+        "\n================ Fig. 1: ground structures & FDD dominant frequencies ================"
+    );
     for (name, shape) in [
         ("(a) stratified", InterfaceShape::Stratified),
         ("(b) inclined", InterfaceShape::Inclined),
@@ -61,7 +63,11 @@ fn fig1() {
             let b = ((f / 5.0) * 10.0).floor().min(9.0) as usize;
             hist[b] += 1;
         }
-        println!("\n--- {name}: {} surface points, {} cases ---", res.n_points(), res.n_cases());
+        println!(
+            "\n--- {name}: {} surface points, {} cases ---",
+            res.n_points(),
+            res.n_cases()
+        );
         println!("dominant frequency: mean {mean:.3} Hz, range [{lo:.3}, {hi:.3}] Hz");
         println!("histogram (0-5 Hz, 10 bins): {hist:?}");
         let f_th: Vec<f64> = res
@@ -87,9 +93,15 @@ fn fig3() {
     };
     let study = convergence_study(&backend, &cfg);
     println!("probe step: {}\n", study.probe_step);
-    println!("{:<20} | {:>12} | {:>10}", "initial guess", "initial res", "iters@1e-8");
+    println!(
+        "{:<20} | {:>12} | {:>10}",
+        "initial guess", "initial res", "iters@1e-8"
+    );
     for r in &study.results {
-        println!("{:<20} | {:>12.3e} | {:>10}", r.label, r.initial_rel_res, r.iterations);
+        println!(
+            "{:<20} | {:>12.3e} | {:>10}",
+            r.label, r.initial_rel_res, r.iterations
+        );
     }
     println!("\nresidual histories (semi-log series, every 4th iteration):");
     for r in &study.results {

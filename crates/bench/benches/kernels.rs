@@ -89,7 +89,9 @@ fn bench_predictor(c: &mut Criterion) {
     let n = 60_000;
     let mut dd = DataDrivenPredictor::new(n, 384, 32);
     for k in 0..33 {
-        let snap: Vec<f64> = (0..n).map(|i| ((i + 31 * k) as f64 * 0.013).sin()).collect();
+        let snap: Vec<f64> = (0..n)
+            .map(|i| ((i + 31 * k) as f64 * 0.013).sin())
+            .collect();
         dd.record(&snap);
     }
     let mut out = vec![0.0; n];

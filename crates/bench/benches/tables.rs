@@ -62,7 +62,9 @@ fn paper_ebe_counts(r: usize) -> KernelCounts {
 }
 
 fn table2() {
-    println!("\n================ Table 2: SpMV kernel performance (paper scale) ================\n");
+    println!(
+        "\n================ Table 2: SpMV kernel performance (paper scale) ================\n"
+    );
     println!(
         "{:<22} | {:>12} | {:>16} | {:>21} | {:>10}",
         "kernel", "time/case", "TFLOPS (%peak)", "mem BW TB/s (%peak)", "paper"
@@ -126,14 +128,20 @@ fn application_rows(node: hetsolve_machine::NodeSpec, threads: &[usize]) -> Vec<
         cfg.cpu_threads = t;
         cfg.load = bench_load();
         let result = run(&backend, &cfg);
-        rows.push(MethodSummary::from_run(&result, ebe_mcg_cpu_gpu(&dims, 32, 4), from));
+        rows.push(MethodSummary::from_run(
+            &result,
+            ebe_mcg_cpu_gpu(&dims, 32, 4),
+            from,
+        ));
     }
     apply_speedups(&mut rows);
     rows
 }
 
 fn table3() {
-    println!("\n================ Table 3: application performance, single-GH200 node ================\n");
+    println!(
+        "\n================ Table 3: application performance, single-GH200 node ================\n"
+    );
     let rows = application_rows(single_gh200(), &[36]);
     print!("{}", format_application_table(&rows));
     println!("\npaper Table 3 (46.5M unknowns): speedups 1.00 / 9.96 / 26.1 / 86.4;");
@@ -172,7 +180,10 @@ fn table3_paper_scale_projection(rows: &[MethodSummary]) {
         ("EBE-MCG@CPU-GPU", paper_iters * ratio_ebe, t_ebe4),
     ];
     println!("\npaper-scale projection (measured iteration ratios x modeled 46.5M-DOF per-iteration costs):");
-    println!("{:<17} | {:>7} | {:>12} | {:>8} | {:>7}", "method", "iters", "step/case", "speedup", "paper");
+    println!(
+        "{:<17} | {:>7} | {:>12} | {:>8} | {:>7}",
+        "method", "iters", "step/case", "speedup", "paper"
+    );
     let base = projected[0].1 * projected[0].2;
     for (i, (name, iters, t_iter)) in projected.iter().enumerate() {
         let t = iters * t_iter;

@@ -39,7 +39,9 @@ pub fn bench_load() -> RandomLoadSpec {
 
 /// Return the requested section filter from `cargo bench -- <filter>`.
 pub fn section_filter() -> Option<String> {
-    std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "bench")
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "bench")
 }
 
 /// Should section `name` run under the filter?

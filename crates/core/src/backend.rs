@@ -73,9 +73,26 @@ impl Backend {
         };
         // preconditioner blocks from the matrix-free diagonal (identical to
         // the assembled diagonal; see fem::ebe_compact tests)
-        let op = Self::compact_op_parts(&problem, &compact, &coloring, &fixed, (a.c_m, a.c_k, a.c_b), parallel, 1);
+        let op = Self::compact_op_parts(
+            &problem,
+            &compact,
+            &coloring,
+            &fixed,
+            (a.c_m, a.c_k, a.c_b),
+            parallel,
+            1,
+        );
         let precond = BlockJacobi::from_blocks(&op.diagonal_blocks(), parallel);
-        Backend { problem, coloring, compact, fixed, crs_a, crs_m, precond, parallel }
+        Backend {
+            problem,
+            coloring,
+            compact,
+            fixed,
+            crs_a,
+            crs_m,
+            precond,
+            parallel,
+        }
     }
 
     fn compact_op_parts<'a>(
@@ -145,7 +162,9 @@ impl Backend {
 
     /// Assembled system matrix (panics if built without CRS).
     pub fn crs_a(&self) -> &Bcrs3 {
-        self.crs_a.as_ref().expect("backend built without CRS matrices")
+        self.crs_a
+            .as_ref()
+            .expect("backend built without CRS matrices")
     }
 
     /// Newmark RHS for one case:
@@ -185,13 +204,7 @@ impl Backend {
     pub fn rhs_counts_ebe(&self, r: usize) -> KernelCounts {
         use hetsolve_fem::compact_ebe_counts;
         let p = &self.problem;
-        compact_ebe_counts(
-            p.model.mesh.n_elems(),
-            p.dashpots.n_faces(),
-            p.n_dofs(),
-            r,
-        )
-        .scaled(2.0)
+        compact_ebe_counts(p.model.mesh.n_elems(), p.dashpots.n_faces(), p.n_dofs(), r).scaled(2.0)
     }
 
     pub fn n_dofs(&self) -> usize {
@@ -250,12 +263,20 @@ mod tests {
         let n = b.n_dofs();
         let mut f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.13).cos()).collect();
         b.problem.mask.project(&mut f);
-        let cfg = CgConfig { tol: 1e-10, max_iter: 2000 };
+        let cfg = CgConfig {
+            tol: 1e-10,
+            max_iter: 2000,
+        };
         let mut x1 = vec![0.0; n];
         let s1 = pcg(&b.ebe_a(1), &b.precond, &f, &mut x1, &cfg);
         let mut x2 = vec![0.0; n];
         let s2 = pcg(b.crs_a(), &b.precond, &f, &mut x2, &cfg);
-        assert!(s1.converged && s2.converged, "{} {}", s1.final_rel_res, s2.final_rel_res);
+        assert!(
+            s1.converged && s2.converged,
+            "{} {}",
+            s1.final_rel_res,
+            s2.final_rel_res
+        );
         let scale = x2.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         for i in 0..n {
             assert!((x1[i] - x2[i]).abs() < 1e-6 * scale, "dof {i}");

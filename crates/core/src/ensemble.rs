@@ -25,7 +25,12 @@ impl EnsembleConfig {
     pub fn new(node: NodeSpec, n_cases: usize, n_steps: usize) -> Self {
         let mut run = RunConfig::new(MethodKind::EbeMcgCpuGpu, node, n_steps);
         run.record_surface = true;
-        EnsembleConfig { n_cases, n_steps, seed: 7_777, run }
+        EnsembleConfig {
+            n_cases,
+            n_steps,
+            seed: 7_777,
+            run,
+        }
     }
 }
 
@@ -73,22 +78,30 @@ impl EnsembleResult {
         (0..self.n_points())
             .map(|p| {
                 let psd = self.mean_psd(p, cfg);
-                let max_bin = ((f_max * cfg.segment as f64 * cfg.dt).floor() as usize)
-                    .min(cfg.n_bins() - 1);
+                let max_bin =
+                    ((f_max * cfg.segment as f64 * cfg.dt).floor() as usize).min(cfg.n_bins() - 1);
                 cfg.frequency(hetsolve_signal::peak_bin(&psd, max_bin))
             })
             .collect()
     }
 
     /// Dominant frequency of a single point in a single case (cheap check).
-    pub fn dominant_frequency_point(&self, case: usize, point: usize, cfg: &WelchConfig, f_max: f64) -> f64 {
+    pub fn dominant_frequency_point(
+        &self,
+        case: usize,
+        point: usize,
+        cfg: &WelchConfig,
+        f_max: f64,
+    ) -> f64 {
         dominant_frequency_psd(&self.waveforms[case][point], cfg, f_max)
     }
 
     /// Multi-channel FDD over a subset of points in one case (mode shapes).
     pub fn fdd_case(&self, case: usize, points: &[usize], cfg: &WelchConfig) -> FddResult {
-        let chans: Vec<&[f64]> =
-            points.iter().map(|&p| self.waveforms[case][p].as_slice()).collect();
+        let chans: Vec<&[f64]> = points
+            .iter()
+            .map(|&p| self.waveforms[case][p].as_slice())
+            .collect();
         fdd(&chans, cfg)
     }
 }

@@ -16,6 +16,8 @@
 //!   sequential ones (Fig. 2, Fig. 5),
 //! * [`report`] — table/series formatting for the benchmark harnesses.
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod ensemble;
 pub mod methods;

@@ -139,7 +139,7 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    fn measured<'a>(&'a self, from: usize) -> impl Iterator<Item = &'a StepRecord> {
+    fn measured(&self, from: usize) -> impl Iterator<Item = &StepRecord> {
         self.records.iter().filter(move |r| r.step >= from)
     }
 
@@ -274,10 +274,18 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
     let on_gpu = cfg.method == MethodKind::CrsCgGpu;
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
-    let mut case = CaseState::new(backend, cfg, 0, if cfg.record_surface { obs.len() } else { 0 });
+    let mut case = CaseState::new(
+        backend,
+        cfg,
+        0,
+        if cfg.record_surface { obs.len() } else { 0 },
+    );
     let mut clock = ModuleClock::new(cfg.node.module, backend.problem_threads(cfg), false);
     let mut scratch = RhsScratch::new(n);
-    let cg_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let cg_cfg = CgConfig {
+        tol: cfg.tol,
+        max_iter: 100_000,
+    };
     let mut records = Vec::with_capacity(cfg.n_steps);
     let a = backend.crs_a();
     let rhs_counts = backend.rhs_counts_crs();
@@ -285,15 +293,28 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
     for step in 0..cfg.n_steps {
         case.load.force_into(step, &mut case.f);
         backend.problem.mask.project(&mut case.f);
-        backend.newmark_rhs(&case.f, &case.time.u, &case.time.v, &case.time.a, &mut case.rhs, &mut scratch);
+        backend.newmark_rhs(
+            &case.f,
+            &case.time.u,
+            &case.time.v,
+            &case.time.a,
+            &mut case.rhs,
+            &mut scratch,
+        );
         case.predict(backend, backend.problem.newmark.dt, false, 0);
         let ab_guess = case.guess.clone();
         let mut x = ab_guess.clone();
         let stats = pcg(a, &backend.precond, &case.rhs, &mut x, &cg_cfg);
         debug_assert!(stats.converged, "CG failed at step {step}");
         // charge the device: RHS + predictor (3 vector passes) + solve
-        let total = rhs_counts.merged(vector_counts(n, 4.0)).merged(stats.counts);
-        let t = if on_gpu { clock.run_gpu(&total) } else { clock.run_cpu(&total) };
+        let total = rhs_counts
+            .merged(vector_counts(n, 4.0))
+            .merged(stats.counts);
+        let t = if on_gpu {
+            clock.run_gpu(&total)
+        } else {
+            clock.run_cpu(&total)
+        };
         case.advance(backend, &x, &ab_guess);
         if cfg.record_surface {
             case.record_waveform(&obs);
@@ -315,7 +336,11 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
         n_cases: 1,
         records,
         energy: clock.report(),
-        waveforms: if cfg.record_surface { vec![case.waveform] } else { Vec::new() },
+        waveforms: if cfg.record_surface {
+            vec![case.waveform]
+        } else {
+            Vec::new()
+        },
         final_u: vec![case.time.u],
     }
 }
@@ -326,12 +351,16 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
     let n_obs = if cfg.record_surface { obs.len() } else { 0 };
-    let mut cases: Vec<CaseState> =
-        (0..2).map(|c| CaseState::new(backend, cfg, c, n_obs)).collect();
+    let mut cases: Vec<CaseState> = (0..2)
+        .map(|c| CaseState::new(backend, cfg, c, n_obs))
+        .collect();
     let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
     let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
     let mut scratch = RhsScratch::new(n);
-    let cg_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let cg_cfg = CgConfig {
+        tol: cfg.tol,
+        max_iter: 100_000,
+    };
     let mut records = Vec::with_capacity(cfg.n_steps);
     let a = backend.crs_a();
     let rhs_counts = backend.rhs_counts_crs();
@@ -346,7 +375,14 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
         for case in cases.iter_mut() {
             case.load.force_into(step, &mut case.f);
             backend.problem.mask.project(&mut case.f);
-            backend.newmark_rhs(&case.f, &case.time.u, &case.time.v, &case.time.a, &mut case.rhs, &mut scratch);
+            backend.newmark_rhs(
+                &case.f,
+                &case.time.u,
+                &case.time.v,
+                &case.time.a,
+                &mut case.rhs,
+                &mut scratch,
+            );
             // Adams guess first (kept for the correction snapshot)...
             case.predict(backend, backend.problem.newmark.dt, false, 0);
             let ab_guess = case.guess.clone();
@@ -393,12 +429,16 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
     let n_cases = 2 * r;
     let obs = backend.problem.surface_dofs_z();
     let n_obs = if cfg.record_surface { obs.len() } else { 0 };
-    let mut cases: Vec<CaseState> =
-        (0..n_cases).map(|c| CaseState::new(backend, cfg, c, n_obs)).collect();
+    let mut cases: Vec<CaseState> = (0..n_cases)
+        .map(|c| CaseState::new(backend, cfg, c, n_obs))
+        .collect();
     let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
     let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
     let mut scratch = RhsScratch::new(n);
-    let cg_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let cg_cfg = CgConfig {
+        tol: cfg.tol,
+        max_iter: 100_000,
+    };
     let mut records = Vec::with_capacity(cfg.n_steps);
     let op = backend.ebe_a(r);
     let rhs_counts = backend.rhs_counts_ebe(r);
@@ -422,7 +462,14 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
                 let case = &mut cases[c];
                 case.load.force_into(step, &mut case.f);
                 backend.problem.mask.project(&mut case.f);
-                backend.newmark_rhs(&case.f, &case.time.u, &case.time.v, &case.time.a, &mut case.rhs, &mut scratch);
+                backend.newmark_rhs(
+                    &case.f,
+                    &case.time.u,
+                    &case.time.v,
+                    &case.time.a,
+                    &mut case.rhs,
+                    &mut scratch,
+                );
                 case.predict(backend, backend.problem.newmark.dt, false, 0);
                 ab_guesses.push(case.guess.clone());
                 s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
@@ -558,7 +605,10 @@ mod tests {
             assert_eq!(r.n_cases, method.n_cases(2), "{method:?}");
             assert!(r.energy.energy > 0.0);
             assert!(r.records.iter().all(|s| s.step_time_per_case > 0.0));
-            assert!(r.final_u.iter().any(|u| u.iter().any(|&x| x != 0.0)), "{method:?} static");
+            assert!(
+                r.final_u.iter().any(|u| u.iter().any(|&x| x != 0.0)),
+                "{method:?} static"
+            );
         }
     }
 

@@ -10,9 +10,7 @@
 //! with a single CPU-GPU case".
 
 use hetsolve_fem::{CompactEbe, CompactElements, FemProblem};
-use hetsolve_mesh::{
-    build_partition, color_elements, partition_rcb, Coloring, Partition, SubMesh,
-};
+use hetsolve_mesh::{build_partition, color_elements, partition_rcb, Coloring, Partition, SubMesh};
 use hetsolve_sparse::{KernelCounts, LinearOperator};
 
 /// Everything one partition needs to apply its local operator.
@@ -68,8 +66,7 @@ impl PartitionedProblem {
                 let mut cb = Vec::new();
                 for (f, fb) in problem.boundary.faces.iter().enumerate() {
                     let _ = f;
-                    if fb.kind != hetsolve_mesh::BoundaryKind::Side || !in_part.contains(&fb.elem)
-                    {
+                    if fb.kind != hetsolve_mesh::BoundaryKind::Side || !in_part.contains(&fb.elem) {
                         continue;
                     }
                     // find this face in the dashpot store by connectivity
@@ -95,7 +92,14 @@ impl PartitionedProblem {
                     .flat_map(|&g| (0..3).map(move |d| fg[3 * g as usize + d]))
                     .collect();
                 let sub = sub.clone();
-                LocalPart { sub, compact, coloring, faces, cb, fixed }
+                LocalPart {
+                    sub,
+                    compact,
+                    coloring,
+                    faces,
+                    cb,
+                    fixed,
+                }
             })
             .collect();
 
@@ -144,11 +148,7 @@ impl PartitionedProblem {
             self.local_op(p).apply(&xl, &mut yl);
             locals.push(yl);
         }
-        hetsolve_mesh::halo_sum(
-            &self.partition.parts,
-            &mut locals,
-            3,
-        );
+        hetsolve_mesh::halo_sum(&self.partition.parts, &mut locals, 3);
         y.fill(0.0);
         for (p, yl) in self.parts.iter().zip(&locals) {
             for (l, &g) in p.sub.l2g.iter().enumerate() {
@@ -207,7 +207,12 @@ impl LinearOperator for DistributedOperator<'_> {
     fn counts(&self) -> KernelCounts {
         // same arithmetic as the sequential operator; communication is
         // charged by the cluster model, not here.
-        let ne: usize = self.problem.parts.iter().map(|p| p.sub.mesh.n_elems()).sum();
+        let ne: usize = self
+            .problem
+            .parts
+            .iter()
+            .map(|p| p.sub.mesh.n_elems())
+            .sum();
         let nf: usize = self.problem.parts.iter().map(|p| p.faces.len()).sum();
         hetsolve_fem::compact_ebe_counts(ne, nf, self.n(), 1)
     }
@@ -221,7 +226,12 @@ mod tests {
     use hetsolve_sparse::{pcg, CgConfig};
 
     fn problem() -> FemProblem {
-        FemProblem::paper_like(&GroundModelSpec::paper_like(4, 3, 2, InterfaceShape::Inclined))
+        FemProblem::paper_like(&GroundModelSpec::paper_like(
+            4,
+            3,
+            2,
+            InterfaceShape::Inclined,
+        ))
     }
 
     #[test]
@@ -257,7 +267,10 @@ mod tests {
         let n = backend.n_dofs();
         let mut f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.31).cos()).collect();
         backend.problem.mask.project(&mut f);
-        let cfg = CgConfig { tol: 1e-10, max_iter: 3000 };
+        let cfg = CgConfig {
+            tol: 1e-10,
+            max_iter: 3000,
+        };
         let mut x1 = vec![0.0; n];
         let s1 = pcg(&backend.ebe_a(1), &backend.precond, &f, &mut x1, &cfg);
         let mut x2 = vec![0.0; n];
@@ -281,9 +294,7 @@ mod tests {
             assert!(!pat.neighbor_bytes.is_empty());
         }
         // r scales bytes linearly
-        assert!(
-            (part.max_halo_bytes(4) / part.max_halo_bytes(1) - 4.0).abs() < 1e-12
-        );
+        assert!((part.max_halo_bytes(4) / part.max_halo_bytes(1) - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -70,19 +70,31 @@ pub fn run_nonlinear(
     let mut state = NonlinearState::from_compact(&compact);
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let load = RandomLoad::generate(&cfg.load, &backend.problem.surface_nodes, cfg.n_steps, &mut rng);
+    let load = RandomLoad::generate(
+        &cfg.load,
+        &backend.problem.surface_nodes,
+        cfg.n_steps,
+        &mut rng,
+    );
     let mut time = TimeState::zeros(n);
     let mut adams = AdamsState::new();
     let mut scratch = RhsScratch::new(n);
     let mut f = vec![0.0; n];
     let mut rhs = vec![0.0; n];
     let mut guess = vec![0.0; n];
-    let cg_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let cg_cfg = CgConfig {
+        tol: cfg.tol,
+        max_iter: 100_000,
+    };
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut clock = ModuleClock::new(node_of(cfg).module, cfg.cpu_threads, false);
     let mut refresh_time_ebe = 0.0;
     let mut refresh_time_crs = 0.0;
-    let nnzb = backend.crs_a.as_ref().map(|m| m.nnz_blocks()).unwrap_or(27 * mesh.n_nodes());
+    let nnzb = backend
+        .crs_a
+        .as_ref()
+        .map(|m| m.nnz_blocks())
+        .unwrap_or(27 * mesh.n_nodes());
 
     for step in 0..cfg.n_steps {
         load.force_into(step, &mut f);
@@ -111,7 +123,13 @@ pub fn run_nonlinear(
             // matrix-free RHS with current moduli
             {
                 let nm = &backend.problem.newmark;
-                nm.rhs_aux(&time.u, &time.v, &time.a, &mut scratch.m_aux, &mut scratch.c_aux);
+                nm.rhs_aux(
+                    &time.u,
+                    &time.v,
+                    &time.a,
+                    &mut scratch.m_aux,
+                    &mut scratch.c_aux,
+                );
                 let c = backend.problem.c_coeffs();
                 let op_m = CompactEbe::new(
                     backend.problem.n_nodes(),
@@ -155,19 +173,21 @@ pub fn run_nonlinear(
 
             let change = state.update(&mut compact, mesh, &x, model);
             refresh_time_ebe += clock.run_gpu(&refresh_counts_ebe(compact.n_elems));
-            refresh_time_crs +=
-                hetsolve_machine::kernel_time(
-                    &node_of(cfg).module.gpu,
-                    &refresh_counts_crs(compact.n_elems, nnzb),
-                    &hetsolve_machine::ExecCtx::default(),
-                );
+            refresh_time_crs += hetsolve_machine::kernel_time(
+                &node_of(cfg).module.gpu,
+                &refresh_counts_crs(compact.n_elems, nnzb),
+                &hetsolve_machine::ExecCtx::default(),
+            );
             if change < secant_tol || secant_iterations >= max_secant {
                 break;
             }
         }
 
         let u_old = std::mem::replace(&mut time.u, x.clone());
-        backend.problem.newmark.advance(&time.u, &u_old, &mut time.v, &mut time.a);
+        backend
+            .problem
+            .newmark
+            .advance(&time.u, &u_old, &mut time.v, &mut time.a);
         adams.push(&time.v);
         time.step += 1;
 
@@ -220,8 +240,15 @@ mod tests {
         let model = HyperbolicModel::new(1e-4, 0.05);
         let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 3);
         assert_eq!(res.records.len(), cfg.n_steps);
-        let min_ratio = res.records.iter().map(|r| r.mean_ratio).fold(1.0f64, f64::min);
-        assert!(min_ratio < 0.999, "no softening happened (min ratio {min_ratio})");
+        let min_ratio = res
+            .records
+            .iter()
+            .map(|r| r.mean_ratio)
+            .fold(1.0f64, f64::min);
+        assert!(
+            min_ratio < 0.999,
+            "no softening happened (min ratio {min_ratio})"
+        );
         // secant loop actually iterated somewhere
         assert!(res.records.iter().any(|r| r.secant_iterations > 1));
     }
@@ -232,7 +259,11 @@ mod tests {
         cfg.load.amplitude = 1.0; // negligible forcing
         let model = HyperbolicModel::new(1e-4, 0.05);
         let res = run_nonlinear(&backend, &cfg, &model, 1e-6, 3);
-        let min_ratio = res.records.iter().map(|r| r.mean_ratio).fold(1.0f64, f64::min);
+        let min_ratio = res
+            .records
+            .iter()
+            .map(|r| r.mean_ratio)
+            .fold(1.0f64, f64::min);
         assert!(min_ratio > 0.999, "spurious softening: {min_ratio}");
     }
 
@@ -251,7 +282,10 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         let scale = r2.final_u.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
-        assert!(d > 1e-6 * scale, "nonlinearity had no effect (max diff {d}, scale {scale})");
+        assert!(
+            d > 1e-6 * scale,
+            "nonlinearity had no effect (max diff {d}, scale {scale})"
+        );
     }
 
     #[test]

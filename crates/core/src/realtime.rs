@@ -124,18 +124,27 @@ impl SetState {
             &backend.precond,
             &f_multi,
             &mut x_multi,
-            &CgConfig { tol: cfg.tol, max_iter: 100_000 },
+            &CgConfig {
+                tol: cfg.tol,
+                max_iter: 100_000,
+            },
         );
         debug_assert!(stats.converged);
         let mut x = vec![0.0; n];
         for c in 0..r {
             extract_case(&x_multi, r, c, &mut x);
-            let delta: Vec<f64> =
-                x.iter().zip(&self.ab_guesses[c]).map(|(u, g)| u - g).collect();
+            let delta: Vec<f64> = x
+                .iter()
+                .zip(&self.ab_guesses[c])
+                .map(|(u, g)| u - g)
+                .collect();
             self.dd[c].record(&delta);
             let t = &mut self.time[c];
             let u_old = std::mem::replace(&mut t.u, x.clone());
-            backend.problem.newmark.advance(&t.u, &u_old, &mut t.v, &mut t.a);
+            backend
+                .problem
+                .newmark
+                .advance(&t.u, &u_old, &mut t.v, &mut t.a);
             self.adams[c].push(&t.v);
             t.step += 1;
         }
@@ -259,13 +268,13 @@ mod tests {
         // The modeled driver grows s by the adaptive controller while the
         // realtime driver grows by available history; both refine to the
         // same CG tolerance, so solutions agree to solver accuracy.
-        let scale = modeled.final_u[0].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        let scale = modeled.final_u[0]
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max);
         for (c, u_model) in modeled.final_u.iter().enumerate() {
             for (i, (&a, &b)) in final_rt[c].iter().zip(u_model).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-5 * scale,
-                    "case {c} dof {i}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-5 * scale, "case {c} dof {i}: {a} vs {b}");
             }
         }
     }

@@ -94,7 +94,10 @@ mod tests {
     fn dummy(method: MethodKind, t: f64) -> MethodSummary {
         MethodSummary {
             method,
-            mem: MemUsage { cpu: 56_900_000_000, gpu: 0 },
+            mem: MemUsage {
+                cpu: 56_900_000_000,
+                gpu: 0,
+            },
             step_time: t,
             solver_time: t * 0.98,
             predictor_time: 0.0,
@@ -107,7 +110,10 @@ mod tests {
 
     #[test]
     fn speedups_relative_to_first() {
-        let mut rows = vec![dummy(MethodKind::CrsCgCpu, 30.4), dummy(MethodKind::CrsCgGpu, 3.05)];
+        let mut rows = vec![
+            dummy(MethodKind::CrsCgCpu, 30.4),
+            dummy(MethodKind::CrsCgGpu, 3.05),
+        ];
         apply_speedups(&mut rows);
         assert!((rows[0].speedup - 1.0).abs() < 1e-12);
         assert!((rows[1].speedup - 30.4 / 3.05).abs() < 1e-9);
@@ -115,7 +121,10 @@ mod tests {
 
     #[test]
     fn table_contains_labels() {
-        let mut rows = vec![dummy(MethodKind::CrsCgCpu, 30.4), dummy(MethodKind::CrsCgGpu, 3.05)];
+        let mut rows = vec![
+            dummy(MethodKind::CrsCgCpu, 30.4),
+            dummy(MethodKind::CrsCgGpu, 3.05),
+        ];
         apply_speedups(&mut rows);
         let t = format_application_table(&rows);
         assert!(t.contains("CRS-CG@CPU"));

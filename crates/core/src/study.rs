@@ -57,7 +57,6 @@ impl Default for StudyConfig {
                 impulses_per_source: 3.0,
                 amplitude: 1e6,
                 active_window: 0.3,
-                ..Default::default()
             },
         }
     }
@@ -89,7 +88,10 @@ pub fn convergence_study(backend: &Backend, cfg: &StudyConfig) -> ConvergenceStu
     let mut guess = vec![0.0; n];
     let op = backend.ebe_a(1);
     let dt = backend.problem.newmark.dt;
-    let solve_cfg = CgConfig { tol: cfg.tol, max_iter: 100_000 };
+    let solve_cfg = CgConfig {
+        tol: cfg.tol,
+        max_iter: 100_000,
+    };
 
     // warm up with the standard data-driven-accelerated loop so the
     // snapshot history reflects a realistic mid-simulation state
@@ -113,7 +115,10 @@ pub fn convergence_study(backend: &Backend, cfg: &StudyConfig) -> ConvergenceStu
         let delta: Vec<f64> = x.iter().zip(&ab_guess).map(|(u, g)| u - g).collect();
         dd.record(&delta);
         let u_old = std::mem::replace(&mut time.u, x);
-        backend.problem.newmark.advance(&time.u, &u_old, &mut time.v, &mut time.a);
+        backend
+            .problem
+            .newmark
+            .advance(&time.u, &u_old, &mut time.v, &mut time.a);
         adams.push(&time.v);
         time.step += 1;
     }
@@ -151,7 +156,10 @@ pub fn convergence_study(backend: &Backend, cfg: &StudyConfig) -> ConvergenceStu
         results.push(run_one(format!("data-driven s={s}"), &g));
     }
 
-    ConvergenceStudy { probe_step: probe, results }
+    ConvergenceStudy {
+        probe_step: probe,
+        results,
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@ pub struct DofMask {
 impl DofMask {
     /// All DOFs free.
     pub fn all_free(n_dofs: usize) -> Self {
-        DofMask { fixed: vec![false; n_dofs], n_fixed: 0 }
+        DofMask {
+            fixed: vec![false; n_dofs],
+            n_fixed: 0,
+        }
     }
 
     /// Fix all 3 components of the given nodes.
@@ -83,7 +86,11 @@ impl DofMask {
 
     /// Iterator over fixed DOF indices.
     pub fn fixed_dofs(&self) -> impl Iterator<Item = usize> + '_ {
-        self.fixed.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i)
+        self.fixed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
     }
 
     /// Borrow the mask as a bool slice (the format the EBE/CRS operators

@@ -20,9 +20,11 @@
 //! (32 B) + 40 B of node ids ≈ 168 B — versus 7.4 KB for cached packed
 //! matrices, a ~44× traffic reduction that turns the kernel compute-bound.
 
-use hetsolve_mesh::{Coloring, Material, TetMesh10};
+use hetsolve_mesh::{validate_groups, Coloring, Material, TetMesh10};
+use hetsolve_sparse::dirichlet::FixedMask;
 use hetsolve_sparse::ebe::color_faces;
 use hetsolve_sparse::op::{KernelCounts, LinearOperator, MultiOperator};
+use hetsolve_sparse::parcheck::ColorScatter;
 use hetsolve_sparse::sym::sym2_matvec_add_multi;
 use rayon::prelude::*;
 
@@ -66,7 +68,10 @@ impl RefTables {
                 }
             }
         }
-        let grad_table = tet_rule_deg2().iter().map(|qp| (dn_dl(qp.l), qp.w)).collect();
+        let grad_table = tet_rule_deg2()
+            .iter()
+            .map(|qp| (dn_dl(qp.l), qp.w))
+            .collect();
         RefTables { mhat, grad_table }
     }
 }
@@ -85,23 +90,29 @@ impl CompactElements {
     pub fn compute(mesh: &TetMesh10, mats: &[Material]) -> Self {
         let ne = mesh.n_elems();
         let mut geo = vec![0.0; ne * GEO_STRIDE];
-        geo.par_chunks_mut(GEO_STRIDE).enumerate().for_each(|(e, g)| {
-            let verts = mesh.vertices(e);
-            let (dl, vol) = tet_bary_gradients(&verts);
-            assert!(vol > 0.0, "element {e} has non-positive volume");
-            for a in 0..4 {
-                let v = dl[a].to_array();
-                g[3 * a] = v[0];
-                g[3 * a + 1] = v[1];
-                g[3 * a + 2] = v[2];
-            }
-            let m = &mats[mesh.material[e] as usize];
-            g[12] = vol;
-            g[13] = m.rho;
-            g[14] = m.lambda();
-            g[15] = m.mu();
-        });
-        CompactElements { geo, n_elems: ne, tables: RefTables::build() }
+        geo.par_chunks_mut(GEO_STRIDE)
+            .enumerate()
+            .for_each(|(e, g)| {
+                let verts = mesh.vertices(e);
+                let (dl, vol) = tet_bary_gradients(&verts);
+                assert!(vol > 0.0, "element {e} has non-positive volume");
+                for a in 0..4 {
+                    let v = dl[a].to_array();
+                    g[3 * a] = v[0];
+                    g[3 * a + 1] = v[1];
+                    g[3 * a + 2] = v[2];
+                }
+                let m = &mats[mesh.material[e] as usize];
+                g[12] = vol;
+                g[13] = m.rho;
+                g[14] = m.lambda();
+                g[15] = m.mu();
+            });
+        CompactElements {
+            geo,
+            n_elems: ne,
+            tables: RefTables::build(),
+        }
     }
 
     /// Bytes of the compact representation (the EBE memory-usage story of
@@ -110,13 +121,6 @@ impl CompactElements {
         self.geo.len() * 8
     }
 }
-
-/// Raw pointer wrapper for color-disjoint parallel scatters (same invariant
-/// as `hetsolve_sparse::ebe`).
-#[derive(Copy, Clone)]
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 /// The compact matrix-free operator `c_m M + c_k K + c_b C_b` over a Tet10
 /// mesh with optional boundary dashpots and Dirichlet mask.
@@ -157,10 +161,21 @@ impl<'a> CompactEbe<'a> {
         parallel: bool,
         r: usize,
     ) -> Self {
-        assert!(matches!(r, 1 | 2 | 4 | 8), "fused RHS count must be 1, 2, 4 or 8 (got {r})");
+        assert!(
+            matches!(r, 1 | 2 | 4 | 8),
+            "fused RHS count must be 1, 2, 4 or 8 (got {r})"
+        );
         assert_eq!(elems.len(), data.n_elems);
         assert_eq!(coloring.color.len(), elems.len());
+        // Race-freedom precondition of the colored scatter (see
+        // `hetsolve_sparse::parcheck`).
+        if let Err(c) = validate_groups(n_nodes, elems, &coloring.groups) {
+            panic!("CompactEbe::new: element {c}");
+        }
         let face_groups = color_faces(n_nodes, faces);
+        if let Err(c) = validate_groups(n_nodes, faces, &face_groups) {
+            panic!("CompactEbe::new: face {c}");
+        }
         CompactEbe {
             elems,
             data,
@@ -187,11 +202,7 @@ impl<'a> CompactEbe<'a> {
 
     #[inline]
     fn masked(&self, dof: usize, v: f64) -> f64 {
-        if !self.fixed.is_empty() && self.fixed[dof] {
-            0.0
-        } else {
-            v
-        }
+        FixedMask::new(self.fixed).masked(dof, v)
     }
 
     /// Compute `y_local += (c_m M_e + c_k K_e) x_local` for element `e`,
@@ -289,10 +300,12 @@ impl<'a> CompactEbe<'a> {
 
     fn apply_r<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
         y.fill(0.0);
-        let yp = SendPtr(y.as_mut_ptr());
+        let mut scatter = ColorScatter::new(y);
         for group in &self.coloring.groups {
-            let run = |&e: &u32| {
-                let yp = yp; // capture whole SendPtr
+            scatter.begin_color();
+            let scatter = &scatter;
+            let run = move |&e: &u32| {
+                let eid = e;
                 let e = e as usize;
                 let el = &self.elems[e];
                 let mut xl = [0.0f64; 240];
@@ -308,13 +321,15 @@ impl<'a> CompactEbe<'a> {
                     }
                 }
                 self.element_apply::<R>(e, xl, yl);
-                // SAFETY: same-color elements touch disjoint nodes.
+                // SAFETY: same-color elements touch disjoint nodes
+                // (validated at construction), so per-pass writes are
+                // disjoint.
                 unsafe {
                     for (k, &n) in el.iter().enumerate() {
                         for a in 0..3 {
                             let dof = 3 * n as usize + a;
                             for c in 0..R {
-                                *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                                scatter.add(eid, dof * R + c, yl[(3 * k + a) * R + c]);
                             }
                         }
                     }
@@ -329,8 +344,10 @@ impl<'a> CompactEbe<'a> {
         // boundary dashpots (cached packed matrices)
         if self.c_b != 0.0 {
             for group in &self.face_groups {
-                let run = |&f: &u32| {
-                    let yp = yp; // capture whole SendPtr
+                scatter.begin_color();
+                let scatter = &scatter;
+                let run = move |&f: &u32| {
+                    let fid = f;
                     let f = f as usize;
                     let fc = &self.faces[f];
                     let mut xl = [0.0f64; 144];
@@ -347,13 +364,14 @@ impl<'a> CompactEbe<'a> {
                     }
                     let cb = &self.cb[f * 171..(f + 1) * 171];
                     sym2_matvec_add_multi::<R>(self.c_b, cb, 0.0, cb, xl, yl, 18);
-                    // SAFETY: face coloring guarantees disjoint writes.
+                    // SAFETY: face coloring guarantees disjoint per-pass
+                    // writes (validated at construction).
                     unsafe {
                         for (k, &n) in fc.iter().enumerate() {
                             for a in 0..3 {
                                 let dof = 3 * n as usize + a;
                                 for c in 0..R {
-                                    *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                                    scatter.add(fid, dof * R + c, yl[(3 * k + a) * R + c]);
                                 }
                             }
                         }
@@ -366,15 +384,10 @@ impl<'a> CompactEbe<'a> {
                 }
             }
         }
+        drop(scatter);
         // Dirichlet: identity on fixed DOFs
-        if self.identity_on_fixed && !self.fixed.is_empty() {
-            for (i, &fx) in self.fixed.iter().enumerate() {
-                if fx {
-                    for c in 0..R {
-                        y[i * R + c] = x[i * R + c];
-                    }
-                }
-            }
+        if self.identity_on_fixed {
+            FixedMask::new(self.fixed).fix_output_multi(x, y, R);
         }
     }
 
@@ -520,7 +533,12 @@ mod tests {
     use hetsolve_sparse::ebe::{EbeData, EbeOperator};
 
     fn problem() -> FemProblem {
-        FemProblem::paper_like(&GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified))
+        FemProblem::paper_like(&GroundModelSpec::paper_like(
+            3,
+            3,
+            2,
+            InterfaceShape::Stratified,
+        ))
     }
 
     fn as_slice(mask: &crate::constraint::DofMask) -> Vec<bool> {
@@ -698,8 +716,10 @@ mod tests {
         let op_m = EbeOperator::new(data, &coloring, false);
         let d1 = op_c.diagonal_blocks();
         let d2 = op_m.diagonal_blocks();
-        let scale =
-            d2.iter().flat_map(|b| b.iter()).fold(0.0f64, |m, v| m.max(v.abs()));
+        let scale = d2
+            .iter()
+            .flat_map(|b| b.iter())
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         for n in 0..p.n_nodes() {
             for k in 0..9 {
                 assert!(
@@ -710,6 +730,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The constructor's coloring validator fires before any scatter: a
+    /// coloring whose first group holds node-sharing elements panics with
+    /// the offending pair.
+    #[test]
+    #[should_panic(expected = "would race")]
+    fn rejects_corrupted_coloring() {
+        let p = problem();
+        let mut coloring = color_elements(&p.model.mesh);
+        let moved = coloring.groups.remove(1);
+        for &e in &moved {
+            coloring.color[e as usize] = 0;
+        }
+        coloring.groups[0].extend(moved);
+        coloring.n_colors -= 1;
+        let compact = CompactElements::compute(&p.model.mesh, &p.materials);
+        let _ = CompactEbe::new(
+            p.n_nodes(),
+            &p.model.mesh.elems,
+            &compact,
+            &p.dashpots.faces,
+            &p.dashpots.cb,
+            (1.0, 1.0, 0.0),
+            &[],
+            &coloring,
+            true,
+            1,
+        );
     }
 
     #[test]

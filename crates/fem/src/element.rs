@@ -106,7 +106,11 @@ impl ElementMatrices {
                 me_e.copy_from_slice(&mass_matrix(&x, mat.rho, &rule_m));
                 ke_e.copy_from_slice(&stiffness_matrix(&x, mat, &rule_k));
             });
-        ElementMatrices { me, ke, n_elems: ne }
+        ElementMatrices {
+            me,
+            ke,
+            n_elems: ne,
+        }
     }
 
     /// Packed M_e of element `e`.
@@ -130,8 +134,8 @@ impl ElementMatrices {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetsolve_sparse::sym::sym_matvec_add;
     use hetsolve_mesh::mesh::TET_EDGES;
+    use hetsolve_sparse::sym::sym_matvec_add;
 
     fn unit_tet10_coords() -> [Vec3; 10] {
         let v = [
@@ -176,7 +180,9 @@ mod tests {
         let (_, vol) = tet_bary_gradients(&verts);
         // sum over all (i,j) of the x-component blocks = rho * V
         // (partition of unity: sum_i Ni = 1)
-        let ones_x: Vec<f64> = (0..NDOF).map(|d| if d % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let ones_x: Vec<f64> = (0..NDOF)
+            .map(|d| if d % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let mut y = vec![0.0; NDOF];
         sym_matvec_add(&m, &ones_x, &mut y, NDOF);
         let total: f64 = y.iter().zip(&ones_x).map(|(a, b)| a * b).sum();
@@ -204,7 +210,9 @@ mod tests {
         let x = skewed_tet10_coords();
         let k = stiffness_matrix(&x, &mat(), &tet_rule_deg2());
         for a in 0..3 {
-            let v: Vec<f64> = (0..NDOF).map(|d| if d % 3 == a { 1.0 } else { 0.0 }).collect();
+            let v: Vec<f64> = (0..NDOF)
+                .map(|d| if d % 3 == a { 1.0 } else { 0.0 })
+                .collect();
             let mut y = vec![0.0; NDOF];
             sym_matvec_add(&k, &v, &mut y, NDOF);
             let n: f64 = y.iter().map(|t| t * t).sum::<f64>().sqrt();
@@ -217,7 +225,11 @@ mod tests {
         let x = skewed_tet10_coords();
         let k = stiffness_matrix(&x, &mat(), &tet_rule_deg2());
         // rotation about axis w: u(p) = w × p (linear field => representable)
-        for w in [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.3, -0.5, 0.8)] {
+        for w in [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.3, -0.5, 0.8),
+        ] {
             let mut v = vec![0.0; NDOF];
             for i in 0..10 {
                 let u = w.cross(x[i]);

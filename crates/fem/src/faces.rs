@@ -94,8 +94,8 @@ impl FaceDashpots {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetsolve_sparse::sym::sym_matvec_add;
     use hetsolve_mesh::{box_tet10, extract_boundary, BoxGrid};
+    use hetsolve_sparse::sym::sym_matvec_add;
 
     fn setup() -> (TetMesh10, BoundarySet, Material) {
         let m = box_tet10(&BoxGrid::new(2, 2, 2, 1.0, 1.0, 1.0));
@@ -111,7 +111,9 @@ mod tests {
         for seed in 1..6u64 {
             let v: Vec<f64> = (0..FACE_NDOF)
                 .map(|i| {
-                    let h = (i as u64 + 1).wrapping_mul(seed).wrapping_mul(6364136223846793005);
+                    let h = (i as u64 + 1)
+                        .wrapping_mul(seed)
+                        .wrapping_mul(6364136223846793005);
                     (h % 211) as f64 / 105.0 - 1.0
                 })
                 .collect();
@@ -140,7 +142,10 @@ mod tests {
         sym_matvec_add(&c, &v, &mut y, FACE_NDOF);
         let total: f64 = y.iter().zip(&v).map(|(a, b)| a * b).sum();
         let expect = mat.rho * mat.vp * f.area;
-        assert!((total - expect).abs() < 1e-9 * expect, "{total} vs {expect}");
+        assert!(
+            (total - expect).abs() < 1e-9 * expect,
+            "{total} vs {expect}"
+        );
     }
 
     #[test]
@@ -150,7 +155,11 @@ mod tests {
         let c = dashpot_matrix(f, &mat);
         // build a tangent: normal is axis-aligned on the box sides
         let n = Vec3::from_array(f.normal);
-        let t = if n.x.abs() > 0.5 { Vec3::new(0.0, 1.0, 0.0) } else { Vec3::new(1.0, 0.0, 0.0) };
+        let t = if n.x.abs() > 0.5 {
+            Vec3::new(0.0, 1.0, 0.0)
+        } else {
+            Vec3::new(1.0, 0.0, 0.0)
+        };
         assert!(n.dot(t).abs() < 1e-12);
         let mut v = vec![0.0; FACE_NDOF];
         for i in 0..6 {
@@ -162,13 +171,19 @@ mod tests {
         sym_matvec_add(&c, &v, &mut y, FACE_NDOF);
         let total: f64 = y.iter().zip(&v).map(|(a, b)| a * b).sum();
         let expect = mat.rho * mat.vs * f.area;
-        assert!((total - expect).abs() < 1e-9 * expect, "{total} vs {expect}");
+        assert!(
+            (total - expect).abs() < 1e-9 * expect,
+            "{total} vs {expect}"
+        );
     }
 
     #[test]
     fn compute_covers_all_side_faces() {
         let (m, b, _) = setup();
-        let mats = vec![Material::new(1800.0, 200.0, 700.0), Material::new(2100.0, 800.0, 2000.0)];
+        let mats = vec![
+            Material::new(1800.0, 200.0, 700.0),
+            Material::new(2100.0, 800.0, 2000.0),
+        ];
         let fd = FaceDashpots::compute(&m, &b, &mats);
         assert_eq!(fd.n_faces(), b.faces_of_kind(BoundaryKind::Side).count());
         assert_eq!(fd.cb.len(), fd.n_faces() * FACE_PACKED);

@@ -41,5 +41,5 @@ pub use faces::{FaceDashpots, FACE_NDOF, FACE_PACKED};
 pub use loads::{RandomLoad, RandomLoadSpec};
 pub use material::{elasticity_matrix, Rayleigh};
 pub use model::{FemProblem, OpCoeffs};
-pub use nonlinear::{octahedral_strain, HyperbolicModel, NonlinearState};
 pub use newmark::{Newmark, TimeState};
+pub use nonlinear::{octahedral_strain, HyperbolicModel, NonlinearState};

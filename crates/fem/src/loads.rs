@@ -96,18 +96,24 @@ impl RandomLoad {
                 })
                 .collect();
             impulses.sort_unstable_by_key(|&(s, _)| s);
-            sources.push(ImpulseSource { node, dir, impulses });
+            sources.push(ImpulseSource {
+                node,
+                dir,
+                impulses,
+            });
         }
         let mut by_step = vec![Vec::new(); n_steps];
         for s in &sources {
             for &(step, amp) in &s.impulses {
-                by_step[step as usize].push((
-                    s.node,
-                    [s.dir[0] * amp, s.dir[1] * amp, s.dir[2] * amp],
-                ));
+                by_step[step as usize]
+                    .push((s.node, [s.dir[0] * amp, s.dir[1] * amp, s.dir[2] * amp]));
             }
         }
-        RandomLoad { sources, by_step, n_steps }
+        RandomLoad {
+            sources,
+            by_step,
+            n_steps,
+        }
     }
 
     pub fn n_steps(&self) -> usize {
@@ -220,7 +226,10 @@ mod tests {
         let l = gen(11);
         for s in &l.sources {
             for &(step, _) in &s.impulses {
-                assert!(step < 50, "impulse at step {step} outside 50% window of 100");
+                assert!(
+                    step < 50,
+                    "impulse at step {step} outside 50% window of 100"
+                );
             }
         }
     }

@@ -37,8 +37,14 @@ pub struct Rayleigh {
 impl Rayleigh {
     /// Fit to damping ratio `zeta` at frequencies `f1 < f2` (Hz).
     pub fn fit(zeta: f64, f1: f64, f2: f64) -> Self {
-        assert!(zeta >= 0.0 && f1 > 0.0 && f2 > f1, "need 0 <= zeta, 0 < f1 < f2");
-        let (w1, w2) = (2.0 * std::f64::consts::PI * f1, 2.0 * std::f64::consts::PI * f2);
+        assert!(
+            zeta >= 0.0 && f1 > 0.0 && f2 > f1,
+            "need 0 <= zeta, 0 < f1 < f2"
+        );
+        let (w1, w2) = (
+            2.0 * std::f64::consts::PI * f1,
+            2.0 * std::f64::consts::PI * f2,
+        );
         Rayleigh {
             alpha: 2.0 * zeta * w1 * w2 / (w1 + w2),
             beta: 2.0 * zeta / (w1 + w2),
@@ -46,7 +52,10 @@ impl Rayleigh {
     }
 
     /// No damping.
-    pub const ZERO: Rayleigh = Rayleigh { alpha: 0.0, beta: 0.0 };
+    pub const ZERO: Rayleigh = Rayleigh {
+        alpha: 0.0,
+        beta: 0.0,
+    };
 
     /// Modal damping ratio produced at angular frequency `w`.
     pub fn zeta_at(&self, w: f64) -> f64 {
@@ -84,7 +93,9 @@ mod tests {
         let d = elasticity_matrix(&mat);
         // strain (1,0,0,0,0,0): sigma_xx = lambda + 2mu, sigma_yy = lambda
         let exx = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let sigma: Vec<f64> = (0..6).map(|i| (0..6).map(|j| d[i * 6 + j] * exx[j]).sum()).collect();
+        let sigma: Vec<f64> = (0..6)
+            .map(|i| (0..6).map(|j| d[i * 6 + j] * exx[j]).sum())
+            .collect();
         assert!((sigma[0] - (mat.lambda() + 2.0 * mat.mu())).abs() < 1e-6);
         assert!((sigma[1] - mat.lambda()).abs() < 1e-6);
         assert!(sigma[3].abs() < 1e-12);
@@ -95,7 +106,9 @@ mod tests {
         let mat = Material::new(2000.0, 500.0, 1200.0);
         let d = elasticity_matrix(&mat);
         let gxy = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
-        let sigma: Vec<f64> = (0..6).map(|i| (0..6).map(|j| d[i * 6 + j] * gxy[j]).sum()).collect();
+        let sigma: Vec<f64> = (0..6)
+            .map(|i| (0..6).map(|j| d[i * 6 + j] * gxy[j]).sum())
+            .collect();
         assert!((sigma[3] - mat.mu()).abs() < 1e-9);
         assert!(sigma[0].abs() < 1e-12);
     }

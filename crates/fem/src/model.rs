@@ -8,9 +8,7 @@
 //! system/mass/damping operators as linear combinations
 //! `c_M M + c_K K + c_B C_b`.
 
-use hetsolve_mesh::{
-    extract_boundary, BoundarySet, GroundModel, GroundModelSpec, Material,
-};
+use hetsolve_mesh::{extract_boundary, BoundarySet, GroundModel, GroundModelSpec, Material};
 
 use crate::constraint::DofMask;
 use crate::element::ElementMatrices;
@@ -50,7 +48,11 @@ impl FemProblem {
     pub fn build(spec: &GroundModelSpec, zeta: f64, f1: f64, f2: f64, dt: f64) -> Self {
         let model = spec.build();
         let materials = spec.materials();
-        let rayleigh = if zeta > 0.0 { Rayleigh::fit(zeta, f1, f2) } else { Rayleigh::ZERO };
+        let rayleigh = if zeta > 0.0 {
+            Rayleigh::fit(zeta, f1, f2)
+        } else {
+            Rayleigh::ZERO
+        };
         let newmark = Newmark::new(dt);
         let g = &spec.grid;
         let boundary = extract_boundary(&model.mesh, g.lx, g.ly, g.lz, 1e-6 * g.lz.max(g.lx));
@@ -102,18 +104,29 @@ impl FemProblem {
 
     /// Coefficients of the mass operator `M`.
     pub fn m_coeffs(&self) -> OpCoeffs {
-        OpCoeffs { c_m: 1.0, c_k: 0.0, c_b: 0.0 }
+        OpCoeffs {
+            c_m: 1.0,
+            c_k: 0.0,
+            c_b: 0.0,
+        }
     }
 
     /// Coefficients of the damping operator `C = α M + β K + C_b`.
     pub fn c_coeffs(&self) -> OpCoeffs {
-        OpCoeffs { c_m: self.rayleigh.alpha, c_k: self.rayleigh.beta, c_b: 1.0 }
+        OpCoeffs {
+            c_m: self.rayleigh.alpha,
+            c_k: self.rayleigh.beta,
+            c_b: 1.0,
+        }
     }
 
     /// Observation DOF (z-component) of each surface node, used to record
     /// waveforms for the FDD post-processing.
     pub fn surface_dofs_z(&self) -> Vec<usize> {
-        self.surface_nodes.iter().map(|&n| 3 * n as usize + 2).collect()
+        self.surface_nodes
+            .iter()
+            .map(|&n| 3 * n as usize + 2)
+            .collect()
     }
 }
 

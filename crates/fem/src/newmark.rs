@@ -31,7 +31,11 @@ pub struct Newmark {
 impl Newmark {
     pub fn new(dt: f64) -> Self {
         assert!(dt > 0.0, "time step must be positive");
-        Newmark { dt, cm: 4.0 / (dt * dt), cc: 2.0 / dt }
+        Newmark {
+            dt,
+            cm: 4.0 / (dt * dt),
+            cc: 2.0 / dt,
+        }
     }
 
     /// Fill the auxiliary vectors multiplied by `M` and `C` in the RHS:
@@ -73,7 +77,12 @@ pub struct TimeState {
 impl TimeState {
     /// Zero initial conditions for `n` DOFs.
     pub fn zeros(n: usize) -> Self {
-        TimeState { u: vec![0.0; n], v: vec![0.0; n], a: vec![0.0; n], step: 0 }
+        TimeState {
+            u: vec![0.0; n],
+            v: vec![0.0; n],
+            a: vec![0.0; n],
+            step: 0,
+        }
     }
 
     pub fn n_dofs(&self) -> usize {
@@ -132,8 +141,7 @@ mod tests {
         let wd = w * (1.0 - zeta * zeta).sqrt();
         for (i, &u) in us.iter().enumerate().step_by(200) {
             let t = i as f64 * dt;
-            let exact =
-                (-zeta * w * t).exp() * ((wd * t).cos() + zeta * w / wd * (wd * t).sin());
+            let exact = (-zeta * w * t).exp() * ((wd * t).cos() + zeta * w / wd * (wd * t).sin());
             assert!((u - exact).abs() < 5e-4, "t={t}: {u} vs {exact}");
         }
     }

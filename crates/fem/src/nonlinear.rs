@@ -31,7 +31,10 @@ pub struct HyperbolicModel {
 impl HyperbolicModel {
     pub fn new(gamma_ref: f64, min_ratio: f64) -> Self {
         assert!(gamma_ref > 0.0 && (0.0..1.0).contains(&min_ratio));
-        HyperbolicModel { gamma_ref, min_ratio }
+        HyperbolicModel {
+            gamma_ref,
+            min_ratio,
+        }
     }
 
     /// Secant modulus ratio at octahedral shear strain `gamma`.
@@ -77,8 +80,7 @@ pub fn octahedral_strain(mesh: &TetMesh10, e: usize, u: &[f64]) -> f64 {
     let (dx, dy, dz) = (exx - em, eyy - em, ezz - em);
     // octahedral engineering shear strain
     (2.0 / 3.0)
-        * (((dx - dy).powi(2) + (dy - dz).powi(2) + (dz - dx).powi(2))
-            / 2.0
+        * (((dx - dy).powi(2) + (dy - dz).powi(2) + (dz - dx).powi(2)) / 2.0
             + 3.0 * (exy * exy + eyz * eyz + ezx * ezx))
             .sqrt()
         * std::f64::consts::SQRT_2
@@ -104,7 +106,11 @@ impl NonlinearState {
             lambda0[e] = c.geo[e * GEO_STRIDE + 14];
             mu0[e] = c.geo[e * GEO_STRIDE + 15];
         }
-        NonlinearState { mu0, lambda0, ratio: vec![1.0; ne] }
+        NonlinearState {
+            mu0,
+            lambda0,
+            ratio: vec![1.0; ne],
+        }
     }
 
     /// Update the compact geometry records in place from the current
@@ -213,8 +219,9 @@ mod tests {
     #[test]
     fn shear_field_softens_elements() {
         let (mesh, mut compact) = setup();
-        let mu_before: Vec<f64> =
-            (0..compact.n_elems).map(|e| compact.geo[e * GEO_STRIDE + 15]).collect();
+        let mu_before: Vec<f64> = (0..compact.n_elems)
+            .map(|e| compact.geo[e * GEO_STRIDE + 15])
+            .collect();
         let mut st = NonlinearState::from_compact(&compact);
         // simple shear u_x = gamma * z
         let gamma = 5e-3;
@@ -249,7 +256,10 @@ mod tests {
         let gam = octahedral_strain(&mesh, 0, &u);
         // gamma_oct = 2/3 * sqrt(6*(g/2)^2) * sqrt(2) = (2/sqrt(3)) g / sqrt(...)
         // just check the magnitude lands within [0.5 g, 1.5 g]
-        assert!((0.5 * g..1.5 * g).contains(&gam), "gamma_oct = {gam} for g = {g}");
+        assert!(
+            (0.5 * g..1.5 * g).contains(&gam),
+            "gamma_oct = {gam} for g = {g}"
+        );
     }
 
     #[test]

@@ -131,10 +131,19 @@ mod tests {
     #[test]
     fn tet_deg2_exact_to_degree_2() {
         let rule = tet_rule_deg2();
-        for (p, q, r, s) in [(0, 0, 0, 0), (1, 0, 0, 0), (2, 0, 0, 0), (1, 1, 0, 0), (0, 1, 1, 0)] {
+        for (p, q, r, s) in [
+            (0, 0, 0, 0),
+            (1, 0, 0, 0),
+            (2, 0, 0, 0),
+            (1, 1, 0, 0),
+            (0, 1, 1, 0),
+        ] {
             let num = tet_integrate(&rule, p, q, r, s);
             let ex = tet_monomial_exact(p, q, r, s);
-            assert!((num - ex).abs() < 1e-14, "L^({p},{q},{r},{s}): {num} vs {ex}");
+            assert!(
+                (num - ex).abs() < 1e-14,
+                "L^({p},{q},{r},{s}): {num} vs {ex}"
+            );
         }
     }
 

@@ -179,7 +179,10 @@ mod tests {
             assert!((interp - field(p)).abs() < 1e-12);
             // gradient must equal b
             let g = tet10_grad(qp.l, &dl);
-            let grad = g.iter().zip(&vals).fold(Vec3::ZERO, |acc, (gi, &vi)| acc + *gi * vi);
+            let grad = g
+                .iter()
+                .zip(&vals)
+                .fold(Vec3::ZERO, |acc, (gi, &vi)| acc + *gi * vi);
             assert!((grad - b).norm() < 1e-12);
         }
     }

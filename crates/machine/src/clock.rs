@@ -52,7 +52,13 @@ pub struct EnergyReport {
 
 impl ModuleClock {
     pub fn new(spec: ModuleSpec, cpu_threads: usize, overlapped: bool) -> Self {
-        ModuleClock { spec, cpu_threads, overlapped, cpu: Lane::default(), gpu: Lane::default() }
+        ModuleClock {
+            spec,
+            cpu_threads,
+            overlapped,
+            cpu: Lane::default(),
+            gpu: Lane::default(),
+        }
     }
 
     /// GPU clock factor under the power cap.
@@ -67,7 +73,10 @@ impl ModuleClock {
 
     /// Charge a kernel to the CPU lane; returns its modeled time.
     pub fn run_cpu(&mut self, counts: &KernelCounts) -> f64 {
-        let ctx = ExecCtx { threads: self.cpu_threads, clock: 1.0 };
+        let ctx = ExecCtx {
+            threads: self.cpu_threads,
+            clock: 1.0,
+        };
         let t = kernel_time(&self.spec.cpu, counts, &ctx);
         let frac = self.spec.cpu.thread_frac(self.cpu_threads);
         self.cpu.time += t;
@@ -79,7 +88,10 @@ impl ModuleClock {
     /// Charge a kernel to the GPU lane; returns its modeled time.
     pub fn run_gpu(&mut self, counts: &KernelCounts) -> f64 {
         let clock = self.gpu_clock();
-        let ctx = ExecCtx { threads: usize::MAX, clock };
+        let ctx = ExecCtx {
+            threads: usize::MAX,
+            clock,
+        };
         let t = kernel_time(&self.spec.gpu, counts, &ctx);
         self.gpu.time += t;
         self.gpu.busy += t;
@@ -142,7 +154,10 @@ mod tests {
     use crate::spec::{alps_node, single_gh200};
 
     fn counts(flops: f64) -> KernelCounts {
-        KernelCounts { flops, ..Default::default() }
+        KernelCounts {
+            flops,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -177,7 +192,11 @@ mod tests {
         assert!((tg - 1.0).abs() < 1e-9);
         let rep = clk.report();
         let expect = (m.cpu.power(0.0) + m.gpu.power(0.0)) * 1.0 + m.gpu.active_power;
-        assert!((rep.energy - expect).abs() < 1e-6, "{} vs {expect}", rep.energy);
+        assert!(
+            (rep.energy - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            rep.energy
+        );
         assert!(rep.avg_power > m.cpu.power(0.0) + m.gpu.power(0.0));
     }
 

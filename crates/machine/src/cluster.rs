@@ -81,7 +81,9 @@ pub fn box_halo_pattern(nodes_per_part: f64, r: usize, n_neighbors: usize) -> Ha
     let side = nodes_per_part.powf(1.0 / 3.0);
     let face_nodes = side * side;
     let bytes = face_nodes * 3.0 * 8.0 * r as f64;
-    HaloPattern { neighbor_bytes: vec![bytes; n_neighbors] }
+    HaloPattern {
+        neighbor_bytes: vec![bytes; n_neighbors],
+    }
 }
 
 #[cfg(test)]
@@ -98,9 +100,13 @@ mod tests {
     #[test]
     fn exchange_time_scales_with_bytes() {
         let node = alps_node();
-        let p1 = HaloPattern { neighbor_bytes: vec![24e9 * 0.001] }; // 1 ms of BW
+        let p1 = HaloPattern {
+            neighbor_bytes: vec![24e9 * 0.001],
+        }; // 1 ms of BW
         let t1 = halo_exchange_time(&node, &p1);
-        let p2 = HaloPattern { neighbor_bytes: vec![24e9 * 0.002] };
+        let p2 = HaloPattern {
+            neighbor_bytes: vec![24e9 * 0.002],
+        };
         let t2 = halo_exchange_time(&node, &p2);
         assert!(t2 > t1);
         assert!((t1 - (0.001 + 2.0 * node.interconnect_latency)).abs() < 1e-9);

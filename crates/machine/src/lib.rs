@@ -18,6 +18,8 @@
 //! * [`cluster`] — inter-GPU halo-exchange and weak-scaling model (Fig. 5),
 //! * [`memory`] — method memory footprints at paper scale (Tables 3/4).
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod cluster;
 pub mod memory;

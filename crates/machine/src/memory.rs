@@ -69,7 +69,10 @@ fn snapshot_bytes(d: &ProblemDims, s: usize, cases: u64) -> u64 {
 /// CRS-CG@CPU: matrix A + mass matrix M (for the RHS recurrences) + vectors
 /// + mesh, all in CPU memory.
 pub fn crs_cg_cpu(d: &ProblemDims) -> MemUsage {
-    MemUsage { cpu: 2 * bcrs_bytes(d) + vectors_bytes(d, 1) + mesh_bytes(d), gpu: 0 }
+    MemUsage {
+        cpu: 2 * bcrs_bytes(d) + vectors_bytes(d, 1) + mesh_bytes(d),
+        gpu: 0,
+    }
 }
 
 /// CRS-CG@GPU: matrices + vectors on the GPU; CPU keeps the mesh and an

@@ -32,7 +32,10 @@ pub struct ExecCtx {
 
 impl Default for ExecCtx {
     fn default() -> Self {
-        ExecCtx { threads: usize::MAX, clock: 1.0 }
+        ExecCtx {
+            threads: usize::MAX,
+            clock: 1.0,
+        }
     }
 }
 
@@ -104,21 +107,30 @@ mod tests {
     fn table2_crs_cpu_time() {
         let t = kernel_time(&grace_480(), &paper_crs_counts(), &ExecCtx::default());
         let paper = 0.163;
-        assert!((t / paper - 1.0).abs() < 0.35, "CRS@CPU modeled {t:.4} s vs paper {paper} s");
+        assert!(
+            (t / paper - 1.0).abs() < 0.35,
+            "CRS@CPU modeled {t:.4} s vs paper {paper} s"
+        );
     }
 
     #[test]
     fn table2_crs_gpu_time() {
         let t = kernel_time(&h100(), &paper_crs_counts(), &ExecCtx::default());
         let paper = 0.0168;
-        assert!((t / paper - 1.0).abs() < 0.35, "CRS@GPU modeled {t:.5} s vs paper {paper} s");
+        assert!(
+            (t / paper - 1.0).abs() < 0.35,
+            "CRS@GPU modeled {t:.5} s vs paper {paper} s"
+        );
     }
 
     #[test]
     fn table2_ebe_gpu_time() {
         let t = kernel_time(&h100(), &paper_compact_ebe(1), &ExecCtx::default());
         let paper = 0.00456;
-        assert!((t / paper - 1.0).abs() < 0.35, "EBE@GPU modeled {t:.6} s vs paper {paper} s");
+        assert!(
+            (t / paper - 1.0).abs() < 0.35,
+            "EBE@GPU modeled {t:.6} s vs paper {paper} s"
+        );
     }
 
     #[test]
@@ -178,8 +190,22 @@ mod tests {
     fn throttling_slows_kernels() {
         let c = paper_compact_ebe(4);
         let d = h100();
-        let full = kernel_time(&d, &c, &ExecCtx { threads: usize::MAX, clock: 1.0 });
-        let thr = kernel_time(&d, &c, &ExecCtx { threads: usize::MAX, clock: 0.7 });
+        let full = kernel_time(
+            &d,
+            &c,
+            &ExecCtx {
+                threads: usize::MAX,
+                clock: 1.0,
+            },
+        );
+        let thr = kernel_time(
+            &d,
+            &c,
+            &ExecCtx {
+                threads: usize::MAX,
+                clock: 0.7,
+            },
+        );
         assert!(thr > full * 1.2 && thr < full / 0.55);
     }
 
@@ -187,8 +213,22 @@ mod tests {
     fn cpu_thread_scaling() {
         let c = paper_crs_counts();
         let d = grace_480();
-        let t72 = kernel_time(&d, &c, &ExecCtx { threads: 72, clock: 1.0 });
-        let t16 = kernel_time(&d, &c, &ExecCtx { threads: 16, clock: 1.0 });
+        let t72 = kernel_time(
+            &d,
+            &c,
+            &ExecCtx {
+                threads: 72,
+                clock: 1.0,
+            },
+        );
+        let t16 = kernel_time(
+            &d,
+            &c,
+            &ExecCtx {
+                threads: 16,
+                clock: 1.0,
+            },
+        );
         assert!(t16 > t72);
         // bandwidth-bound kernel: 16 threads lose less than 4.5x
         assert!(t16 < 2.5 * t72);

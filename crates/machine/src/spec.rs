@@ -105,14 +105,17 @@ pub fn h100() -> DeviceSpec {
         eff_flops: 0.72,
         eff_stream: 0.51, // Table 2: CRS@GPU reaches 51.0 % of peak BW
         txn_rate: 2.5e11,
-        idle_power: 76.0,  // Table 3: GPU power of CRS-CG@CPU
+        idle_power: 76.0,    // Table 3: GPU power of CRS-CG@CPU
         active_power: 560.0, // ~636 W at full load (Table 3: 608-652 W)
     }
 }
 
 /// NVLink-C2C: 900 GB/s bidirectional => 450 GB/s per direction.
 pub fn nvlink_c2c() -> LinkSpec {
-    LinkSpec { bw: 450e9, latency: 5e-6 }
+    LinkSpec {
+        bw: 450e9,
+        latency: 5e-6,
+    }
 }
 
 /// The single-GH200 node of §3.3 (1000 W cap: CPU and GPU can run at full

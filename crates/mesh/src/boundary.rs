@@ -168,7 +168,10 @@ pub fn extract_boundary(mesh: &TetMesh10, lx: f64, ly: f64, lz: f64, tol: f64) -
             });
         }
     }
-    BoundarySet { faces, node_kind_mask }
+    BoundarySet {
+        faces,
+        node_kind_mask,
+    }
 }
 
 #[cfg(test)]

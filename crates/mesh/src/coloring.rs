@@ -70,22 +70,96 @@ pub fn color_elements(mesh: &TetMesh10) -> Coloring {
     for (e, &c) in color.iter().enumerate() {
         groups[c as usize].push(e as u32);
     }
-    Coloring { color, n_colors, groups }
+    Coloring {
+        color,
+        n_colors,
+        groups,
+    }
 }
 
 /// Check that a coloring is conflict-free (no same-color node sharing).
 pub fn verify_coloring(mesh: &TetMesh10, coloring: &Coloring) -> bool {
-    let n2e = mesh.node_to_elems();
-    for elems in &n2e {
-        for (i, &a) in elems.iter().enumerate() {
-            for &b in &elems[i + 1..] {
-                if coloring.color[a as usize] == coloring.color[b as usize] {
-                    return false;
+    validate_groups(mesh.n_nodes(), &mesh.elems, &coloring.groups).is_ok()
+}
+
+/// A violated coloring invariant: two entities of the same color group
+/// share a node, so their parallel scatters would race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColoringConflict {
+    /// Index of the offending group (color).
+    pub group: usize,
+    /// The two same-group entity ids (elements or faces) sharing `node`.
+    pub first: u32,
+    pub second: u32,
+    pub node: u32,
+}
+
+impl std::fmt::Display for ColoringConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "coloring invariant violated: entities {} and {} of color group {} \
+             both touch node {} — their parallel scatters would race",
+            self.first, self.second, self.group, self.node
+        )
+    }
+}
+
+impl std::error::Error for ColoringConflict {}
+
+/// Standalone validator for the race-freedom precondition of the
+/// color-parallel EBE scatter: within each group, no two entities may
+/// share a node. Works over raw connectivity (`K` = nodes per entity:
+/// 10 for Tet10 elements, 6 for Tri6 faces), so operators that only hold
+/// connectivity slices — not the mesh — can check their coloring once at
+/// construction.
+///
+/// Runs in `O(total node incidences)` via a per-node last-writer stamp.
+/// Entity ids outside `connectivity` or node ids `>= n_nodes` also report
+/// a conflict-shaped error rather than panicking, so a malformed coloring
+/// never reaches the unsafe scatter.
+pub fn validate_groups<const K: usize>(
+    n_nodes: usize,
+    connectivity: &[[u32; K]],
+    groups: &[Vec<u32>],
+) -> Result<(), ColoringConflict> {
+    // (group, owner) of the last entity that touched each node.
+    let mut last_group = vec![u32::MAX; n_nodes];
+    let mut last_owner = vec![u32::MAX; n_nodes];
+    for (g, group) in groups.iter().enumerate() {
+        for &id in group {
+            let Some(nodes) = connectivity.get(id as usize) else {
+                return Err(ColoringConflict {
+                    group: g,
+                    first: id,
+                    second: id,
+                    node: u32::MAX,
+                });
+            };
+            for &node in nodes {
+                let Some(lg) = last_group.get_mut(node as usize) else {
+                    return Err(ColoringConflict {
+                        group: g,
+                        first: id,
+                        second: id,
+                        node,
+                    });
+                };
+                let lo = &mut last_owner[node as usize];
+                if *lg == g as u32 && *lo != id {
+                    return Err(ColoringConflict {
+                        group: g,
+                        first: *lo,
+                        second: id,
+                        node,
+                    });
                 }
+                *lg = g as u32;
+                *lo = id;
             }
         }
     }
-    true
+    Ok(())
 }
 
 #[cfg(test)]
@@ -142,6 +216,50 @@ mod tests {
         let mut c = color_elements(&m);
         // force two adjacent elements to the same color
         c.color[1] = c.color[0];
+        c.groups = {
+            let mut groups = vec![Vec::new(); c.n_colors as usize];
+            for (e, &col) in c.color.iter().enumerate() {
+                groups[col as usize].push(e as u32);
+            }
+            groups
+        };
         assert!(!verify_coloring(&m, &c));
+    }
+
+    #[test]
+    fn validate_groups_reports_offending_pair() {
+        let m = box_tet10(&BoxGrid::new(1, 1, 1, 1.0, 1.0, 1.0));
+        // all 6 Kuhn tets share the main diagonal: putting 0 and 1 in one
+        // group must name exactly that pair and a node they share.
+        let groups = vec![vec![0u32, 1u32]];
+        let err = validate_groups(m.n_nodes(), &m.elems, &groups).unwrap_err();
+        assert_eq!(err.group, 0);
+        assert_eq!((err.first, err.second), (0, 1));
+        assert!(m.elems[0].contains(&err.node) && m.elems[1].contains(&err.node));
+        // the message is how operators surface this at construction time
+        assert!(err.to_string().contains("would race"));
+    }
+
+    #[test]
+    fn validate_groups_accepts_greedy_coloring_and_faces() {
+        let m = box_tet10(&BoxGrid::new(2, 2, 2, 1.0, 1.0, 1.0));
+        let c = color_elements(&m);
+        assert!(validate_groups(m.n_nodes(), &m.elems, &c.groups).is_ok());
+        // disjoint fake Tri6 faces over distinct nodes validate trivially
+        let faces: Vec<[u32; 6]> = vec![[0, 1, 2, 3, 4, 5], [6, 7, 8, 9, 10, 11]];
+        assert!(validate_groups(m.n_nodes(), &faces, &[vec![0, 1]]).is_ok());
+        // overlapping faces in one group do not
+        let overlap: Vec<[u32; 6]> = vec![[0, 1, 2, 3, 4, 5], [5, 6, 7, 8, 9, 10]];
+        let err = validate_groups(m.n_nodes(), &overlap, &[vec![0, 1]]).unwrap_err();
+        assert_eq!(err.node, 5);
+    }
+
+    #[test]
+    fn validate_groups_rejects_out_of_range_ids() {
+        let elems: Vec<[u32; 10]> = vec![[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]];
+        // entity id beyond connectivity
+        assert!(validate_groups(12, &elems, &[vec![3]]).is_err());
+        // node id beyond n_nodes
+        assert!(validate_groups(4, &elems, &[vec![0]]).is_err());
     }
 }

@@ -22,9 +22,22 @@ pub struct BoxGrid {
 
 impl BoxGrid {
     pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
-        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid must have at least one cell per axis");
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "box dimensions must be positive");
-        BoxGrid { nx, ny, nz, lx, ly, lz }
+        assert!(
+            nx >= 1 && ny >= 1 && nz >= 1,
+            "grid must have at least one cell per axis"
+        );
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "box dimensions must be positive"
+        );
+        BoxGrid {
+            nx,
+            ny,
+            nz,
+            lx,
+            ly,
+            lz,
+        }
     }
 
     /// Number of cells.
@@ -143,7 +156,11 @@ pub fn promote_tet10(t4: &TetMesh4) -> TetMesh10 {
         elems.push(el);
     }
     let n_elems = elems.len();
-    TetMesh10 { coords, elems, material: vec![0; n_elems] }
+    TetMesh10 {
+        coords,
+        elems,
+        material: vec![0; n_elems],
+    }
 }
 
 /// Convenience: generate a Tet10 box mesh directly.

@@ -26,8 +26,10 @@ pub struct Material {
 
 impl Material {
     pub fn new(rho: f64, vs: f64, vp: f64) -> Self {
-        assert!(rho > 0.0 && vs > 0.0 && vp > vs * (4.0f64 / 3.0).sqrt() - 1e-12,
-            "need rho > 0, vs > 0 and vp > sqrt(4/3) vs for a positive-definite material");
+        assert!(
+            rho > 0.0 && vs > 0.0 && vp > vs * (4.0f64 / 3.0).sqrt() - 1e-12,
+            "need rho > 0, vs > 0 and vp > sqrt(4/3) vs for a positive-definite material"
+        );
         Material { rho, vs, vp }
     }
 
@@ -148,7 +150,10 @@ impl GroundModelSpec {
         for e in 0..mesh.n_elems() {
             mesh.material[e] = self.material_at(mesh.elem_centroid(e));
         }
-        GroundModel { spec: self.clone(), mesh }
+        GroundModel {
+            spec: self.clone(),
+            mesh,
+        }
     }
 }
 
@@ -193,7 +198,10 @@ mod tests {
     #[test]
     fn stratified_has_flat_interface() {
         let s = GroundModelSpec::small(InterfaceShape::Stratified);
-        assert_eq!(s.interface_depth_at(0.0, 0.0), s.interface_depth_at(500.0, 700.0));
+        assert_eq!(
+            s.interface_depth_at(0.0, 0.0),
+            s.interface_depth_at(500.0, 700.0)
+        );
     }
 
     #[test]
@@ -203,7 +211,10 @@ mod tests {
         let d1 = s.interface_depth_at(s.grid.lx, 100.0);
         assert!((d1 - d0 - s.variation).abs() < 1e-12);
         // independent of y
-        assert_eq!(s.interface_depth_at(10.0, 0.0), s.interface_depth_at(10.0, 900.0));
+        assert_eq!(
+            s.interface_depth_at(10.0, 0.0),
+            s.interface_depth_at(10.0, 900.0)
+        );
     }
 
     #[test]
@@ -219,8 +230,18 @@ mod tests {
     fn built_model_has_both_materials() {
         let gm = GroundModelSpec::small(InterfaceShape::Stratified).build();
         gm.mesh.validate().unwrap();
-        let n_sed = gm.mesh.material.iter().filter(|&&m| m == MAT_SEDIMENT).count();
-        let n_rock = gm.mesh.material.iter().filter(|&&m| m == MAT_BEDROCK).count();
+        let n_sed = gm
+            .mesh
+            .material
+            .iter()
+            .filter(|&&m| m == MAT_SEDIMENT)
+            .count();
+        let n_rock = gm
+            .mesh
+            .material
+            .iter()
+            .filter(|&&m| m == MAT_BEDROCK)
+            .count();
         assert!(n_sed > 0 && n_rock > 0);
         assert_eq!(n_sed + n_rock, gm.mesh.n_elems());
     }
@@ -232,7 +253,10 @@ mod tests {
             let c = gm.mesh.elem_centroid(e);
             let depth = gm.spec.grid.lz - c.z;
             if depth < gm.spec.interface_depth - 1e-9 {
-                assert_eq!(gm.mesh.material[e], MAT_SEDIMENT, "elem {e} at depth {depth}");
+                assert_eq!(
+                    gm.mesh.material[e], MAT_SEDIMENT,
+                    "elem {e} at depth {depth}"
+                );
             }
         }
     }

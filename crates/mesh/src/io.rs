@@ -50,7 +50,12 @@ pub fn write_vtk<W: Write>(
     if !point_fields.is_empty() {
         writeln!(w, "POINT_DATA {}", mesh.n_nodes())?;
         for f in point_fields {
-            assert_eq!(f.values.len(), mesh.n_nodes(), "point field '{}' length", f.name);
+            assert_eq!(
+                f.values.len(),
+                mesh.n_nodes(),
+                "point field '{}' length",
+                f.name
+            );
             writeln!(w, "SCALARS {} double 1", f.name)?;
             writeln!(w, "LOOKUP_TABLE default")?;
             for v in f.values {
@@ -114,7 +119,12 @@ mod tests {
         assert!(s.contains(&format!("CELLS {} {}", m.n_elems(), m.n_elems() * 11)));
         assert!(s.contains("CELL_TYPES 6"));
         // every cell line starts with the node count 10 and type 24
-        let types: Vec<&str> = s.lines().skip_while(|l| !l.starts_with("CELL_TYPES")).skip(1).take(6).collect();
+        let types: Vec<&str> = s
+            .lines()
+            .skip_while(|l| !l.starts_with("CELL_TYPES"))
+            .skip(1)
+            .take(6)
+            .collect();
         assert!(types.iter().all(|l| *l == "24"));
         assert!(s.contains("SCALARS material int 1"));
     }
@@ -126,8 +136,14 @@ mod tests {
         let cv: Vec<f64> = (0..m.n_elems()).map(|i| 10.0 * i as f64).collect();
         let s = render(
             &m,
-            &[Field { name: "uz", values: &pv }],
-            &[Field { name: "ratio", values: &cv }],
+            &[Field {
+                name: "uz",
+                values: &pv,
+            }],
+            &[Field {
+                name: "ratio",
+                values: &cv,
+            }],
         );
         assert!(s.contains(&format!("POINT_DATA {}", m.n_nodes())));
         assert!(s.contains("SCALARS uz double 1"));
@@ -140,7 +156,14 @@ mod tests {
     fn wrong_field_length_rejected() {
         let m = box_tet10(&BoxGrid::new(1, 1, 1, 1.0, 1.0, 1.0));
         let bad = vec![0.0; 3];
-        render(&m, &[Field { name: "x", values: &bad }], &[]);
+        render(
+            &m,
+            &[Field {
+                name: "x",
+                values: &bad,
+            }],
+            &[],
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`coloring`] — element coloring enabling race-free parallel EBE
 //!   scatter.
 
+#![forbid(unsafe_code)]
+
 pub mod boundary;
 pub mod coloring;
 pub mod generate;
@@ -29,7 +31,7 @@ pub mod partition;
 pub mod vec3;
 
 pub use boundary::{extract_boundary, BoundaryFace, BoundaryKind, BoundarySet};
-pub use coloring::{color_elements, Coloring};
+pub use coloring::{color_elements, validate_groups, Coloring, ColoringConflict};
 pub use generate::{box_tet10, box_tet4, promote_tet10, BoxGrid, TetMesh4};
 pub use ground::{GroundModel, GroundModelSpec, InterfaceShape, Material};
 pub use io::{write_vtk, write_vtk_file, Field};

@@ -61,7 +61,12 @@ impl TetMesh10 {
     /// The 4 vertex coordinates of element `e`.
     pub fn vertices(&self, e: usize) -> [Vec3; 4] {
         let el = &self.elems[e];
-        [self.node(el[0]), self.node(el[1]), self.node(el[2]), self.node(el[3])]
+        [
+            self.node(el[0]),
+            self.node(el[1]),
+            self.node(el[2]),
+            self.node(el[3]),
+        ]
     }
 
     /// All 10 node coordinates of element `e`.

@@ -32,7 +32,13 @@ pub fn partition_rcb(mesh: &TetMesh10, n_parts: usize) -> Vec<u32> {
     part
 }
 
-fn rcb_recurse(centroids: &[[f64; 3]], ids: &mut [u32], n_parts: usize, base: u32, part: &mut [u32]) {
+fn rcb_recurse(
+    centroids: &[[f64; 3]],
+    ids: &mut [u32],
+    n_parts: usize,
+    base: u32,
+    part: &mut [u32],
+) {
     if n_parts == 1 {
         for &e in ids.iter() {
             part[e as usize] = base;
@@ -103,7 +109,9 @@ pub fn partition_greedy(mesh: &TetMesh10, n_parts: usize) -> Vec<u32> {
             continue;
         }
         // Seed: first unassigned element.
-        let seed = (0..n).find(|&e| part[e] == u32::MAX).expect("quota math guarantees a seed");
+        let seed = (0..n)
+            .find(|&e| part[e] == u32::MAX)
+            .expect("quota math guarantees a seed");
         let mut queue = std::collections::VecDeque::from([seed as u32]);
         let mut grabbed = 0usize;
         while grabbed < quota {
@@ -225,7 +233,10 @@ pub fn build_partition(mesh: &TetMesh10, elem_part: &[u32], n_parts: usize) -> P
             global_elems.push(e as u32);
         }
         let coords: Vec<[f64; 3]> = l2g.iter().map(|&n| mesh.coords[n as usize]).collect();
-        let owned: Vec<bool> = l2g.iter().map(|&n| node_parts[n as usize][0] == p).collect();
+        let owned: Vec<bool> = l2g
+            .iter()
+            .map(|&n| node_parts[n as usize][0] == p)
+            .collect();
 
         // Neighbour shared-node lists, ordered by global id for symmetry.
         let mut by_nbr: HashMap<u32, Vec<u32>> = HashMap::new();
@@ -249,7 +260,11 @@ pub fn build_partition(mesh: &TetMesh10, elem_part: &[u32], n_parts: usize) -> P
 
         parts.push(SubMesh {
             part_id: p,
-            mesh: TetMesh10 { coords, elems, material },
+            mesh: TetMesh10 {
+                coords,
+                elems,
+                material,
+            },
             global_elems,
             l2g,
             owned,
@@ -260,7 +275,13 @@ pub fn build_partition(mesh: &TetMesh10, elem_part: &[u32], n_parts: usize) -> P
     // Second pass: fill remote local ids using each neighbour's g2l.
     let g2l_all: Vec<HashMap<u32, u32>> = parts
         .iter()
-        .map(|sm| sm.l2g.iter().enumerate().map(|(l, &g)| (g, l as u32)).collect())
+        .map(|sm| {
+            sm.l2g
+                .iter()
+                .enumerate()
+                .map(|(l, &g)| (g, l as u32))
+                .collect()
+        })
         .collect();
     for p in 0..parts.len() {
         let nbr_list = std::mem::take(&mut parts[p].neighbors);
@@ -279,7 +300,10 @@ pub fn build_partition(mesh: &TetMesh10, elem_part: &[u32], n_parts: usize) -> P
             .collect();
     }
 
-    Partition { parts, n_global_nodes: mesh.n_nodes() }
+    Partition {
+        parts,
+        n_global_nodes: mesh.n_nodes(),
+    }
 }
 
 /// Sum shared nodal values across parts ("halo exchange"): for every pair of
@@ -392,7 +416,10 @@ mod tests {
                 }
             }
         }
-        assert!(owners.iter().all(|&c| c == 1), "ownership not a partition of nodes");
+        assert!(
+            owners.iter().all(|&c| c == 1),
+            "ownership not a partition of nodes"
+        );
     }
 
     #[test]

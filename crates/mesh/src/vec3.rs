@@ -11,7 +11,11 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline]
     pub fn new(x: f64, y: f64, z: f64) -> Self {
@@ -21,7 +25,11 @@ impl Vec3 {
     /// Build from a `[f64; 3]` array (the storage format used by meshes).
     #[inline]
     pub fn from_array(a: [f64; 3]) -> Self {
-        Vec3 { x: a[0], y: a[1], z: a[2] }
+        Vec3 {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 
     #[inline]

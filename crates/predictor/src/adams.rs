@@ -23,7 +23,10 @@ fn ab_coeffs(order: usize) -> &'static [f64] {
 /// `vel_hist.last()` is `v^{it−1}`); the order used is
 /// `min(4, vel_hist.len())`.
 pub fn adams_bashforth(u_prev: &[f64], vel_hist: &[&[f64]], dt: f64, out: &mut [f64]) {
-    assert!(!vel_hist.is_empty(), "need at least one velocity for extrapolation");
+    assert!(
+        !vel_hist.is_empty(),
+        "need at least one velocity for extrapolation"
+    );
     let order = vel_hist.len().min(4);
     let coeffs = ab_coeffs(order);
     let used = &vel_hist[vel_hist.len() - order..];

@@ -29,7 +29,14 @@ pub struct AdaptiveWindow {
 impl AdaptiveWindow {
     pub fn new(s_min: usize, s_cap: usize) -> Self {
         assert!(1 <= s_min && s_min <= s_cap);
-        AdaptiveWindow { s_min, s_cap, s: s_min, unit_cost: None, alpha: 0.3, margin: 0.95 }
+        AdaptiveWindow {
+            s_min,
+            s_cap,
+            s: s_min,
+            unit_cost: None,
+            alpha: 0.3,
+            margin: 0.95,
+        }
     }
 
     /// Window to use for the next step.

@@ -97,36 +97,38 @@ impl DataDrivenPredictor {
         let len = h.len();
         // columns: X_i = h[len-1-s+i], Y_i = h[len-s+i], input = h[len-1]
         let rdofs = self.region_dofs;
-        out.par_chunks_mut(rdofs).enumerate().for_each(|(reg, out_r)| {
-            let lo = reg * rdofs;
-            let m = out_r.len();
-            // local snapshot matrices, column-major
-            let mut x = vec![0.0; m * s];
-            let mut y = vec![0.0; m * s];
-            for i in 0..s {
-                x[i * m..(i + 1) * m].copy_from_slice(&h[len - 1 - s + i][lo..lo + m]);
-                y[i * m..(i + 1) * m].copy_from_slice(&h[len - s + i][lo..lo + m]);
-            }
-            let qr = crate::mgs::mgs_qr(&x, m, s, self.tol);
-            if qr.rank() == 0 {
+        out.par_chunks_mut(rdofs)
+            .enumerate()
+            .for_each(|(reg, out_r)| {
+                let lo = reg * rdofs;
+                let m = out_r.len();
+                // local snapshot matrices, column-major
+                let mut x = vec![0.0; m * s];
+                let mut y = vec![0.0; m * s];
+                for i in 0..s {
+                    x[i * m..(i + 1) * m].copy_from_slice(&h[len - 1 - s + i][lo..lo + m]);
+                    y[i * m..(i + 1) * m].copy_from_slice(&h[len - s + i][lo..lo + m]);
+                }
+                let qr = crate::mgs::mgs_qr(&x, m, s, self.tol);
+                if qr.rank() == 0 {
+                    out_r.fill(0.0);
+                    return;
+                }
+                let input = &h[len - 1][lo..lo + m];
+                let mut c = vec![0.0; qr.rank()];
+                qr.project(input, &mut c);
+                let mut w = vec![0.0; s];
+                qr.back_substitute(&c, &mut w);
                 out_r.fill(0.0);
-                return;
-            }
-            let input = &h[len - 1][lo..lo + m];
-            let mut c = vec![0.0; qr.rank()];
-            qr.project(input, &mut c);
-            let mut w = vec![0.0; s];
-            qr.back_substitute(&c, &mut w);
-            out_r.fill(0.0);
-            for i in 0..s {
-                if w[i] != 0.0 {
-                    let ycol = &y[i * m..(i + 1) * m];
-                    for (o, yv) in out_r.iter_mut().zip(ycol) {
-                        *o += w[i] * yv;
+                for i in 0..s {
+                    if w[i] != 0.0 {
+                        let ycol = &y[i * m..(i + 1) * m];
+                        for (o, yv) in out_r.iter_mut().zip(ycol) {
+                            *o += w[i] * yv;
+                        }
                     }
                 }
-            }
-        });
+            });
         true
     }
 
@@ -168,7 +170,9 @@ mod tests {
             let p: Vec<f64> = (0..n)
                 .map(|i| ((i * (j + 2)) as f64 * 0.7).sin() + 0.1 * j as f64)
                 .collect();
-            let q: Vec<f64> = (0..n).map(|i| ((i * (2 * j + 3)) as f64 * 0.41).cos()).collect();
+            let q: Vec<f64> = (0..n)
+                .map(|i| ((i * (2 * j + 3)) as f64 * 0.41).cos())
+                .collect();
             pq.push((p, q));
         }
         (0..steps)
@@ -188,7 +192,12 @@ mod tests {
     }
 
     fn rel_err(a: &[f64], b: &[f64]) -> f64 {
-        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let num: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
         num / den.max(1e-300)
     }
@@ -312,8 +321,8 @@ mod tests {
     #[test]
     fn clear_resets_history() {
         let mut p = DataDrivenPredictor::new(10, 10, 4);
-        p.record(&vec![1.0; 10]);
-        p.record(&vec![2.0; 10]);
+        p.record(&[1.0; 10]);
+        p.record(&[2.0; 10]);
         assert_eq!(p.available_s(), 1);
         p.clear();
         assert_eq!(p.available_s(), 0);

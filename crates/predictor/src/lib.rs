@@ -12,6 +12,8 @@
 //! * [`adaptive`] — the controller that adapts the snapshot window `s` so
 //!   predictor@CPU time balances solver@GPU time (Fig. 4).
 
+#![forbid(unsafe_code)]
+
 pub mod adams;
 pub mod adaptive;
 pub mod datadriven;

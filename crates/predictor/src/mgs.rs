@@ -102,7 +102,9 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) % 100_000) as f64 / 50_000.0 - 1.0
             })
             .collect()
@@ -182,7 +184,7 @@ mod tests {
 
     #[test]
     fn zero_matrix_has_rank_zero() {
-        let qr = mgs_qr(&vec![0.0; 20], 10, 2, 1e-12);
+        let qr = mgs_qr(&[0.0; 20], 10, 2, 1e-12);
         assert_eq!(qr.rank(), 0);
     }
 }

@@ -27,12 +27,18 @@ impl C64 {
     /// `e^(i theta)`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     #[inline]
@@ -47,7 +53,10 @@ impl C64 {
 
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -79,7 +88,10 @@ impl Mul for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, o: C64) -> C64 {
-        C64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 

@@ -122,7 +122,9 @@ mod tests {
         // A = B^H B (Hermitian PSD) + diag boost
         let mut s = seed;
         let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) % 2000) as f64 / 1000.0 - 1.0
         };
         let b: Vec<C64> = (0..n * n).map(|_| C64::new(rnd(), rnd())).collect();

@@ -57,8 +57,7 @@ impl FddResult {
 pub fn fdd(channels: &[&[f64]], cfg: &WelchConfig) -> FddResult {
     let nc = channels.len();
     let csd = welch_csd(channels, cfg);
-    let results: Vec<(f64, Vec<C64>)> =
-        csd.par_iter().map(|bin| herm_largest(bin, nc)).collect();
+    let results: Vec<(f64, Vec<C64>)> = csd.par_iter().map(|bin| herm_largest(bin, nc)).collect();
     let freqs = (0..csd.len()).map(|k| cfg.frequency(k)).collect();
     let (sv1, modes) = results.into_iter().unzip();
     FddResult { freqs, sv1, modes }
@@ -83,14 +82,19 @@ mod tests {
     fn two_mode_response(nc: usize, n: usize, dt: f64, f1: f64, f2: f64) -> Vec<Vec<f64>> {
         let shape1: Vec<f64> = (0..nc).map(|i| ((i + 1) as f64 * 0.6).sin()).collect();
         let shape2: Vec<f64> = (0..nc).map(|i| ((i + 1) as f64 * 1.9).cos()).collect();
-        let (w1, w2) = (2.0 * std::f64::consts::PI * f1, 2.0 * std::f64::consts::PI * f2);
+        let (w1, w2) = (
+            2.0 * std::f64::consts::PI * f1,
+            2.0 * std::f64::consts::PI * f2,
+        );
         let (z1, z2) = (0.02, 0.02);
         // modal SDOF responses to an impulse train
         let mut q1 = vec![0.0; n];
         let mut q2 = vec![0.0; n];
         let mut s = 12345u64;
         let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) % 1000) as f64 / 500.0 - 1.0
         };
         let mut impulses = vec![0.0; n];
@@ -113,7 +117,11 @@ mod tests {
         step(&mut q1, w1, z1);
         step(&mut q2, w2, z2);
         (0..nc)
-            .map(|c| (0..n).map(|k| shape1[c] * q1[k] + 0.6 * shape2[c] * q2[k]).collect())
+            .map(|c| {
+                (0..n)
+                    .map(|k| shape1[c] * q1[k] + 0.6 * shape2[c] * q2[k])
+                    .collect()
+            })
             .collect()
     }
 

@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn parseval() {
-        let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.11).sin() * (i as f64 * 0.02).cos()).collect();
+        let x: Vec<f64> = (0..256)
+            .map(|i| (i as f64 * 0.11).sin() * (i as f64 * 0.02).cos())
+            .collect();
         let spec = rfft(&x);
         let t_energy: f64 = x.iter().map(|v| v * v).sum();
         let f_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / spec.len() as f64;

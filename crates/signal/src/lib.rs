@@ -12,6 +12,8 @@
 //! * [`fdd`] — Frequency Domain Decomposition and dominant-frequency
 //!   picking (paper ref. [9]).
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod eig;
 pub mod fdd;

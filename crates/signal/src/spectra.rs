@@ -30,7 +30,11 @@ impl WelchConfig {
         assert!(is_pow2(segment), "segment length must be a power of two");
         assert!(overlap < segment);
         assert!(dt > 0.0);
-        WelchConfig { segment, overlap, dt }
+        WelchConfig {
+            segment,
+            overlap,
+            dt,
+        }
     }
 
     /// Number of segments available in a signal of length `n`.
@@ -96,11 +100,16 @@ pub fn welch_csd(channels: &[&[f64]], cfg: &WelchConfig) -> Vec<Vec<C64>> {
     let nc = channels.len();
     assert!(nc > 0);
     let window = hann(cfg.segment);
-    let per_channel: Vec<Vec<Vec<C64>>> =
-        channels.iter().map(|x| segment_spectra(x, cfg, &window)).collect();
+    let per_channel: Vec<Vec<Vec<C64>>> = channels
+        .iter()
+        .map(|x| segment_spectra(x, cfg, &window))
+        .collect();
     let n_segs = per_channel[0].len();
     assert!(n_segs > 0, "signals shorter than one Welch segment");
-    assert!(per_channel.iter().all(|s| s.len() == n_segs), "channel lengths differ");
+    assert!(
+        per_channel.iter().all(|s| s.len() == n_segs),
+        "channel lengths differ"
+    );
     let nb = cfg.n_bins();
     let mut csd = vec![vec![C64::ZERO; nc * nc]; nb];
     for s in 0..n_segs {
@@ -135,7 +144,9 @@ mod tests {
     use super::*;
 
     fn tone(f: f64, dt: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 * dt).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 * dt).sin())
+            .collect()
     }
 
     #[test]
@@ -195,7 +206,11 @@ mod tests {
         let dt = 0.01;
         let cfg = WelchConfig::new(128, 64, dt);
         let a = tone(2.0, dt, 1024);
-        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v * 0.7 + (i as f64 * 0.05).sin()).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 0.7 + (i as f64 * 0.05).sin())
+            .collect();
         let csd = welch_csd(&[&a, &b], &cfg);
         for bin in &csd {
             for i in 0..2 {

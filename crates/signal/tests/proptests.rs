@@ -1,6 +1,6 @@
 //! Property-based tests of the signal-processing substrate.
 
-use hetsolve_signal::{herm_eig, ifft, next_pow2, rfft, welch_psd, C64, WelchConfig};
+use hetsolve_signal::{herm_eig, ifft, next_pow2, rfft, welch_psd, WelchConfig, C64};
 use proptest::prelude::*;
 
 proptest! {

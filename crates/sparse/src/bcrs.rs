@@ -119,7 +119,10 @@ pub struct BcrsBuilder {
 
 impl BcrsBuilder {
     pub fn new(n_brows: usize) -> Self {
-        BcrsBuilder { n_brows, rows: vec![Vec::new(); n_brows] }
+        BcrsBuilder {
+            n_brows,
+            rows: vec![Vec::new(); n_brows],
+        }
     }
 
     /// Add (accumulate) a 3×3 block at block position `(i, j)`.
@@ -154,7 +157,13 @@ impl BcrsBuilder {
             }
             row_ptr.push(cols.len());
         }
-        Bcrs3 { n_brows: self.n_brows, row_ptr, cols, blocks, parallel }
+        Bcrs3 {
+            n_brows: self.n_brows,
+            row_ptr,
+            cols,
+            blocks,
+            parallel,
+        }
     }
 }
 
@@ -218,7 +227,7 @@ mod tests {
         let m = b.finish(false);
         assert_eq!(m.row_ptr, vec![0, 0, 0, 1]);
         let mut y = vec![0.0; 9];
-        m.apply(&vec![1.0; 9], &mut y);
+        m.apply(&[1.0; 9], &mut y);
         assert!(y[..6].iter().all(|&v| v == 0.0));
     }
 

@@ -124,7 +124,11 @@ mod tests {
     fn spd_matrix(nb: usize) -> Bcrs3 {
         let mut b = BcrsBuilder::new(nb);
         for i in 0..nb {
-            b.add_block(i as u32, i as u32, &[5.0, 1.0, 0.0, 1.0, 6.0, 1.0, 0.0, 1.0, 7.0]);
+            b.add_block(
+                i as u32,
+                i as u32,
+                &[5.0, 1.0, 0.0, 1.0, 6.0, 1.0, 0.0, 1.0, 7.0],
+            );
             if i + 1 < nb {
                 let off = [-2.0, 0.1, 0.0, 0.0, -2.0, 0.1, 0.2, 0.0, -2.0];
                 let mut off_t = [0.0; 9];
@@ -156,7 +160,10 @@ mod tests {
         assert!(pr > 0.0, "not positive: {pr}");
         let lhs: f64 = zr.iter().zip(&s).map(|(a, b)| a * b).sum();
         let rhs: f64 = r.iter().zip(&zs).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "not symmetric: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "not symmetric: {lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -164,7 +171,10 @@ mod tests {
         let m = spd_matrix(60);
         let n = m.n();
         let f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.13).sin()).collect();
-        let cfg = CgConfig { tol: 1e-10, max_iter: 5000 };
+        let cfg = CgConfig {
+            tol: 1e-10,
+            max_iter: 5000,
+        };
         let bj = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
         let ssor = BlockSsor::new(&m);
         let mut x1 = vec![0.0; n];
@@ -190,7 +200,11 @@ mod tests {
         // effective iteration
         let mut b = BcrsBuilder::new(5);
         for i in 0..5 {
-            b.add_block(i as u32, i as u32, &[3.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 5.0]);
+            b.add_block(
+                i as u32,
+                i as u32,
+                &[3.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 5.0],
+            );
         }
         let m = b.finish(false);
         let p = BlockSsor::new(&m);

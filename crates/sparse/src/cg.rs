@@ -20,7 +20,10 @@ pub struct CgConfig {
 impl Default for CgConfig {
     fn default() -> Self {
         // the paper's error threshold
-        CgConfig { tol: 1e-8, max_iter: 10_000 }
+        CgConfig {
+            tol: 1e-8,
+            max_iter: 10_000,
+        }
     }
 }
 
@@ -202,11 +205,25 @@ mod tests {
         let f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).sin()).collect();
         let mut x = vec![0.0; n];
         let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
-        let stats = pcg(&m, &prec, &f, &mut x, &CgConfig { tol: 1e-12, max_iter: 500 });
+        let stats = pcg(
+            &m,
+            &prec,
+            &f,
+            &mut x,
+            &CgConfig {
+                tol: 1e-12,
+                max_iter: 500,
+            },
+        );
         assert!(stats.converged, "CG did not converge: {stats:?}");
         let xd = solve_spd(&dense_of(&m), n, &f).unwrap();
         for i in 0..n {
-            assert!((x[i] - xd[i]).abs() < 1e-8, "dof {i}: {} vs {}", x[i], xd[i]);
+            assert!(
+                (x[i] - xd[i]).abs() < 1e-8,
+                "dof {i}: {} vs {}",
+                x[i],
+                xd[i]
+            );
         }
     }
 
@@ -215,7 +232,10 @@ mod tests {
         let m = spd_matrix(40);
         let n = m.n();
         let f: Vec<f64> = (0..n).map(|i| ((i as f64) * 1.3).cos()).collect();
-        let cfg = CgConfig { tol: 1e-10, max_iter: 1000 };
+        let cfg = CgConfig {
+            tol: 1e-10,
+            max_iter: 1000,
+        };
         let mut x1 = vec![0.0; n];
         let s_plain = pcg(&m, &NoPrec(n), &f, &mut x1, &cfg);
         let mut x2 = vec![0.0; n];
@@ -276,7 +296,16 @@ mod tests {
         let n = m.n();
         let f = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let stats = pcg(&m, &NoPrec(n), &f, &mut x, &CgConfig { tol: 1e-30, max_iter: 3 });
+        let stats = pcg(
+            &m,
+            &NoPrec(n),
+            &f,
+            &mut x,
+            &CgConfig {
+                tol: 1e-30,
+                max_iter: 3,
+            },
+        );
         assert_eq!(stats.iterations, 3);
         assert!(!stats.converged);
     }

@@ -133,7 +133,9 @@ mod tests {
         let mut b = vec![0.0; n * n];
         let mut s = seed;
         for v in b.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((s >> 33) % 1000) as f64 / 500.0 - 1.0;
         }
         let mut a = vec![0.0; n * n];

@@ -14,26 +14,17 @@
 //! (validated by `mesh::coloring::verify_coloring`) and can run without
 //! atomics — the standard strategy of GPU EBE kernels (paper ref. [4]).
 
-use hetsolve_mesh::Coloring;
+use hetsolve_mesh::{validate_groups, Coloring};
 use rayon::prelude::*;
 
+use crate::dirichlet::FixedMask;
 use crate::op::{KernelCounts, LinearOperator, MultiOperator};
+use crate::parcheck::ColorScatter;
 use crate::sym::{sym2_matvec_add, sym2_matvec_add_multi, sym_matvec_add};
 
 /// Packed sizes.
 const TP: usize = 465; // Tet10: 30x30
 const FP: usize = 171; // Tri6: 18x18
-
-/// Raw pointer wrapper letting color-parallel scatters write to disjoint
-/// regions of the same output slice.
-///
-/// SAFETY invariant: within one parallel scope, every element processed
-/// writes only to the DOFs of its own nodes, and the element coloring
-/// guarantees node-disjointness between same-color elements.
-#[derive(Copy, Clone)]
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 /// Borrowed EBE data: connectivity + packed element/face matrices with the
 /// linear-combination coefficients of the represented operator.
@@ -64,41 +55,24 @@ impl<'a> EbeData<'a> {
         3 * self.n_nodes
     }
 
-    /// Apply identity-on-fixed rows: `y[fixed] = x[fixed]`.
+    /// The shared Dirichlet semantics (`P A P + (I−P)`): inputs read as
+    /// zero on fixed DOFs, outputs get the identity rows back. See
+    /// [`crate::dirichlet`].
+    fn mask(&self) -> FixedMask<'a> {
+        FixedMask::new(self.fixed)
+    }
+
     fn fix_output(&self, x: &[f64], y: &mut [f64]) {
-        if self.fixed.is_empty() {
-            return;
-        }
-        for (i, &f) in self.fixed.iter().enumerate() {
-            if f {
-                y[i] = x[i];
-            }
-        }
+        self.mask().fix_output(x, y);
     }
 
     fn fix_output_multi(&self, x: &[f64], y: &mut [f64], r: usize) {
-        if self.fixed.is_empty() {
-            return;
-        }
-        for (i, &f) in self.fixed.iter().enumerate() {
-            if f {
-                for c in 0..r {
-                    y[i * r + c] = x[i * r + c];
-                }
-            }
-        }
+        self.mask().fix_output_multi(x, y, r);
     }
 
-    /// Element contributions are computed with inputs whose fixed DOFs read
-    /// as zero; this together with `fix_output` realizes the projected
-    /// operator `P A P + (I−P)`.
     #[inline]
     fn masked(&self, dof: usize, v: f64) -> f64 {
-        if !self.fixed.is_empty() && self.fixed[dof] {
-            0.0
-        } else {
-            v
-        }
+        self.mask().masked(dof, v)
     }
 }
 
@@ -154,9 +128,26 @@ pub fn color_faces(n_nodes: usize, faces: &[[u32; 6]]) -> Vec<Vec<u32>> {
 
 impl<'a> EbeOperator<'a> {
     pub fn new(data: EbeData<'a>, coloring: &'a Coloring, parallel: bool) -> Self {
-        assert_eq!(coloring.color.len(), data.elems.len(), "coloring does not match mesh");
+        assert_eq!(
+            coloring.color.len(),
+            data.elems.len(),
+            "coloring does not match mesh"
+        );
+        // Race-freedom precondition of the colored scatter (see
+        // `parcheck`): checked once per operator, O(node incidences).
+        if let Err(c) = validate_groups(data.n_nodes, data.elems, &coloring.groups) {
+            panic!("EbeOperator::new: element {c}");
+        }
         let face_groups = color_faces(data.n_nodes, data.faces);
-        EbeOperator { data, coloring, face_groups, parallel }
+        if let Err(c) = validate_groups(data.n_nodes, data.faces, &face_groups) {
+            panic!("EbeOperator::new: face {c}");
+        }
+        EbeOperator {
+            data,
+            coloring,
+            face_groups,
+            parallel,
+        }
     }
 
     /// Diagonal 3×3 blocks of the represented operator (for block-Jacobi),
@@ -261,9 +252,12 @@ impl<'a> EbeOperator<'a> {
     fn apply_colored(&self, x: &[f64], y: &mut [f64]) {
         let d = &self.data;
         y.fill(0.0);
-        let yp = SendPtr(y.as_mut_ptr());
+        let mut scatter = ColorScatter::new(y);
         for group in &self.coloring.groups {
+            scatter.begin_color();
+            let scatter = &scatter;
             group.par_iter().for_each(|&e| {
+                let eid = e;
                 let e = e as usize;
                 let el = &d.elems[e];
                 let mut xg = [0.0f64; 30];
@@ -283,12 +277,12 @@ impl<'a> EbeOperator<'a> {
                     30,
                 );
                 // SAFETY: elements in `group` share no nodes (coloring
-                // invariant), so these writes are disjoint.
-                let yref = yp;
+                // invariant, validated in `new`), so these writes are
+                // disjoint within the color pass.
                 unsafe {
                     for (k, &n) in el.iter().enumerate() {
                         for a in 0..3 {
-                            *yref.0.add(3 * n as usize + a) += yl[3 * k + a];
+                            scatter.add(eid, 3 * n as usize + a, yl[3 * k + a]);
                         }
                     }
                 }
@@ -296,7 +290,10 @@ impl<'a> EbeOperator<'a> {
         }
         if d.c_b != 0.0 {
             for group in &self.face_groups {
+                scatter.begin_color();
+                let scatter = &scatter;
                 group.par_iter().for_each(|&f| {
+                    let fid = f;
                     let f = f as usize;
                     let fc = &d.faces[f];
                     let mut xf = [0.0f64; 18];
@@ -307,18 +304,19 @@ impl<'a> EbeOperator<'a> {
                         }
                     }
                     sym_matvec_add(&d.cb[f * FP..(f + 1) * FP], &xf, &mut yf, 18);
-                    // SAFETY: same disjointness argument via face coloring.
-                    let yref = yp;
+                    // SAFETY: same disjointness argument via the face
+                    // coloring (validated in `new`).
                     unsafe {
                         for (k, &n) in fc.iter().enumerate() {
                             for a in 0..3 {
-                                *yref.0.add(3 * n as usize + a) += d.c_b * yf[3 * k + a];
+                                scatter.add(fid, 3 * n as usize + a, d.c_b * yf[3 * k + a]);
                             }
                         }
                     }
                 });
             }
         }
+        drop(scatter);
         d.fix_output(x, y);
     }
 }
@@ -339,7 +337,12 @@ impl LinearOperator for EbeOperator<'_> {
     }
 
     fn counts(&self) -> KernelCounts {
-        ebe_counts(self.data.elems.len(), self.data.faces.len(), self.data.n(), 1)
+        ebe_counts(
+            self.data.elems.len(),
+            self.data.faces.len(),
+            self.data.n(),
+            1,
+        )
     }
 }
 
@@ -376,15 +379,20 @@ pub struct EbeMultiOperator<'a> {
 
 impl<'a> EbeMultiOperator<'a> {
     pub fn new(data: EbeData<'a>, coloring: &'a Coloring, parallel: bool, r: usize) -> Self {
-        assert!(matches!(r, 1 | 2 | 4 | 8), "fused RHS count must be 1, 2, 4 or 8 (got {r})");
-        EbeMultiOperator { inner: EbeOperator::new(data, coloring, parallel), r }
+        assert!(
+            matches!(r, 1 | 2 | 4 | 8),
+            "fused RHS count must be 1, 2, 4 or 8 (got {r})"
+        );
+        EbeMultiOperator {
+            inner: EbeOperator::new(data, coloring, parallel),
+            r,
+        }
     }
 
-    fn apply_group<const R: usize>(&self, elems: &[u32], x: &[f64], yp: SendPtr) {
+    fn apply_group<const R: usize>(&self, elems: &[u32], x: &[f64], scatter: &ColorScatter) {
         let d = &self.inner.data;
         let body = move |&e: &u32| {
-            #[allow(clippy::redundant_locals)] // capture whole SendPtr
-            let yp = yp;
+            let eid = e;
             let e = e as usize;
             let el = &d.elems[e];
             let mut xg = [0.0f64; 240]; // 30 * R_max
@@ -409,13 +417,14 @@ impl<'a> EbeMultiOperator<'a> {
                 yl,
                 30,
             );
-            // SAFETY: color-disjoint writes.
+            // SAFETY: same-color elements share no nodes (validated at
+            // construction), so per-pass writes are disjoint.
             unsafe {
                 for (k, &n) in el.iter().enumerate() {
                     for a in 0..3 {
                         let dof = 3 * n as usize + a;
                         for c in 0..R {
-                            *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                            scatter.add(eid, dof * R + c, yl[(3 * k + a) * R + c]);
                         }
                     }
                 }
@@ -428,11 +437,10 @@ impl<'a> EbeMultiOperator<'a> {
         }
     }
 
-    fn apply_face_group<const R: usize>(&self, faces: &[u32], x: &[f64], yp: SendPtr) {
+    fn apply_face_group<const R: usize>(&self, faces: &[u32], x: &[f64], scatter: &ColorScatter) {
         let d = &self.inner.data;
         let body = move |&f: &u32| {
-            #[allow(clippy::redundant_locals)] // capture whole SendPtr
-            let yp = yp;
+            let fid = f;
             let f = f as usize;
             let fc = &d.faces[f];
             let mut xg = [0.0f64; 144]; // 18 * R_max
@@ -458,13 +466,14 @@ impl<'a> EbeMultiOperator<'a> {
                 yl,
                 18,
             );
-            // SAFETY: color-disjoint writes.
+            // SAFETY: same-color faces share no nodes (validated at
+            // construction), so per-pass writes are disjoint.
             unsafe {
                 for (k, &n) in fc.iter().enumerate() {
                     for a in 0..3 {
                         let dof = 3 * n as usize + a;
                         for c in 0..R {
-                            *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                            scatter.add(fid, dof * R + c, yl[(3 * k + a) * R + c]);
                         }
                     }
                 }
@@ -479,15 +488,18 @@ impl<'a> EbeMultiOperator<'a> {
 
     fn apply_r<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
         y.fill(0.0);
-        let yp = SendPtr(y.as_mut_ptr());
+        let mut scatter = ColorScatter::new(y);
         for group in &self.inner.coloring.groups {
-            self.apply_group::<R>(group, x, yp);
+            scatter.begin_color();
+            self.apply_group::<R>(group, x, &scatter);
         }
         if self.inner.data.c_b != 0.0 {
             for group in &self.inner.face_groups {
-                self.apply_face_group::<R>(group, x, yp);
+                scatter.begin_color();
+                self.apply_face_group::<R>(group, x, &scatter);
             }
         }
+        drop(scatter);
         self.inner.data.fix_output_multi(x, y, R);
     }
 }
@@ -514,7 +526,12 @@ impl MultiOperator for EbeMultiOperator<'_> {
     }
 
     fn counts(&self) -> KernelCounts {
-        ebe_counts(self.inner.data.elems.len(), self.inner.data.faces.len(), self.inner.n(), self.r)
+        ebe_counts(
+            self.inner.data.elems.len(),
+            self.inner.data.faces.len(),
+            self.inner.n(),
+            self.r,
+        )
     }
 }
 
@@ -548,7 +565,9 @@ mod tests {
         let mut ke = vec![0.0; ne * TP];
         let mut s: u64 = 12345;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) % 1000) as f64 / 500.0 - 1.0
         };
         for v in me.iter_mut() {
@@ -573,7 +592,16 @@ mod tests {
                 *f = d % 17 == 0;
             }
         }
-        Fixture { n_nodes, elems: mesh.elems, me, ke, faces, cb, fixed, coloring }
+        Fixture {
+            n_nodes,
+            elems: mesh.elems,
+            me,
+            ke,
+            faces,
+            cb,
+            fixed,
+            coloring,
+        }
     }
 
     fn data<'a>(fx: &'a Fixture, constrained: bool) -> EbeData<'a> {
@@ -601,7 +629,16 @@ mod tests {
         let d = data(&fx, false);
         let op = EbeOperator::new(d.clone(), &fx.coloring, false);
         let crs = assemble_global(
-            fx.n_nodes, &fx.elems, &fx.me, &fx.ke, d.c_m, d.c_k, &fx.faces, &fx.cb, d.c_b, &[],
+            fx.n_nodes,
+            &fx.elems,
+            &fx.me,
+            &fx.ke,
+            d.c_m,
+            d.c_k,
+            &fx.faces,
+            &fx.cb,
+            d.c_b,
+            &[],
             false,
         );
         let x = test_vec(op.n());
@@ -611,7 +648,12 @@ mod tests {
         crs.apply(&x, &mut y2);
         let scale = y2.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         for i in 0..y1.len() {
-            assert!((y1[i] - y2[i]).abs() < 1e-10 * scale, "dof {i}: {} vs {}", y1[i], y2[i]);
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-10 * scale,
+                "dof {i}: {} vs {}",
+                y1[i],
+                y2[i]
+            );
         }
     }
 
@@ -647,7 +689,12 @@ mod tests {
         crs.apply(&x, &mut y2);
         let scale = y2.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         for i in 0..y1.len() {
-            assert!((y1[i] - y2[i]).abs() < 1e-10 * scale, "dof {i}: {} vs {}", y1[i], y2[i]);
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-10 * scale,
+                "dof {i}: {} vs {}",
+                y1[i],
+                y2[i]
+            );
         }
     }
 

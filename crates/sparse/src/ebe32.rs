@@ -9,20 +9,17 @@
 //! exactly; tests verify agreement with the f64 operator to single
 //! precision and solve agreement to the CG tolerance).
 
-use hetsolve_mesh::Coloring;
+use hetsolve_mesh::{validate_groups, Coloring};
 use rayon::prelude::*;
 
+use crate::dirichlet::FixedMask;
 use crate::ebe::color_faces;
 use crate::op::{KernelCounts, MultiOperator};
+use crate::parcheck::ColorScatter;
 use crate::sym::sym2_matvec_add_multi_f32;
 
 const TP: usize = 465;
 const FP: usize = 171;
-
-#[derive(Copy, Clone)]
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 /// f32 copies of packed element/face matrices.
 #[derive(Debug, Clone)]
@@ -77,10 +74,20 @@ impl<'a> EbeOperator32<'a> {
         parallel: bool,
         r: usize,
     ) -> Self {
-        assert!(matches!(r, 1 | 2 | 4 | 8), "fused RHS count must be 1, 2, 4 or 8");
+        assert!(
+            matches!(r, 1 | 2 | 4 | 8),
+            "fused RHS count must be 1, 2, 4 or 8"
+        );
         assert_eq!(store.me.len(), elems.len() * TP);
         assert_eq!(store.cb.len(), faces.len() * FP);
+        // Race-freedom precondition of the colored scatter (see `parcheck`).
+        if let Err(c) = validate_groups(n_nodes, elems, &coloring.groups) {
+            panic!("EbeOperator32::new: element {c}");
+        }
         let face_groups = color_faces(n_nodes, faces);
+        if let Err(c) = validate_groups(n_nodes, faces, &face_groups) {
+            panic!("EbeOperator32::new: face {c}");
+        }
         EbeOperator32 {
             n_nodes,
             elems,
@@ -99,20 +106,17 @@ impl<'a> EbeOperator32<'a> {
 
     #[inline]
     fn masked(&self, dof: usize, v: f64) -> f64 {
-        if !self.fixed.is_empty() && self.fixed[dof] {
-            0.0
-        } else {
-            v
-        }
+        FixedMask::new(self.fixed).masked(dof, v)
     }
 
     fn apply_r<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
         y.fill(0.0);
-        let yp = SendPtr(y.as_mut_ptr());
+        let mut scatter = ColorScatter::new(y);
         for group in &self.coloring.groups {
-            let run = |&e: &u32| {
-                #[allow(clippy::redundant_locals)] // capture whole SendPtr
-                let yp = yp;
+            scatter.begin_color();
+            let scatter = &scatter;
+            let run = move |&e: &u32| {
+                let eid = e;
                 let e = e as usize;
                 let el = &self.elems[e];
                 let mut xl = [0.0f64; 240];
@@ -136,13 +140,14 @@ impl<'a> EbeOperator32<'a> {
                     yl,
                     30,
                 );
-                // SAFETY: color-disjoint writes.
+                // SAFETY: same-color elements share no nodes (validated at
+                // construction), so per-pass writes are disjoint.
                 unsafe {
                     for (k, &n) in el.iter().enumerate() {
                         for a in 0..3 {
                             let dof = 3 * n as usize + a;
                             for c in 0..R {
-                                *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                                scatter.add(eid, dof * R + c, yl[(3 * k + a) * R + c]);
                             }
                         }
                     }
@@ -156,9 +161,10 @@ impl<'a> EbeOperator32<'a> {
         }
         if self.c_b != 0.0 {
             for group in &self.face_groups {
-                let run = |&f: &u32| {
-                    #[allow(clippy::redundant_locals)] // capture whole SendPtr
-                    let yp = yp;
+                scatter.begin_color();
+                let scatter = &scatter;
+                let run = move |&f: &u32| {
+                    let fid = f;
                     let f = f as usize;
                     let fc = &self.faces[f];
                     let mut xl = [0.0f64; 144];
@@ -175,13 +181,14 @@ impl<'a> EbeOperator32<'a> {
                     }
                     let cb = &self.store.cb[f * FP..(f + 1) * FP];
                     sym2_matvec_add_multi_f32::<R>(self.c_b, cb, 0.0, cb, xl, yl, 18);
-                    // SAFETY: color-disjoint writes.
+                    // SAFETY: same-color faces share no nodes (validated at
+                    // construction), so per-pass writes are disjoint.
                     unsafe {
                         for (k, &n) in fc.iter().enumerate() {
                             for a in 0..3 {
                                 let dof = 3 * n as usize + a;
                                 for c in 0..R {
-                                    *yp.0.add(dof * R + c) += yl[(3 * k + a) * R + c];
+                                    scatter.add(fid, dof * R + c, yl[(3 * k + a) * R + c]);
                                 }
                             }
                         }
@@ -194,15 +201,8 @@ impl<'a> EbeOperator32<'a> {
                 }
             }
         }
-        if !self.fixed.is_empty() {
-            for (i, &fx) in self.fixed.iter().enumerate() {
-                if fx {
-                    for c in 0..R {
-                        y[i * R + c] = x[i * R + c];
-                    }
-                }
-            }
-        }
+        drop(scatter);
+        FixedMask::new(self.fixed).fix_output_multi(x, y, R);
     }
 }
 
@@ -259,7 +259,9 @@ mod tests {
         let n_nodes = mesh.n_nodes();
         let mut s: u64 = 777;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) % 1000) as f64 / 500.0 - 1.0
         };
         let me: Vec<f64> = (0..ne * TP).map(|_| next()).collect();
@@ -268,7 +270,16 @@ mod tests {
         let faces = vec![[el0[0], el0[1], el0[2], el0[4], el0[5], el0[6]]];
         let cb: Vec<f64> = (0..FP).map(|_| next()).collect();
         let fixed: Vec<bool> = (0..3 * n_nodes).map(|d| d % 13 == 0).collect();
-        Fx { n_nodes, elems: mesh.elems, me, ke, faces, cb, fixed, coloring }
+        Fx {
+            n_nodes,
+            elems: mesh.elems,
+            me,
+            ke,
+            faces,
+            cb,
+            fixed,
+            coloring,
+        }
     }
 
     #[test]
@@ -278,7 +289,14 @@ mod tests {
         let coeffs = (2.0, 0.7, 0.3);
         for r in [1usize, 4] {
             let op32 = EbeOperator32::new(
-                fx.n_nodes, &fx.elems, &store, &fx.faces, coeffs, &fx.fixed, &fx.coloring, false,
+                fx.n_nodes,
+                &fx.elems,
+                &store,
+                &fx.faces,
+                coeffs,
+                &fx.fixed,
+                &fx.coloring,
+                false,
                 r,
             );
             let data = EbeData {

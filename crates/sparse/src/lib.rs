@@ -24,10 +24,12 @@ pub mod blockjacobi;
 pub mod blockssor;
 pub mod cg;
 pub mod dense;
+pub mod dirichlet;
 pub mod ebe;
 pub mod ebe32;
 pub mod mcg;
 pub mod op;
+pub mod parcheck;
 pub mod sym;
 pub mod vecops;
 
@@ -36,7 +38,9 @@ pub use bcrs::{Bcrs3, BcrsBuilder};
 pub use blockjacobi::BlockJacobi;
 pub use blockssor::BlockSsor;
 pub use cg::{pcg, CgConfig, CgStats};
+pub use dirichlet::FixedMask;
 pub use ebe::{color_faces, ebe_counts, EbeData, EbeMultiOperator, EbeOperator};
 pub use ebe32::{EbeOperator32, EbeStore32};
 pub use mcg::{mcg, McgStats};
 pub use op::{KernelCounts, LinearOperator, MultiOperator, Preconditioner};
+pub use parcheck::ColorScatter;

@@ -106,7 +106,11 @@ pub fn mcg<A: MultiOperator, P: Preconditioner>(
             p.copy_from_slice(&z);
         } else {
             for c in 0..r {
-                beta[c] = if active[c] && rho_prev[c] != 0.0 { rho[c] / rho_prev[c] } else { 0.0 };
+                beta[c] = if active[c] && rho_prev[c] != 0.0 {
+                    rho[c] / rho_prev[c]
+                } else {
+                    0.0
+                };
             }
             xpby_multi(&z, &beta, &mut p, r, &active);
         }
@@ -150,7 +154,10 @@ pub fn mcg<A: MultiOperator, P: Preconditioner>(
         case_iterations,
         initial_rel_res,
         final_rel_res: rel.clone(),
-        converged: rel.iter().zip(&f_norm).all(|(&e, &fnorm)| fnorm == 0.0 || e < cfg.tol),
+        converged: rel
+            .iter()
+            .zip(&f_norm)
+            .all(|(&e, &fnorm)| fnorm == 0.0 || e < cfg.tol),
         counts,
     }
 }
@@ -197,7 +204,11 @@ mod tests {
     fn spd_matrix(nb: usize) -> crate::bcrs::Bcrs3 {
         let mut b = crate::bcrs::BcrsBuilder::new(nb);
         for i in 0..nb {
-            b.add_block(i as u32, i as u32, &[6.0, 1.0, 0.0, 1.0, 7.0, 1.0, 0.0, 1.0, 8.0]);
+            b.add_block(
+                i as u32,
+                i as u32,
+                &[6.0, 1.0, 0.0, 1.0, 7.0, 1.0, 0.0, 1.0, 8.0],
+            );
             if i + 1 < nb {
                 let off = [-1.0, 0.0, 0.2, 0.1, -1.0, 0.0, 0.0, 0.1, -1.0];
                 let mut off_t = [0.0; 9];
@@ -220,7 +231,10 @@ mod tests {
         let r = 4;
         let multi = LoopMulti { a: &m, r };
         let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
-        let cfg = CgConfig { tol: 1e-10, max_iter: 500 };
+        let cfg = CgConfig {
+            tol: 1e-10,
+            max_iter: 500,
+        };
 
         let mut f = vec![0.0; n * r];
         for c in 0..r {
@@ -278,11 +292,23 @@ mod tests {
         let r = 2;
         let multi = LoopMulti { a: &m, r };
         let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
-        let cfg = CgConfig { tol: 1e-9, max_iter: 500 };
+        let cfg = CgConfig {
+            tol: 1e-9,
+            max_iter: 500,
+        };
         // case 0 gets a near-exact initial guess; case 1 starts cold.
         let fc: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
         let mut x_exact = vec![0.0; n];
-        pcg(&m, &prec, &fc, &mut x_exact, &CgConfig { tol: 1e-14, max_iter: 1000 });
+        pcg(
+            &m,
+            &prec,
+            &fc,
+            &mut x_exact,
+            &CgConfig {
+                tol: 1e-14,
+                max_iter: 1000,
+            },
+        );
 
         let mut f = vec![0.0; n * r];
         let mut x = vec![0.0; n * r];
@@ -316,7 +342,16 @@ mod tests {
         // case 1 starts from a good guess
         let fc: Vec<f64> = (0..n).map(|i| (i as f64 * 0.8).sin()).collect();
         let mut xg = vec![0.0; n];
-        pcg(&m, &prec, &fc, &mut xg, &CgConfig { tol: 1e-6, max_iter: 100 });
+        pcg(
+            &m,
+            &prec,
+            &fc,
+            &mut xg,
+            &CgConfig {
+                tol: 1e-6,
+                max_iter: 100,
+            },
+        );
         let mut x = vec![0.0; n * r];
         for i in 0..n {
             x[i * r + 1] = xg[i];

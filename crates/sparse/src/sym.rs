@@ -150,7 +150,10 @@ pub fn unpack_dense(a: &[f64], n: usize) -> Vec<f64> {
 /// Pack the lower triangle of a dense row-major `n×n` matrix, asserting the
 /// input is symmetric to tolerance `tol` (relative to its largest entry).
 pub fn pack_symmetric(dense: &[f64], n: usize, tol: f64) -> Vec<f64> {
-    let amax = dense.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-300);
+    let amax = dense
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1e-300);
     let mut a = vec![0.0; packed_len(n)];
     for i in 0..n {
         for j in 0..=i {
@@ -172,7 +175,9 @@ mod tests {
 
     fn sample(n: usize) -> Vec<f64> {
         // deterministic symmetric test matrix in packed form
-        (0..packed_len(n)).map(|k| ((k * 7919 + 13) % 101) as f64 / 10.0 - 5.0).collect()
+        (0..packed_len(n))
+            .map(|k| ((k * 7919 + 13) % 101) as f64 / 10.0 - 5.0)
+            .collect()
     }
 
     #[test]
@@ -219,7 +224,11 @@ mod tests {
         let mut y1 = vec![0.0; n];
         sym2_matvec_add(ca, &a, cb, &b, &x, &mut y1, n);
         // reference: scale-add then single matvec
-        let m: Vec<f64> = a.iter().zip(&b).map(|(&ai, &bi)| ca * ai + cb * bi).collect();
+        let m: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&ai, &bi)| ca * ai + cb * bi)
+            .collect();
         let mut y2 = vec![0.0; n];
         sym_matvec_add(&m, &x, &mut y2, n);
         for i in 0..n {
@@ -235,7 +244,9 @@ mod tests {
         let b: Vec<f64> = sample(n).iter().map(|v| v * -0.3 + 0.1).collect();
         let (ca, cb) = (1.3, 0.9);
         // interleaved input
-        let x: Vec<f64> = (0..n * R).map(|k| ((k * 31 + 7) % 17) as f64 * 0.1).collect();
+        let x: Vec<f64> = (0..n * R)
+            .map(|k| ((k * 31 + 7) % 17) as f64 * 0.1)
+            .collect();
         let mut y = vec![0.0; n * R];
         sym2_matvec_add_multi::<R>(ca, &a, cb, &b, &x, &mut y, n);
         for r in 0..R {
@@ -257,7 +268,9 @@ mod tests {
         let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
         let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
         let (ca, cb) = (1.7, -0.4);
-        let x: Vec<f64> = (0..n * R).map(|k| ((k * 13 + 5) % 23) as f64 * 0.05 - 0.5).collect();
+        let x: Vec<f64> = (0..n * R)
+            .map(|k| ((k * 13 + 5) % 23) as f64 * 0.05 - 0.5)
+            .collect();
         let mut y64 = vec![0.0; n * R];
         let mut y32 = vec![0.0; n * R];
         sym2_matvec_add_multi::<R>(ca, &a, cb, &b, &x, &mut y64, n);

@@ -39,11 +39,13 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
             *yi += alpha * xi;
         }
     } else {
-        y.par_chunks_mut(4096).zip(x.par_chunks(4096)).for_each(|(yc, xc)| {
-            for (yi, xi) in yc.iter_mut().zip(xc) {
-                *yi += alpha * xi;
-            }
-        });
+        y.par_chunks_mut(4096)
+            .zip(x.par_chunks(4096))
+            .for_each(|(yc, xc)| {
+                for (yi, xi) in yc.iter_mut().zip(xc) {
+                    *yi += alpha * xi;
+                }
+            });
     }
 }
 
@@ -55,11 +57,13 @@ pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
             *yi = xi + beta * *yi;
         }
     } else {
-        y.par_chunks_mut(4096).zip(x.par_chunks(4096)).for_each(|(yc, xc)| {
-            for (yi, xi) in yc.iter_mut().zip(xc) {
-                *yi = xi + beta * *yi;
-            }
-        });
+        y.par_chunks_mut(4096)
+            .zip(x.par_chunks(4096))
+            .for_each(|(yc, xc)| {
+                for (yi, xi) in yc.iter_mut().zip(xc) {
+                    *yi = xi + beta * *yi;
+                }
+            });
     }
 }
 
@@ -117,7 +121,9 @@ pub fn axpy_multi(alpha: &[f64], x: &[f64], y: &mut [f64], r: usize, active: &[b
     if x.len() < PAR_THRESHOLD {
         body(y, x);
     } else {
-        y.par_chunks_mut(4096 * r).zip(x.par_chunks(4096 * r)).for_each(|(yc, xc)| body(yc, xc));
+        y.par_chunks_mut(4096 * r)
+            .zip(x.par_chunks(4096 * r))
+            .for_each(|(yc, xc)| body(yc, xc));
     }
 }
 
@@ -137,7 +143,9 @@ pub fn xpby_multi(x: &[f64], beta: &[f64], y: &mut [f64], r: usize, active: &[bo
     if x.len() < PAR_THRESHOLD {
         body(y, x);
     } else {
-        y.par_chunks_mut(4096 * r).zip(x.par_chunks(4096 * r)).for_each(|(yc, xc)| body(yc, xc));
+        y.par_chunks_mut(4096 * r)
+            .zip(x.par_chunks(4096 * r))
+            .for_each(|(yc, xc)| body(yc, xc));
     }
 }
 

@@ -15,8 +15,10 @@ fn main() {
     let spec = GroundModelSpec::paper_like(6, 6, 4, InterfaceShape::Stratified);
     let backend = Backend::new(FemProblem::paper_like(&spec), false, true);
 
-    for (label, node) in [("single-GH200", single_gh200()), ("Alps module (634 W cap)", alps_node())]
-    {
+    for (label, node) in [
+        ("single-GH200", single_gh200()),
+        ("Alps module (634 W cap)", alps_node()),
+    ] {
         println!("\n=== EBE-MCG@CPU-GPU on {label} ===");
         let mut cfg = RunConfig::new(MethodKind::EbeMcgCpuGpu, node, 80);
         cfg.r = 4;

@@ -41,10 +41,22 @@ fn main() {
         let fmap = res.dominant_frequency_map(&welch, 5.0);
 
         println!("\n=== ground model {name} ===");
-        println!("surface points: {}, cases: {}", res.n_points(), res.n_cases());
+        println!(
+            "surface points: {}, cases: {}",
+            res.n_points(),
+            res.n_cases()
+        );
         // print a small grid of (x, y, f_dominant, f_theory)
-        println!("{:>8} {:>8} | {:>10} | {:>10}", "x (m)", "y (m)", "f_FDD (Hz)", "f_1D (Hz)");
-        for (p, c) in res.coords.iter().enumerate().step_by(res.n_points().div_ceil(10).max(1)) {
+        println!(
+            "{:>8} {:>8} | {:>10} | {:>10}",
+            "x (m)", "y (m)", "f_FDD (Hz)", "f_1D (Hz)"
+        );
+        for (p, c) in res
+            .coords
+            .iter()
+            .enumerate()
+            .step_by(res.n_points().div_ceil(10).max(1))
+        {
             let f_th = backend.problem.model.theoretical_site_frequency(c[0], c[1]);
             println!(
                 "{:>8.1} {:>8.1} | {:>10.3} | {:>10.3}",

@@ -32,14 +32,21 @@ fn main() {
     println!("running nonlinear (equivalent-linear secant) time history...");
     let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 3);
 
-    println!("\n{:>5} | {:>7} | {:>7} | {:>11} | {:>11}", "step", "secant", "CG its", "mean mu/mu0", "peak |u| (m)");
+    println!(
+        "\n{:>5} | {:>7} | {:>7} | {:>11} | {:>11}",
+        "step", "secant", "CG its", "mean mu/mu0", "peak |u| (m)"
+    );
     for r in res.records.iter().step_by(6) {
         println!(
             "{:>5} | {:>7} | {:>7} | {:>11.4} | {:>11.3e}",
             r.step, r.secant_iterations, r.cg_iterations, r.mean_ratio, r.peak_u
         );
     }
-    let min_ratio = res.records.iter().map(|r| r.mean_ratio).fold(1.0f64, f64::min);
+    let min_ratio = res
+        .records
+        .iter()
+        .map(|r| r.mean_ratio)
+        .fold(1.0f64, f64::min);
     println!("\nstrongest mean softening: mu/mu0 = {min_ratio:.4}");
     println!(
         "modeled operator-refresh time: matrix-free EBE {:.4} s vs CRS reassembly {:.2} s ({:.0}x)",
@@ -51,13 +58,21 @@ fn main() {
     // export the final softening field
     let mut state = hetsolve::fem::NonlinearState::from_compact(&backend.compact);
     let mut compact = backend.compact.clone();
-    state.update(&mut compact, &backend.problem.model.mesh, &res.final_u, &model);
+    state.update(
+        &mut compact,
+        &backend.problem.model.mesh,
+        &res.final_u,
+        &model,
+    );
     let out = "nonlinear_site.vtk";
     hetsolve::mesh::write_vtk_file(
         out,
         &backend.problem.model.mesh,
         &[],
-        &[Field { name: "secant_ratio", values: &state.ratio }],
+        &[Field {
+            name: "secant_ratio",
+            values: &state.ratio,
+        }],
     )
     .expect("VTK export failed");
     println!("wrote {out} (cell field: secant modulus ratio)");

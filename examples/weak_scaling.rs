@@ -7,9 +7,11 @@
 //! cargo run --release --example weak_scaling
 //! ```
 
-use hetsolve::core::{run, Backend, DistributedOperator, MethodKind, PartitionedProblem, RunConfig};
+use hetsolve::core::{
+    run, Backend, DistributedOperator, MethodKind, PartitionedProblem, RunConfig,
+};
 use hetsolve::fem::FemProblem;
-use hetsolve::machine::{weak_scaling_efficiency, weak_scaling_step_time, alps_node};
+use hetsolve::machine::{alps_node, weak_scaling_efficiency, weak_scaling_step_time};
 use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
 use hetsolve::sparse::{pcg, CgConfig, LinearOperator};
 
@@ -23,7 +25,10 @@ fn main() {
     let dist = DistributedOperator { problem: &parts };
     let mut f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin()).collect();
     backend.problem.mask.project(&mut f);
-    let cfg = CgConfig { tol: 1e-8, max_iter: 5000 };
+    let cfg = CgConfig {
+        tol: 1e-8,
+        max_iter: 5000,
+    };
     let mut x_seq = vec![0.0; n];
     let s_seq = pcg(&backend.ebe_a(1), &backend.precond, &f, &mut x_seq, &cfg);
     let mut x_dist = vec![0.0; n];
@@ -38,7 +43,10 @@ fn main() {
         "  iterations {} vs {}, max |Δx| = {max_diff:.2e} -> consistent",
         s_dist.iterations, s_seq.iterations
     );
-    println!("  operator cost: {:.1} Mflop/apply", dist.counts().flops / 1e6);
+    println!(
+        "  operator cost: {:.1} Mflop/apply",
+        dist.counts().flops / 1e6
+    );
 
     // --- weak scaling prediction (Fig. 5) ---
     let node = alps_node();
@@ -54,13 +62,22 @@ fn main() {
     // halo pattern from the real partition, scaled to paper-size slabs
     let pat = hetsolve::machine::box_halo_pattern(15.5e6, 4, 4);
     println!("\nweak scaling of EBE-MCG@CPU-GPU on Alps (modeled, per-module slab = model a):");
-    println!("{:>8} | {:>8} | {:>12} | {:>10}", "nodes", "GPUs", "s/step", "efficiency");
+    println!(
+        "{:>8} | {:>8} | {:>12} | {:>10}",
+        "nodes", "GPUs", "s/step", "efficiency"
+    );
     let t1 = weak_scaling_step_time(&node, step_time, iters, &pat, 1);
     for nodes in [1usize, 8, 32, 128, 480, 960, 1920] {
         let p = nodes * 4;
         let tp = weak_scaling_step_time(&node, step_time, iters, &pat, p);
         let eff = weak_scaling_efficiency(t1, tp);
-        println!("{:>8} | {:>8} | {:>12.4} | {:>9.1}%", nodes, p, tp, eff * 100.0);
+        println!(
+            "{:>8} | {:>8} | {:>12.4} | {:>9.1}%",
+            nodes,
+            p,
+            tp,
+            eff * 100.0
+        );
     }
     println!("\npaper (Fig. 5): 94.3% efficiency at 1,920 nodes (7,680 GPUs)");
 }

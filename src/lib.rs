@@ -23,6 +23,8 @@
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
 //! the reproduction methodology and measured results.
 
+#![forbid(unsafe_code)]
+
 pub use hetsolve_core as core;
 pub use hetsolve_fem as fem;
 pub use hetsolve_machine as machine;

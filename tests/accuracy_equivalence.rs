@@ -7,8 +7,8 @@
 //! same random-input case, to solver tolerance, because the data-driven
 //! predictor only supplies *initial guesses* that CG refines to `ε`.
 
-use hetsolve::prelude::*;
 use hetsolve::fem::FemProblem;
+use hetsolve::prelude::*;
 
 fn backend() -> Backend {
     let spec = GroundModelSpec::paper_like(4, 4, 3, InterfaceShape::Inclined);
@@ -39,7 +39,10 @@ fn all_methods_produce_equivalent_time_histories() {
         MethodKind::CrsCgCpuGpu,
         MethodKind::EbeMcgCpuGpu,
     ];
-    let results: Vec<RunResult> = methods.iter().map(|&m| run(&b, &config(m, steps))).collect();
+    let results: Vec<RunResult> = methods
+        .iter()
+        .map(|&m| run(&b, &config(m, steps)))
+        .collect();
 
     let reference = &results[0].final_u[0];
     let scale = reference.iter().map(|v| v.abs()).fold(0.0f64, f64::max);

@@ -36,7 +36,10 @@ fn nonlinear_reduces_to_linear_for_tiny_strain() {
     let nl = run_nonlinear(&b, &cfg, &linearish, 1e-9, 2);
     // a plain linear run of the same case: use the modeled EBE driver
     let lin = run(&b, &cfg);
-    let scale = lin.final_u[0].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+    let scale = lin.final_u[0]
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0f64, f64::max);
     assert!(scale > 0.0);
     for (i, (&a, &bv)) in nl.final_u.iter().zip(&lin.final_u[0]).enumerate() {
         assert!((a - bv).abs() < 1e-5 * scale, "dof {i}: {a} vs {bv}");
@@ -93,7 +96,20 @@ fn mixed_precision_solver_reaches_f64_tolerance() {
         }
     }
     let mut x = vec![0.0; n * r];
-    let stats = mcg(&op32, &b.precond, &f, &mut x, &CgConfig { tol: 1e-8, max_iter: 10_000 });
-    assert!(stats.converged, "f32 operator failed to converge: {:?}", stats.final_rel_res);
+    let stats = mcg(
+        &op32,
+        &b.precond,
+        &f,
+        &mut x,
+        &CgConfig {
+            tol: 1e-8,
+            max_iter: 10_000,
+        },
+    );
+    assert!(
+        stats.converged,
+        "f32 operator failed to converge: {:?}",
+        stats.final_rel_res
+    );
     assert!(stats.final_rel_res.iter().all(|&e| e < 1e-8));
 }

@@ -19,7 +19,10 @@ fn partitioned_solve_is_consistent_with_sequential() {
     let n = b.n_dofs();
     let mut f: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.213).sin()).collect();
     b.problem.mask.project(&mut f);
-    let cfg = CgConfig { tol: 1e-9, max_iter: 5000 };
+    let cfg = CgConfig {
+        tol: 1e-9,
+        max_iter: 5000,
+    };
 
     let mut x_ref = vec![0.0; n];
     let s_ref = pcg(&b.ebe_a(1), &b.precond, &f, &mut x_ref, &cfg);
@@ -55,9 +58,8 @@ fn halo_volume_scales_with_interface_not_volume() {
     let p2 = PartitionedProblem::new(&b.problem, 2, false);
     let p8 = PartitionedProblem::new(&b.problem, 8, false);
     // total owned nodes are invariant
-    let owned = |p: &PartitionedProblem| -> usize {
-        p.partition.parts.iter().map(|sm| sm.n_owned()).sum()
-    };
+    let owned =
+        |p: &PartitionedProblem| -> usize { p.partition.parts.iter().map(|sm| sm.n_owned()).sum() };
     assert_eq!(owned(&p2), b.problem.n_nodes());
     assert_eq!(owned(&p8), b.problem.n_nodes());
     // with few parts the interface is a small fraction of each part; at 8
@@ -81,7 +83,7 @@ fn rcb_and_greedy_partitioners_both_work() {
     let greedy = partition_greedy(mesh, 6);
     // both are balanced 6-way partitions
     for part in [&rcb, &greedy] {
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for &p in part.iter() {
             counts[p as usize] += 1;
         }
@@ -100,5 +102,8 @@ fn distributed_counts_match_sequential_counts() {
     let dist = DistributedOperator { problem: &parts };
     let seq = b.ebe_a(1).counts();
     let dis = dist.counts();
-    assert!((dis.flops / seq.flops - 1.0).abs() < 1e-9, "flops must be identical");
+    assert!(
+        (dis.flops / seq.flops - 1.0).abs() < 1e-9,
+        "flops must be identical"
+    );
 }

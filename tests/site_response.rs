@@ -36,7 +36,10 @@ fn stratified_site_frequency_near_layer_theory() {
     let (res, _) = run_ensemble(&backend, &cfg);
 
     // theory: f = Vs / 4H = 200 / 160 = 1.25 Hz
-    let f_theory = backend.problem.model.theoretical_site_frequency(475.0, 475.0);
+    let f_theory = backend
+        .problem
+        .model
+        .theoretical_site_frequency(475.0, 475.0);
     assert!((f_theory - 1.25).abs() < 1e-9);
 
     let welch = WelchConfig::new(512, 256, res.dt);

@@ -1,0 +1,83 @@
+//! Offline shim for `crossbeam`, mapping `crossbeam::thread::scope` onto
+//! `std::thread::scope` (stable since Rust 1.63). Spawned threads really
+//! run concurrently — this shim is not serial — so the overlap timing the
+//! realtime driver measures remains meaningful.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`: spawn closures receive a
+    /// `&Scope` so they can spawn siblings (unused here but kept for API
+    /// compatibility).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned through it are
+    /// joined before `scope` returns. Crossbeam returns `Err` when a child
+    /// panicked un-joined; `std::thread::scope` resumes the panic instead,
+    /// so this shim's error arm is unreachable in practice — callers
+    /// `.expect()` the result either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_spawned_threads() {
+        let hits = AtomicUsize::new(0);
+        let out = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                21
+            });
+            hits.fetch_add(1, Ordering::SeqCst);
+            h.join().expect("child") * 2
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let out = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().expect("grandchild"))
+                .join()
+                .expect("child")
+        })
+        .expect("scope");
+        assert_eq!(out, 7);
+    }
+}

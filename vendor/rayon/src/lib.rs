@@ -1,0 +1,77 @@
+//! Offline serial shim for `rayon`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace patches `rayon` to this crate (see `[patch.crates-io]` in
+//! the root manifest). It exposes exactly the API surface the workspace
+//! uses — `par_iter`, `par_chunks[_exact][_mut]`, `current_num_threads` —
+//! with *serial* execution: every "parallel iterator" is the corresponding
+//! `std` iterator, so all standard combinators (`map`, `zip`, `enumerate`,
+//! `for_each`, …) keep working and results are bit-identical to the real
+//! rayon (the colored-scatter kernels are deterministic either way).
+//!
+//! Delete the patch entry to build against real rayon when a registry is
+//! reachable. Note that a serial shim cannot *exercise* parallel
+//! interleavings; the race detector in `hetsolve-sparse::parcheck` is the
+//! component that checks scatter disjointness independently of the
+//! execution order.
+
+#![forbid(unsafe_code)]
+
+/// Number of threads the (serial) pool runs: always 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Serial stand-ins for rayon's parallel slice/iterator extension traits.
+pub mod prelude {
+    /// `par_iter`-family methods on shared slices.
+    pub trait ParallelSliceExt<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+        fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T>;
+    }
+
+    /// `par_iter_mut`-family methods on mutable slices.
+    pub trait ParallelSliceMutExt<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+        fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T> {
+            self.chunks_exact(size)
+        }
+    }
+
+    impl<T> ParallelSliceMutExt<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+        fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(size)
+        }
+    }
+
+    /// `into_par_iter` on anything iterable (serial passthrough).
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+}
