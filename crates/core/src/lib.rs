@@ -14,7 +14,9 @@
 //!   (Fig. 1 application),
 //! * [`multinode`] — partitioned/distributed operators consistent with the
 //!   sequential ones (Fig. 2, Fig. 5),
-//! * [`report`] — table/series formatting for the benchmark harnesses.
+//! * [`report`] — table/series formatting for the benchmark harnesses,
+//! * [`trace`] — the observability layer: per-step Chrome-trace spans and
+//!   machine-readable bench snapshots (`hetsolve-obs` export formats).
 
 #![forbid(unsafe_code)]
 
@@ -26,12 +28,16 @@ pub mod nonlinear_run;
 pub mod realtime;
 pub mod report;
 pub mod study;
+pub mod trace;
 
 pub use backend::{Backend, RhsScratch};
 pub use ensemble::{run_ensemble, run_ensemble_for_model, EnsembleConfig, EnsembleResult};
-pub use methods::{run, MethodKind, RunConfig, RunResult, StepRecord};
-pub use multinode::{DistributedOperator, LocalPart, PartitionedProblem};
-pub use nonlinear_run::{run_nonlinear, NonlinearResult, NonlinearStepRecord};
-pub use realtime::{run_realtime, RealtimeReport};
+pub use methods::{run, run_traced, MethodKind, RunConfig, RunResult, StepRecord};
+pub use multinode::{DistributedOperator, LocalPart, PartitionMetrics, PartitionedProblem};
+pub use nonlinear_run::{
+    run_nonlinear, run_nonlinear_traced, NonlinearResult, NonlinearStepRecord,
+};
+pub use realtime::{run_realtime, run_realtime_traced, RealtimeReport};
 pub use report::{apply_speedups, format_application_table, format_series, MethodSummary};
 pub use study::{convergence_study, ConvergenceStudy, GuessResult, StudyConfig};
+pub use trace::{StepTracer, METRICS_ENV, TID_CPU, TID_GPU, TID_LINK, TRACE_ENV};

@@ -17,12 +17,14 @@
 
 use hetsolve_fem::{RandomLoad, RandomLoadSpec, TimeState};
 use hetsolve_machine::{EnergyReport, ModuleClock, NodeSpec};
+use hetsolve_obs::Json;
 use hetsolve_predictor::{AdamsState, AdaptiveWindow, DataDrivenPredictor};
 use hetsolve_sparse::{mcg, pcg, CgConfig, KernelCounts};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
+use crate::trace::StepTracer;
 
 /// Which of the paper's methods to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,15 +264,31 @@ impl CaseState {
 
 /// Run a time-history simulation with the configured method.
 pub fn run(backend: &Backend, cfg: &RunConfig) -> RunResult {
-    match cfg.method {
-        MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => run_crs_single(backend, cfg),
-        MethodKind::CrsCgCpuGpu => run_crs_pipelined(backend, cfg),
-        MethodKind::EbeMcgCpuGpu => run_ebe_mcg(backend, cfg),
-    }
+    run_traced(backend, cfg, &mut StepTracer::disabled())
+}
+
+/// [`run`] with an observability tracer threaded through the driver: every
+/// kernel/transfer charge is labeled into the tracer's Chrome-trace
+/// timeline, adaptive-window decisions and CG-iteration counters are
+/// recorded, and the finished run is folded into the tracer's metrics
+/// sink. With [`StepTracer::disabled`] this is exactly [`run`].
+pub fn run_traced(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
+    let n_sets = match cfg.method {
+        MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => 1,
+        MethodKind::CrsCgCpuGpu | MethodKind::EbeMcgCpuGpu => 2,
+    };
+    tracer.begin_run(cfg.method.label(), cfg, n_sets);
+    let result = match cfg.method {
+        MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => run_crs_single(backend, cfg, tracer),
+        MethodKind::CrsCgCpuGpu => run_crs_pipelined(backend, cfg, tracer),
+        MethodKind::EbeMcgCpuGpu => run_ebe_mcg(backend, cfg, tracer),
+    };
+    tracer.finish_run(&result, cfg.measure_from);
+    result
 }
 
 /// Algorithm 2: single case, single device, Adams-Bashforth predictor.
-fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
+fn run_crs_single(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
     let on_gpu = cfg.method == MethodKind::CrsCgGpu;
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
@@ -281,6 +299,7 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
         if cfg.record_surface { obs.len() } else { 0 },
     );
     let mut clock = ModuleClock::new(cfg.node.module, backend.problem_threads(cfg), false);
+    tracer.attach_clock(&mut clock);
     let mut scratch = RhsScratch::new(n);
     let cg_cfg = CgConfig {
         tol: cfg.tol,
@@ -310,11 +329,13 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
         let total = rhs_counts
             .merged(vector_counts(n, 4.0))
             .merged(stats.counts);
+        let span_args = [("iterations", Json::from(stats.iterations))];
         let t = if on_gpu {
-            clock.run_gpu(&total)
+            tracer.charge_gpu(&mut clock, 0, "rhs + CG solve", &total, &span_args)
         } else {
-            clock.run_cpu(&total)
+            tracer.charge_cpu(&mut clock, 0, "rhs + CG solve", &total, &span_args)
         };
+        tracer.iterations_counter(clock.elapsed(), stats.iterations as f64);
         case.advance(backend, &x, &ab_guess);
         if cfg.record_surface {
             case.record_waveform(&obs);
@@ -347,7 +368,7 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig) -> RunResult {
 
 /// Algorithm 4: 2 cases; data-driven predictor on CPU overlaps the CRS
 /// solve of the other case on GPU.
-fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
+fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
     let n_obs = if cfg.record_surface { obs.len() } else { 0 };
@@ -355,6 +376,7 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
         .map(|c| CaseState::new(backend, cfg, c, n_obs))
         .collect();
     let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
+    tracer.attach_clock(&mut clock);
     let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
     let mut scratch = RhsScratch::new(n);
     let cg_cfg = CgConfig {
@@ -372,7 +394,7 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
         let mut s_used = 0;
         let mut solver_t = 0.0;
         let mut pred_t = 0.0;
-        for case in cases.iter_mut() {
+        for (set, case) in cases.iter_mut().enumerate() {
             case.load.force_into(step, &mut case.f);
             backend.problem.mask.project(&mut case.f);
             backend.newmark_rhs(
@@ -395,8 +417,20 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
             res_sum += stats.initial_rel_res;
             // GPU lane: RHS + solve; CPU lane: predictor
             let gpu = rhs_counts.merged(stats.counts);
-            solver_t += clock.run_gpu(&gpu);
-            pred_t += clock.run_cpu(&case.dd.cost(s_used.max(1)));
+            solver_t += tracer.charge_gpu(
+                &mut clock,
+                set,
+                "rhs + CG solve",
+                &gpu,
+                &[("iterations", Json::from(stats.iterations))],
+            );
+            pred_t += tracer.charge_cpu(
+                &mut clock,
+                set,
+                "predictor",
+                &case.dd.cost(s_used.max(1)),
+                &[("s", Json::from(s_used))],
+            );
             case.advance(backend, &x, &ab_guess);
             if cfg.record_surface {
                 case.record_waveform(&obs);
@@ -404,8 +438,10 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
         }
         clock.sync();
         // exchange: one solution down, one guess up, per process pair
-        let xfer = clock.transfer(2.0 * n as f64 * 8.0);
-        adaptive.observe(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+        let xfer = tracer.charge_transfer(&mut clock, 0, "exchange", 2.0 * n as f64 * 8.0);
+        let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+        tracer.window_decision(step, clock.elapsed(), &decision);
+        tracer.iterations_counter(clock.elapsed(), iter_sum / 2.0);
         records.push(StepRecord {
             step,
             step_time_per_case: solver_t.max(pred_t) / 2.0 + xfer,
@@ -423,7 +459,7 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig) -> RunResult {
 
 /// Algorithm 3 (the proposal): 2 sets × r cases, matrix-free multi-RHS CG
 /// on the GPU overlapped with the predictors of the other set on the CPU.
-fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
+fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
     let n = backend.n_dofs();
     let r = cfg.r;
     let n_cases = 2 * r;
@@ -433,6 +469,7 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
         .map(|c| CaseState::new(backend, cfg, c, n_obs))
         .collect();
     let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
+    tracer.attach_clock(&mut clock);
     let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
     let mut scratch = RhsScratch::new(n);
     let cg_cfg = CgConfig {
@@ -473,7 +510,13 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
                 case.predict(backend, backend.problem.newmark.dt, false, 0);
                 ab_guesses.push(case.guess.clone());
                 s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
-                pred_t += clock.run_cpu(&case.dd.cost(s_used.max(1)));
+                pred_t += tracer.charge_cpu(
+                    &mut clock,
+                    set,
+                    "predictor",
+                    &case.dd.cost(s_used.max(1)),
+                    &[("case", Json::from(c)), ("s", Json::from(s_used))],
+                );
             }
             // fused solve (GPU lane)
             for (k, c) in set_cases.clone().enumerate() {
@@ -482,7 +525,16 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
             }
             let stats = mcg(&op, &backend.precond, &f_multi, &mut x_multi, &cg_cfg);
             debug_assert!(stats.converged, "MCG failed at step {step}");
-            solver_t += clock.run_gpu(&rhs_counts.merged(stats.counts));
+            solver_t += tracer.charge_gpu(
+                &mut clock,
+                set,
+                "rhs + MCG solve",
+                &rhs_counts.merged(stats.counts),
+                &[
+                    ("r", Json::from(r)),
+                    ("fused_iterations", Json::from(stats.fused_iterations)),
+                ],
+            );
             for (k, c) in set_cases.clone().enumerate() {
                 let mut x = vec![0.0; n];
                 hetsolve_sparse::vecops::extract_case(&x_multi, r, k, &mut x);
@@ -495,11 +547,13 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig) -> RunResult {
             }
             // sync + exchange predictions/solutions between the processes
             clock.sync();
-            let _ = clock.transfer(2.0 * (n * r) as f64 * 8.0);
+            let _ = tracer.charge_transfer(&mut clock, set, "exchange", 2.0 * (n * r) as f64 * 8.0);
         }
         clock.sync();
         let xfer = 0.0; // transfers already charged inside the set loop
-        adaptive.observe(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+        let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+        tracer.window_decision(step, clock.elapsed(), &decision);
+        tracer.iterations_counter(clock.elapsed(), iter_sum / n_cases as f64);
         records.push(StepRecord {
             step,
             step_time_per_case: solver_t.max(pred_t) / n_cases as f64

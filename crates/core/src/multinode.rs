@@ -11,7 +11,39 @@
 
 use hetsolve_fem::{CompactEbe, CompactElements, FemProblem};
 use hetsolve_mesh::{build_partition, color_elements, partition_rcb, Coloring, Partition, SubMesh};
+use hetsolve_obs::Json;
 use hetsolve_sparse::{KernelCounts, LinearOperator};
+
+/// Partition-quality numbers for the bench snapshot: how well the RCB
+/// decomposition balanced the work and how much halo it must exchange.
+#[derive(Debug, Clone)]
+pub struct PartitionMetrics {
+    pub n_parts: usize,
+    /// Owned elements of each part.
+    pub elems_per_part: Vec<usize>,
+    /// `max(elems) / mean(elems)` — 1.0 is a perfect balance.
+    pub element_imbalance: f64,
+    /// Worst-partition halo bytes per operator application at `r` = 1.
+    pub max_halo_bytes: f64,
+    /// Halo nodes summed over parts (shared nodes counted per sharer).
+    pub total_halo_nodes: usize,
+}
+
+impl PartitionMetrics {
+    /// JSON row for a `MetricsSink` section.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_parts", Json::from(self.n_parts)),
+            (
+                "elems_per_part",
+                Json::Arr(self.elems_per_part.iter().map(|&e| Json::from(e)).collect()),
+            ),
+            ("element_imbalance", Json::Num(self.element_imbalance)),
+            ("max_halo_bytes", Json::Num(self.max_halo_bytes)),
+            ("total_halo_nodes", Json::from(self.total_halo_nodes)),
+        ])
+    }
+}
 
 /// Everything one partition needs to apply its local operator.
 pub struct LocalPart {
@@ -175,6 +207,20 @@ impl PartitionedProblem {
             .fold(0.0, f64::max)
     }
 
+    /// Partition-quality metrics for the bench snapshot.
+    pub fn metrics(&self) -> PartitionMetrics {
+        let elems_per_part: Vec<usize> = self.parts.iter().map(|p| p.sub.mesh.n_elems()).collect();
+        let mean = elems_per_part.iter().sum::<usize>() as f64 / elems_per_part.len().max(1) as f64;
+        let max = elems_per_part.iter().copied().max().unwrap_or(0) as f64;
+        PartitionMetrics {
+            n_parts: self.parts.len(),
+            element_imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+            max_halo_bytes: self.max_halo_bytes(1),
+            total_halo_nodes: self.parts.iter().map(|p| p.sub.halo_size()).sum(),
+            elems_per_part,
+        }
+    }
+
     /// Per-part neighbour byte lists for the cluster model.
     pub fn halo_pattern(&self, part: usize, r: usize) -> hetsolve_machine::HaloPattern {
         let p = &self.parts[part];
@@ -295,6 +341,27 @@ mod tests {
         }
         // r scales bytes linearly
         assert!((part.max_halo_bytes(4) / part.max_halo_bytes(1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_metrics_are_consistent() {
+        let prob = problem();
+        let part = PartitionedProblem::new(&prob, 3, false);
+        let m = part.metrics();
+        assert_eq!(m.n_parts, 3);
+        assert_eq!(m.elems_per_part.len(), 3);
+        assert_eq!(
+            m.elems_per_part.iter().sum::<usize>(),
+            prob.model.mesh.n_elems()
+        );
+        assert!(m.element_imbalance >= 1.0);
+        assert_eq!(m.max_halo_bytes, part.max_halo_bytes(1));
+        assert!(m.total_halo_nodes > 0);
+        // the JSON row round-trips through the hand-rolled parser
+        let text = m.to_json().to_string_pretty();
+        let v = hetsolve_obs::parse_json(&text).unwrap();
+        assert_eq!(v.get("n_parts").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("elems_per_part").unwrap().items().len(), 3);
     }
 
     #[test]

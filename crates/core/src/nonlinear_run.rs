@@ -16,13 +16,17 @@ use hetsolve_fem::{
     CompactEbe, CompactElements, HyperbolicModel, NonlinearState, RandomLoad, TimeState,
 };
 use hetsolve_machine::{ModuleClock, NodeSpec};
+use hetsolve_obs::Json;
 use hetsolve_predictor::AdamsState;
-use hetsolve_sparse::{pcg, BlockJacobi, CgConfig, LinearOperator};
+use hetsolve_sparse::{
+    pcg, pcg_observed, BlockJacobi, CgConfig, LinearOperator, ResidualLog, Termination,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
 use crate::methods::RunConfig;
+use crate::trace::StepTracer;
 
 /// Per-step record of a nonlinear run.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +65,29 @@ pub fn run_nonlinear(
     secant_tol: f64,
     max_secant: usize,
 ) -> NonlinearResult {
+    run_nonlinear_traced(
+        backend,
+        cfg,
+        model,
+        secant_tol,
+        max_secant,
+        &mut StepTracer::disabled(),
+    )
+}
+
+/// [`run_nonlinear`] with observability: every secant pass's CG solve runs
+/// under a [`ResidualLog`] observer (residual decay, termination cause) and
+/// the per-pass convergence evidence lands in the tracer's metrics sink
+/// under the `nonlinear_convergence` section; operator refreshes become
+/// labeled GPU spans.
+pub fn run_nonlinear_traced(
+    backend: &Backend,
+    cfg: &RunConfig,
+    model: &HyperbolicModel,
+    secant_tol: f64,
+    max_secant: usize,
+    tracer: &mut StepTracer,
+) -> NonlinearResult {
     let n = backend.n_dofs();
     let mesh = &backend.problem.model.mesh;
     let a = backend.problem.a_coeffs();
@@ -88,6 +115,9 @@ pub fn run_nonlinear(
     };
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut clock = ModuleClock::new(node_of(cfg).module, cfg.cpu_threads, false);
+    tracer.begin_run("EBE nonlinear (secant)", cfg, 1);
+    tracer.attach_clock(&mut clock);
+    let mut convergence_rows: Vec<Json> = Vec::new();
     let mut refresh_time_ebe = 0.0;
     let mut refresh_time_crs = 0.0;
     let nnzb = backend
@@ -164,7 +194,30 @@ pub fn run_nonlinear(
             }
             let precond = BlockJacobi::from_blocks(&op.diagonal_blocks(), backend.parallel);
             x.copy_from_slice(&guess);
-            let stats = pcg(&op, &precond, &rhs, &mut x, &cg_cfg);
+            let stats = if tracer.is_enabled() {
+                let mut rlog = ResidualLog::new();
+                let stats = pcg_observed(&op, &precond, &rhs, &mut x, &cg_cfg, &mut rlog);
+                convergence_rows.push(Json::obj([
+                    ("step", Json::from(step)),
+                    ("secant_pass", Json::from(secant_iterations)),
+                    ("iterations", Json::from(rlog.iterations)),
+                    (
+                        "termination",
+                        Json::from(rlog.termination.unwrap_or(Termination::Converged).label()),
+                    ),
+                    (
+                        "initial_rel_res",
+                        Json::Num(rlog.history.first().map_or(f64::NAN, |h| h[0])),
+                    ),
+                    (
+                        "final_rel_res",
+                        Json::Num(rlog.history.last().map_or(f64::NAN, |h| h[0])),
+                    ),
+                ]));
+                stats
+            } else {
+                pcg(&op, &precond, &rhs, &mut x, &cg_cfg)
+            };
             debug_assert!(stats.converged, "nonlinear CG failed at step {step}");
             cg_total += stats.iterations;
             secant_iterations += 1;
@@ -172,7 +225,13 @@ pub fn run_nonlinear(
             drop(op);
 
             let change = state.update(&mut compact, mesh, &x, model);
-            refresh_time_ebe += clock.run_gpu(&refresh_counts_ebe(compact.n_elems));
+            refresh_time_ebe += tracer.charge_gpu(
+                &mut clock,
+                0,
+                "EBE modulus refresh",
+                &refresh_counts_ebe(compact.n_elems),
+                &[("secant_pass", Json::from(secant_iterations))],
+            );
             refresh_time_crs += hetsolve_machine::kernel_time(
                 &node_of(cfg).module.gpu,
                 &refresh_counts_crs(compact.n_elems, nnzb),
@@ -201,6 +260,11 @@ pub fn run_nonlinear(
         });
     }
 
+    if tracer.is_enabled() {
+        tracer
+            .sink
+            .set_section("nonlinear_convergence", Json::Arr(convergence_rows));
+    }
     NonlinearResult {
         records,
         final_u: time.u,
@@ -286,6 +350,49 @@ mod tests {
             d > 1e-6 * scale,
             "nonlinearity had no effect (max diff {d}, scale {scale})"
         );
+    }
+
+    #[test]
+    fn traced_nonlinear_logs_convergence_and_matches_untraced() {
+        let (backend, mut cfg) = setup();
+        cfg.n_steps = 4;
+        let model = HyperbolicModel::new(1e-4, 0.05);
+        let plain = run_nonlinear(&backend, &cfg, &model, 1e-3, 3);
+        let mut tracer = StepTracer::new();
+        let traced = run_nonlinear_traced(&backend, &cfg, &model, 1e-3, 3, &mut tracer);
+        // the ResidualLog observer must not perturb the numerics
+        assert_eq!(plain.final_u, traced.final_u);
+        assert_eq!(
+            plain.records.iter().map(|r| r.cg_iterations).sum::<usize>(),
+            traced
+                .records
+                .iter()
+                .map(|r| r.cg_iterations)
+                .sum::<usize>(),
+        );
+        // one convergence row per secant pass, all converged
+        let doc = tracer.sink.to_json();
+        let rows = doc
+            .get("sections")
+            .unwrap()
+            .get("nonlinear_convergence")
+            .unwrap()
+            .items();
+        let passes: usize = traced.records.iter().map(|r| r.secant_iterations).sum();
+        assert_eq!(rows.len(), passes);
+        for row in rows {
+            assert_eq!(row.get("termination").unwrap().as_str(), Some("converged"));
+            let first = row.get("initial_rel_res").unwrap().as_f64().unwrap();
+            let last = row.get("final_rel_res").unwrap().as_f64().unwrap();
+            assert!(last <= first);
+            assert!(last < cfg.tol);
+        }
+        // refresh charges became labeled GPU spans
+        assert!(tracer
+            .trace
+            .events()
+            .iter()
+            .any(|e| e.name == "EBE modulus refresh"));
     }
 
     #[test]

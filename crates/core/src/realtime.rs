@@ -28,6 +28,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
 use crate::methods::RunConfig;
+use crate::trace::{StepTracer, TID_CPU, TID_GPU};
 
 /// Wall-clock accounting of the real pipelined run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -155,10 +156,29 @@ impl SetState {
 /// Run EBE-MCG with two real device threads. Returns the per-case final
 /// displacements and the wall-clock report.
 pub fn run_realtime(backend: &Backend, cfg: &RunConfig) -> (Vec<Vec<f64>>, RealtimeReport) {
+    run_realtime_traced(backend, cfg, &mut StepTracer::disabled())
+}
+
+/// Span collected by a device thread: (pid, tid, label, start_s, dur_s),
+/// both times relative to the run start.
+type WallSpan = (usize, usize, &'static str, f64, f64);
+
+/// [`run_realtime`] with wall-clock tracing: each solver/predictor phase of
+/// each device thread becomes a `cat:"wall"` span in the tracer's timeline
+/// (pid = process set, tid = device lane), so the *real* thread overlap can
+/// be inspected in Perfetto next to the modeled one.
+pub fn run_realtime_traced(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+) -> (Vec<Vec<f64>>, RealtimeReport) {
     assert!(cfg.r >= 1);
+    tracer.begin_run("EBE-MCG@CPU-GPU (realtime)", cfg, 2);
     let mut set_a = SetState::new(backend, cfg, 0);
     let mut set_b = SetState::new(backend, cfg, cfg.r);
     let busy = Mutex::new((0.0f64, 0.0f64)); // (solver, predictor)
+    let trace_on = tracer.is_enabled();
+    let spans: Mutex<Vec<WallSpan>> = Mutex::new(Vec::new());
     let t0 = Instant::now();
 
     // window grows with available history, as in the modeled driver
@@ -174,15 +194,25 @@ pub fn run_realtime(backend: &Backend, cfg: &RunConfig) -> (Vec<Vec<f64>>, Realt
         // A's state was advanced in the previous phase 2)
         let s_a = s_for(&set_a.dd[0], cfg.s_max);
         crossbeam::thread::scope(|scope| {
-            let busy = &busy;
+            let (busy, spans) = (&busy, &spans);
             let b = scope.spawn(|_| {
-                let t = Instant::now();
+                let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
                 set_b.solve(backend, cfg);
-                busy.lock().0 += t.elapsed().as_secs_f64();
+                let dur = t.elapsed().as_secs_f64();
+                busy.lock().0 += dur;
+                if trace_on {
+                    spans.lock().push((1, TID_GPU, "solve (wall)", start, dur));
+                }
             });
-            let t = Instant::now();
+            let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
             set_a.predict(backend, it, s_a);
-            busy.lock().1 += t.elapsed().as_secs_f64();
+            let dur = t.elapsed().as_secs_f64();
+            busy.lock().1 += dur;
+            if trace_on {
+                spans
+                    .lock()
+                    .push((0, TID_CPU, "predict (wall)", start, dur));
+            }
             b.join().expect("solver thread panicked");
         })
         .expect("thread scope failed");
@@ -190,20 +220,36 @@ pub fn run_realtime(backend: &Backend, cfg: &RunConfig) -> (Vec<Vec<f64>>, Realt
         // phase 2: solve A || predict B for the next step
         let s_b = s_for(&set_b.dd[0], cfg.s_max);
         crossbeam::thread::scope(|scope| {
-            let busy = &busy;
+            let (busy, spans) = (&busy, &spans);
             let a = scope.spawn(|_| {
-                let t = Instant::now();
+                let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
                 set_a.solve(backend, cfg);
-                busy.lock().0 += t.elapsed().as_secs_f64();
+                let dur = t.elapsed().as_secs_f64();
+                busy.lock().0 += dur;
+                if trace_on {
+                    spans.lock().push((0, TID_GPU, "solve (wall)", start, dur));
+                }
             });
             if it + 1 < cfg.n_steps {
-                let t = Instant::now();
+                let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
                 set_b.predict(backend, it + 1, s_b);
-                busy.lock().1 += t.elapsed().as_secs_f64();
+                let dur = t.elapsed().as_secs_f64();
+                busy.lock().1 += dur;
+                if trace_on {
+                    spans
+                        .lock()
+                        .push((1, TID_CPU, "predict (wall)", start, dur));
+                }
             }
             a.join().expect("solver thread panicked");
         })
         .expect("thread scope failed");
+    }
+
+    for (pid, tid, name, start_s, dur_s) in spans.into_inner() {
+        tracer
+            .trace
+            .span(pid, tid, "wall", name, start_s * 1e6, dur_s * 1e6, vec![]);
     }
 
     let wall = t0.elapsed().as_secs_f64();
@@ -256,6 +302,25 @@ mod tests {
         assert!(rep.predictor_busy > 0.0);
         assert!(rep.overlap_factor > 0.0);
         assert!(final_u.iter().any(|u| u.iter().any(|&x| x != 0.0)));
+    }
+
+    #[test]
+    fn realtime_tracing_collects_wall_spans_from_both_lanes() {
+        let (backend, mut cfg) = setup();
+        cfg.n_steps = 3;
+        let mut tracer = StepTracer::new();
+        let (_, rep) = run_realtime_traced(&backend, &cfg, &mut tracer);
+        assert_eq!(rep.steps, 3);
+        let events = tracer.trace.events();
+        assert!(events.iter().all(|e| e.cat == "wall"));
+        // both device lanes of both sets appear
+        for pid in [0, 1] {
+            assert!(events.iter().any(|e| e.pid == pid && e.tid == TID_GPU));
+            assert!(events.iter().any(|e| e.pid == pid && e.tid == TID_CPU));
+        }
+        // solver runs every phase: 2 phases per step
+        let solves = events.iter().filter(|e| e.tid == TID_GPU).count();
+        assert_eq!(solves, 2 * cfg.n_steps);
     }
 
     /// The real-thread pipeline computes the same solutions as the modeled

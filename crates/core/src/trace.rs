@@ -1,0 +1,356 @@
+//! Per-step pipeline tracing — the observability layer over the method
+//! drivers.
+//!
+//! [`StepTracer`] sits between the drivers in [`crate::methods`] and the
+//! [`ModuleClock`]: every kernel charge goes through it, so it can label
+//! the clock's [`LaneSpan`]s with *what* ran (solver, predictor, RHS,
+//! transfer) and in which process set, and export the result as
+//! Chrome-trace-event JSON — a faithful, inspectable reproduction of the
+//! paper's Fig. 4 CPU/GPU overlap diagram. It also aggregates
+//! [`AdaptiveWindow`](hetsolve_predictor::AdaptiveWindow) decisions, kernel
+//! work counters and per-method summaries into a [`MetricsSink`] snapshot.
+//!
+//! A disabled tracer (the default for [`crate::methods::run`]) never
+//! enables the clock's span log and skips every branch, so untraced runs
+//! pay nothing.
+//!
+//! Trace layout: one Chrome *process* per process set (`pid`), one
+//! *thread* per device lane (`tid` 0 = CPU, 1 = GPU, 2 = C2C link).
+//! Timestamps are modeled seconds scaled to microseconds.
+
+use std::path::{Path, PathBuf};
+
+use hetsolve_machine::{LaneKind, ModuleClock};
+use hetsolve_obs::{Json, MethodMetrics, MetricsSink, TraceBuilder};
+use hetsolve_predictor::WindowDecision;
+use hetsolve_sparse::KernelCounts;
+
+use crate::methods::{RunConfig, RunResult};
+
+/// Environment variable naming the Chrome-trace output file.
+pub const TRACE_ENV: &str = "HETSOLVE_TRACE";
+/// Environment variable naming the metrics (bench-snapshot JSON) output.
+pub const METRICS_ENV: &str = "HETSOLVE_METRICS";
+
+/// Thread ids of the device lanes in the exported trace.
+pub const TID_CPU: usize = 0;
+pub const TID_GPU: usize = 1;
+pub const TID_LINK: usize = 2;
+
+/// Labeling tracer threaded through the method drivers.
+#[derive(Debug, Clone, Default)]
+pub struct StepTracer {
+    enabled: bool,
+    pub trace: TraceBuilder,
+    pub sink: MetricsSink,
+    /// Total kernel work charged through this tracer.
+    total_counts: KernelCounts,
+    /// Adaptive-window decision log rows for the metrics export.
+    window_log: Vec<Json>,
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+}
+
+impl StepTracer {
+    /// An enabled tracer collecting spans and metrics in memory.
+    pub fn new() -> Self {
+        StepTracer {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// The zero-cost default: collects nothing, labels nothing.
+    pub fn disabled() -> Self {
+        StepTracer::default()
+    }
+
+    /// Build from the environment: enabled iff `HETSOLVE_TRACE` and/or
+    /// `HETSOLVE_METRICS` name output files; [`StepTracer::write_outputs`]
+    /// writes them.
+    pub fn from_env() -> Self {
+        let trace_path = std::env::var_os(TRACE_ENV).map(PathBuf::from);
+        let metrics_path = std::env::var_os(METRICS_ENV).map(PathBuf::from);
+        StepTracer {
+            enabled: trace_path.is_some() || metrics_path.is_some(),
+            trace_path,
+            metrics_path,
+            ..Default::default()
+        }
+    }
+
+    /// Enabled tracer that writes the trace to `path` on
+    /// [`StepTracer::write_outputs`] — the builder-API twin of
+    /// `HETSOLVE_TRACE=path`.
+    pub fn with_trace_path(path: impl AsRef<Path>) -> Self {
+        StepTracer {
+            enabled: true,
+            trace_path: Some(path.as_ref().to_path_buf()),
+            ..Default::default()
+        }
+    }
+
+    /// Also write the metrics snapshot to `path` (builder-API twin of
+    /// `HETSOLVE_METRICS=path`).
+    pub fn metrics_path(mut self, path: impl AsRef<Path>) -> Self {
+        self.metrics_path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total kernel work charged through this tracer so far.
+    pub fn total_counts(&self) -> KernelCounts {
+        self.total_counts
+    }
+
+    /// Announce a run: names the process-set rows and lane threads and
+    /// stores run metadata. Call once per traced run.
+    pub fn begin_run(&mut self, label: &str, cfg: &RunConfig, n_sets: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.trace.set_meta("method", Json::from(label));
+        self.trace.set_meta("n_steps", Json::from(cfg.n_steps));
+        self.trace.set_meta("r", Json::from(cfg.r));
+        self.trace.set_meta("s_max", Json::from(cfg.s_max));
+        self.trace.set_meta("tol", Json::Num(cfg.tol));
+        for set in 0..n_sets {
+            let name = if n_sets == 1 {
+                "process".to_string()
+            } else {
+                format!("process set {}", (b'A' + (set % 26) as u8) as char)
+            };
+            self.trace.name_process(set, &name);
+            self.trace.name_thread(set, TID_CPU, "CPU (predictor)");
+            self.trace.name_thread(set, TID_GPU, "GPU (solver)");
+            self.trace.name_thread(set, TID_LINK, "C2C link");
+        }
+    }
+
+    /// Enable the clock's span log when tracing (no-op otherwise).
+    pub fn attach_clock(&self, clock: &mut ModuleClock) {
+        if self.enabled {
+            clock.enable_span_log();
+        }
+    }
+
+    /// Charge a CPU kernel and label its span.
+    pub fn charge_cpu(
+        &mut self,
+        clock: &mut ModuleClock,
+        set: usize,
+        name: &str,
+        counts: &KernelCounts,
+        args: &[(&str, Json)],
+    ) -> f64 {
+        let t = clock.run_cpu(counts);
+        self.label(clock, set, name, counts, args);
+        t
+    }
+
+    /// Charge a GPU kernel and label its span.
+    pub fn charge_gpu(
+        &mut self,
+        clock: &mut ModuleClock,
+        set: usize,
+        name: &str,
+        counts: &KernelCounts,
+        args: &[(&str, Json)],
+    ) -> f64 {
+        let t = clock.run_gpu(counts);
+        self.label(clock, set, name, counts, args);
+        t
+    }
+
+    /// Charge a CPU↔GPU transfer and label its span.
+    pub fn charge_transfer(
+        &mut self,
+        clock: &mut ModuleClock,
+        set: usize,
+        name: &str,
+        bytes: f64,
+    ) -> f64 {
+        let t = clock.transfer(bytes);
+        if self.enabled {
+            let args = [("bytes", Json::Num(bytes))];
+            self.label(clock, set, name, &KernelCounts::default(), &args);
+        }
+        t
+    }
+
+    fn label(
+        &mut self,
+        clock: &mut ModuleClock,
+        set: usize,
+        name: &str,
+        counts: &KernelCounts,
+        args: &[(&str, Json)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.total_counts = self.total_counts.merged(*counts);
+        for span in clock.drain_spans() {
+            let (tid, cat) = match span.lane {
+                LaneKind::Cpu => (TID_CPU, "cpu"),
+                LaneKind::Gpu => (TID_GPU, "gpu"),
+                LaneKind::Link => (TID_LINK, "link"),
+            };
+            self.trace.span(
+                set,
+                tid,
+                cat,
+                name,
+                span.start * 1e6,
+                (span.end - span.start) * 1e6,
+                args.iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            );
+        }
+    }
+
+    /// Record an [`AdaptiveWindow`](hetsolve_predictor::AdaptiveWindow)
+    /// decision: a counter track in the trace plus a row in the metrics
+    /// `window_log` section. `ts_s` is the modeled time of the decision.
+    pub fn window_decision(&mut self, step: usize, ts_s: f64, d: &WindowDecision) {
+        if !self.enabled {
+            return;
+        }
+        self.trace.counter(
+            0,
+            "adaptive window s",
+            ts_s * 1e6,
+            &[("s_used", d.s_used as f64), ("s_next", d.s_next as f64)],
+        );
+        self.window_log.push(Json::obj([
+            ("step", Json::from(step)),
+            ("t_s", Json::Num(ts_s)),
+            ("s_used", Json::from(d.s_used)),
+            ("s_next", Json::from(d.s_next)),
+            ("predictor_time_s", Json::Num(d.predictor_time)),
+            ("solver_time_s", Json::Num(d.solver_time)),
+            ("unit_cost_s", Json::Num(d.unit_cost)),
+            ("budget_s", Json::Num(d.budget)),
+        ]));
+    }
+
+    /// Record a mean-iterations counter sample (one per step).
+    pub fn iterations_counter(&mut self, ts_s: f64, iterations: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.trace
+            .counter(0, "CG iterations", ts_s * 1e6, &[("iters", iterations)]);
+    }
+
+    /// Fold a finished run into the metrics sink as a method row (and
+    /// flush the window log into a section).
+    pub fn finish_run(&mut self, result: &RunResult, from: usize) {
+        if !self.enabled {
+            return;
+        }
+        let records = &result.records[from.min(result.records.len())..];
+        let mean_window = if records.is_empty() {
+            0.0
+        } else {
+            records.iter().map(|r| r.s_used as f64).sum::<f64>() / records.len() as f64
+        };
+        let counts = self.total_counts;
+        self.sink.push_method(MethodMetrics {
+            method: result.method.label().to_string(),
+            n_cases: result.n_cases,
+            steps: result.records.len(),
+            step_time_s: result.mean_step_time(from),
+            solver_time_s: result.mean_solver_time(from),
+            predictor_time_s: result.mean_predictor_time(from),
+            iterations: result.mean_iterations(from),
+            speedup: 1.0,
+            module_power_w: result.energy.avg_power,
+            energy_per_step_j: result.energy_per_step_per_case(),
+            flops: counts.flops,
+            bytes: counts.bytes(),
+            rand_transactions: counts.rand_transactions,
+            mean_window_s: mean_window,
+        });
+        if !self.window_log.is_empty() {
+            self.sink
+                .set_section("window_log", Json::Arr(self.window_log.clone()));
+        }
+    }
+
+    /// Write the configured outputs (trace and/or metrics files). Returns
+    /// the paths written.
+    pub fn write_outputs(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        if let Some(p) = &self.trace_path {
+            self.trace.write_to(p)?;
+            written.push(p.clone());
+        }
+        if let Some(p) = &self.metrics_path {
+            self.sink.write_to(p)?;
+            written.push(p.clone());
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsolve_machine::single_gh200;
+
+    fn counts(flops: f64) -> KernelCounts {
+        KernelCounts {
+            flops,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_keeps_clock_untouched() {
+        let mut tracer = StepTracer::disabled();
+        let mut clock = ModuleClock::new(single_gh200().module, 72, true);
+        tracer.attach_clock(&mut clock);
+        assert!(!clock.span_log_enabled());
+        tracer.charge_gpu(&mut clock, 0, "solver", &counts(1e12), &[]);
+        assert!(tracer.trace.is_empty());
+        assert_eq!(tracer.total_counts().flops, 0.0);
+    }
+
+    #[test]
+    fn enabled_tracer_labels_lane_spans() {
+        let mut tracer = StepTracer::new();
+        let mut clock = ModuleClock::new(single_gh200().module, 72, true);
+        tracer.attach_clock(&mut clock);
+        let t = tracer.charge_gpu(&mut clock, 1, "solver", &counts(1e12), &[]);
+        tracer.charge_cpu(&mut clock, 1, "predictor", &counts(1e10), &[]);
+        clock.sync();
+        tracer.charge_transfer(&mut clock, 1, "exchange", 1e6);
+        let events = tracer.trace.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "solver");
+        assert_eq!(events[0].tid, TID_GPU);
+        assert_eq!(events[0].pid, 1);
+        assert!((events[0].dur_us.unwrap() - t * 1e6).abs() < 1e-9);
+        assert_eq!(events[1].tid, TID_CPU);
+        assert_eq!(events[2].tid, TID_LINK);
+        assert!(tracer.total_counts().flops > 0.0);
+    }
+
+    #[test]
+    fn charge_returns_same_time_as_raw_clock() {
+        let c = counts(3e12);
+        let mut raw = ModuleClock::new(single_gh200().module, 72, true);
+        let mut traced = raw.clone();
+        let mut tracer = StepTracer::new();
+        tracer.attach_clock(&mut traced);
+        let t_raw = raw.run_gpu(&c);
+        let t_traced = tracer.charge_gpu(&mut traced, 0, "x", &c, &[]);
+        assert_eq!(t_raw, t_traced);
+        assert_eq!(raw.elapsed(), traced.elapsed());
+    }
+}

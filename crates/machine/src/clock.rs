@@ -25,6 +25,28 @@ struct Lane {
     busy_energy: f64,
 }
 
+/// Which timeline a recorded span occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneKind {
+    Cpu,
+    Gpu,
+    /// CPU↔GPU C2C transfer (occupies both lanes; reported once).
+    Link,
+}
+
+/// One busy interval on a device timeline, in modeled seconds. The clock
+/// records *when* work ran; the caller (e.g. `hetsolve-core`'s
+/// `StepTracer`) attaches *what* ran, since only it knows the kernel's
+/// role — the clock sees opaque [`KernelCounts`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneSpan {
+    pub lane: LaneKind,
+    /// Span start on the lane's local timeline (s).
+    pub start: f64,
+    /// Span end (s); `end - start` is the modeled kernel time.
+    pub end: f64,
+}
+
 /// Virtual clock of one GH200 module.
 #[derive(Debug, Clone)]
 pub struct ModuleClock {
@@ -35,6 +57,9 @@ pub struct ModuleClock {
     pub overlapped: bool,
     cpu: Lane,
     gpu: Lane,
+    /// Timeline span log (`None` until [`ModuleClock::enable_span_log`]:
+    /// tracing must cost nothing when nobody is looking).
+    spans: Option<Vec<LaneSpan>>,
 }
 
 /// Summary of a finished (or in-progress) timeline.
@@ -58,6 +83,33 @@ impl ModuleClock {
             overlapped,
             cpu: Lane::default(),
             gpu: Lane::default(),
+            spans: None,
+        }
+    }
+
+    /// Start recording [`LaneSpan`]s for every subsequent charge.
+    pub fn enable_span_log(&mut self) {
+        if self.spans.is_none() {
+            self.spans = Some(Vec::new());
+        }
+    }
+
+    pub fn span_log_enabled(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Take the spans recorded since the last drain (empty when the log is
+    /// disabled). Logging stays enabled.
+    pub fn drain_spans(&mut self) -> Vec<LaneSpan> {
+        match self.spans.as_mut() {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    fn log_span(&mut self, lane: LaneKind, start: f64, end: f64) {
+        if let Some(v) = self.spans.as_mut() {
+            v.push(LaneSpan { lane, start, end });
         }
     }
 
@@ -79,9 +131,11 @@ impl ModuleClock {
         };
         let t = kernel_time(&self.spec.cpu, counts, &ctx);
         let frac = self.spec.cpu.thread_frac(self.cpu_threads);
+        let start = self.cpu.time;
         self.cpu.time += t;
         self.cpu.busy += t;
         self.cpu.busy_energy += t * self.spec.cpu.active_power * frac;
+        self.log_span(LaneKind::Cpu, start, start + t);
         t
     }
 
@@ -93,10 +147,12 @@ impl ModuleClock {
             clock,
         };
         let t = kernel_time(&self.spec.gpu, counts, &ctx);
+        let start = self.gpu.time;
         self.gpu.time += t;
         self.gpu.busy += t;
         // a throttled GPU draws proportionally less active power
         self.gpu.busy_energy += t * self.spec.gpu.active_power * clock;
+        self.log_span(LaneKind::Gpu, start, start + t);
         t
     }
 
@@ -111,8 +167,12 @@ impl ModuleClock {
     /// (call after `sync()` to model the paper's sync-transfer-sync).
     pub fn transfer(&mut self, bytes: f64) -> f64 {
         let t = transfer_time(&self.spec.link, bytes);
+        // one Link span at the later lane time: transfers are documented
+        // to follow a sync(), where both lanes coincide
+        let start = self.cpu.time.max(self.gpu.time);
         self.cpu.time += t;
         self.gpu.time += t;
+        self.log_span(LaneKind::Link, start, start + t);
         // DMA engines draw little; fold into idle power.
         t
     }
@@ -141,10 +201,13 @@ impl ModuleClock {
         }
     }
 
-    /// Reset the timeline (keep the configuration).
+    /// Reset the timeline (keep the configuration and span-log setting).
     pub fn reset(&mut self) {
         self.cpu = Lane::default();
         self.gpu = Lane::default();
+        if let Some(v) = self.spans.as_mut() {
+            v.clear();
+        }
     }
 }
 
@@ -228,6 +291,47 @@ mod tests {
         let t_hot = hot.run_gpu(&c);
         let t_cold = cold.run_gpu(&c);
         assert!(t_hot > t_cold);
+    }
+
+    #[test]
+    fn span_log_disabled_by_default_and_drains_when_enabled() {
+        let mut clk = ModuleClock::new(single_gh200().module, 72, true);
+        clk.run_gpu(&counts(1e12));
+        assert!(clk.drain_spans().is_empty(), "no spans before enabling");
+
+        clk.enable_span_log();
+        let tc = clk.run_cpu(&counts(1e12));
+        let tg = clk.run_gpu(&counts(1e12));
+        clk.sync();
+        let tx = clk.transfer(1e9);
+        let spans = clk.drain_spans();
+        assert_eq!(spans.len(), 3);
+        // CPU span starts where the CPU lane was (0 here: the pre-enable
+        // GPU work only advanced the GPU lane).
+        assert_eq!(spans[0].lane, LaneKind::Cpu);
+        assert!((spans[0].end - spans[0].start - tc).abs() < 1e-15);
+        assert_eq!(spans[1].lane, LaneKind::Gpu);
+        assert!((spans[1].end - spans[1].start - tg).abs() < 1e-15);
+        // link span sits after the sync point and spans both lanes
+        assert_eq!(spans[2].lane, LaneKind::Link);
+        assert!((spans[2].end - spans[2].start - tx).abs() < 1e-15);
+        assert!(spans[2].start >= spans[0].end.max(spans[1].end) - 1e-15);
+        // drained: the log is empty but still enabled
+        assert!(clk.drain_spans().is_empty());
+        assert!(clk.span_log_enabled());
+    }
+
+    #[test]
+    fn overlapped_lanes_yield_overlapping_spans() {
+        // the Fig. 4 structure: predictor@CPU and solver@GPU both start at
+        // the sync point, so their spans overlap in time
+        let mut clk = ModuleClock::new(single_gh200().module, 72, true);
+        clk.enable_span_log();
+        clk.run_cpu(&counts(1e12));
+        clk.run_gpu(&counts(1e12));
+        let spans = clk.drain_spans();
+        let (c, g) = (&spans[0], &spans[1]);
+        assert!(c.start < g.end && g.start < c.end, "lanes did not overlap");
     }
 
     #[test]

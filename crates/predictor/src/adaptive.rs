@@ -10,6 +10,27 @@
 //! the largest `s` whose predicted time fits the latest solver time, bounded
 //! by `s_min..=s_cap` where `s_cap` also reflects the memory limit.
 
+/// One controller decision — why the window `s` moved (or did not). The
+/// paper's Fig. 4 shows *that* `s` adapts; this record shows *why*, and is
+/// exported to the trace/metrics files by `hetsolve-core`'s `StepTracer`.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowDecision {
+    /// Window actually used for the observed step.
+    pub s_used: usize,
+    /// Window chosen for the next step.
+    pub s_next: usize,
+    /// Measured (or modeled) predictor time of the observed step (s).
+    pub predictor_time: f64,
+    /// Measured (or modeled) solver time to hide the predictor behind (s).
+    pub solver_time: f64,
+    /// EWMA of predictor cost per `s²` after folding in this observation
+    /// (s); NaN until the first valid observation.
+    pub unit_cost: f64,
+    /// Predictor-time budget the next window was fitted under:
+    /// `margin * solver_time` (s).
+    pub budget: f64,
+}
+
 /// Controller state.
 #[derive(Debug, Clone)]
 pub struct AdaptiveWindow {
@@ -48,6 +69,18 @@ impl AdaptiveWindow {
     /// `predictor_time` with the window actually used, and `solver_time`
     /// to hide it behind. Returns the window chosen for the next step.
     pub fn observe(&mut self, s_used: usize, predictor_time: f64, solver_time: f64) -> usize {
+        self.observe_logged(s_used, predictor_time, solver_time)
+            .s_next
+    }
+
+    /// [`AdaptiveWindow::observe`] returning the full [`WindowDecision`]
+    /// record for observability consumers.
+    pub fn observe_logged(
+        &mut self,
+        s_used: usize,
+        predictor_time: f64,
+        solver_time: f64,
+    ) -> WindowDecision {
         if s_used >= 1 && predictor_time > 0.0 {
             let unit = predictor_time / (s_used * s_used) as f64;
             self.unit_cost = Some(match self.unit_cost {
@@ -64,7 +97,14 @@ impl AdaptiveWindow {
                 self.s = if fit < self.s { fit } else { grown }.clamp(self.s_min, self.s_cap);
             }
         }
-        self.s
+        WindowDecision {
+            s_used,
+            s_next: self.s,
+            predictor_time,
+            solver_time,
+            unit_cost: self.unit_cost.unwrap_or(f64::NAN),
+            budget: self.margin * solver_time,
+        }
     }
 
     /// Clamp the cap (e.g. when memory gets tighter at runtime).
@@ -136,6 +176,30 @@ mod tests {
         // is limited to +50%
         let s1 = ctl.observe(2, 4e-8, 1.0);
         assert!(s1 <= 3);
+    }
+
+    #[test]
+    fn decision_log_explains_the_choice() {
+        let mut ctl = AdaptiveWindow::new(2, 64);
+        let d0 = ctl.observe_logged(2, 4e-4, 0.1);
+        // first observation: EWMA seeded directly
+        assert!((d0.unit_cost - 1e-4).abs() < 1e-12);
+        assert!((d0.budget - 0.095).abs() < 1e-12);
+        assert_eq!(d0.s_used, 2);
+        assert!(d0.s_next >= d0.s_used, "should grow toward the budget");
+        assert_eq!(d0.s_next, ctl.current());
+        // decisions and the legacy return value agree
+        let s = ctl.observe(d0.s_next, 1e-4 * (d0.s_next * d0.s_next) as f64, 0.1);
+        assert_eq!(s, ctl.current());
+    }
+
+    #[test]
+    fn decision_log_before_any_cost_estimate_is_nan() {
+        let mut ctl = AdaptiveWindow::new(2, 64);
+        // s_used = 0: no predictor ran, no unit cost can be estimated
+        let d = ctl.observe_logged(0, 0.0, 0.1);
+        assert!(d.unit_cost.is_nan());
+        assert_eq!(d.s_next, 2, "window must not move without evidence");
     }
 
     #[test]

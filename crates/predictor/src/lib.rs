@@ -20,6 +20,6 @@ pub mod datadriven;
 pub mod mgs;
 
 pub use adams::{adams_bashforth, AdamsState};
-pub use adaptive::{max_window_for_memory, AdaptiveWindow};
+pub use adaptive::{max_window_for_memory, AdaptiveWindow, WindowDecision};
 pub use datadriven::DataDrivenPredictor;
 pub use mgs::{mgs_qr, MgsQr};

@@ -5,6 +5,8 @@
 //! history is recorded so Fig. 3 (convergence vs. initial guess) can be
 //! regenerated directly.
 
+use hetsolve_obs::{NoopObserver, SolveObserver, Termination};
+
 use crate::op::{KernelCounts, LinearOperator, Preconditioner};
 use crate::vecops::{axpy, dot, norm2, xpby};
 
@@ -52,6 +54,23 @@ pub fn pcg<A: LinearOperator, P: Preconditioner>(
     x: &mut [f64],
     cfg: &CgConfig,
 ) -> CgStats {
+    // NoopObserver is a ZST with empty inlined hooks: this monomorphization
+    // is the exact pre-observer solver (bitwise-identity is tested).
+    pcg_observed(a, prec, f, x, cfg, &mut NoopObserver)
+}
+
+/// [`pcg`] with per-iteration observation: `obs` receives the initial
+/// relative residual, every iterate's residual, and the termination cause.
+/// Observers are read-only, so the computed solution and iteration count
+/// are identical to the unobserved call.
+pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
+    a: &A,
+    prec: &P,
+    f: &[f64],
+    x: &mut [f64],
+    cfg: &CgConfig,
+    obs: &mut O,
+) -> CgStats {
     let n = a.n();
     assert_eq!(f.len(), n);
     assert_eq!(x.len(), n);
@@ -77,6 +96,8 @@ pub fn pcg<A: LinearOperator, P: Preconditioner>(
     if f_norm == 0.0 {
         // A is SPD => x = 0 is the exact solution of A x = 0.
         x.fill(0.0);
+        obs.solve_begin(n, 1, &[0.0]);
+        obs.solve_end(0, Termination::Converged);
         return CgStats {
             iterations: 0,
             initial_rel_res: 0.0,
@@ -90,12 +111,14 @@ pub fn pcg<A: LinearOperator, P: Preconditioner>(
     let mut rel = norm2(&r) / f_norm;
     let initial_rel_res = rel;
     let mut history = vec![rel];
+    obs.solve_begin(n, 1, &[rel]);
 
     let mut z = vec![0.0; n];
     let mut p = vec![0.0; n];
     let mut q = vec![0.0; n];
     let mut rho_prev = 0.0;
     let mut iterations = 0;
+    let mut breakdown = false;
 
     while rel >= cfg.tol && iterations < cfg.max_iter {
         prec.apply(&r, &mut z);
@@ -112,6 +135,7 @@ pub fn pcg<A: LinearOperator, P: Preconditioner>(
         let pq = dot(&p, &q);
         if pq <= 0.0 {
             // loss of positive definiteness (numerical breakdown): stop.
+            breakdown = true;
             break;
         }
         let alpha = rho / pq;
@@ -121,7 +145,19 @@ pub fn pcg<A: LinearOperator, P: Preconditioner>(
         iterations += 1;
         rel = norm2(&r) / f_norm;
         history.push(rel);
+        obs.iteration(iterations, &[rel]);
     }
+
+    obs.solve_end(
+        iterations,
+        if rel < cfg.tol {
+            Termination::Converged
+        } else if breakdown {
+            Termination::Breakdown
+        } else {
+            Termination::MaxIter
+        },
+    );
 
     CgStats {
         iterations,

@@ -37,10 +37,11 @@ pub use assembly::{apply_dirichlet, assemble_global};
 pub use bcrs::{Bcrs3, BcrsBuilder};
 pub use blockjacobi::BlockJacobi;
 pub use blockssor::BlockSsor;
-pub use cg::{pcg, CgConfig, CgStats};
+pub use cg::{pcg, pcg_observed, CgConfig, CgStats};
 pub use dirichlet::FixedMask;
 pub use ebe::{color_faces, ebe_counts, EbeData, EbeMultiOperator, EbeOperator};
 pub use ebe32::{EbeOperator32, EbeStore32};
-pub use mcg::{mcg, McgStats};
+pub use hetsolve_obs::{NoopObserver, ResidualLog, SolveObserver, Termination};
+pub use mcg::{mcg, mcg_observed, McgStats};
 pub use op::{KernelCounts, LinearOperator, MultiOperator, Preconditioner};
 pub use parcheck::ColorScatter;

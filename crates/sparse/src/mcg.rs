@@ -8,6 +8,8 @@
 //! updating, so the already-converged solution is untouched while the
 //! remaining cases finish. Per-case iteration counts are reported.
 
+use hetsolve_obs::{NoopObserver, SolveObserver, Termination};
+
 use crate::op::{KernelCounts, MultiOperator, Preconditioner};
 use crate::vecops::{axpy_multi, dot_multi, xpby_multi};
 
@@ -39,6 +41,24 @@ pub fn mcg<A: MultiOperator, P: Preconditioner>(
     f: &[f64],
     x: &mut [f64],
     cfg: &CgConfig,
+) -> McgStats {
+    // NoopObserver is a ZST with empty inlined hooks: this monomorphization
+    // is the exact pre-observer solver (bitwise-identity is tested).
+    mcg_observed(a, prec, f, x, cfg, &mut NoopObserver)
+}
+
+/// [`mcg`] with per-iteration observation: `obs` receives the per-case
+/// initial relative residuals, every fused iterate's residuals (frozen
+/// cases keep their last value), and the termination cause. Observers are
+/// read-only, so solutions and iteration counts are identical to the
+/// unobserved call.
+pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
+    a: &A,
+    prec: &P,
+    f: &[f64],
+    x: &mut [f64],
+    cfg: &CgConfig,
+    obs: &mut O,
 ) -> McgStats {
     let n = a.n();
     let r = a.r();
@@ -87,6 +107,7 @@ pub fn mcg<A: MultiOperator, P: Preconditioner>(
     }
     let initial_rel_res = rel.clone();
     let mut case_iterations = vec![0usize; r];
+    obs.solve_begin(n, r, &rel);
 
     let mut z = vec![0.0; n * r];
     let mut p = vec![0.0; n * r];
@@ -97,6 +118,7 @@ pub fn mcg<A: MultiOperator, P: Preconditioner>(
     let mut alpha = vec![0.0; r];
     let mut beta = vec![0.0; r];
     let mut fused_iterations = 0usize;
+    let mut breakdown = false;
 
     while active.iter().any(|&a| a) && fused_iterations < cfg.max_iter {
         prec.apply_multi(&r_vec, &mut z, r);
@@ -123,6 +145,7 @@ pub fn mcg<A: MultiOperator, P: Preconditioner>(
                 if pq[c] <= 0.0 {
                     // numerical breakdown for this case: freeze it
                     active[c] = false;
+                    breakdown = true;
                     alpha[c] = 0.0;
                 } else {
                     alpha[c] = rho[c] / pq[c];
@@ -147,17 +170,30 @@ pub fn mcg<A: MultiOperator, P: Preconditioner>(
                 }
             }
         }
+        obs.iteration(fused_iterations, &rel);
     }
+
+    let converged = rel
+        .iter()
+        .zip(&f_norm)
+        .all(|(&e, &fnorm)| fnorm == 0.0 || e < cfg.tol);
+    obs.solve_end(
+        fused_iterations,
+        if converged {
+            Termination::Converged
+        } else if breakdown {
+            Termination::Breakdown
+        } else {
+            Termination::MaxIter
+        },
+    );
 
     McgStats {
         fused_iterations,
         case_iterations,
         initial_rel_res,
         final_rel_res: rel.clone(),
-        converged: rel
-            .iter()
-            .zip(&f_norm)
-            .all(|(&e, &fnorm)| fnorm == 0.0 || e < cfg.tol),
+        converged,
         counts,
     }
 }

@@ -1,19 +1,31 @@
 //! The heterogeneous pipeline in detail: run EBE-MCG@CPU-GPU and print the
 //! per-step breakdown — solver@GPU vs predictor@CPU times and the
-//! adaptively chosen snapshot window `s` (the paper's Fig. 4).
+//! adaptively chosen snapshot window `s` (the paper's Fig. 4). Exports the
+//! single-GH200 timeline as Chrome-trace JSON and both nodes' summaries as
+//! a bench-snapshot metrics file (`HETSOLVE_TRACE` / `HETSOLVE_METRICS`
+//! override the paths).
 //!
 //! ```bash
 //! cargo run --release --example ensemble_hetero
 //! ```
 
-use hetsolve::core::{run, Backend, MethodKind, RunConfig};
+use hetsolve::core::{run_traced, Backend, MethodKind, RunConfig, StepTracer};
 use hetsolve::fem::{FemProblem, RandomLoadSpec};
 use hetsolve::machine::{alps_node, single_gh200};
 use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
+use hetsolve::obs::{Json, MetricsSink};
 
 fn main() {
     let spec = GroundModelSpec::paper_like(6, 6, 4, InterfaceShape::Stratified);
     let backend = Backend::new(FemProblem::paper_like(&spec), false, true);
+
+    let trace_path =
+        std::env::var("HETSOLVE_TRACE").unwrap_or_else(|_| "ensemble_trace.json".into());
+    let metrics_path =
+        std::env::var("HETSOLVE_METRICS").unwrap_or_else(|_| "ensemble_metrics.json".into());
+    let mut metrics = MetricsSink::new();
+    metrics.set_meta("generator", Json::from("example ensemble_hetero"));
+    metrics.set_meta("n_dofs", Json::from(backend.n_dofs()));
 
     for (label, node) in [
         ("single-GH200", single_gh200()),
@@ -29,7 +41,24 @@ fn main() {
             amplitude: 1e6,
             active_window: 0.1,
         };
-        let result = run(&backend, &cfg);
+        let mut tracer = StepTracer::new();
+        let result = run_traced(&backend, &cfg, &mut tracer);
+        for row in tracer.sink.methods() {
+            let mut row = row.clone();
+            row.method = format!("{} ({label})", row.method);
+            metrics.push_method(row);
+        }
+        if label == "single-GH200" {
+            if let Some(log) = tracer
+                .sink
+                .to_json()
+                .get("sections")
+                .and_then(|s| s.get("window_log").cloned())
+            {
+                metrics.set_section("window_log", log);
+            }
+            tracer.trace.write_to(&trace_path).expect("write trace");
+        }
 
         println!(
             "{:>5} | {:>10} | {:>10} | {:>6} | {:>6} | {:>9}",
@@ -60,4 +89,8 @@ fn main() {
     println!("\nAs in the paper's Fig. 4, the window s grows until the predictor@CPU");
     println!("time balances the solver@GPU time; under the Alps power cap the GPU");
     println!("throttles, so the balance lands at a different point (Table 4).");
+
+    metrics.write_to(&metrics_path).expect("write metrics");
+    println!("\nwrote {trace_path} (single-GH200 timeline; open in ui.perfetto.dev)");
+    println!("wrote {metrics_path} (bench-snapshot schema)");
 }

@@ -1,18 +1,24 @@
 //! Quickstart: build a small layered ground model, run the paper's four
 //! methods on a short time history, and print a Table-3-style comparison.
+//! Also exports the observability artifacts: a Chrome-trace timeline of the
+//! `EBE-MCG@CPU-GPU` run (load into <https://ui.perfetto.dev> to see the
+//! paper's Fig. 4 overlap) and a bench-snapshot metrics file. Override the
+//! output paths with `HETSOLVE_TRACE=...` / `HETSOLVE_METRICS=...`.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
 use hetsolve::core::{
-    apply_speedups, format_application_table, run, Backend, MethodKind, MethodSummary, RunConfig,
+    apply_speedups, format_application_table, run_traced, Backend, MethodKind, MethodSummary,
+    RunConfig, StepTracer,
 };
 use hetsolve::fem::{FemProblem, RandomLoadSpec};
 use hetsolve::machine::{
     crs_cg_cpu, crs_cg_cpu_gpu, crs_cg_gpu, ebe_mcg_cpu_gpu, single_gh200, ProblemDims,
 };
 use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
+use hetsolve::obs::{Json, MetricsSink};
 
 fn main() {
     // A scaled-down version of the paper's horizontally stratified ground
@@ -42,6 +48,16 @@ fn main() {
         ebe_mcg_cpu_gpu(&dims, 32, 4),
     ];
 
+    let trace_path =
+        std::env::var("HETSOLVE_TRACE").unwrap_or_else(|_| "quickstart_trace.json".into());
+    let metrics_path =
+        std::env::var("HETSOLVE_METRICS").unwrap_or_else(|_| "quickstart_metrics.json".into());
+    let mut metrics = MetricsSink::new();
+    metrics.set_meta("generator", Json::from("example quickstart"));
+    metrics.set_meta("n_dofs", Json::from(backend.n_dofs()));
+    metrics.set_meta("n_steps", Json::from(steps));
+    let mut ebe_trace = None;
+
     let mut rows = Vec::new();
     for (i, method) in [
         MethodKind::CrsCgCpu,
@@ -60,7 +76,8 @@ fn main() {
             amplitude: 1e6,
             active_window: 0.15,
         };
-        let result = run(&backend, &cfg);
+        let mut tracer = StepTracer::new();
+        let result = run_traced(&backend, &cfg, &mut tracer);
         println!(
             "{:<17} done: {} cases x {} steps, mean {:.1} CG iterations/step",
             method.label(),
@@ -69,6 +86,20 @@ fn main() {
             result.mean_iterations(from)
         );
         rows.push(MethodSummary::from_run(&result, mems[i], from));
+        for row in tracer.sink.methods() {
+            metrics.push_method(row.clone());
+        }
+        if method == MethodKind::EbeMcgCpuGpu {
+            if let Some(log) = tracer
+                .sink
+                .to_json()
+                .get("sections")
+                .and_then(|s| s.get("window_log").cloned())
+            {
+                metrics.set_section("window_log", log);
+            }
+            ebe_trace = Some(tracer.trace);
+        }
     }
     apply_speedups(&mut rows);
 
@@ -77,4 +108,11 @@ fn main() {
     println!(
         "\npaper (Table 3): speedups 1.00 / 9.96 / 26.1 / 86.4; energy 9944 / 2163 / 1001 / 309 J"
     );
+
+    if let Some(trace) = ebe_trace {
+        trace.write_to(&trace_path).expect("write trace");
+        println!("\nwrote {trace_path} (EBE-MCG@CPU-GPU timeline; open in ui.perfetto.dev)");
+    }
+    metrics.write_to(&metrics_path).expect("write metrics");
+    println!("wrote {metrics_path} (bench-snapshot schema)");
 }

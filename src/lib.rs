@@ -17,6 +17,8 @@
 //! * [`machine`] — the calibrated GH200/Alps hardware model (roofline,
 //!   energy, power caps, interconnect),
 //! * [`signal`] — FFT, Welch spectra, frequency domain decomposition,
+//! * [`obs`] — dependency-free observability: solver observers,
+//!   Chrome-trace-event export, bench-snapshot metrics,
 //! * [`core`] — the four methods (`CRS-CG@CPU/GPU/CPU-GPU`,
 //!   `EBE-MCG@CPU-GPU`), ensembles, and multi-node execution.
 //!
@@ -29,6 +31,7 @@ pub use hetsolve_core as core;
 pub use hetsolve_fem as fem;
 pub use hetsolve_machine as machine;
 pub use hetsolve_mesh as mesh;
+pub use hetsolve_obs as obs;
 pub use hetsolve_predictor as predictor;
 pub use hetsolve_signal as signal;
 pub use hetsolve_sparse as sparse;
@@ -36,8 +39,8 @@ pub use hetsolve_sparse as sparse;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use hetsolve_core::{
-        run, run_ensemble, Backend, EnsembleConfig, MethodKind, PartitionedProblem, RunConfig,
-        RunResult,
+        run, run_ensemble, run_traced, Backend, EnsembleConfig, MethodKind, PartitionedProblem,
+        RunConfig, RunResult, StepTracer,
     };
     pub use hetsolve_fem::{FemProblem, RandomLoadSpec};
     pub use hetsolve_machine::{alps_node, single_gh200, NodeSpec};

@@ -1,0 +1,212 @@
+//! Cross-crate validation of the observability layer: observers and the
+//! step tracer must be *neutral* (bitwise-identical numerics with and
+//! without them), the exported artifacts must round-trip through the
+//! hand-rolled JSON parser with the advertised schemas, and the EBE-MCG
+//! timeline must actually show the paper's Fig. 4 CPU/GPU overlap.
+
+use hetsolve::core::{run, run_traced, StepTracer, TID_CPU, TID_GPU};
+use hetsolve::fem::FemProblem;
+use hetsolve::obs::{
+    parse_json, validate_lane_serialization, Termination, BENCH_SCHEMA, TRACE_SCHEMA,
+};
+use hetsolve::prelude::*;
+use hetsolve::sparse::{mcg, mcg_observed, pcg, pcg_observed, CgConfig, ResidualLog};
+
+fn backend() -> Backend {
+    let spec = GroundModelSpec::paper_like(4, 4, 3, InterfaceShape::Inclined);
+    Backend::new(FemProblem::paper_like(&spec), true, true)
+}
+
+fn config(method: MethodKind, steps: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(method, single_gh200(), steps);
+    cfg.r = 2;
+    cfg.s_max = 8;
+    cfg.load = RandomLoadSpec {
+        n_sources: 8,
+        impulses_per_source: 3.0,
+        amplitude: 1e6,
+        active_window: 0.2,
+    };
+    cfg
+}
+
+/// Deterministic non-trivial RHS with Dirichlet rows zeroed.
+fn synthetic_rhs(n: usize, fixed: &[bool], case: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if fixed[i] {
+                0.0
+            } else {
+                (0.37 * i as f64 + case as f64).sin() * 1e4
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn pcg_observer_is_bitwise_neutral() {
+    let b = backend();
+    let a = b.crs_a.as_ref().expect("backend built with CRS");
+    let n = b.n_dofs();
+    let f = synthetic_rhs(n, &b.fixed, 0);
+    let cfg = CgConfig::default();
+
+    let mut x_plain = vec![0.0; n];
+    let stats_plain = pcg(a, &b.precond, &f, &mut x_plain, &cfg);
+
+    let mut x_obs = vec![0.0; n];
+    let mut log = ResidualLog::new();
+    let stats_obs = pcg_observed(a, &b.precond, &f, &mut x_obs, &cfg, &mut log);
+
+    assert!(stats_plain.converged && stats_obs.converged);
+    assert_eq!(stats_plain.iterations, stats_obs.iterations);
+    for (p, o) in x_plain.iter().zip(&x_obs) {
+        assert_eq!(p.to_bits(), o.to_bits(), "observer perturbed the solve");
+    }
+    // the log saw the whole solve: initial residual + one row per iteration
+    assert_eq!(log.iterations, stats_obs.iterations);
+    assert_eq!(log.history.len(), stats_obs.iterations + 1);
+    assert_eq!(log.termination, Some(Termination::Converged));
+    let final_rel = log.history.last().unwrap()[0];
+    assert!(final_rel < cfg.tol, "logged final residual {final_rel:e}");
+}
+
+#[test]
+fn mcg_observer_is_bitwise_neutral() {
+    let b = backend();
+    let r = 2;
+    let op = b.ebe_a(r);
+    let n = b.n_dofs();
+    let mut f = vec![0.0; n * r];
+    for c in 0..r {
+        let fc = synthetic_rhs(n, &b.fixed, c);
+        for i in 0..n {
+            f[i * r + c] = fc[i];
+        }
+    }
+    let cfg = CgConfig::default();
+
+    let mut x_plain = vec![0.0; n * r];
+    let stats_plain = mcg(&op, &b.precond, &f, &mut x_plain, &cfg);
+
+    let mut x_obs = vec![0.0; n * r];
+    let mut log = ResidualLog::new();
+    let stats_obs = mcg_observed(&op, &b.precond, &f, &mut x_obs, &cfg, &mut log);
+
+    assert!(stats_plain.converged && stats_obs.converged);
+    assert_eq!(stats_plain.fused_iterations, stats_obs.fused_iterations);
+    assert_eq!(stats_plain.case_iterations, stats_obs.case_iterations);
+    for (p, o) in x_plain.iter().zip(&x_obs) {
+        assert_eq!(p.to_bits(), o.to_bits(), "observer perturbed the solve");
+    }
+    assert_eq!(log.iterations, stats_obs.fused_iterations);
+    assert_eq!(log.history.len(), stats_obs.fused_iterations + 1);
+    // every history row carries one residual per fused case
+    assert!(log.history.iter().all(|row| row.len() == r));
+    assert_eq!(log.termination, Some(Termination::Converged));
+}
+
+#[test]
+fn traced_run_is_bitwise_identical_to_untraced() {
+    let b = backend();
+    for method in [MethodKind::CrsCgCpuGpu, MethodKind::EbeMcgCpuGpu] {
+        let cfg = config(method, 20);
+        let plain = run(&b, &cfg);
+        let mut tracer = StepTracer::new();
+        let traced = run_traced(&b, &cfg, &mut tracer);
+        assert!(
+            !tracer.trace.is_empty(),
+            "{method:?}: tracer recorded nothing"
+        );
+
+        assert_eq!(plain.final_u.len(), traced.final_u.len());
+        for (case, (up, ut)) in plain.final_u.iter().zip(&traced.final_u).enumerate() {
+            for (p, t) in up.iter().zip(ut) {
+                assert_eq!(
+                    p.to_bits(),
+                    t.to_bits(),
+                    "{method:?}: tracing perturbed case {case}"
+                );
+            }
+        }
+        for (rp, rt) in plain.records.iter().zip(&traced.records) {
+            assert_eq!(rp.iterations, rt.iterations);
+            assert_eq!(rp.s_used, rt.s_used);
+        }
+    }
+}
+
+#[test]
+fn exported_artifacts_round_trip_with_schemas() {
+    let b = backend();
+    let mut tracer = StepTracer::new();
+    let result = run_traced(&b, &config(MethodKind::EbeMcgCpuGpu, 16), &mut tracer);
+    assert!(result.records.len() == 16);
+
+    // trace document: parseable, schema-tagged, lane-serializable
+    let trace_doc = tracer.trace.to_json().to_string_pretty();
+    let v = parse_json(&trace_doc).expect("trace JSON must parse");
+    assert_eq!(
+        v.get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(|s| s.as_str()),
+        Some(TRACE_SCHEMA)
+    );
+    assert!(v
+        .get("traceEvents")
+        .map(|e| matches!(e, hetsolve::obs::Json::Arr(a) if !a.is_empty()))
+        .unwrap_or(false));
+    if let Err(pair) = validate_lane_serialization(tracer.trace.events(), 1e-6) {
+        panic!(
+            "overlapping spans on one device lane:\n  {:?}\n  {:?}",
+            pair.0, pair.1
+        );
+    }
+
+    // metrics document: parseable, schema-tagged, one method row
+    let bench_doc = tracer.sink.to_json().to_string_pretty();
+    let v = parse_json(&bench_doc).expect("bench JSON must parse");
+    assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(BENCH_SCHEMA));
+    let methods = v.get("methods").expect("methods array");
+    assert!(matches!(methods, hetsolve::obs::Json::Arr(a) if a.len() == 1));
+    assert!(
+        v.get("sections")
+            .and_then(|s| s.get("window_log"))
+            .is_some(),
+        "EBE-MCG snapshot must carry the adaptive-window log"
+    );
+}
+
+/// Acceptance check from the issue: the EBE-MCG timeline must show the
+/// predictor (CPU lane) running concurrently with the solver (GPU lane)
+/// within a process set — the paper's Fig. 4 overlap.
+#[test]
+fn ebe_mcg_trace_shows_predictor_solver_overlap() {
+    let b = backend();
+    let mut tracer = StepTracer::new();
+    run_traced(&b, &config(MethodKind::EbeMcgCpuGpu, 24), &mut tracer);
+
+    let events = tracer.trace.events();
+    let spans = |tid: usize, name: &str| {
+        events
+            .iter()
+            .filter(|e| e.ph == 'X' && e.tid == tid && e.name.contains(name))
+            .map(|e| (e.pid, e.ts_us, e.ts_us + e.dur_us.unwrap_or(0.0)))
+            .collect::<Vec<_>>()
+    };
+    let predictors = spans(TID_CPU, "predictor");
+    let solvers = spans(TID_GPU, "MCG");
+    assert!(!predictors.is_empty(), "no predictor spans in trace");
+    assert!(!solvers.is_empty(), "no solver spans in trace");
+
+    let overlap = predictors.iter().any(|&(pp, ps, pe)| {
+        solvers
+            .iter()
+            .any(|&(sp, ss, se)| pp == sp && ps < se && ss < pe)
+    });
+    assert!(
+        overlap,
+        "no predictor span overlaps a solver span in the same process set — \
+         the Fig. 4 CPU/GPU concurrency is not visible in the trace"
+    );
+}

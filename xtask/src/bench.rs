@@ -1,0 +1,106 @@
+//! `cargo xtask bench-snapshot` — run the paper's four methods on a small
+//! reference problem and write the next schema-versioned `BENCH_<n>.json`
+//! at the workspace root (or an explicit directory). Snapshots accumulate
+//! across PRs, so the modeled perf trajectory mandated by ROADMAP.md stays
+//! machine-readable and diffable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hetsolve_core::{run_traced, Backend, MethodKind, PartitionedProblem, RunConfig, StepTracer};
+use hetsolve_fem::{FemProblem, RandomLoadSpec};
+use hetsolve_machine::single_gh200;
+use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+use hetsolve_obs::{Json, MethodMetrics, MetricsSink};
+
+/// Reference-problem shape: small enough for a debug-profile run in
+/// seconds, large enough that the four methods order as in the paper.
+const MESH: (usize, usize, usize) = (4, 3, 2);
+const STEPS: usize = 24;
+
+pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
+    let dir = dir.map(PathBuf::from).unwrap_or_else(crate::workspace_root);
+    let spec = GroundModelSpec::paper_like(MESH.0, MESH.1, MESH.2, InterfaceShape::Stratified);
+    let backend = Backend::new(FemProblem::paper_like(&spec), true, false);
+
+    let mut sink = MetricsSink::new();
+    sink.set_meta("generator", Json::from("cargo xtask bench-snapshot"));
+    sink.set_meta("version", Json::from(env!("CARGO_PKG_VERSION")));
+    sink.set_meta(
+        "mesh",
+        Json::from(format!(
+            "paper_like {}x{}x{} stratified",
+            MESH.0, MESH.1, MESH.2
+        )),
+    );
+    sink.set_meta("n_dofs", Json::from(backend.n_dofs()));
+    sink.set_meta("n_steps", Json::from(STEPS));
+
+    let mut rows: Vec<MethodMetrics> = Vec::new();
+    for method in [
+        MethodKind::CrsCgCpu,
+        MethodKind::CrsCgGpu,
+        MethodKind::CrsCgCpuGpu,
+        MethodKind::EbeMcgCpuGpu,
+    ] {
+        let cfg = bench_config(method);
+        let mut tracer = StepTracer::new();
+        let result = run_traced(&backend, &cfg, &mut tracer);
+        println!(
+            "bench-snapshot: {:<16} {:>3} steps, {:.3e} s/step/case, {:.1} iters",
+            method.label(),
+            result.records.len(),
+            result.mean_step_time(cfg.measure_from),
+            result.mean_iterations(cfg.measure_from),
+        );
+        rows.extend(tracer.sink.methods().iter().cloned());
+        // keep the adaptive-window decision log of the proposed method
+        if method == MethodKind::EbeMcgCpuGpu {
+            if let Some(log) = tracer
+                .sink
+                .to_json()
+                .get("sections")
+                .and_then(|s| s.get("window_log").cloned())
+            {
+                sink.set_section("window_log", log);
+            }
+        }
+    }
+    let base = rows.first().map(|r| r.step_time_s).unwrap_or(0.0);
+    for row in &mut rows {
+        row.speedup = if row.step_time_s > 0.0 {
+            base / row.step_time_s
+        } else {
+            0.0
+        };
+        sink.push_method(row.clone());
+    }
+
+    let part = PartitionedProblem::new(&backend.problem, 4, false);
+    sink.set_section("partition", part.metrics().to_json());
+
+    match sink.write_bench_snapshot(&dir) {
+        Ok(path) => {
+            println!("bench-snapshot: wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-snapshot: write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_config(method: MethodKind) -> RunConfig {
+    let mut cfg = RunConfig::new(method, single_gh200(), STEPS);
+    cfg.r = 2;
+    cfg.s_max = 6;
+    cfg.region_dofs = 300;
+    cfg.load = RandomLoadSpec {
+        n_sources: 4,
+        impulses_per_source: 2.0,
+        amplitude: 1e6,
+        active_window: 0.2,
+    };
+    cfg
+}

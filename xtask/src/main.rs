@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 
+mod bench;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -27,6 +29,7 @@ const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/core/src/lib.rs",
     "crates/machine/src/lib.rs",
     "crates/mesh/src/lib.rs",
+    "crates/obs/src/lib.rs",
     "crates/predictor/src/lib.rs",
     "crates/signal/src/lib.rs",
     "src/lib.rs",
@@ -39,12 +42,13 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench-snapshot") => bench::bench_snapshot(args.next()),
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint");
+            eprintln!("unknown xtask `{other}`; available: lint, bench-snapshot");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint | bench-snapshot [dir]>");
             ExitCode::FAILURE
         }
     }
