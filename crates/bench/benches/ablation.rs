@@ -214,6 +214,7 @@ fn ablate_preconditioner() {
     let cfg = hetsolve_sparse::CgConfig {
         tol: 1e-8,
         max_iter: 10_000,
+        ..Default::default()
     };
     let a = backend.crs_a();
     let mut x1 = vec![0.0; n];
@@ -290,6 +291,7 @@ fn ablate_precision() {
     let cfg = hetsolve_sparse::CgConfig {
         tol: 1e-8,
         max_iter: 10_000,
+        ..Default::default()
     };
     let mut x64 = vec![0.0; n];
     let s64 = hetsolve_sparse::pcg(&backend.ebe_a(1), &backend.precond, &f, &mut x64, &cfg);

@@ -51,7 +51,7 @@ fn fig1() {
         cfg.run.s_max = 8;
         cfg.run.tol = 1e-7;
         cfg.run.load = bench_load();
-        let (res, _) = run_ensemble(&backend, &cfg);
+        let (res, _) = run_ensemble(&backend, &cfg).expect("ensemble");
         let welch = WelchConfig::new(512, 256, res.dt);
         let fmap = res.dominant_frequency_map(&welch, 5.0);
         let mean: f64 = fmap.iter().sum::<f64>() / fmap.len() as f64;
@@ -125,7 +125,7 @@ fn fig4() {
     cfg.r = 4;
     cfg.s_max = 32;
     cfg.load = bench_load();
-    let result = run(&backend, &cfg);
+    let result = run(&backend, &cfg).expect("run");
     println!("step,solver_s_per_case,predictor_s_per_case,s_used,iterations");
     for rec in result.records.iter().step_by(4) {
         println!(

@@ -119,7 +119,7 @@ fn application_rows(node: hetsolve_machine::NodeSpec, threads: &[usize]) -> Vec<
         let mut cfg = RunConfig::new(method, node, steps);
         cfg.s_max = 16;
         cfg.load = bench_load();
-        let result = run(&backend, &cfg);
+        let result = run(&backend, &cfg).expect("run");
         rows.push(MethodSummary::from_run(&result, mem, from));
     }
     for &t in threads {
@@ -127,7 +127,7 @@ fn application_rows(node: hetsolve_machine::NodeSpec, threads: &[usize]) -> Vec<
         cfg.s_max = 16;
         cfg.cpu_threads = t;
         cfg.load = bench_load();
-        let result = run(&backend, &cfg);
+        let result = run(&backend, &cfg).expect("run");
         rows.push(MethodSummary::from_run(
             &result,
             ebe_mcg_cpu_gpu(&dims, 32, 4),

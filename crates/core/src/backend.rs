@@ -266,6 +266,7 @@ mod tests {
         let cfg = CgConfig {
             tol: 1e-10,
             max_iter: 2000,
+            ..Default::default()
         };
         let mut x1 = vec![0.0; n];
         let s1 = pcg(&b.ebe_a(1), &b.precond, &f, &mut x1, &cfg);

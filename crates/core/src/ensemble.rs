@@ -10,6 +10,7 @@ use hetsolve_signal::{dominant_frequency_psd, fdd, welch_psd, FddResult, WelchCo
 
 use crate::backend::Backend;
 use crate::methods::{run, MethodKind, RunConfig, RunResult};
+use crate::recovery::RunError;
 
 /// Ensemble configuration.
 #[derive(Debug, Clone)]
@@ -107,7 +108,10 @@ impl EnsembleResult {
 }
 
 /// Run the ensemble on an existing backend (already-built problem).
-pub fn run_ensemble(backend: &Backend, cfg: &EnsembleConfig) -> (EnsembleResult, Vec<RunResult>) {
+pub fn run_ensemble(
+    backend: &Backend,
+    cfg: &EnsembleConfig,
+) -> Result<(EnsembleResult, Vec<RunResult>), RunError> {
     let cases_per_run = cfg.run.method.n_cases(cfg.run.r).max(1);
     let n_runs = cfg.n_cases.div_ceil(cases_per_run);
     let mut waveforms = Vec::with_capacity(cfg.n_cases);
@@ -117,7 +121,7 @@ pub fn run_ensemble(backend: &Backend, cfg: &EnsembleConfig) -> (EnsembleResult,
         rc.n_steps = cfg.n_steps;
         rc.record_surface = true;
         rc.seed = cfg.seed + (batch * cases_per_run) as u64;
-        let result = run(backend, &rc);
+        let result = run(backend, &rc)?;
         for w in &result.waveforms {
             if waveforms.len() < cfg.n_cases {
                 waveforms.push(w.clone());
@@ -131,7 +135,7 @@ pub fn run_ensemble(backend: &Backend, cfg: &EnsembleConfig) -> (EnsembleResult,
         .iter()
         .map(|&n| backend.problem.model.mesh.coords[n as usize])
         .collect();
-    (
+    Ok((
         EnsembleResult {
             surface_nodes: backend.problem.surface_nodes.clone(),
             coords,
@@ -139,7 +143,7 @@ pub fn run_ensemble(backend: &Backend, cfg: &EnsembleConfig) -> (EnsembleResult,
             dt: backend.problem.newmark.dt,
         },
         runs,
-    )
+    ))
 }
 
 /// Convenience: build a problem from a spec and run the ensemble.
@@ -147,7 +151,7 @@ pub fn run_ensemble_for_model(
     spec: &GroundModelSpec,
     cfg: &EnsembleConfig,
     parallel: bool,
-) -> (EnsembleResult, Vec<RunResult>) {
+) -> Result<(EnsembleResult, Vec<RunResult>), RunError> {
     let needs_crs = matches!(
         cfg.run.method,
         MethodKind::CrsCgCpu | MethodKind::CrsCgGpu | MethodKind::CrsCgCpuGpu
@@ -181,7 +185,7 @@ mod tests {
         let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
         let backend = Backend::new(FemProblem::paper_like(&spec), false, false);
         let cfg = quick_cfg(5, 6);
-        let (res, runs) = run_ensemble(&backend, &cfg);
+        let (res, runs) = run_ensemble(&backend, &cfg).expect("ensemble");
         assert_eq!(res.n_cases(), 5);
         assert_eq!(runs.len(), 2); // 4 cases per EBE run -> 2 batches
         assert_eq!(res.n_points(), backend.problem.surface_nodes.len());
@@ -194,7 +198,7 @@ mod tests {
         let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
         let backend = Backend::new(FemProblem::paper_like(&spec), false, false);
         let cfg = quick_cfg(8, 8);
-        let (res, _) = run_ensemble(&backend, &cfg);
+        let (res, _) = run_ensemble(&backend, &cfg).expect("ensemble");
         // at least two cases must differ (different seeds)
         let a = &res.waveforms[0];
         let b = &res.waveforms[5];

@@ -14,6 +14,8 @@
 //!   (Fig. 1 application),
 //! * [`multinode`] — partitioned/distributed operators consistent with the
 //!   sequential ones (Fig. 2, Fig. 5),
+//! * [`recovery`] — the typed error ladder: retry failed solves with
+//!   progressively safer guesses, recording each [`recovery::RecoveryEvent`],
 //! * [`report`] — table/series formatting for the benchmark harnesses,
 //! * [`trace`] — the observability layer: per-step Chrome-trace spans and
 //!   machine-readable bench snapshots (`hetsolve-obs` export formats).
@@ -26,18 +28,20 @@ pub mod methods;
 pub mod multinode;
 pub mod nonlinear_run;
 pub mod realtime;
+pub mod recovery;
 pub mod report;
 pub mod study;
 pub mod trace;
 
 pub use backend::{Backend, RhsScratch};
 pub use ensemble::{run_ensemble, run_ensemble_for_model, EnsembleConfig, EnsembleResult};
-pub use methods::{run, run_traced, MethodKind, RunConfig, RunResult, StepRecord};
+pub use methods::{run, run_faulted, run_traced, MethodKind, RunConfig, RunResult, StepRecord};
 pub use multinode::{DistributedOperator, LocalPart, PartitionMetrics, PartitionedProblem};
 pub use nonlinear_run::{
     run_nonlinear, run_nonlinear_traced, NonlinearResult, NonlinearStepRecord,
 };
-pub use realtime::{run_realtime, run_realtime_traced, RealtimeReport};
+pub use realtime::{run_realtime, run_realtime_faulted, run_realtime_traced, RealtimeReport};
+pub use recovery::{GuessSource, RecoveryEvent, RunError};
 pub use report::{apply_speedups, format_application_table, format_series, MethodSummary};
 pub use study::{convergence_study, ConvergenceStudy, GuessResult, StudyConfig};
 pub use trace::{StepTracer, METRICS_ENV, TID_CPU, TID_GPU, TID_LINK, TRACE_ENV};

@@ -15,16 +15,50 @@
 //! the overlap/synchronization/transfer structure of the paper's
 //! algorithms. Per-step records regenerate Tables 3–4 and Fig. 4.
 
+use hetsolve_fault::{FaultInjector, FaultLane, NoopFaults, VectorFault};
 use hetsolve_fem::{RandomLoad, RandomLoadSpec, TimeState};
-use hetsolve_machine::{EnergyReport, ModuleClock, NodeSpec};
+use hetsolve_machine::{EnergyReport, LaneKind, ModuleClock, NodeSpec};
 use hetsolve_obs::Json;
 use hetsolve_predictor::{AdamsState, AdaptiveWindow, DataDrivenPredictor};
-use hetsolve_sparse::{mcg, pcg, CgConfig, KernelCounts};
+use hetsolve_sparse::{CgConfig, KernelCounts};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
+use crate::recovery::{solve_set_with_ladder, solve_with_ladder, RecoveryEvent, RunError};
 use crate::trace::StepTracer;
+
+/// Stagnation window the drivers hand to the CG solvers: long enough that
+/// a healthy solve never trips it, short enough that a non-converging
+/// residual plateau fails fast instead of burning the full iteration cap.
+pub(crate) const DRIVER_STAGNATION_WINDOW: usize = 2_000;
+
+/// Divergent-guess threshold the drivers hand to the CG solvers. Past
+/// `tol / eps` the recursive residual can fake a convergence (attainable
+/// accuracy is ~`eps ×` initial residual), so such a guess must fail typed
+/// and go through the recovery ladder instead. The floor keeps the guard
+/// meaningful for extreme (e.g. zero) tolerances.
+pub(crate) fn driver_guess_divergence(tol: f64) -> f64 {
+    (tol / f64::EPSILON).max(1e6)
+}
+
+/// Map a fault-plan lane onto the machine model's lane kind.
+fn lane_kind(lane: FaultLane) -> LaneKind {
+    match lane {
+        FaultLane::Cpu => LaneKind::Cpu,
+        FaultLane::Gpu => LaneKind::Gpu,
+    }
+}
+
+/// Modeled bytes an exchange moves after an injected exchange fault:
+/// `Drop` moves nothing, `Delay` occupies the link `factor`× longer.
+fn exchange_bytes<F: FaultInjector>(faults: &mut F, step: usize, set: usize, bytes: f64) -> f64 {
+    match faults.exchange_fault(step, set) {
+        Some(hetsolve_fault::ExchangeFault::Drop) => 0.0,
+        Some(hetsolve_fault::ExchangeFault::Delay { factor }) => bytes * factor,
+        None => bytes,
+    }
+}
 
 /// Which of the paper's methods to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +172,9 @@ pub struct RunResult {
     pub waveforms: Vec<Vec<Vec<f64>>>,
     /// Final displacement of each case (accuracy cross-checks).
     pub final_u: Vec<Vec<f64>>,
+    /// Recovery-ladder events: steps that survived an abnormal solver
+    /// termination on a downgraded guess. Empty on a healthy run.
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl RunResult {
@@ -243,16 +280,29 @@ impl CaseState {
     }
 
     /// After solving into `u_new`: record predictor data and advance the
-    /// Newmark state.
-    fn advance(&mut self, backend: &Backend, u_new: &[f64], ab_guess: &[f64]) {
+    /// Newmark state. `snapshot_fault` (injected) corrupts the correction
+    /// snapshot before it enters the predictor history. Returns `false`
+    /// when the history was poisoned and rebuilt (the caller should drop
+    /// the adaptive window back to its minimum).
+    fn advance(
+        &mut self,
+        backend: &Backend,
+        u_new: &[f64],
+        ab_guess: &[f64],
+        snapshot_fault: Option<VectorFault>,
+    ) -> bool {
         // correction snapshot: delta = u_true - u_adams
-        let delta: Vec<f64> = u_new.iter().zip(ab_guess).map(|(u, g)| u - g).collect();
-        self.dd.record(&delta);
+        let mut delta: Vec<f64> = u_new.iter().zip(ab_guess).map(|(u, g)| u - g).collect();
+        if let Some(f) = snapshot_fault {
+            f.apply(&mut delta);
+        }
+        let history_ok = self.dd.record(&delta);
         let nm = &backend.problem.newmark;
         let u_old = std::mem::replace(&mut self.time.u, u_new.to_vec());
         nm.advance(&self.time.u, &u_old, &mut self.time.v, &mut self.time.a);
         self.adams.push(&self.time.v);
         self.time.step += 1;
+        history_ok
     }
 
     fn record_waveform(&mut self, obs_dofs: &[usize]) {
@@ -263,7 +313,10 @@ impl CaseState {
 }
 
 /// Run a time-history simulation with the configured method.
-pub fn run(backend: &Backend, cfg: &RunConfig) -> RunResult {
+///
+/// Returns a typed [`RunError`] instead of panicking when a step's solve
+/// exhausts the recovery ladder (see [`crate::recovery`]).
+pub fn run(backend: &Backend, cfg: &RunConfig) -> Result<RunResult, RunError> {
     run_traced(backend, cfg, &mut StepTracer::disabled())
 }
 
@@ -272,23 +325,47 @@ pub fn run(backend: &Backend, cfg: &RunConfig) -> RunResult {
 /// timeline, adaptive-window decisions and CG-iteration counters are
 /// recorded, and the finished run is folded into the tracer's metrics
 /// sink. With [`StepTracer::disabled`] this is exactly [`run`].
-pub fn run_traced(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
+pub fn run_traced(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+) -> Result<RunResult, RunError> {
+    run_faulted(backend, cfg, tracer, &mut NoopFaults)
+}
+
+/// [`run_traced`] with a fault injector threaded through the driver. With
+/// [`NoopFaults`] (a ZST whose hooks are the empty defaults) this is
+/// exactly [`run_traced`] — the fault suite asserts bitwise identity. With
+/// a [`FaultPlan`](hetsolve_fault::FaultPlan), the scheduled faults hit
+/// guesses, snapshots, exchanges, lanes and solver caps, and the recovery
+/// ladder's response is recorded in [`RunResult::recoveries`].
+pub fn run_faulted<F: FaultInjector>(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+    faults: &mut F,
+) -> Result<RunResult, RunError> {
     let n_sets = match cfg.method {
         MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => 1,
         MethodKind::CrsCgCpuGpu | MethodKind::EbeMcgCpuGpu => 2,
     };
     tracer.begin_run(cfg.method.label(), cfg, n_sets);
     let result = match cfg.method {
-        MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => run_crs_single(backend, cfg, tracer),
-        MethodKind::CrsCgCpuGpu => run_crs_pipelined(backend, cfg, tracer),
-        MethodKind::EbeMcgCpuGpu => run_ebe_mcg(backend, cfg, tracer),
-    };
+        MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => run_crs_single(backend, cfg, tracer, faults),
+        MethodKind::CrsCgCpuGpu => run_crs_pipelined(backend, cfg, tracer, faults),
+        MethodKind::EbeMcgCpuGpu => run_ebe_mcg(backend, cfg, tracer, faults),
+    }?;
     tracer.finish_run(&result, cfg.measure_from);
-    result
+    Ok(result)
 }
 
 /// Algorithm 2: single case, single device, Adams-Bashforth predictor.
-fn run_crs_single(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
+fn run_crs_single<F: FaultInjector>(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+    faults: &mut F,
+) -> Result<RunResult, RunError> {
     let on_gpu = cfg.method == MethodKind::CrsCgGpu;
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
@@ -304,8 +381,11 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -
     let cg_cfg = CgConfig {
         tol: cfg.tol,
         max_iter: 100_000,
+        stagnation_window: DRIVER_STAGNATION_WINDOW,
+        guess_divergence: driver_guess_divergence(cfg.tol),
     };
     let mut records = Vec::with_capacity(cfg.n_steps);
+    let mut recoveries = Vec::new();
     let a = backend.crs_a();
     let rhs_counts = backend.rhs_counts_crs();
 
@@ -323,20 +403,52 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -
         case.predict(backend, backend.problem.newmark.dt, false, 0);
         let ab_guess = case.guess.clone();
         let mut x = ab_guess.clone();
-        let stats = pcg(a, &backend.precond, &case.rhs, &mut x, &cg_cfg);
-        debug_assert!(stats.converged, "CG failed at step {step}");
+        let mut guess_faulted = false;
+        if let Some(vf) = faults.guess_fault(step, 0) {
+            vf.apply(&mut x);
+            guess_faulted = true;
+        }
+        let first_cfg = match faults.solver_fault(step, 0) {
+            Some(sf) => CgConfig {
+                max_iter: sf.max_iter.min(cg_cfg.max_iter),
+                ..cg_cfg
+            },
+            None => cg_cfg,
+        };
+        let before = recoveries.len();
+        // ladder: the first attempt starts from the (possibly corrupted)
+        // AB guess; only a corrupted guess makes the AB rung distinct.
+        let stats = solve_with_ladder(
+            a,
+            &backend.precond,
+            &case.rhs,
+            &mut x,
+            &ab_guess,
+            &cg_cfg,
+            &first_cfg,
+            step,
+            0,
+            guess_faulted,
+            &mut recoveries,
+        )?;
         // charge the device: RHS + predictor (3 vector passes) + solve
         let total = rhs_counts
             .merged(vector_counts(n, 4.0))
             .merged(stats.counts);
         let span_args = [("iterations", Json::from(stats.iterations))];
-        let t = if on_gpu {
+        let mut t = if on_gpu {
             tracer.charge_gpu(&mut clock, 0, "rhs + CG solve", &total, &span_args)
         } else {
             tracer.charge_cpu(&mut clock, 0, "rhs + CG solve", &total, &span_args)
         };
         tracer.iterations_counter(clock.elapsed(), stats.iterations as f64);
-        case.advance(backend, &x, &ab_guess);
+        for ev in &recoveries[before..] {
+            tracer.recovery_event(clock.elapsed(), ev);
+        }
+        if let Some(lf) = faults.lane_fault(step, 0) {
+            t += tracer.charge_stall(&mut clock, 0, lane_kind(lf.lane), lf.seconds);
+        }
+        case.advance(backend, &x, &ab_guess, faults.snapshot_fault(step, 0));
         if cfg.record_surface {
             case.record_waveform(&obs);
         }
@@ -352,7 +464,7 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -
         });
     }
 
-    RunResult {
+    Ok(RunResult {
         method: cfg.method,
         n_cases: 1,
         records,
@@ -363,12 +475,18 @@ fn run_crs_single(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -
             Vec::new()
         },
         final_u: vec![case.time.u],
-    }
+        recoveries,
+    })
 }
 
 /// Algorithm 4: 2 cases; data-driven predictor on CPU overlaps the CRS
 /// solve of the other case on GPU.
-fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
+fn run_crs_pipelined<F: FaultInjector>(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+    faults: &mut F,
+) -> Result<RunResult, RunError> {
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
     let n_obs = if cfg.record_surface { obs.len() } else { 0 };
@@ -382,8 +500,11 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer
     let cg_cfg = CgConfig {
         tol: cfg.tol,
         max_iter: 100_000,
+        stagnation_window: DRIVER_STAGNATION_WINDOW,
+        guess_divergence: driver_guess_divergence(cfg.tol),
     };
     let mut records = Vec::with_capacity(cfg.n_steps);
+    let mut recoveries = Vec::new();
     let a = backend.crs_a();
     let rhs_counts = backend.rhs_counts_crs();
 
@@ -394,6 +515,14 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer
         let mut s_used = 0;
         let mut solver_t = 0.0;
         let mut pred_t = 0.0;
+        // Injected lane stalls are reported in the step record but kept
+        // out of the adaptive-window controller's inputs: a transient
+        // stall says nothing about the predictor/solver balance, and
+        // letting it thrash the window would perturb the numerics of a
+        // timing-only fault.
+        let mut stall_solver = 0.0;
+        let mut stall_pred = 0.0;
+        let mut history_poisoned = false;
         for (set, case) in cases.iter_mut().enumerate() {
             case.load.force_into(step, &mut case.f);
             backend.problem.mask.project(&mut case.f);
@@ -411,8 +540,34 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer
             // ...then the full data-driven guess
             s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
             let mut x = case.guess.clone();
-            let stats = pcg(a, &backend.precond, &case.rhs, &mut x, &cg_cfg);
-            debug_assert!(stats.converged, "CG failed at step {step}");
+            let mut guess_faulted = false;
+            if let Some(vf) = faults.guess_fault(step, set) {
+                vf.apply(&mut x);
+                guess_faulted = true;
+            }
+            let first_cfg = match faults.solver_fault(step, set) {
+                Some(sf) => CgConfig {
+                    max_iter: sf.max_iter.min(cg_cfg.max_iter),
+                    ..cg_cfg
+                },
+                None => cg_cfg,
+            };
+            let before = recoveries.len();
+            // the AB rung is distinct whenever the first attempt started
+            // from a data-driven guess (s_used > 0) or a corrupted one
+            let stats = solve_with_ladder(
+                a,
+                &backend.precond,
+                &case.rhs,
+                &mut x,
+                &ab_guess,
+                &cg_cfg,
+                &first_cfg,
+                step,
+                set,
+                s_used > 0 || guess_faulted,
+                &mut recoveries,
+            )?;
             iter_sum += stats.iterations as f64;
             res_sum += stats.initial_rel_res;
             // GPU lane: RHS + solve; CPU lane: predictor
@@ -431,22 +586,42 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer
                 &case.dd.cost(s_used.max(1)),
                 &[("s", Json::from(s_used))],
             );
-            case.advance(backend, &x, &ab_guess);
+            for ev in &recoveries[before..] {
+                tracer.recovery_event(clock.elapsed(), ev);
+            }
+            if let Some(lf) = faults.lane_fault(step, set) {
+                let stall = tracer.charge_stall(&mut clock, set, lane_kind(lf.lane), lf.seconds);
+                match lf.lane {
+                    FaultLane::Cpu => stall_pred += stall,
+                    FaultLane::Gpu => stall_solver += stall,
+                }
+            }
+            if !case.advance(backend, &x, &ab_guess, faults.snapshot_fault(step, set)) {
+                history_poisoned = true;
+            }
             if cfg.record_surface {
                 case.record_waveform(&obs);
             }
         }
+        if history_poisoned {
+            adaptive.reset_window();
+        }
         clock.sync();
         // exchange: one solution down, one guess up, per process pair
-        let xfer = tracer.charge_transfer(&mut clock, 0, "exchange", 2.0 * n as f64 * 8.0);
+        let bytes = exchange_bytes(faults, step, 0, 2.0 * n as f64 * 8.0);
+        let xfer = if bytes > 0.0 {
+            tracer.charge_transfer(&mut clock, 0, "exchange", bytes)
+        } else {
+            0.0 // dropped exchange: nothing crosses the link
+        };
         let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
         tracer.window_decision(step, clock.elapsed(), &decision);
         tracer.iterations_counter(clock.elapsed(), iter_sum / 2.0);
         records.push(StepRecord {
             step,
-            step_time_per_case: solver_t.max(pred_t) / 2.0 + xfer,
-            solver_time_per_case: solver_t / 2.0,
-            predictor_time_per_case: pred_t / 2.0,
+            step_time_per_case: (solver_t + stall_solver).max(pred_t + stall_pred) / 2.0 + xfer,
+            solver_time_per_case: (solver_t + stall_solver) / 2.0,
+            predictor_time_per_case: (pred_t + stall_pred) / 2.0,
             transfer_time: xfer,
             iterations: iter_sum / 2.0,
             s_used,
@@ -454,12 +629,17 @@ fn run_crs_pipelined(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer
         });
     }
 
-    finish(backend, cfg, cases, records, clock)
+    Ok(finish(backend, cfg, cases, records, clock, recoveries))
 }
 
 /// Algorithm 3 (the proposal): 2 sets × r cases, matrix-free multi-RHS CG
 /// on the GPU overlapped with the predictors of the other set on the CPU.
-fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> RunResult {
+fn run_ebe_mcg<F: FaultInjector>(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+    faults: &mut F,
+) -> Result<RunResult, RunError> {
     let n = backend.n_dofs();
     let r = cfg.r;
     let n_cases = 2 * r;
@@ -475,8 +655,11 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> R
     let cg_cfg = CgConfig {
         tol: cfg.tol,
         max_iter: 100_000,
+        stagnation_window: DRIVER_STAGNATION_WINDOW,
+        guess_divergence: driver_guess_divergence(cfg.tol),
     };
     let mut records = Vec::with_capacity(cfg.n_steps);
+    let mut recoveries = Vec::new();
     let op = backend.ebe_a(r);
     let rhs_counts = backend.rhs_counts_ebe(r);
 
@@ -490,6 +673,11 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> R
         let mut s_used = 0;
         let mut solver_t = 0.0;
         let mut pred_t = 0.0;
+        // stalls stay out of the adaptive controller's inputs (see the
+        // pipelined driver): report the jitter, don't steer on it
+        let mut stall_solver = 0.0;
+        let mut stall_pred = 0.0;
+        let mut history_poisoned = false;
 
         for set in 0..2 {
             let set_cases = set * r..(set + 1) * r;
@@ -510,6 +698,9 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> R
                 case.predict(backend, backend.problem.newmark.dt, false, 0);
                 ab_guesses.push(case.guess.clone());
                 s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
+                if let Some(vf) = faults.guess_fault(step, c) {
+                    vf.apply(&mut case.guess);
+                }
                 pred_t += tracer.charge_cpu(
                     &mut clock,
                     set,
@@ -523,8 +714,28 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> R
                 hetsolve_sparse::vecops::insert_case(&mut f_multi, r, k, &cases[c].rhs);
                 hetsolve_sparse::vecops::insert_case(&mut x_multi, r, k, &cases[c].guess);
             }
-            let stats = mcg(&op, &backend.precond, &f_multi, &mut x_multi, &cg_cfg);
-            debug_assert!(stats.converged, "MCG failed at step {step}");
+            let first_cfg = match faults.solver_fault(step, set) {
+                Some(sf) => CgConfig {
+                    max_iter: sf.max_iter.min(cg_cfg.max_iter),
+                    ..cg_cfg
+                },
+                None => cg_cfg,
+            };
+            let before = recoveries.len();
+            let stats = solve_set_with_ladder(
+                &op,
+                &backend.precond,
+                &f_multi,
+                &mut x_multi,
+                &ab_guesses,
+                &cg_cfg,
+                &first_cfg,
+                step,
+                set,
+                set * r,
+                true,
+                &mut recoveries,
+            )?;
             solver_t += tracer.charge_gpu(
                 &mut clock,
                 set,
@@ -535,19 +746,37 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> R
                     ("fused_iterations", Json::from(stats.fused_iterations)),
                 ],
             );
+            for ev in &recoveries[before..] {
+                tracer.recovery_event(clock.elapsed(), ev);
+            }
+            if let Some(lf) = faults.lane_fault(step, set) {
+                let stall = tracer.charge_stall(&mut clock, set, lane_kind(lf.lane), lf.seconds);
+                match lf.lane {
+                    FaultLane::Cpu => stall_pred += stall,
+                    FaultLane::Gpu => stall_solver += stall,
+                }
+            }
             for (k, c) in set_cases.clone().enumerate() {
                 let mut x = vec![0.0; n];
                 hetsolve_sparse::vecops::extract_case(&x_multi, r, k, &mut x);
                 iter_sum += stats.case_iterations[k] as f64;
                 res_sum += stats.initial_rel_res[k];
-                cases[c].advance(backend, &x, &ab_guesses[k]);
+                if !cases[c].advance(backend, &x, &ab_guesses[k], faults.snapshot_fault(step, c)) {
+                    history_poisoned = true;
+                }
                 if cfg.record_surface {
                     cases[c].record_waveform(&obs);
                 }
             }
             // sync + exchange predictions/solutions between the processes
             clock.sync();
-            let _ = tracer.charge_transfer(&mut clock, set, "exchange", 2.0 * (n * r) as f64 * 8.0);
+            let bytes = exchange_bytes(faults, step, set, 2.0 * (n * r) as f64 * 8.0);
+            if bytes > 0.0 {
+                let _ = tracer.charge_transfer(&mut clock, set, "exchange", bytes);
+            }
+        }
+        if history_poisoned {
+            adaptive.reset_window();
         }
         clock.sync();
         let xfer = 0.0; // transfers already charged inside the set loop
@@ -556,10 +785,10 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> R
         tracer.iterations_counter(clock.elapsed(), iter_sum / n_cases as f64);
         records.push(StepRecord {
             step,
-            step_time_per_case: solver_t.max(pred_t) / n_cases as f64
+            step_time_per_case: (solver_t + stall_solver).max(pred_t + stall_pred) / n_cases as f64
                 + 2.0 * (2.0 * (n * r) as f64 * 8.0 / cfg.node.module.link.bw) / n_cases as f64,
-            solver_time_per_case: solver_t / n_cases as f64,
-            predictor_time_per_case: pred_t / n_cases as f64,
+            solver_time_per_case: (solver_t + stall_solver) / n_cases as f64,
+            predictor_time_per_case: (pred_t + stall_pred) / n_cases as f64,
             transfer_time: xfer,
             iterations: iter_sum / n_cases as f64,
             s_used,
@@ -567,7 +796,7 @@ fn run_ebe_mcg(backend: &Backend, cfg: &RunConfig, tracer: &mut StepTracer) -> R
         });
     }
 
-    finish(backend, cfg, cases, records, clock)
+    Ok(finish(backend, cfg, cases, records, clock, recoveries))
 }
 
 fn finish(
@@ -576,6 +805,7 @@ fn finish(
     cases: Vec<CaseState>,
     records: Vec<StepRecord>,
     clock: ModuleClock,
+    recoveries: Vec<RecoveryEvent>,
 ) -> RunResult {
     let _ = backend;
     let n_cases = cases.len();
@@ -594,6 +824,7 @@ fn finish(
         energy: clock.report(),
         waveforms,
         final_u,
+        recoveries,
     }
 }
 
@@ -654,7 +885,7 @@ mod tests {
             MethodKind::CrsCgCpuGpu,
             MethodKind::EbeMcgCpuGpu,
         ] {
-            let r = run(&b, &cfg(method, 6));
+            let r = run(&b, &cfg(method, 6)).expect("run");
             assert_eq!(r.records.len(), 6, "{method:?}");
             assert_eq!(r.n_cases, method.n_cases(2), "{method:?}");
             assert!(r.energy.energy > 0.0);
@@ -679,7 +910,7 @@ mod tests {
             MethodKind::EbeMcgCpuGpu,
         ]
         .iter()
-        .map(|&m| run(&b, &cfg(m, steps)))
+        .map(|&m| run(&b, &cfg(m, steps)).expect("run"))
         .collect();
         let reference = &runs[0].final_u[0];
         let scale = reference.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
@@ -699,8 +930,8 @@ mod tests {
     fn data_driven_reduces_iterations() {
         let b = small_backend();
         let steps = 40;
-        let base = run(&b, &cfg(MethodKind::CrsCgGpu, steps));
-        let dd = run(&b, &cfg(MethodKind::CrsCgCpuGpu, steps));
+        let base = run(&b, &cfg(MethodKind::CrsCgGpu, steps)).expect("run");
+        let dd = run(&b, &cfg(MethodKind::CrsCgCpuGpu, steps)).expect("run");
         let from = steps / 2;
         let it_base = base.mean_iterations(from);
         let it_dd = dd.mean_iterations(from);
@@ -715,9 +946,9 @@ mod tests {
         let b = small_backend();
         let steps = 16;
         let from = steps / 2;
-        let cpu = run(&b, &cfg(MethodKind::CrsCgCpu, steps));
-        let gpu = run(&b, &cfg(MethodKind::CrsCgGpu, steps));
-        let ebe = run(&b, &cfg(MethodKind::EbeMcgCpuGpu, steps));
+        let cpu = run(&b, &cfg(MethodKind::CrsCgCpu, steps)).expect("run");
+        let gpu = run(&b, &cfg(MethodKind::CrsCgGpu, steps)).expect("run");
+        let ebe = run(&b, &cfg(MethodKind::EbeMcgCpuGpu, steps)).expect("run");
         let (t_cpu, t_gpu, t_ebe) = (
             cpu.mean_step_time(from),
             gpu.mean_step_time(from),
@@ -740,7 +971,7 @@ mod tests {
         let b = small_backend();
         let mut c = cfg(MethodKind::CrsCgGpu, 5);
         c.record_surface = true;
-        let r = run(&b, &c);
+        let r = run(&b, &c).expect("run");
         assert_eq!(r.waveforms.len(), 1);
         assert_eq!(r.waveforms[0].len(), b.problem.surface_nodes.len());
         assert_eq!(r.waveforms[0][0].len(), 5);
@@ -749,7 +980,7 @@ mod tests {
     #[test]
     fn summary_statistics() {
         let b = small_backend();
-        let r = run(&b, &cfg(MethodKind::EbeMcgCpuGpu, 10));
+        let r = run(&b, &cfg(MethodKind::EbeMcgCpuGpu, 10)).expect("run");
         assert!(r.mean_step_time(0) > 0.0);
         assert!(r.mean_iterations(0) > 0.0);
         assert!(r.mean_solver_time(0) > 0.0);

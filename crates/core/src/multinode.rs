@@ -316,6 +316,7 @@ mod tests {
         let cfg = CgConfig {
             tol: 1e-10,
             max_iter: 3000,
+            ..CgConfig::default()
         };
         let mut x1 = vec![0.0; n];
         let s1 = pcg(&backend.ebe_a(1), &backend.precond, &f, &mut x1, &cfg);

@@ -19,13 +19,14 @@ use hetsolve_machine::{ModuleClock, NodeSpec};
 use hetsolve_obs::Json;
 use hetsolve_predictor::AdamsState;
 use hetsolve_sparse::{
-    pcg, pcg_observed, BlockJacobi, CgConfig, LinearOperator, ResidualLog, Termination,
+    pcg, pcg_observed, BlockJacobi, CgConfig, LinearOperator, ResidualLog, SolveError, Termination,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
-use crate::methods::RunConfig;
+use crate::methods::{driver_guess_divergence, RunConfig, DRIVER_STAGNATION_WINDOW};
+use crate::recovery::{GuessSource, RecoveryEvent, RunError, ZERO_GUESS_ITER_FACTOR};
 use crate::trace::StepTracer;
 
 /// Per-step record of a nonlinear run.
@@ -52,6 +53,9 @@ pub struct NonlinearResult {
     pub refresh_time_ebe: f64,
     /// Modeled time the CRS path would have spent reassembling (s).
     pub refresh_time_crs_equiv: f64,
+    /// Solver recoveries over the whole run (secant passes whose first CG
+    /// attempt failed and succeeded only after the zero-guess retry).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 /// Run a single-case nonlinear time history with the matrix-free operator.
@@ -64,7 +68,7 @@ pub fn run_nonlinear(
     model: &HyperbolicModel,
     secant_tol: f64,
     max_secant: usize,
-) -> NonlinearResult {
+) -> Result<NonlinearResult, RunError> {
     run_nonlinear_traced(
         backend,
         cfg,
@@ -87,7 +91,7 @@ pub fn run_nonlinear_traced(
     secant_tol: f64,
     max_secant: usize,
     tracer: &mut StepTracer,
-) -> NonlinearResult {
+) -> Result<NonlinearResult, RunError> {
     let n = backend.n_dofs();
     let mesh = &backend.problem.model.mesh;
     let a = backend.problem.a_coeffs();
@@ -112,8 +116,11 @@ pub fn run_nonlinear_traced(
     let cg_cfg = CgConfig {
         tol: cfg.tol,
         max_iter: 100_000,
+        stagnation_window: DRIVER_STAGNATION_WINDOW,
+        guess_divergence: driver_guess_divergence(cfg.tol),
     };
     let mut records = Vec::with_capacity(cfg.n_steps);
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let mut clock = ModuleClock::new(node_of(cfg).module, cfg.cpu_threads, false);
     tracer.begin_run("EBE nonlinear (secant)", cfg, 1);
     tracer.attach_clock(&mut clock);
@@ -218,8 +225,38 @@ pub fn run_nonlinear_traced(
             } else {
                 pcg(&op, &precond, &rhs, &mut x, &cg_cfg)
             };
-            debug_assert!(stats.converged, "nonlinear CG failed at step {step}");
             cg_total += stats.iterations;
+            if !stats.converged {
+                // recovery: restart from zero with a raised iteration cap
+                // (a hard modulus update can leave the secant guess far
+                // outside the new operator's convergence basin)
+                x.fill(0.0);
+                let retry_cfg = CgConfig {
+                    max_iter: cg_cfg.max_iter.saturating_mul(ZERO_GUESS_ITER_FACTOR),
+                    ..cg_cfg
+                };
+                let retry = pcg(&op, &precond, &rhs, &mut x, &retry_cfg);
+                cg_total += retry.iterations;
+                if !retry.converged {
+                    return Err(SolveError {
+                        step,
+                        case: None,
+                        termination: retry.termination,
+                        rel_res: retry.final_rel_res,
+                        iterations: stats.iterations + retry.iterations,
+                        attempts: 2,
+                    }
+                    .into());
+                }
+                recoveries.push(RecoveryEvent {
+                    step,
+                    case: None,
+                    set: 0,
+                    failed: stats.termination,
+                    recovered_with: GuessSource::Zero,
+                    attempts: 2,
+                });
+            }
             secant_iterations += 1;
             drop(precond);
             drop(op);
@@ -265,12 +302,13 @@ pub fn run_nonlinear_traced(
             .sink
             .set_section("nonlinear_convergence", Json::Arr(convergence_rows));
     }
-    NonlinearResult {
+    Ok(NonlinearResult {
         records,
         final_u: time.u,
         refresh_time_ebe,
         refresh_time_crs_equiv: refresh_time_crs,
-    }
+        recoveries,
+    })
 }
 
 fn node_of(cfg: &RunConfig) -> NodeSpec {
@@ -302,7 +340,7 @@ mod tests {
     fn strong_shaking_softens_the_ground() {
         let (backend, cfg) = setup();
         let model = HyperbolicModel::new(1e-4, 0.05);
-        let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 3);
+        let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 3).expect("nonlinear");
         assert_eq!(res.records.len(), cfg.n_steps);
         let min_ratio = res
             .records
@@ -322,7 +360,7 @@ mod tests {
         let (backend, mut cfg) = setup();
         cfg.load.amplitude = 1.0; // negligible forcing
         let model = HyperbolicModel::new(1e-4, 0.05);
-        let res = run_nonlinear(&backend, &cfg, &model, 1e-6, 3);
+        let res = run_nonlinear(&backend, &cfg, &model, 1e-6, 3).expect("nonlinear");
         let min_ratio = res
             .records
             .iter()
@@ -337,8 +375,8 @@ mod tests {
         let strong = HyperbolicModel::new(1e-4, 0.05);
         // gamma_ref so large the model never leaves the linear branch
         let linearish = HyperbolicModel::new(1e6, 0.05);
-        let r1 = run_nonlinear(&backend, &cfg, &strong, 1e-3, 3);
-        let r2 = run_nonlinear(&backend, &cfg, &linearish, 1e-3, 3);
+        let r1 = run_nonlinear(&backend, &cfg, &strong, 1e-3, 3).expect("nonlinear");
+        let r2 = run_nonlinear(&backend, &cfg, &linearish, 1e-3, 3).expect("nonlinear");
         let d: f64 = r1
             .final_u
             .iter()
@@ -357,9 +395,10 @@ mod tests {
         let (backend, mut cfg) = setup();
         cfg.n_steps = 4;
         let model = HyperbolicModel::new(1e-4, 0.05);
-        let plain = run_nonlinear(&backend, &cfg, &model, 1e-3, 3);
+        let plain = run_nonlinear(&backend, &cfg, &model, 1e-3, 3).expect("nonlinear");
         let mut tracer = StepTracer::new();
-        let traced = run_nonlinear_traced(&backend, &cfg, &model, 1e-3, 3, &mut tracer);
+        let traced =
+            run_nonlinear_traced(&backend, &cfg, &model, 1e-3, 3, &mut tracer).expect("nonlinear");
         // the ResidualLog observer must not perturb the numerics
         assert_eq!(plain.final_u, traced.final_u);
         assert_eq!(
@@ -399,7 +438,7 @@ mod tests {
     fn matrix_free_refresh_is_far_cheaper_than_reassembly() {
         let (backend, cfg) = setup();
         let model = HyperbolicModel::new(1e-4, 0.05);
-        let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 2);
+        let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 2).expect("nonlinear");
         assert!(
             res.refresh_time_crs_equiv > 10.0 * res.refresh_time_ebe,
             "CRS reassembly {} s vs EBE refresh {} s",

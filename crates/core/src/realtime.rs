@@ -18,16 +18,18 @@
 
 use std::time::Instant;
 
+use hetsolve_fault::{FaultInjector, NoopFaults, VectorFault};
 use hetsolve_fem::{RandomLoad, TimeState};
 use hetsolve_predictor::{AdamsState, DataDrivenPredictor};
 use hetsolve_sparse::vecops::{extract_case, insert_case};
-use hetsolve_sparse::{mcg, CgConfig};
+use hetsolve_sparse::{CgConfig, SolveError};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
-use crate::methods::RunConfig;
+use crate::methods::{driver_guess_divergence, RunConfig, DRIVER_STAGNATION_WINDOW};
+use crate::recovery::{solve_set_with_ladder, RecoveryEvent, RunError};
 use crate::trace::{StepTracer, TID_CPU, TID_GPU};
 
 /// Wall-clock accounting of the real pipelined run.
@@ -43,6 +45,45 @@ pub struct RealtimeReport {
     /// threads genuinely overlapped.
     pub overlap_factor: f64,
     pub steps: usize,
+    /// Recovery-ladder successes over the whole run (0 unless faults were
+    /// injected or a solve genuinely struggled).
+    pub recoveries: usize,
+}
+
+/// Per-phase fault descriptors, resolved on the main thread so the solver
+/// thread never touches the (non-`Sync`) injector.
+struct PhaseFaults {
+    guess: Vec<Option<VectorFault>>,
+    snapshot: Vec<Option<VectorFault>>,
+    first_cfg: CgConfig,
+}
+
+impl PhaseFaults {
+    fn resolve<F: FaultInjector>(
+        faults: &mut F,
+        step: usize,
+        set: usize,
+        case_base: usize,
+        r: usize,
+        cg_cfg: &CgConfig,
+    ) -> Self {
+        let first_cfg = match faults.solver_fault(step, set) {
+            Some(sf) => CgConfig {
+                max_iter: sf.max_iter.min(cg_cfg.max_iter),
+                ..*cg_cfg
+            },
+            None => *cg_cfg,
+        };
+        PhaseFaults {
+            guess: (0..r)
+                .map(|c| faults.guess_fault(step, case_base + c))
+                .collect(),
+            snapshot: (0..r)
+                .map(|c| faults.snapshot_fault(step, case_base + c))
+                .collect(),
+            first_cfg,
+        }
+    }
 }
 
 /// One pipelined set: its cases' state.
@@ -108,38 +149,62 @@ impl SetState {
         }
     }
 
-    /// Solver phase for step `it`: fused MCG solve + state advance.
-    /// Returns total CG iterations over the set.
-    fn solve(&mut self, backend: &Backend, cfg: &RunConfig) -> usize {
+    /// Solver phase for step `it`: fused MCG solve (with recovery ladder) +
+    /// state advance. Returns total CG iterations over the set plus any
+    /// recovery events.
+    fn solve(
+        &mut self,
+        backend: &Backend,
+        cfg: &RunConfig,
+        step: usize,
+        set: usize,
+        ph: &PhaseFaults,
+    ) -> Result<(usize, Vec<RecoveryEvent>), SolveError> {
         let n = backend.n_dofs();
         let r = cfg.r;
         let op = backend.ebe_a(r);
         let mut f_multi = vec![0.0; n * r];
         let mut x_multi = vec![0.0; n * r];
         for c in 0..r {
+            if let Some(vf) = ph.guess[c] {
+                vf.apply(&mut self.guesses[c]);
+            }
             insert_case(&mut f_multi, r, c, &self.rhs[c]);
             insert_case(&mut x_multi, r, c, &self.guesses[c]);
         }
-        let stats = mcg(
+        let cg_cfg = CgConfig {
+            tol: cfg.tol,
+            max_iter: 100_000,
+            stagnation_window: DRIVER_STAGNATION_WINDOW,
+            guess_divergence: driver_guess_divergence(cfg.tol),
+        };
+        let mut recoveries = Vec::new();
+        let stats = solve_set_with_ladder(
             &op,
             &backend.precond,
             &f_multi,
             &mut x_multi,
-            &CgConfig {
-                tol: cfg.tol,
-                max_iter: 100_000,
-            },
-        );
-        debug_assert!(stats.converged);
+            &self.ab_guesses,
+            &cg_cfg,
+            &ph.first_cfg,
+            step,
+            set,
+            set * r,
+            true,
+            &mut recoveries,
+        )?;
         let mut x = vec![0.0; n];
         for c in 0..r {
             extract_case(&x_multi, r, c, &mut x);
-            let delta: Vec<f64> = x
+            let mut delta: Vec<f64> = x
                 .iter()
                 .zip(&self.ab_guesses[c])
                 .map(|(u, g)| u - g)
                 .collect();
-            self.dd[c].record(&delta);
+            if let Some(vf) = ph.snapshot[c] {
+                vf.apply(&mut delta);
+            }
+            let _ = self.dd[c].record(&delta);
             let t = &mut self.time[c];
             let u_old = std::mem::replace(&mut t.u, x.clone());
             backend
@@ -149,13 +214,17 @@ impl SetState {
             self.adams[c].push(&t.v);
             t.step += 1;
         }
-        stats.case_iterations.iter().sum()
+        Ok((stats.case_iterations.iter().sum(), recoveries))
     }
 }
 
 /// Run EBE-MCG with two real device threads. Returns the per-case final
-/// displacements and the wall-clock report.
-pub fn run_realtime(backend: &Backend, cfg: &RunConfig) -> (Vec<Vec<f64>>, RealtimeReport) {
+/// displacements and the wall-clock report, or a typed [`RunError`] if a
+/// solve fails beyond recovery or a device thread panics.
+pub fn run_realtime(
+    backend: &Backend,
+    cfg: &RunConfig,
+) -> Result<(Vec<Vec<f64>>, RealtimeReport), RunError> {
     run_realtime_traced(backend, cfg, &mut StepTracer::disabled())
 }
 
@@ -171,7 +240,19 @@ pub fn run_realtime_traced(
     backend: &Backend,
     cfg: &RunConfig,
     tracer: &mut StepTracer,
-) -> (Vec<Vec<f64>>, RealtimeReport) {
+) -> Result<(Vec<Vec<f64>>, RealtimeReport), RunError> {
+    run_realtime_faulted(backend, cfg, tracer, &mut NoopFaults)
+}
+
+/// [`run_realtime_traced`] with a fault injector. Fault descriptors are
+/// resolved on the main thread each phase; only `Copy` descriptor values
+/// cross into the solver thread.
+pub fn run_realtime_faulted<F: FaultInjector>(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+    faults: &mut F,
+) -> Result<(Vec<Vec<f64>>, RealtimeReport), RunError> {
     assert!(cfg.r >= 1);
     tracer.begin_run("EBE-MCG@CPU-GPU (realtime)", cfg, 2);
     let mut set_a = SetState::new(backend, cfg, 0);
@@ -179,6 +260,13 @@ pub fn run_realtime_traced(
     let busy = Mutex::new((0.0f64, 0.0f64)); // (solver, predictor)
     let trace_on = tracer.is_enabled();
     let spans: Mutex<Vec<WallSpan>> = Mutex::new(Vec::new());
+    let cg_cfg = CgConfig {
+        tol: cfg.tol,
+        max_iter: 100_000,
+        stagnation_window: DRIVER_STAGNATION_WINDOW,
+        guess_divergence: driver_guess_divergence(cfg.tol),
+    };
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let t0 = Instant::now();
 
     // window grows with available history, as in the modeled driver
@@ -193,16 +281,18 @@ pub fn run_realtime_traced(
         // prepared; recompute with latest state to stay causally correct:
         // A's state was advanced in the previous phase 2)
         let s_a = s_for(&set_a.dd[0], cfg.s_max);
-        crossbeam::thread::scope(|scope| {
+        let ph_b = PhaseFaults::resolve(faults, it, 1, cfg.r, cfg.r, &cg_cfg);
+        let solved = crossbeam::thread::scope(|scope| {
             let (busy, spans) = (&busy, &spans);
             let b = scope.spawn(|_| {
                 let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
-                set_b.solve(backend, cfg);
+                let out = set_b.solve(backend, cfg, it, 1, &ph_b);
                 let dur = t.elapsed().as_secs_f64();
                 busy.lock().0 += dur;
                 if trace_on {
                     spans.lock().push((1, TID_GPU, "solve (wall)", start, dur));
                 }
+                out
             });
             let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
             set_a.predict(backend, it, s_a);
@@ -213,22 +303,31 @@ pub fn run_realtime_traced(
                     .lock()
                     .push((0, TID_CPU, "predict (wall)", start, dur));
             }
-            b.join().expect("solver thread panicked");
+            match b.join() {
+                Ok(r) => r.map_err(RunError::from),
+                Err(_) => Err(RunError::WorkerPanic {
+                    phase: "realtime solve (set B)",
+                }),
+            }
         })
         .expect("thread scope failed");
+        let (_, evs) = solved?;
+        recoveries.extend(evs);
 
         // phase 2: solve A || predict B for the next step
         let s_b = s_for(&set_b.dd[0], cfg.s_max);
-        crossbeam::thread::scope(|scope| {
+        let ph_a = PhaseFaults::resolve(faults, it, 0, 0, cfg.r, &cg_cfg);
+        let solved = crossbeam::thread::scope(|scope| {
             let (busy, spans) = (&busy, &spans);
             let a = scope.spawn(|_| {
                 let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
-                set_a.solve(backend, cfg);
+                let out = set_a.solve(backend, cfg, it, 0, &ph_a);
                 let dur = t.elapsed().as_secs_f64();
                 busy.lock().0 += dur;
                 if trace_on {
                     spans.lock().push((0, TID_GPU, "solve (wall)", start, dur));
                 }
+                out
             });
             if it + 1 < cfg.n_steps {
                 let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
@@ -241,15 +340,26 @@ pub fn run_realtime_traced(
                         .push((1, TID_CPU, "predict (wall)", start, dur));
                 }
             }
-            a.join().expect("solver thread panicked");
+            match a.join() {
+                Ok(r) => r.map_err(RunError::from),
+                Err(_) => Err(RunError::WorkerPanic {
+                    phase: "realtime solve (set A)",
+                }),
+            }
         })
         .expect("thread scope failed");
+        let (_, evs) = solved?;
+        recoveries.extend(evs);
     }
 
     for (pid, tid, name, start_s, dur_s) in spans.into_inner() {
         tracer
             .trace
             .span(pid, tid, "wall", name, start_s * 1e6, dur_s * 1e6, vec![]);
+    }
+    let t_now = t0.elapsed().as_secs_f64();
+    for ev in &recoveries {
+        tracer.recovery_event(t_now, ev);
     }
 
     let wall = t0.elapsed().as_secs_f64();
@@ -260,12 +370,13 @@ pub fn run_realtime_traced(
         predictor_busy,
         overlap_factor: (solver_busy + predictor_busy) / wall.max(1e-12),
         steps: cfg.n_steps,
+        recoveries: recoveries.len(),
     };
     let mut final_u: Vec<Vec<f64>> = Vec::with_capacity(2 * cfg.r);
     for t in set_a.time.into_iter().chain(set_b.time) {
         final_u.push(t.u);
     }
-    (final_u, report)
+    Ok((final_u, report))
 }
 
 #[cfg(test)]
@@ -294,7 +405,7 @@ mod tests {
     #[test]
     fn realtime_runs_and_reports() {
         let (backend, cfg) = setup();
-        let (final_u, rep) = run_realtime(&backend, &cfg);
+        let (final_u, rep) = run_realtime(&backend, &cfg).expect("realtime");
         assert_eq!(final_u.len(), 2 * cfg.r);
         assert_eq!(rep.steps, cfg.n_steps);
         assert!(rep.wall > 0.0);
@@ -309,7 +420,7 @@ mod tests {
         let (backend, mut cfg) = setup();
         cfg.n_steps = 3;
         let mut tracer = StepTracer::new();
-        let (_, rep) = run_realtime_traced(&backend, &cfg, &mut tracer);
+        let (_, rep) = run_realtime_traced(&backend, &cfg, &mut tracer).expect("realtime");
         assert_eq!(rep.steps, 3);
         let events = tracer.trace.events();
         assert!(events.iter().all(|e| e.cat == "wall"));
@@ -328,8 +439,8 @@ mod tests {
     #[test]
     fn realtime_matches_modeled_numerics() {
         let (backend, cfg) = setup();
-        let (final_rt, _) = run_realtime(&backend, &cfg);
-        let modeled = run(&backend, &cfg);
+        let (final_rt, _) = run_realtime(&backend, &cfg).expect("realtime");
+        let modeled = run(&backend, &cfg).expect("run");
         // The modeled driver grows s by the adaptive controller while the
         // realtime driver grows by available history; both refine to the
         // same CG tolerance, so solutions agree to solver accuracy.

@@ -1,0 +1,388 @@
+//! The per-step recovery ladder and the typed run-level error.
+//!
+//! The paper's safety claim — the CG solver "refines the guess so accuracy
+//! is still guaranteed" — only holds for guesses the solver can iterate
+//! from. A NaN-poisoned guess fails the very first residual comparison, so
+//! the drivers wrap every solve in a ladder:
+//!
+//! 1. solve from the configured guess (data-driven, or Adams-Bashforth for
+//!    the AB-only methods);
+//! 2. on an abnormal [`Termination`], retry from the plain Adams-Bashforth
+//!    extrapolation (the data-driven correction is the usual suspect);
+//! 3. retry from the zero guess with a 4× iteration budget — the
+//!    unconditional cold start that an SPD system always converges from.
+//!
+//! Every rung that fires is recorded as a [`RecoveryEvent`] in the run
+//! report; a ladder that runs dry returns a typed
+//! [`SolveError`](hetsolve_sparse::SolveError) instead of panicking, so an
+//! ensemble drops one case instead of aborting thousands of healthy steps.
+
+use std::fmt;
+
+use hetsolve_obs::Termination;
+use hetsolve_sparse::{
+    mcg, pcg, CgConfig, CgStats, LinearOperator, McgStats, MultiOperator, Preconditioner,
+    SolveError,
+};
+
+/// Factor by which the zero-guess rung raises the iteration cap.
+pub(crate) const ZERO_GUESS_ITER_FACTOR: usize = 4;
+
+/// Which initial guess a solve (re)started from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuessSource {
+    /// Adams-Bashforth + data-driven correction (the paper's predictor).
+    DataDriven,
+    /// Plain Adams-Bashforth extrapolation.
+    AdamsBashforth,
+    /// Zero vector (cold start).
+    Zero,
+}
+
+impl GuessSource {
+    pub fn label(&self) -> &'static str {
+        match self {
+            GuessSource::DataDriven => "data_driven",
+            GuessSource::AdamsBashforth => "adams_bashforth",
+            GuessSource::Zero => "zero",
+        }
+    }
+}
+
+/// One recovery performed by the ladder: the step survived, on a downgraded
+/// guess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Time step the recovery happened in.
+    pub step: usize,
+    /// Failing case for multi-RHS solves (global case index); `None` for
+    /// single-RHS drivers.
+    pub case: Option<usize>,
+    /// Process set running the solve.
+    pub set: usize,
+    /// Abnormal termination of the first (failed) attempt.
+    pub failed: Termination,
+    /// Guess the step finally converged from.
+    pub recovered_with: GuessSource,
+    /// Solve attempts made, including the successful one.
+    pub attempts: usize,
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {} set {}{}: {} recovered with {} guess ({} attempts)",
+            self.step,
+            self.set,
+            match self.case {
+                Some(c) => format!(" case {c}"),
+                None => String::new(),
+            },
+            self.failed.label(),
+            self.recovered_with.label(),
+            self.attempts,
+        )
+    }
+}
+
+/// Why a driver run stopped early.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// A step's solve exhausted the recovery ladder.
+    Solve(SolveError),
+    /// A worker thread of the realtime driver panicked; `phase` names the
+    /// half-step ("solve" or "predict") that died.
+    WorkerPanic { phase: &'static str },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Solve(e) => write!(f, "{e}"),
+            RunError::WorkerPanic { phase } => {
+                write!(f, "realtime worker thread panicked during {phase}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Solve(e) => Some(e),
+            RunError::WorkerPanic { .. } => None,
+        }
+    }
+}
+
+impl From<SolveError> for RunError {
+    fn from(e: SolveError) -> Self {
+        RunError::Solve(e)
+    }
+}
+
+/// Single-RHS recovery ladder around [`pcg`].
+///
+/// `x` enters holding the first-attempt guess and leaves holding the
+/// solution of whichever rung converged. `first_cfg` is the configuration
+/// of the first attempt only (it may carry an injected iteration cap);
+/// retries always use the clean `cfg`. `retry_ab` selects whether the
+/// Adams-Bashforth rung is distinct from the first attempt (false when the
+/// first attempt already started from `ab_guess`). Iterations and kernel
+/// counts of all attempts are merged into the returned stats; the recorded
+/// initial residual stays the first attempt's (the guess-quality metric).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_with_ladder<A: LinearOperator, P: Preconditioner>(
+    a: &A,
+    prec: &P,
+    rhs: &[f64],
+    x: &mut [f64],
+    ab_guess: &[f64],
+    cfg: &CgConfig,
+    first_cfg: &CgConfig,
+    step: usize,
+    set: usize,
+    retry_ab: bool,
+    recoveries: &mut Vec<RecoveryEvent>,
+) -> Result<CgStats, SolveError> {
+    let mut stats = pcg(a, prec, rhs, x, first_cfg);
+    if stats.converged {
+        return Ok(stats);
+    }
+    let failed = stats.termination;
+    let initial_rel_res = stats.initial_rel_res;
+    let mut attempts = 1;
+
+    if retry_ab {
+        x.copy_from_slice(ab_guess);
+        let retry = pcg(a, prec, rhs, x, cfg);
+        attempts += 1;
+        stats = merge_cg(stats, retry);
+        if stats.converged {
+            recoveries.push(RecoveryEvent {
+                step,
+                case: None,
+                set,
+                failed,
+                recovered_with: GuessSource::AdamsBashforth,
+                attempts,
+            });
+            stats.initial_rel_res = initial_rel_res;
+            return Ok(stats);
+        }
+    }
+
+    x.fill(0.0);
+    let cold_cfg = CgConfig {
+        max_iter: cfg.max_iter.saturating_mul(ZERO_GUESS_ITER_FACTOR),
+        ..*cfg
+    };
+    let cold = pcg(a, prec, rhs, x, &cold_cfg);
+    attempts += 1;
+    stats = merge_cg(stats, cold);
+    stats.initial_rel_res = initial_rel_res;
+    if stats.converged {
+        recoveries.push(RecoveryEvent {
+            step,
+            case: None,
+            set,
+            failed,
+            recovered_with: GuessSource::Zero,
+            attempts,
+        });
+        return Ok(stats);
+    }
+    Err(SolveError {
+        step,
+        case: None,
+        termination: stats.termination,
+        rel_res: stats.final_rel_res,
+        iterations: stats.iterations,
+        attempts,
+    })
+}
+
+/// Fold a retry into the running stats: iterations and work accumulate,
+/// convergence state and history come from the latest attempt.
+fn merge_cg(prev: CgStats, latest: CgStats) -> CgStats {
+    CgStats {
+        iterations: prev.iterations + latest.iterations,
+        counts: prev.counts.merged(latest.counts),
+        ..latest
+    }
+}
+
+/// Multi-RHS recovery ladder around [`mcg`].
+///
+/// Only the failing lanes are restarted: their slots in the interleaved
+/// `x` are overwritten with the downgraded guess and the whole set is
+/// re-solved — already-converged lanes re-enter with a sub-tolerance
+/// residual, are inactive from iteration zero, and keep their solution
+/// bitwise (the MCG freeze contract). `ab_guesses[k]` is the
+/// Adams-Bashforth guess of lane `k`; `case_base` maps lane 0 to its
+/// global case index for the recovery log.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_set_with_ladder<A: MultiOperator, P: Preconditioner>(
+    a: &A,
+    prec: &P,
+    f: &[f64],
+    x: &mut [f64],
+    ab_guesses: &[Vec<f64>],
+    cfg: &CgConfig,
+    first_cfg: &CgConfig,
+    step: usize,
+    set: usize,
+    case_base: usize,
+    retry_ab: bool,
+    recoveries: &mut Vec<RecoveryEvent>,
+) -> Result<McgStats, SolveError> {
+    let r = a.r();
+    let mut stats = mcg(a, prec, f, x, first_cfg);
+    if stats.converged {
+        return Ok(stats);
+    }
+    let first_failed: Vec<Termination> = stats.case_termination.clone();
+    let initial_rel_res = stats.initial_rel_res.clone();
+    let mut attempts = 1;
+
+    if retry_ab {
+        for k in 0..r {
+            if stats.case_termination[k].is_failure() {
+                hetsolve_sparse::vecops::insert_case(x, r, k, &ab_guesses[k]);
+            }
+        }
+        let retry = mcg(a, prec, f, x, cfg);
+        attempts += 1;
+        let recovered: Vec<usize> = (0..r)
+            .filter(|&k| {
+                stats.case_termination[k].is_failure()
+                    && retry.case_termination[k] == Termination::Converged
+            })
+            .collect();
+        stats = merge_mcg(stats, retry);
+        for &k in &recovered {
+            recoveries.push(RecoveryEvent {
+                step,
+                case: Some(case_base + k),
+                set,
+                failed: first_failed[k],
+                recovered_with: GuessSource::AdamsBashforth,
+                attempts,
+            });
+        }
+        if stats.converged {
+            stats.initial_rel_res = initial_rel_res;
+            return Ok(stats);
+        }
+    }
+
+    let n = a.n();
+    let zero = vec![0.0; n];
+    for k in 0..r {
+        if stats.case_termination[k].is_failure() {
+            hetsolve_sparse::vecops::insert_case(x, r, k, &zero);
+        }
+    }
+    let cold_cfg = CgConfig {
+        max_iter: cfg.max_iter.saturating_mul(ZERO_GUESS_ITER_FACTOR),
+        ..*cfg
+    };
+    let cold = mcg(a, prec, f, x, &cold_cfg);
+    attempts += 1;
+    let recovered: Vec<usize> = (0..r)
+        .filter(|&k| {
+            stats.case_termination[k].is_failure()
+                && cold.case_termination[k] == Termination::Converged
+        })
+        .collect();
+    stats = merge_mcg(stats, cold);
+    stats.initial_rel_res = initial_rel_res;
+    for &k in &recovered {
+        recoveries.push(RecoveryEvent {
+            step,
+            case: Some(case_base + k),
+            set,
+            failed: first_failed[k],
+            recovered_with: GuessSource::Zero,
+            attempts,
+        });
+    }
+    if stats.converged {
+        return Ok(stats);
+    }
+    let worst = (0..r)
+        .find(|&k| stats.case_termination[k].is_failure())
+        .expect("non-converged MCG must have a failing lane");
+    Err(SolveError {
+        step,
+        case: Some(case_base + worst),
+        termination: stats.case_termination[worst],
+        rel_res: stats.final_rel_res[worst],
+        iterations: stats.case_iterations[worst],
+        attempts,
+    })
+}
+
+/// Fold an MCG retry into the running stats: fused iterations and work
+/// accumulate, per-case iterations add (a lane inactive in the retry adds
+/// zero), convergence state comes from the latest attempt.
+fn merge_mcg(prev: McgStats, latest: McgStats) -> McgStats {
+    McgStats {
+        fused_iterations: prev.fused_iterations + latest.fused_iterations,
+        case_iterations: prev
+            .case_iterations
+            .iter()
+            .zip(&latest.case_iterations)
+            .map(|(a, b)| a + b)
+            .collect(),
+        counts: prev.counts.merged(latest.counts),
+        ..latest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guess_source_labels() {
+        assert_eq!(GuessSource::DataDriven.label(), "data_driven");
+        assert_eq!(GuessSource::AdamsBashforth.label(), "adams_bashforth");
+        assert_eq!(GuessSource::Zero.label(), "zero");
+    }
+
+    #[test]
+    fn run_error_display_and_source() {
+        let e = RunError::from(SolveError {
+            step: 3,
+            case: None,
+            termination: Termination::MaxIter,
+            rel_res: 0.5,
+            iterations: 10,
+            attempts: 3,
+        });
+        assert!(e.to_string().contains("step 3"));
+        assert!(std::error::Error::source(&e).is_some());
+        let p = RunError::WorkerPanic { phase: "solve" };
+        assert!(p.to_string().contains("solve"));
+        assert!(std::error::Error::source(&p).is_none());
+    }
+
+    #[test]
+    fn recovery_event_display_names_everything() {
+        let ev = RecoveryEvent {
+            step: 7,
+            case: Some(2),
+            set: 1,
+            failed: Termination::NanResidual,
+            recovered_with: GuessSource::AdamsBashforth,
+            attempts: 2,
+        };
+        let s = ev.to_string();
+        assert!(s.contains("step 7"), "{s}");
+        assert!(s.contains("case 2"), "{s}");
+        assert!(s.contains("nan_residual"), "{s}");
+        assert!(s.contains("adams_bashforth"), "{s}");
+    }
+}

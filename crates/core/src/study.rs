@@ -91,6 +91,7 @@ pub fn convergence_study(backend: &Backend, cfg: &StudyConfig) -> ConvergenceStu
     let solve_cfg = CgConfig {
         tol: cfg.tol,
         max_iter: 100_000,
+        ..CgConfig::default()
     };
 
     // warm up with the standard data-driven-accelerated loop so the

@@ -26,6 +26,7 @@ use hetsolve_predictor::WindowDecision;
 use hetsolve_sparse::KernelCounts;
 
 use crate::methods::{RunConfig, RunResult};
+use crate::recovery::RecoveryEvent;
 
 /// Environment variable naming the Chrome-trace output file.
 pub const TRACE_ENV: &str = "HETSOLVE_TRACE";
@@ -47,6 +48,8 @@ pub struct StepTracer {
     total_counts: KernelCounts,
     /// Adaptive-window decision log rows for the metrics export.
     window_log: Vec<Json>,
+    /// Recovery-ladder event rows for the metrics export.
+    recovery_log: Vec<Json>,
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
 }
@@ -238,6 +241,70 @@ impl StepTracer {
         ]));
     }
 
+    /// Record a recovery-ladder event: an instant marker in the trace plus
+    /// a row in the metrics `recovery_log` section. `ts_s` is the modeled
+    /// time the recovery completed.
+    pub fn recovery_event(&mut self, ts_s: f64, ev: &RecoveryEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.trace.span(
+            ev.set,
+            TID_GPU,
+            "recovery",
+            "solver recovery",
+            ts_s * 1e6,
+            0.0,
+            vec![
+                ("step".to_string(), Json::from(ev.step)),
+                ("failed".to_string(), Json::from(ev.failed.label())),
+                (
+                    "recovered_with".to_string(),
+                    Json::from(ev.recovered_with.label()),
+                ),
+                ("attempts".to_string(), Json::from(ev.attempts)),
+            ],
+        );
+        self.recovery_log.push(Json::obj([
+            ("step", Json::from(ev.step)),
+            ("t_s", Json::Num(ts_s)),
+            (
+                "case",
+                match ev.case {
+                    Some(c) => Json::from(c),
+                    None => Json::Null,
+                },
+            ),
+            ("set", Json::from(ev.set)),
+            ("failed", Json::from(ev.failed.label())),
+            ("recovered_with", Json::from(ev.recovered_with.label())),
+            ("attempts", Json::from(ev.attempts)),
+        ]));
+    }
+
+    /// Charge a modeled fault stall on one lane (injected via
+    /// `hetsolve-fault`) and label its span. Returns the stall seconds.
+    pub fn charge_stall(
+        &mut self,
+        clock: &mut ModuleClock,
+        set: usize,
+        lane: LaneKind,
+        seconds: f64,
+    ) -> f64 {
+        let t = clock.stall(lane, seconds);
+        if self.enabled {
+            let args = [("seconds", Json::Num(seconds))];
+            self.label(
+                clock,
+                set,
+                "fault: lane stall",
+                &KernelCounts::default(),
+                &args,
+            );
+        }
+        t
+    }
+
     /// Record a mean-iterations counter sample (one per step).
     pub fn iterations_counter(&mut self, ts_s: f64, iterations: f64) {
         if !self.enabled {
@@ -275,10 +342,15 @@ impl StepTracer {
             bytes: counts.bytes(),
             rand_transactions: counts.rand_transactions,
             mean_window_s: mean_window,
+            recoveries: result.recoveries.len(),
         });
         if !self.window_log.is_empty() {
             self.sink
                 .set_section("window_log", Json::Arr(self.window_log.clone()));
+        }
+        if !self.recovery_log.is_empty() {
+            self.sink
+                .set_section("recovery_log", Json::Arr(self.recovery_log.clone()));
         }
     }
 

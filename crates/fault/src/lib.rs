@@ -1,0 +1,484 @@
+//! # hetsolve-fault
+//!
+//! Deterministic fault injection for the `hetsolve` predictor–solver
+//! pipeline. The paper's safety argument is that the data-driven initial
+//! guess may be arbitrarily wrong because the CG solver refines it to the
+//! same tolerance either way; this crate supplies the adversary that puts
+//! the claim under test. A seeded [`FaultPlan`] schedules
+//!
+//! * guess corruption (NaN a fraction of entries, or scale them),
+//! * snapshot poisoning (the predictor's correction history),
+//! * dropped or delayed modeled halo exchanges,
+//! * stalled device lanes on the modeled [`ModuleClock`] timeline,
+//! * forced CG iteration-cap exhaustion,
+//!
+//! and the core drivers consume it through the [`FaultInjector`] trait.
+//! [`NoopFaults`] mirrors `NoopObserver`/`StepTracer::disabled()`: a
+//! zero-sized type whose hooks are the empty default bodies, so the
+//! unfaulted drivers monomorphize to exactly the pre-fault code
+//! (bitwise-identity is asserted by `tests/fault_suite.rs`).
+//!
+//! Determinism: every random choice comes from an internal splitmix64
+//! stream keyed by `(plan seed, step, case)`, so one plan replays the same
+//! faults bit-for-bit across runs, methods and machines — a failing fault
+//! run is always reproducible from its seed.
+//!
+//! [`ModuleClock`]: https://docs.rs/hetsolve-machine
+
+#![forbid(unsafe_code)]
+
+/// Which modeled device lane a [`LaneFault`] stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLane {
+    Cpu,
+    Gpu,
+}
+
+impl FaultLane {
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultLane::Cpu => "cpu",
+            FaultLane::Gpu => "gpu",
+        }
+    }
+}
+
+/// Corruption applied to a vector (an initial guess or a predictor
+/// snapshot). `Copy`, so drivers can query a fault on one thread and apply
+/// it on another.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VectorFault {
+    /// Overwrite a deterministic ~`frac` fraction of entries with NaN
+    /// (at least one entry is always hit). `seed` fixes the pattern.
+    Nan { frac: f64, seed: u64 },
+    /// Multiply every entry by `factor` — a finite, undetectable
+    /// perturbation that degrades the guess without tripping NaN guards.
+    Scale { factor: f64 },
+}
+
+impl VectorFault {
+    /// Apply the corruption in place.
+    pub fn apply(&self, v: &mut [f64]) {
+        if v.is_empty() {
+            return;
+        }
+        match *self {
+            VectorFault::Nan { frac, seed } => {
+                let mut state = seed;
+                let mut hit = false;
+                for x in v.iter_mut() {
+                    if unit_f64(splitmix64(&mut state)) < frac {
+                        *x = f64::NAN;
+                        hit = true;
+                    }
+                }
+                if !hit {
+                    let idx = (seed % v.len() as u64) as usize;
+                    v[idx] = f64::NAN;
+                }
+            }
+            VectorFault::Scale { factor } => {
+                for x in v.iter_mut() {
+                    *x *= factor;
+                }
+            }
+        }
+    }
+}
+
+/// Failure mode of one modeled halo exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExchangeFault {
+    /// The exchange never happens (zero bytes move, zero time charged).
+    Drop,
+    /// The exchange takes `factor`× the modeled time (link congestion).
+    Delay { factor: f64 },
+}
+
+/// Stall one device lane of the modeled timeline for `seconds` without
+/// doing work (a hung kernel / OS jitter on the modeled machine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneFault {
+    pub lane: FaultLane,
+    pub seconds: f64,
+}
+
+/// Cap the CG solver's iteration budget for one step (forces max-iter
+/// exhaustion and exercises the recovery ladder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverFault {
+    pub max_iter: usize,
+}
+
+/// One scheduled (or injected) fault with its target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    Guess { case: usize, fault: VectorFault },
+    Snapshot { case: usize, fault: VectorFault },
+    Exchange { set: usize, fault: ExchangeFault },
+    Lane { set: usize, fault: LaneFault },
+    Solver { set: usize, fault: SolverFault },
+}
+
+/// A fault that actually fired: the step it hit plus what it did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecord {
+    pub step: usize,
+    pub kind: FaultKind,
+}
+
+/// Driver-side hooks. Every hook defaults to `None` (no fault), so an
+/// injector that overrides nothing — [`NoopFaults`] — compiles out of the
+/// hot path entirely. Hooks take `&mut self` so plans can log what fired;
+/// drivers must query each hook at most once per (step, target).
+pub trait FaultInjector {
+    /// Corrupt the initial guess of `case` at `step` (after prediction,
+    /// before the solve).
+    fn guess_fault(&mut self, _step: usize, _case: usize) -> Option<VectorFault> {
+        None
+    }
+
+    /// Poison the correction snapshot of `case` recorded at `step` (before
+    /// it enters the predictor history).
+    fn snapshot_fault(&mut self, _step: usize, _case: usize) -> Option<VectorFault> {
+        None
+    }
+
+    /// Break the modeled exchange of process set `set` at `step`.
+    fn exchange_fault(&mut self, _step: usize, _set: usize) -> Option<ExchangeFault> {
+        None
+    }
+
+    /// Stall a modeled device lane of process set `set` at `step`.
+    fn lane_fault(&mut self, _step: usize, _set: usize) -> Option<LaneFault> {
+        None
+    }
+
+    /// Cap the solver's iteration budget for process set `set` at `step`
+    /// (applies to the first solve attempt only; recovery retries run with
+    /// the real configuration).
+    fn solver_fault(&mut self, _step: usize, _set: usize) -> Option<SolverFault> {
+        None
+    }
+}
+
+/// The zero-cost default: a ZST whose hooks are the empty default bodies.
+/// `run(b, cfg)` and a fault-threaded run with `NoopFaults` compile to the
+/// same machine code, and the fault suite asserts bitwise-identical
+/// results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopFaults;
+
+impl FaultInjector for NoopFaults {}
+
+/// A seeded, deterministic schedule of faults. Build it with the
+/// `at_step`-style methods, hand it to a `run_faulted` driver, then read
+/// back [`FaultPlan::injected`] to assert every scheduled fault actually
+/// fired.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    planned: Vec<FaultRecord>,
+    injected: Vec<FaultRecord>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            planned: Vec::new(),
+            injected: Vec::new(),
+        }
+    }
+
+    /// Derive the NaN-pattern seed for `(step, case)` — stable across runs.
+    fn derive_seed(&self, step: usize, case: usize) -> u64 {
+        let mut s = self
+            .seed
+            .wrapping_add((step as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_add((case as u64).wrapping_mul(0xD1B54A32D192ED03));
+        splitmix64(&mut s)
+    }
+
+    /// NaN ~`frac` of the entries of `case`'s initial guess at `step`.
+    pub fn nan_guess(mut self, step: usize, case: usize, frac: f64) -> Self {
+        let seed = self.derive_seed(step, case);
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Guess {
+                case,
+                fault: VectorFault::Nan { frac, seed },
+            },
+        });
+        self
+    }
+
+    /// Scale `case`'s initial guess by `factor` at `step`.
+    pub fn scale_guess(mut self, step: usize, case: usize, factor: f64) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Guess {
+                case,
+                fault: VectorFault::Scale { factor },
+            },
+        });
+        self
+    }
+
+    /// NaN ~`frac` of `case`'s correction snapshot recorded at `step`.
+    pub fn nan_snapshot(mut self, step: usize, case: usize, frac: f64) -> Self {
+        let seed = self.derive_seed(step, case).rotate_left(17);
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Snapshot {
+                case,
+                fault: VectorFault::Nan { frac, seed },
+            },
+        });
+        self
+    }
+
+    /// Scale `case`'s correction snapshot by `factor` at `step`.
+    pub fn scale_snapshot(mut self, step: usize, case: usize, factor: f64) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Snapshot {
+                case,
+                fault: VectorFault::Scale { factor },
+            },
+        });
+        self
+    }
+
+    /// Drop set `set`'s modeled exchange at `step`.
+    pub fn drop_exchange(mut self, step: usize, set: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Exchange {
+                set,
+                fault: ExchangeFault::Drop,
+            },
+        });
+        self
+    }
+
+    /// Delay set `set`'s modeled exchange by `factor`× at `step`.
+    pub fn delay_exchange(mut self, step: usize, set: usize, factor: f64) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Exchange {
+                set,
+                fault: ExchangeFault::Delay { factor },
+            },
+        });
+        self
+    }
+
+    /// Stall a device lane of set `set` for `seconds` at `step`.
+    pub fn stall_lane(mut self, step: usize, set: usize, lane: FaultLane, seconds: f64) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Lane {
+                set,
+                fault: LaneFault { lane, seconds },
+            },
+        });
+        self
+    }
+
+    /// Cap the solver at `max_iter` iterations for set `set` at `step`.
+    pub fn cap_solver(mut self, step: usize, set: usize, max_iter: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Solver {
+                set,
+                fault: SolverFault { max_iter },
+            },
+        });
+        self
+    }
+
+    /// Faults scheduled in this plan.
+    pub fn planned(&self) -> &[FaultRecord] {
+        &self.planned
+    }
+
+    /// Faults that actually fired (one record per hook hit), in firing
+    /// order. Fault-suite tests assert this covers the whole plan.
+    pub fn injected(&self) -> &[FaultRecord] {
+        &self.injected
+    }
+
+    /// True when every planned fault fired at least once.
+    pub fn all_fired(&self) -> bool {
+        self.planned
+            .iter()
+            .all(|p| self.injected.iter().any(|i| i == p))
+    }
+
+    fn log(&mut self, step: usize, kind: FaultKind) {
+        self.injected.push(FaultRecord { step, kind });
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn guess_fault(&mut self, step: usize, case: usize) -> Option<VectorFault> {
+        let hit = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::Guess { case: c, fault } if p.step == step && c == case => Some(fault),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::Guess { case, fault: hit });
+        Some(hit)
+    }
+
+    fn snapshot_fault(&mut self, step: usize, case: usize) -> Option<VectorFault> {
+        let hit = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::Snapshot { case: c, fault } if p.step == step && c == case => Some(fault),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::Snapshot { case, fault: hit });
+        Some(hit)
+    }
+
+    fn exchange_fault(&mut self, step: usize, set: usize) -> Option<ExchangeFault> {
+        let hit = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::Exchange { set: s, fault } if p.step == step && s == set => Some(fault),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::Exchange { set, fault: hit });
+        Some(hit)
+    }
+
+    fn lane_fault(&mut self, step: usize, set: usize) -> Option<LaneFault> {
+        let hit = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::Lane { set: s, fault } if p.step == step && s == set => Some(fault),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::Lane { set, fault: hit });
+        Some(hit)
+    }
+
+    fn solver_fault(&mut self, step: usize, set: usize) -> Option<SolverFault> {
+        let hit = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::Solver { set: s, fault } if p.step == step && s == set => Some(fault),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::Solver { set, fault: hit });
+        Some(hit)
+    }
+}
+
+/// splitmix64 step — the minimal deterministic stream (same generator the
+/// predictor tests hand-roll); good enough for fault placement, no
+/// dependency needed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Map a u64 to [0, 1).
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopFaults>(), 0);
+        let mut noop = NoopFaults;
+        assert!(noop.guess_fault(0, 0).is_none());
+        assert!(noop.snapshot_fault(3, 1).is_none());
+        assert!(noop.exchange_fault(5, 0).is_none());
+        assert!(noop.lane_fault(7, 1).is_none());
+        assert!(noop.solver_fault(9, 0).is_none());
+    }
+
+    #[test]
+    fn nan_fault_is_deterministic_and_always_hits() {
+        let f = VectorFault::Nan {
+            frac: 0.05,
+            seed: 42,
+        };
+        let mut a = vec![1.0; 200];
+        let mut b = vec![1.0; 200];
+        f.apply(&mut a);
+        f.apply(&mut b);
+        let nan_idx_a: Vec<usize> = (0..a.len()).filter(|&i| a[i].is_nan()).collect();
+        let nan_idx_b: Vec<usize> = (0..b.len()).filter(|&i| b[i].is_nan()).collect();
+        assert!(!nan_idx_a.is_empty());
+        assert_eq!(nan_idx_a, nan_idx_b, "same seed must hit the same slots");
+
+        // tiny frac on a tiny vector: the at-least-one guarantee kicks in
+        let g = VectorFault::Nan {
+            frac: 1e-9,
+            seed: 7,
+        };
+        let mut c = vec![1.0; 4];
+        g.apply(&mut c);
+        assert_eq!(c.iter().filter(|v| v.is_nan()).count(), 1);
+    }
+
+    #[test]
+    fn scale_fault_scales_everything() {
+        let f = VectorFault::Scale { factor: -3.0 };
+        let mut v = vec![1.0, 2.0, -4.0];
+        f.apply(&mut v);
+        assert_eq!(v, vec![-3.0, -6.0, 12.0]);
+    }
+
+    #[test]
+    fn plan_fires_only_at_scheduled_targets_and_logs() {
+        let mut plan = FaultPlan::new(1)
+            .nan_guess(3, 1, 0.1)
+            .cap_solver(5, 0, 2)
+            .drop_exchange(4, 1)
+            .stall_lane(2, 0, FaultLane::Gpu, 0.25);
+        assert_eq!(plan.planned().len(), 4);
+        assert!(plan.guess_fault(2, 1).is_none(), "wrong step");
+        assert!(plan.guess_fault(3, 0).is_none(), "wrong case");
+        let g = plan.guess_fault(3, 1).expect("scheduled guess fault");
+        assert!(matches!(g, VectorFault::Nan { frac, .. } if frac == 0.1));
+        assert!(matches!(
+            plan.solver_fault(5, 0),
+            Some(SolverFault { max_iter: 2 })
+        ));
+        assert!(matches!(
+            plan.exchange_fault(4, 1),
+            Some(ExchangeFault::Drop)
+        ));
+        let lf = plan.lane_fault(2, 0).expect("scheduled lane fault");
+        assert_eq!(lf.lane, FaultLane::Gpu);
+        assert_eq!(lf.seconds, 0.25);
+        assert!(plan.all_fired());
+        assert_eq!(plan.injected().len(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_plan_same_nan_pattern() {
+        let mut p1 = FaultPlan::new(99).nan_guess(7, 2, 0.2);
+        let mut p2 = FaultPlan::new(99).nan_guess(7, 2, 0.2);
+        let f1 = p1.guess_fault(7, 2).unwrap();
+        let f2 = p2.guess_fault(7, 2).unwrap();
+        assert_eq!(f1, f2);
+        // different seed -> different derived pattern seed
+        let mut p3 = FaultPlan::new(100).nan_guess(7, 2, 0.2);
+        let f3 = p3.guess_fault(7, 2).unwrap();
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn snapshot_and_guess_seeds_differ() {
+        let mut p = FaultPlan::new(5)
+            .nan_guess(1, 0, 0.3)
+            .nan_snapshot(1, 0, 0.3);
+        let g = p.guess_fault(1, 0).unwrap();
+        let s = p.snapshot_fault(1, 0).unwrap();
+        assert_ne!(g, s, "guess and snapshot patterns must be independent");
+    }
+}

@@ -177,6 +177,34 @@ impl ModuleClock {
         t
     }
 
+    /// Stall one lane for `seconds` without doing work: the lane's local
+    /// time advances but no busy time or active energy is charged (the
+    /// device sits at idle draw — a hung kernel, OS jitter, or an injected
+    /// fault). A [`LaneKind::Link`] stall models a blocked C2C channel and
+    /// advances both lanes, like [`ModuleClock::transfer`]. Returns
+    /// `seconds` for symmetry with the charge methods.
+    pub fn stall(&mut self, lane: LaneKind, seconds: f64) -> f64 {
+        match lane {
+            LaneKind::Cpu => {
+                let start = self.cpu.time;
+                self.cpu.time += seconds;
+                self.log_span(LaneKind::Cpu, start, start + seconds);
+            }
+            LaneKind::Gpu => {
+                let start = self.gpu.time;
+                self.gpu.time += seconds;
+                self.log_span(LaneKind::Gpu, start, start + seconds);
+            }
+            LaneKind::Link => {
+                let start = self.cpu.time.max(self.gpu.time);
+                self.cpu.time += seconds;
+                self.gpu.time += seconds;
+                self.log_span(LaneKind::Link, start, start + seconds);
+            }
+        }
+        seconds
+    }
+
     /// Current CPU / GPU lane times.
     pub fn times(&self) -> (f64, f64) {
         (self.cpu.time, self.gpu.time)
@@ -332,6 +360,34 @@ mod tests {
         let spans = clk.drain_spans();
         let (c, g) = (&spans[0], &spans[1]);
         assert!(c.start < g.end && g.start < c.end, "lanes did not overlap");
+    }
+
+    #[test]
+    fn stall_advances_time_without_busy_or_energy() {
+        let mut clk = ModuleClock::new(single_gh200().module, 72, true);
+        clk.enable_span_log();
+        let t = clk.stall(LaneKind::Gpu, 0.5);
+        assert_eq!(t, 0.5);
+        let (c, g) = clk.times();
+        assert_eq!(c, 0.0, "CPU lane must not move on a GPU stall");
+        assert_eq!(g, 0.5);
+        let rep = clk.report();
+        assert_eq!(rep.gpu_busy, 0.0, "a stall is not busy time");
+        // only idle draw accrues over the stalled makespan
+        let m = single_gh200().module;
+        let idle = (m.cpu.power(0.0) + m.gpu.power(0.0)) * 0.5;
+        assert!((rep.energy - idle).abs() < 1e-9);
+        // the stall is visible on the timeline
+        let spans = clk.drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lane, LaneKind::Gpu);
+        assert!((spans[0].end - spans[0].start - 0.5).abs() < 1e-15);
+        // a link stall blocks both lanes (after a sync, like a transfer)
+        clk.sync();
+        clk.stall(LaneKind::Link, 0.25);
+        let (c, g) = clk.times();
+        assert!((c - 0.75).abs() < 1e-15);
+        assert!((g - 0.75).abs() < 1e-15);
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub struct MethodMetrics {
     /// Mean snapshot window over the measurement window (0 when the
     /// data-driven predictor is off).
     pub mean_window_s: f64,
+    /// Per-step recoveries performed by the solve ladder (guess downgraded
+    /// after an abnormal termination); 0 on a healthy run.
+    pub recoveries: usize,
 }
 
 impl MethodMetrics {
@@ -67,6 +70,7 @@ impl MethodMetrics {
             ("bytes", Json::Num(self.bytes)),
             ("rand_transactions", Json::Num(self.rand_transactions)),
             ("mean_window_s", Json::Num(self.mean_window_s)),
+            ("recoveries", Json::from(self.recoveries)),
         ])
     }
 }

@@ -18,6 +18,18 @@ pub enum Termination {
     /// Loss of positive definiteness (`pᵀq <= 0`) froze the last active
     /// case(s).
     Breakdown,
+    /// A residual (or `pᵀq`) turned NaN/Inf — poisoned input or overflow.
+    NanResidual,
+    /// The residual stopped improving for a full stagnation window.
+    Stagnation,
+    /// The preconditioned inner product `zᵀr` lost positivity — the
+    /// preconditioner is not SPD for this residual.
+    RhoBreakdown,
+    /// The initial guess was rejected before the first iteration: its
+    /// relative residual was so large that the recursive residual could
+    /// "converge" while the true solution stays wrong (attainable accuracy
+    /// in f64 is roughly `eps × initial residual`). Retry from a sane guess.
+    DivergentGuess,
 }
 
 impl Termination {
@@ -26,7 +38,16 @@ impl Termination {
             Termination::Converged => "converged",
             Termination::MaxIter => "max_iter",
             Termination::Breakdown => "breakdown",
+            Termination::NanResidual => "nan_residual",
+            Termination::Stagnation => "stagnation",
+            Termination::RhoBreakdown => "rho_breakdown",
+            Termination::DivergentGuess => "divergent_guess",
         }
+    }
+
+    /// Abnormal terminations are everything but [`Termination::Converged`].
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Termination::Converged)
     }
 }
 
@@ -158,5 +179,22 @@ mod tests {
         assert_eq!(Termination::Converged.label(), "converged");
         assert_eq!(Termination::MaxIter.label(), "max_iter");
         assert_eq!(Termination::Breakdown.label(), "breakdown");
+        assert_eq!(Termination::NanResidual.label(), "nan_residual");
+        assert_eq!(Termination::Stagnation.label(), "stagnation");
+        assert_eq!(Termination::RhoBreakdown.label(), "rho_breakdown");
+    }
+
+    #[test]
+    fn only_converged_is_success() {
+        assert!(!Termination::Converged.is_failure());
+        for t in [
+            Termination::MaxIter,
+            Termination::Breakdown,
+            Termination::NanResidual,
+            Termination::Stagnation,
+            Termination::RhoBreakdown,
+        ] {
+            assert!(t.is_failure(), "{}", t.label());
+        }
     }
 }

@@ -112,6 +112,15 @@ impl AdaptiveWindow {
         self.s_cap = cap.max(self.s_min);
         self.s = self.s.min(self.s_cap);
     }
+
+    /// Drop the window back to `s_min` after the snapshot history was
+    /// discarded (poisoned snapshot): the predictor has to rebuild its
+    /// basis, so a large window would only orthonormalize stale columns.
+    /// The cost estimate survives — it describes the hardware, not the
+    /// history — so regrowth takes the usual rate-limited path.
+    pub fn reset_window(&mut self) {
+        self.s = self.s_min;
+    }
 }
 
 /// The largest window `s` whose snapshot history fits in `mem_bytes` for a
@@ -212,6 +221,21 @@ mod tests {
         assert!(s480 > s128);
         assert!((100..200).contains(&s480) || s480 > 30, "s480 = {s480}");
         assert!(s128 < 15, "s128 = {s128}");
+    }
+
+    #[test]
+    fn reset_window_drops_to_s_min_but_keeps_cost_estimate() {
+        let mut ctl = AdaptiveWindow::new(2, 64);
+        for _ in 0..20 {
+            let s = ctl.current();
+            ctl.observe(s, 1e-5 * (s * s) as f64, 1.0);
+        }
+        assert!(ctl.current() > 2);
+        ctl.reset_window();
+        assert_eq!(ctl.current(), 2);
+        // the retained unit cost lets the window regrow immediately
+        let s = ctl.observe(2, 1e-5 * 4.0, 1.0);
+        assert!(s > 2, "regrowth should resume from the kept estimate");
     }
 
     #[test]

@@ -49,8 +49,17 @@ impl DataDrivenPredictor {
 
     /// Record the correction of the step just solved
     /// (`δ = u_true − ū_adams`).
-    pub fn record(&mut self, delta: &[f64]) {
+    ///
+    /// A non-finite correction (poisoned snapshot) is rejected and the whole
+    /// history is dropped: every stored column would otherwise keep pairing
+    /// with the poisoned one in future X/Y windows, so the basis is rebuilt
+    /// from scratch. Returns `false` when that reset happened.
+    pub fn record(&mut self, delta: &[f64]) -> bool {
         assert_eq!(delta.len(), self.n_dofs);
+        if delta.iter().any(|v| !v.is_finite()) {
+            self.history.clear();
+            return false;
+        }
         if self.history.len() == self.s_max + 1 {
             let mut old = self.history.pop_front().expect("len checked");
             old.copy_from_slice(delta);
@@ -58,6 +67,7 @@ impl DataDrivenPredictor {
         } else {
             self.history.push_back(delta.to_vec());
         }
+        true
     }
 
     /// Largest usable window with the current history (needs `s+1` stored
@@ -326,5 +336,24 @@ mod tests {
         assert_eq!(p.available_s(), 1);
         p.clear();
         assert_eq!(p.available_s(), 0);
+    }
+
+    #[test]
+    fn poisoned_snapshot_resets_history() {
+        let n = 10;
+        let mut p = DataDrivenPredictor::new(n, 10, 4);
+        assert!(p.record(&[1.0; 10]));
+        assert!(p.record(&[2.0; 10]));
+        assert_eq!(p.available_s(), 1);
+        let mut bad = vec![3.0; n];
+        bad[7] = f64::NAN;
+        assert!(!p.record(&bad), "NaN snapshot must be rejected");
+        assert_eq!(p.available_s(), 0, "history rebuilt from scratch");
+        // the predictor recovers once clean snapshots accumulate again
+        assert!(p.record(&[4.0; 10]));
+        assert!(p.record(&[5.0; 10]));
+        let mut out = vec![0.0; n];
+        assert!(p.predict(1, &mut out));
+        assert!(out.iter().all(|v| v.is_finite()));
     }
 }

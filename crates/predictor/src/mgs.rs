@@ -37,6 +37,11 @@ pub fn mgs_qr(x: &[f64], m: usize, s: usize, tol: f64) -> MgsQr {
     for j in 0..s {
         work.copy_from_slice(&x[j * m..(j + 1) * m]);
         let orig_norm = work.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if !orig_norm.is_finite() {
+            // poisoned snapshot (NaN/Inf entries): reject before the
+            // projection loop so no NaN coefficient is ever written into R.
+            continue;
+        }
         // project out previously accepted directions (modified GS: use the
         // running residual, not the original column)
         for (qi, &kcol) in kept.iter().enumerate() {
@@ -48,6 +53,11 @@ pub fn mgs_qr(x: &[f64], m: usize, s: usize, tol: f64) -> MgsQr {
             }
         }
         let norm = work.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if !norm.is_finite() {
+            // NaN residual norm would pass both comparisons below (NaN
+            // comparisons are false) and admit a garbage direction into Q.
+            continue;
+        }
         if norm <= tol * orig_norm.max(f64::MIN_POSITIVE) || norm == 0.0 {
             // dependent column: drop (its R row stays zero on the diagonal)
             continue;
@@ -186,5 +196,47 @@ mod tests {
     fn zero_matrix_has_rank_zero() {
         let qr = mgs_qr(&[0.0; 20], 10, 2, 1e-12);
         assert_eq!(qr.rank(), 0);
+    }
+
+    #[test]
+    fn duplicate_snapshots_keep_only_one_direction() {
+        // degenerate history: the same snapshot recorded repeatedly (a
+        // stalled signal) must collapse to rank 1, not a garbage basis.
+        let m = 12;
+        let a = det_rand(m, 21);
+        let mut x = Vec::new();
+        for _ in 0..4 {
+            x.extend(&a);
+        }
+        let qr = mgs_qr(&x, m, 4, 1e-10);
+        assert_eq!(qr.rank(), 1);
+        assert_eq!(qr.kept, vec![0]);
+    }
+
+    #[test]
+    fn nan_column_is_dropped_not_kept() {
+        let m = 8;
+        let a = det_rand(m, 33);
+        let mut x = Vec::new();
+        x.extend(&a);
+        x.extend(std::iter::repeat_n(f64::NAN, m)); // poisoned snapshot
+        let b = det_rand(m, 44);
+        x.extend(&b);
+        let qr = mgs_qr(&x, m, 3, 1e-10);
+        // the NaN column is rejected and the basis stays finite
+        assert_eq!(qr.kept, vec![0, 2]);
+        assert!(qr.q.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn inf_column_is_dropped_not_kept() {
+        let m = 6;
+        let a = det_rand(m, 55);
+        let mut x = Vec::new();
+        x.extend(std::iter::repeat_n(f64::INFINITY, m));
+        x.extend(&a);
+        let qr = mgs_qr(&x, m, 2, 1e-10);
+        assert_eq!(qr.kept, vec![1]);
+        assert!(qr.q.iter().all(|v| v.is_finite()));
     }
 }

@@ -174,6 +174,7 @@ mod tests {
         let cfg = CgConfig {
             tol: 1e-10,
             max_iter: 5000,
+            ..Default::default()
         };
         let bj = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
         let ssor = BlockSsor::new(&m);

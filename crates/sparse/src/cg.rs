@@ -17,6 +17,19 @@ pub struct CgConfig {
     pub tol: f64,
     /// Iteration cap (counts operator applications after the initial one).
     pub max_iter: usize,
+    /// Declare [`Termination::Stagnation`] after this many consecutive
+    /// iterations without a strict improvement of the best relative
+    /// residual. `0` disables the check (the default, preserving the
+    /// original solver behavior exactly).
+    pub stagnation_window: usize,
+    /// Reject the initial guess with [`Termination::DivergentGuess`] when
+    /// its relative residual exceeds this, *before* the first iteration.
+    /// Past roughly `tol / f64::EPSILON` the recursive residual can reach
+    /// `tol` while the true error stays enormous (the recursion drifts from
+    /// the true residual by about `eps ×` the largest intermediate), so
+    /// "converged" would be a lie; failing typed lets a recovery ladder
+    /// retry from a sane guess. `0.0` disables the check (the default).
+    pub guess_divergence: f64,
 }
 
 impl Default for CgConfig {
@@ -25,6 +38,8 @@ impl Default for CgConfig {
         CgConfig {
             tol: 1e-8,
             max_iter: 10_000,
+            stagnation_window: 0,
+            guess_divergence: 0.0,
         }
     }
 }
@@ -39,6 +54,8 @@ pub struct CgStats {
     /// Final relative residual.
     pub final_rel_res: f64,
     pub converged: bool,
+    /// Why the solve stopped (`converged == (termination == Converged)`).
+    pub termination: Termination,
     /// `‖r‖/‖f‖` after every iteration (index 0 = initial).
     pub history: Vec<f64>,
     /// Work performed (operator + preconditioner + vector ops), summed.
@@ -103,6 +120,7 @@ pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
             initial_rel_res: 0.0,
             final_rel_res: 0.0,
             converged: true,
+            termination: Termination::Converged,
             history: vec![0.0],
             counts,
         };
@@ -113,17 +131,50 @@ pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
     let mut history = vec![rel];
     obs.solve_begin(n, 1, &[rel]);
 
+    if cfg.guess_divergence > 0.0 && rel.is_finite() && rel > cfg.guess_divergence {
+        // the guess is beyond f64 rescue: fail typed before wasting
+        // iterations on a "convergence" that cannot be trusted
+        obs.solve_end(0, Termination::DivergentGuess);
+        return CgStats {
+            iterations: 0,
+            initial_rel_res,
+            final_rel_res: rel,
+            converged: false,
+            termination: Termination::DivergentGuess,
+            history,
+            counts,
+        };
+    }
+
     let mut z = vec![0.0; n];
     let mut p = vec![0.0; n];
     let mut q = vec![0.0; n];
     let mut rho_prev = 0.0;
     let mut iterations = 0;
-    let mut breakdown = false;
+    // Abnormal break cause; None while the iteration is healthy. All the
+    // guards below only read values the healthy path computes anyway, so a
+    // converging solve is bitwise-identical with or without them.
+    let mut abnormal: Option<Termination> = None;
+    // Stagnation tracking: strict best-so-far with an improvement deadline.
+    let mut best_rel = rel;
+    let mut since_improve = 0usize;
 
+    // NaN initial residual (poisoned guess or RHS) fails the `rel >= tol`
+    // comparison, skips the loop, and classifies as NanResidual below.
     while rel >= cfg.tol && iterations < cfg.max_iter {
         prec.apply(&r, &mut z);
         counts = counts.merged(prec.counts());
         let rho = dot(&z, &r);
+        if !rho.is_finite() {
+            abnormal = Some(Termination::NanResidual);
+            break;
+        }
+        if rho <= 0.0 {
+            // zᵀr must stay positive for an SPD preconditioner: the
+            // preconditioned inner product has broken down.
+            abnormal = Some(Termination::RhoBreakdown);
+            break;
+        }
         if iterations == 0 {
             p.copy_from_slice(&z);
         } else {
@@ -133,9 +184,13 @@ pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
         a.apply(&p, &mut q);
         counts = counts.merged(a.counts()).merged(vec_counts);
         let pq = dot(&p, &q);
+        if !pq.is_finite() {
+            abnormal = Some(Termination::NanResidual);
+            break;
+        }
         if pq <= 0.0 {
             // loss of positive definiteness (numerical breakdown): stop.
-            breakdown = true;
+            abnormal = Some(Termination::Breakdown);
             break;
         }
         let alpha = rho / pq;
@@ -146,24 +201,41 @@ pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
         rel = norm2(&r) / f_norm;
         history.push(rel);
         obs.iteration(iterations, &[rel]);
+        if !rel.is_finite() {
+            abnormal = Some(Termination::NanResidual);
+            break;
+        }
+        if cfg.stagnation_window > 0 {
+            if rel < best_rel {
+                best_rel = rel;
+                since_improve = 0;
+            } else {
+                since_improve += 1;
+                if since_improve >= cfg.stagnation_window {
+                    abnormal = Some(Termination::Stagnation);
+                    break;
+                }
+            }
+        }
     }
 
-    obs.solve_end(
-        iterations,
-        if rel < cfg.tol {
-            Termination::Converged
-        } else if breakdown {
-            Termination::Breakdown
-        } else {
-            Termination::MaxIter
-        },
-    );
+    let termination = if rel < cfg.tol {
+        Termination::Converged
+    } else if let Some(t) = abnormal {
+        t
+    } else if !rel.is_finite() {
+        Termination::NanResidual
+    } else {
+        Termination::MaxIter
+    };
+    obs.solve_end(iterations, termination);
 
     CgStats {
         iterations,
         initial_rel_res,
         final_rel_res: rel,
-        converged: rel < cfg.tol,
+        converged: termination == Termination::Converged,
+        termination,
         history,
         counts,
     }
@@ -249,6 +321,7 @@ mod tests {
             &CgConfig {
                 tol: 1e-12,
                 max_iter: 500,
+                ..CgConfig::default()
             },
         );
         assert!(stats.converged, "CG did not converge: {stats:?}");
@@ -271,6 +344,7 @@ mod tests {
         let cfg = CgConfig {
             tol: 1e-10,
             max_iter: 1000,
+            ..CgConfig::default()
         };
         let mut x1 = vec![0.0; n];
         let s_plain = pcg(&m, &NoPrec(n), &f, &mut x1, &cfg);
@@ -340,6 +414,7 @@ mod tests {
             &CgConfig {
                 tol: 1e-30,
                 max_iter: 3,
+                ..CgConfig::default()
             },
         );
         assert_eq!(stats.iterations, 3);

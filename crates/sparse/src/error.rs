@@ -1,0 +1,74 @@
+//! Typed solver failure.
+//!
+//! [`SolveError`] is what a driver returns when the recovery ladder is
+//! exhausted: every attempt (data-driven guess, Adams-Bashforth downgrade,
+//! zero guess with a raised iteration cap) ended in an abnormal
+//! [`Termination`]. It carries enough context — step, case, cause, final
+//! residual, attempts — for an ensemble scheduler to log the failure and
+//! move on instead of aborting thousands of healthy steps.
+
+use std::fmt;
+
+use hetsolve_obs::Termination;
+
+/// An iterative solve that could not be recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveError {
+    /// Time step at which the solve failed (0 for standalone solves).
+    pub step: usize,
+    /// Failing case for multi-RHS solves; `None` for single-RHS.
+    pub case: Option<usize>,
+    /// Abnormal cause of the final attempt.
+    pub termination: Termination,
+    /// Relative residual when the final attempt stopped.
+    pub rel_res: f64,
+    /// Iterations spent by the final attempt.
+    pub iterations: usize,
+    /// Solve attempts made before giving up (ladder rungs tried).
+    pub attempts: usize,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solve failed at step {} ({}): {} after {} iterations, rel_res {:.3e}, {} attempt(s)",
+            self.step,
+            match self.case {
+                Some(c) => format!("case {c}"),
+                None => "single case".to_string(),
+            },
+            self.termination.label(),
+            self.iterations,
+            self.rel_res,
+            self.attempts,
+        )
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_context() {
+        let e = SolveError {
+            step: 42,
+            case: Some(3),
+            termination: Termination::NanResidual,
+            rel_res: f64::NAN,
+            iterations: 7,
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 42"), "{s}");
+        assert!(s.contains("case 3"), "{s}");
+        assert!(s.contains("nan_residual"), "{s}");
+        assert!(s.contains("3 attempt(s)"), "{s}");
+
+        let single = SolveError { case: None, ..e };
+        assert!(single.to_string().contains("single case"));
+    }
+}

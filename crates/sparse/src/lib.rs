@@ -27,6 +27,7 @@ pub mod dense;
 pub mod dirichlet;
 pub mod ebe;
 pub mod ebe32;
+pub mod error;
 pub mod mcg;
 pub mod op;
 pub mod parcheck;
@@ -41,6 +42,7 @@ pub use cg::{pcg, pcg_observed, CgConfig, CgStats};
 pub use dirichlet::FixedMask;
 pub use ebe::{color_faces, ebe_counts, EbeData, EbeMultiOperator, EbeOperator};
 pub use ebe32::{EbeOperator32, EbeStore32};
+pub use error::SolveError;
 pub use hetsolve_obs::{NoopObserver, ResidualLog, SolveObserver, Termination};
 pub use mcg::{mcg, mcg_observed, McgStats};
 pub use op::{KernelCounts, LinearOperator, MultiOperator, Preconditioner};

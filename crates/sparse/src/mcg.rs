@@ -28,6 +28,13 @@ pub struct McgStats {
     /// Per-case final relative residuals.
     pub final_rel_res: Vec<f64>,
     pub converged: bool,
+    /// Why the fused solve stopped: [`Termination::Converged`] when every
+    /// case reached the tolerance, otherwise the most severe per-case cause
+    /// (NaN > rho-breakdown > breakdown > stagnation > max-iter).
+    pub termination: Termination,
+    /// Why each case stopped. A faulted lane freezes with its own cause
+    /// while healthy lanes iterate on — NaN never crosses cases.
+    pub case_termination: Vec<Termination>,
     /// Total work performed.
     pub counts: KernelCounts,
 }
@@ -92,6 +99,10 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
     let mut rr = vec![0.0; r];
     dot_multi(&r_vec, &r_vec, r, &mut rr);
     let mut active = vec![true; r];
+    // Per-case abnormal cause; stays None for cases that converge (or are
+    // simply capped). All guards only read values the healthy path computes
+    // anyway, so a fully-converging solve is bitwise-identical.
+    let mut abnormal: Vec<Option<Termination>> = vec![None; r];
     for c in 0..r {
         if f_norm[c] == 0.0 {
             // zero RHS: solution is zero (see single-RHS CG)
@@ -102,7 +113,20 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
             active[c] = false;
         } else {
             rel[c] = rr[c].sqrt() / f_norm[c];
-            active[c] = rel[c] >= cfg.tol;
+            if !rel[c].is_finite() {
+                // poisoned guess or RHS for this lane: freeze it before the
+                // first fused iteration so NaN never reaches shared kernels.
+                abnormal[c] = Some(Termination::NanResidual);
+                active[c] = false;
+            } else if cfg.guess_divergence > 0.0 && rel[c] > cfg.guess_divergence {
+                // this lane's guess is beyond f64 rescue (see `pcg`):
+                // freeze it typed instead of letting the recursive residual
+                // fake a convergence
+                abnormal[c] = Some(Termination::DivergentGuess);
+                active[c] = false;
+            } else {
+                active[c] = rel[c] >= cfg.tol;
+            }
         }
     }
     let initial_rel_res = rel.clone();
@@ -118,12 +142,30 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
     let mut alpha = vec![0.0; r];
     let mut beta = vec![0.0; r];
     let mut fused_iterations = 0usize;
-    let mut breakdown = false;
+    // Stagnation tracking: per-case strict best-so-far with a deadline.
+    let mut best_rel = rel.clone();
+    let mut since_improve = vec![0usize; r];
 
     while active.iter().any(|&a| a) && fused_iterations < cfg.max_iter {
         prec.apply_multi(&r_vec, &mut z, r);
         counts = counts.merged(prec.counts().scaled(r as f64));
         dot_multi(&z, &r_vec, r, &mut rho);
+        for c in 0..r {
+            if !active[c] {
+                continue;
+            }
+            if !rho[c].is_finite() {
+                // NaN/Inf entered this lane mid-flight: freeze it so the
+                // poison cannot reach alpha/beta of the shared iteration.
+                abnormal[c] = Some(Termination::NanResidual);
+                active[c] = false;
+            } else if rho[c] <= 0.0 {
+                // zᵀr lost positivity: the preconditioner is not SPD for
+                // this lane's residual.
+                abnormal[c] = Some(Termination::RhoBreakdown);
+                active[c] = false;
+            }
+        }
         if fused_iterations == 0 {
             p.copy_from_slice(&z);
         } else {
@@ -142,10 +184,15 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
         let mut neg_alpha = vec![0.0; r];
         for c in 0..r {
             if active[c] {
-                if pq[c] <= 0.0 {
-                    // numerical breakdown for this case: freeze it
+                if !pq[c].is_finite() {
+                    // NaN direction: freeze before alpha poisons the lane
+                    abnormal[c] = Some(Termination::NanResidual);
                     active[c] = false;
-                    breakdown = true;
+                    alpha[c] = 0.0;
+                } else if pq[c] <= 0.0 {
+                    // numerical breakdown for this case: freeze it
+                    abnormal[c] = Some(Termination::Breakdown);
+                    active[c] = false;
                     alpha[c] = 0.0;
                 } else {
                     alpha[c] = rho[c] / pq[c];
@@ -167,26 +214,58 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
                 rel[c] = rr[c].sqrt() / f_norm[c];
                 if rel[c] < cfg.tol {
                     active[c] = false;
+                } else if !rel[c].is_finite() {
+                    abnormal[c] = Some(Termination::NanResidual);
+                    active[c] = false;
+                } else if cfg.stagnation_window > 0 {
+                    if rel[c] < best_rel[c] {
+                        best_rel[c] = rel[c];
+                        since_improve[c] = 0;
+                    } else {
+                        since_improve[c] += 1;
+                        if since_improve[c] >= cfg.stagnation_window {
+                            abnormal[c] = Some(Termination::Stagnation);
+                            active[c] = false;
+                        }
+                    }
                 }
             }
         }
         obs.iteration(fused_iterations, &rel);
     }
 
-    let converged = rel
+    // Per-case classification: convergence wins, then the recorded
+    // abnormal cause, then the iteration cap.
+    let case_termination: Vec<Termination> = (0..r)
+        .map(|c| {
+            if f_norm[c] == 0.0 || rel[c] < cfg.tol {
+                Termination::Converged
+            } else if let Some(t) = abnormal[c] {
+                t
+            } else {
+                Termination::MaxIter
+            }
+        })
+        .collect();
+    let converged = case_termination
         .iter()
-        .zip(&f_norm)
-        .all(|(&e, &fnorm)| fnorm == 0.0 || e < cfg.tol);
-    obs.solve_end(
-        fused_iterations,
-        if converged {
-            Termination::Converged
-        } else if breakdown {
-            Termination::Breakdown
-        } else {
-            Termination::MaxIter
-        },
-    );
+        .all(|t| *t == Termination::Converged);
+    // Most severe failure across lanes decides the fused cause.
+    let severity = |t: &Termination| match t {
+        Termination::NanResidual => 6,
+        Termination::RhoBreakdown => 5,
+        Termination::Breakdown => 4,
+        Termination::DivergentGuess => 3,
+        Termination::Stagnation => 2,
+        Termination::MaxIter => 1,
+        Termination::Converged => 0,
+    };
+    let termination = case_termination
+        .iter()
+        .copied()
+        .max_by_key(severity)
+        .unwrap_or(Termination::Converged);
+    obs.solve_end(fused_iterations, termination);
 
     McgStats {
         fused_iterations,
@@ -194,6 +273,8 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
         initial_rel_res,
         final_rel_res: rel.clone(),
         converged,
+        termination,
+        case_termination,
         counts,
     }
 }
@@ -270,6 +351,7 @@ mod tests {
         let cfg = CgConfig {
             tol: 1e-10,
             max_iter: 500,
+            ..CgConfig::default()
         };
 
         let mut f = vec![0.0; n * r];
@@ -331,6 +413,7 @@ mod tests {
         let cfg = CgConfig {
             tol: 1e-9,
             max_iter: 500,
+            ..CgConfig::default()
         };
         // case 0 gets a near-exact initial guess; case 1 starts cold.
         let fc: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
@@ -343,6 +426,7 @@ mod tests {
             &CgConfig {
                 tol: 1e-14,
                 max_iter: 1000,
+                ..CgConfig::default()
             },
         );
 
@@ -386,6 +470,7 @@ mod tests {
             &CgConfig {
                 tol: 1e-6,
                 max_iter: 100,
+                ..CgConfig::default()
             },
         );
         let mut x = vec![0.0; n * r];

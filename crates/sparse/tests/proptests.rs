@@ -69,7 +69,7 @@ proptest! {
         let n = m.n();
         let f: Vec<f64> = (0..n).map(|i| (((i as u64 + 1) * (rhs_seed as u64 + 1)) % 97) as f64 / 48.5 - 1.0).collect();
         let mut x = vec![0.0; n];
-        let stats = pcg(&m, &Identity(n), &f, &mut x, &CgConfig { tol: 1e-10, max_iter: 10_000 });
+        let stats = pcg(&m, &Identity(n), &f, &mut x, &CgConfig { tol: 1e-10, max_iter: 10_000, ..Default::default() });
         prop_assert!(stats.converged, "CG failed: {}", stats.final_rel_res);
         // verify residual directly
         let mut ax = vec![0.0; n];
@@ -89,7 +89,7 @@ proptest! {
         let m = spd_bcrs(nb, &entries);
         let n = m.n();
         let f: Vec<f64> = (0..n).map(|i| ((i * 13 + 7) % 19) as f64 - 9.0).collect();
-        let cfg = CgConfig { tol: 1e-9, max_iter: 10_000 };
+        let cfg = CgConfig { tol: 1e-9, max_iter: 10_000, ..Default::default() };
         let mut x1 = vec![0.0; n];
         let plain = pcg(&m, &Identity(n), &f, &mut x1, &cfg);
         let mut x2 = vec![0.0; n];

@@ -42,7 +42,7 @@ fn main() {
             active_window: 0.1,
         };
         let mut tracer = StepTracer::new();
-        let result = run_traced(&backend, &cfg, &mut tracer);
+        let result = run_traced(&backend, &cfg, &mut tracer).expect("run");
         for row in tracer.sink.methods() {
             let mut row = row.clone();
             row.method = format!("{} ({label})", row.method);

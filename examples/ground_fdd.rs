@@ -35,7 +35,7 @@ fn main() {
             amplitude: 1e6,
             active_window: 0.1,
         };
-        let (res, _) = run_ensemble(&backend, &cfg);
+        let (res, _) = run_ensemble(&backend, &cfg).expect("ensemble");
 
         let welch = WelchConfig::new(512, 256, res.dt);
         let fmap = res.dominant_frequency_map(&welch, 5.0);

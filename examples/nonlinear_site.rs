@@ -30,7 +30,7 @@ fn main() {
     let model = HyperbolicModel::new(1e-4, 0.05);
 
     println!("running nonlinear (equivalent-linear secant) time history...");
-    let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 3);
+    let res = run_nonlinear(&backend, &cfg, &model, 1e-3, 3).expect("nonlinear run");
 
     println!(
         "\n{:>5} | {:>7} | {:>7} | {:>11} | {:>11}",

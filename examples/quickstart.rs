@@ -77,7 +77,7 @@ fn main() {
             active_window: 0.15,
         };
         let mut tracer = StepTracer::new();
-        let result = run_traced(&backend, &cfg, &mut tracer);
+        let result = run_traced(&backend, &cfg, &mut tracer).expect("run");
         println!(
             "{:<17} done: {} cases x {} steps, mean {:.1} CG iterations/step",
             method.label(),

@@ -28,6 +28,7 @@ fn main() {
     let cfg = CgConfig {
         tol: 1e-8,
         max_iter: 5000,
+        ..Default::default()
     };
     let mut x_seq = vec![0.0; n];
     let s_seq = pcg(&backend.ebe_a(1), &backend.precond, &f, &mut x_seq, &cfg);
@@ -54,7 +55,7 @@ fn main() {
     run_cfg.r = 4;
     run_cfg.s_max = 8;
     run_cfg.cpu_threads = 16;
-    let result = run(&backend, &run_cfg);
+    let result = run(&backend, &run_cfg).expect("run");
     let from = 15;
     let step_time = result.mean_step_time(from) * result.n_cases as f64; // per module wall
     let iters = result.mean_iterations(from);

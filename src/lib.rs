@@ -19,6 +19,9 @@
 //! * [`signal`] — FFT, Welch spectra, frequency domain decomposition,
 //! * [`obs`] — dependency-free observability: solver observers,
 //!   Chrome-trace-event export, bench-snapshot metrics,
+//! * [`fault`] — deterministic fault injection (corrupted guesses,
+//!   poisoned snapshots, dropped exchanges, lane stalls, solver caps) for
+//!   the robustness suite,
 //! * [`core`] — the four methods (`CRS-CG@CPU/GPU/CPU-GPU`,
 //!   `EBE-MCG@CPU-GPU`), ensembles, and multi-node execution.
 //!
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub use hetsolve_core as core;
+pub use hetsolve_fault as fault;
 pub use hetsolve_fem as fem;
 pub use hetsolve_machine as machine;
 pub use hetsolve_mesh as mesh;
@@ -39,9 +43,10 @@ pub use hetsolve_sparse as sparse;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use hetsolve_core::{
-        run, run_ensemble, run_traced, Backend, EnsembleConfig, MethodKind, PartitionedProblem,
-        RunConfig, RunResult, StepTracer,
+        run, run_ensemble, run_faulted, run_traced, Backend, EnsembleConfig, MethodKind,
+        PartitionedProblem, RecoveryEvent, RunConfig, RunError, RunResult, StepTracer,
     };
+    pub use hetsolve_fault::{FaultInjector, FaultPlan, NoopFaults};
     pub use hetsolve_fem::{FemProblem, RandomLoadSpec};
     pub use hetsolve_machine::{alps_node, single_gh200, NodeSpec};
     pub use hetsolve_mesh::{GroundModelSpec, InterfaceShape};

@@ -41,7 +41,7 @@ fn all_methods_produce_equivalent_time_histories() {
     ];
     let results: Vec<RunResult> = methods
         .iter()
-        .map(|&m| run(&b, &config(m, steps)))
+        .map(|&m| run(&b, &config(m, steps)).expect("run"))
         .collect();
 
     let reference = &results[0].final_u[0];
@@ -67,7 +67,7 @@ fn data_driven_guess_refined_to_tolerance() {
     // must satisfy the CG tolerance — the refinement guarantee.
     let b = backend();
     let cfg = config(MethodKind::EbeMcgCpuGpu, 20);
-    let result = run(&b, &cfg);
+    let result = run(&b, &cfg).expect("run");
     // The run asserts convergence internally (debug_assert); here verify
     // the recorded initial residuals eventually drop below the AB-only
     // method's, while iterations stay > 0 (the refinement actually ran).
@@ -85,8 +85,8 @@ fn iteration_reduction_shape_matches_paper() {
     // absolute counts are smaller; the *reduction* must still be clear.
     let b = backend();
     let steps = 60;
-    let base = run(&b, &config(MethodKind::CrsCgGpu, steps));
-    let prop = run(&b, &config(MethodKind::EbeMcgCpuGpu, steps));
+    let base = run(&b, &config(MethodKind::CrsCgGpu, steps)).expect("run");
+    let prop = run(&b, &config(MethodKind::EbeMcgCpuGpu, steps)).expect("run");
     let from = steps / 2;
     let it_base = base.mean_iterations(from);
     let it_prop = prop.mean_iterations(from);

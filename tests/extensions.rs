@@ -33,9 +33,9 @@ fn nonlinear_reduces_to_linear_for_tiny_strain() {
     let mut cfg = base_cfg(8);
     cfg.r = 1; // nonlinear driver is single-case; compare against case 0
     let linearish = HyperbolicModel::new(1e9, 0.01);
-    let nl = run_nonlinear(&b, &cfg, &linearish, 1e-9, 2);
+    let nl = run_nonlinear(&b, &cfg, &linearish, 1e-9, 2).expect("nonlinear");
     // a plain linear run of the same case: use the modeled EBE driver
-    let lin = run(&b, &cfg);
+    let lin = run(&b, &cfg).expect("run");
     let scale = lin.final_u[0]
         .iter()
         .map(|v| v.abs())
@@ -50,7 +50,7 @@ fn nonlinear_reduces_to_linear_for_tiny_strain() {
 fn realtime_pipeline_overlap_report_is_sane() {
     let b = backend();
     let cfg = base_cfg(6);
-    let (final_u, rep) = run_realtime(&b, &cfg);
+    let (final_u, rep) = run_realtime(&b, &cfg).expect("realtime");
     assert_eq!(final_u.len(), 2 * cfg.r);
     assert!(rep.wall > 0.0);
     // device busy times are bounded by the wall on each side
@@ -104,6 +104,7 @@ fn mixed_precision_solver_reaches_f64_tolerance() {
         &CgConfig {
             tol: 1e-8,
             max_iter: 10_000,
+            ..Default::default()
         },
     );
     assert!(

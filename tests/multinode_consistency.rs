@@ -22,6 +22,7 @@ fn partitioned_solve_is_consistent_with_sequential() {
     let cfg = CgConfig {
         tol: 1e-9,
         max_iter: 5000,
+        ..Default::default()
     };
 
     let mut x_ref = vec![0.0; n];

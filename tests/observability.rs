@@ -111,9 +111,9 @@ fn traced_run_is_bitwise_identical_to_untraced() {
     let b = backend();
     for method in [MethodKind::CrsCgCpuGpu, MethodKind::EbeMcgCpuGpu] {
         let cfg = config(method, 20);
-        let plain = run(&b, &cfg);
+        let plain = run(&b, &cfg).expect("run");
         let mut tracer = StepTracer::new();
-        let traced = run_traced(&b, &cfg, &mut tracer);
+        let traced = run_traced(&b, &cfg, &mut tracer).expect("run");
         assert!(
             !tracer.trace.is_empty(),
             "{method:?}: tracer recorded nothing"
@@ -140,7 +140,7 @@ fn traced_run_is_bitwise_identical_to_untraced() {
 fn exported_artifacts_round_trip_with_schemas() {
     let b = backend();
     let mut tracer = StepTracer::new();
-    let result = run_traced(&b, &config(MethodKind::EbeMcgCpuGpu, 16), &mut tracer);
+    let result = run_traced(&b, &config(MethodKind::EbeMcgCpuGpu, 16), &mut tracer).expect("run");
     assert!(result.records.len() == 16);
 
     // trace document: parseable, schema-tagged, lane-serializable
@@ -184,7 +184,7 @@ fn exported_artifacts_round_trip_with_schemas() {
 fn ebe_mcg_trace_shows_predictor_solver_overlap() {
     let b = backend();
     let mut tracer = StepTracer::new();
-    run_traced(&b, &config(MethodKind::EbeMcgCpuGpu, 24), &mut tracer);
+    run_traced(&b, &config(MethodKind::EbeMcgCpuGpu, 24), &mut tracer).expect("run");
 
     let events = tracer.trace.events();
     let spans = |tid: usize, name: &str| {

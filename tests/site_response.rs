@@ -37,7 +37,7 @@ fn stratified_mean_frequency(
         amplitude: 1e6,
         active_window: 0.08,
     };
-    let (res, _) = run_ensemble(&backend, &cfg);
+    let (res, _) = run_ensemble(&backend, &cfg).expect("ensemble");
 
     // theory: f = Vs / 4H = 200 / 160 = 1.25 Hz
     let f_theory = backend
@@ -99,7 +99,7 @@ fn frequency_map_of(
         amplitude: 1e6,
         active_window: 0.1,
     };
-    let (res, _) = run_ensemble(&backend, &cfg);
+    let (res, _) = run_ensemble(&backend, &cfg).expect("ensemble");
     let welch = WelchConfig::new(welch_window, welch_window / 2, res.dt);
     res.dominant_frequency_map(&welch, 4.0)
 }

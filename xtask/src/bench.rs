@@ -45,7 +45,7 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
     ] {
         let cfg = bench_config(method);
         let mut tracer = StepTracer::new();
-        let result = run_traced(&backend, &cfg, &mut tracer);
+        let result = run_traced(&backend, &cfg, &mut tracer).expect("bench run failed");
         println!(
             "bench-snapshot: {:<16} {:>3} steps, {:.3e} s/step/case, {:.1} iters",
             method.label(),
