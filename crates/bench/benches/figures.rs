@@ -46,7 +46,7 @@ fn fig1() {
         let spec = GroundModelSpec::paper_like(4, 4, 6, shape);
         let problem = FemProblem::build(&spec, 0.02, 0.2, 5.0, 0.01);
         let backend = Backend::new(problem, false, true);
-        let mut cfg = EnsembleConfig::new(single_gh200(), 2, 1024);
+        let mut cfg = EnsembleConfig::new(single_gh200(), 2, 1024).expect("valid config");
         cfg.run.r = 2;
         cfg.run.s_max = 8;
         cfg.run.tol = 1e-7;

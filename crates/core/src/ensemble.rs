@@ -12,7 +12,43 @@ use crate::backend::Backend;
 use crate::methods::{run, MethodKind, RunConfig, RunResult};
 use crate::recovery::RunError;
 
+/// Why an [`EnsembleConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsembleConfigError {
+    /// `n_cases == 0`: an ensemble must simulate at least one case.
+    ZeroCases,
+    /// `n_steps == 0`: a time-history run must advance at least one step.
+    ZeroSteps,
+}
+
+impl std::fmt::Display for EnsembleConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnsembleConfigError::ZeroCases => {
+                write!(f, "ensemble config: n_cases must be >= 1")
+            }
+            EnsembleConfigError::ZeroSteps => {
+                write!(f, "ensemble config: n_steps must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnsembleConfigError {}
+
 /// Ensemble configuration.
+///
+/// # Fused-width rounding rule
+///
+/// Each underlying run advances `run.method.n_cases(run.r)` cases at once
+/// (`2r` for EBE-MCG). A case count that is not a multiple of that fused
+/// width is rounded **up** to whole runs: `ceil(n_cases / width)` runs are
+/// executed, the excess cases are solved with their own seeds and then
+/// discarded, and exactly `n_cases` waveforms are returned. Requesting 5
+/// cases at `r = 2` therefore costs the same as requesting 8 — keep
+/// `n_cases` a multiple of the fused width when throughput matters (the
+/// serving layer in `hetsolve-serve` exists to backfill those otherwise
+/// wasted lane slots).
 #[derive(Debug, Clone)]
 pub struct EnsembleConfig {
     /// Cases to simulate (paper: 32 per ground model).
@@ -23,15 +59,28 @@ pub struct EnsembleConfig {
 }
 
 impl EnsembleConfig {
-    pub fn new(node: NodeSpec, n_cases: usize, n_steps: usize) -> Self {
+    /// Build a config, rejecting degenerate inputs with a typed error
+    /// (previously `n_cases == 0` slipped through and produced an empty,
+    /// confusing ensemble downstream).
+    pub fn new(
+        node: NodeSpec,
+        n_cases: usize,
+        n_steps: usize,
+    ) -> Result<Self, EnsembleConfigError> {
+        if n_cases == 0 {
+            return Err(EnsembleConfigError::ZeroCases);
+        }
+        if n_steps == 0 {
+            return Err(EnsembleConfigError::ZeroSteps);
+        }
         let mut run = RunConfig::new(MethodKind::EbeMcgCpuGpu, node, n_steps);
         run.record_surface = true;
-        EnsembleConfig {
+        Ok(EnsembleConfig {
             n_cases,
             n_steps,
             seed: 7_777,
             run,
-        }
+        })
     }
 }
 
@@ -168,7 +217,7 @@ mod tests {
     use hetsolve_mesh::InterfaceShape;
 
     fn quick_cfg(n_cases: usize, n_steps: usize) -> EnsembleConfig {
-        let mut cfg = EnsembleConfig::new(single_gh200(), n_cases, n_steps);
+        let mut cfg = EnsembleConfig::new(single_gh200(), n_cases, n_steps).expect("valid config");
         cfg.run.r = 2;
         cfg.run.s_max = 4;
         cfg.run.load = RandomLoadSpec {
@@ -191,6 +240,19 @@ mod tests {
         assert_eq!(res.n_points(), backend.problem.surface_nodes.len());
         assert_eq!(res.waveforms[0][0].len(), 6);
         assert_eq!(res.coords.len(), res.n_points());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_typed() {
+        assert_eq!(
+            EnsembleConfig::new(single_gh200(), 0, 8).unwrap_err(),
+            EnsembleConfigError::ZeroCases
+        );
+        assert_eq!(
+            EnsembleConfig::new(single_gh200(), 4, 0).unwrap_err(),
+            EnsembleConfigError::ZeroSteps
+        );
+        assert!(EnsembleConfig::new(single_gh200(), 1, 1).is_ok());
     }
 
     #[test]

@@ -30,18 +30,25 @@ pub mod nonlinear_run;
 pub mod realtime;
 pub mod recovery;
 pub mod report;
+pub mod slot;
 pub mod study;
 pub mod trace;
 
 pub use backend::{Backend, RhsScratch};
-pub use ensemble::{run_ensemble, run_ensemble_for_model, EnsembleConfig, EnsembleResult};
-pub use methods::{run, run_faulted, run_traced, MethodKind, RunConfig, RunResult, StepRecord};
+pub use ensemble::{
+    run_ensemble, run_ensemble_for_model, EnsembleConfig, EnsembleConfigError, EnsembleResult,
+};
+pub use methods::{
+    driver_cg_config, run, run_faulted, run_traced, MethodKind, RunConfig, RunResult, StepRecord,
+    WindowPolicy,
+};
 pub use multinode::{DistributedOperator, LocalPart, PartitionMetrics, PartitionedProblem};
 pub use nonlinear_run::{
     run_nonlinear, run_nonlinear_traced, NonlinearResult, NonlinearStepRecord,
 };
 pub use realtime::{run_realtime, run_realtime_faulted, run_realtime_traced, RealtimeReport};
-pub use recovery::{GuessSource, RecoveryEvent, RunError};
+pub use recovery::{solve_set_resumable, GuessSource, RecoveryEvent, RunError, SetSolveOutcome};
 pub use report::{apply_speedups, format_application_table, format_series, MethodSummary};
+pub use slot::CaseSlot;
 pub use study::{convergence_study, ConvergenceStudy, GuessResult, StudyConfig};
 pub use trace::{StepTracer, METRICS_ENV, TID_CPU, TID_GPU, TID_LINK, TRACE_ENV};

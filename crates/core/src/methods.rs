@@ -15,17 +15,16 @@
 //! the overlap/synchronization/transfer structure of the paper's
 //! algorithms. Per-step records regenerate Tables 3–4 and Fig. 4.
 
-use hetsolve_fault::{FaultInjector, FaultLane, NoopFaults, VectorFault};
-use hetsolve_fem::{RandomLoad, RandomLoadSpec, TimeState};
+use hetsolve_fault::{FaultInjector, FaultLane, NoopFaults};
+use hetsolve_fem::RandomLoadSpec;
 use hetsolve_machine::{EnergyReport, LaneKind, ModuleClock, NodeSpec};
 use hetsolve_obs::Json;
-use hetsolve_predictor::{AdamsState, AdaptiveWindow, DataDrivenPredictor};
+use hetsolve_predictor::AdaptiveWindow;
 use hetsolve_sparse::{CgConfig, KernelCounts};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
 use crate::recovery::{solve_set_with_ladder, solve_with_ladder, RecoveryEvent, RunError};
+use crate::slot::CaseSlot;
 use crate::trace::StepTracer;
 
 /// Stagnation window the drivers hand to the CG solvers: long enough that
@@ -40,6 +39,18 @@ pub(crate) const DRIVER_STAGNATION_WINDOW: usize = 2_000;
 /// meaningful for extreme (e.g. zero) tolerances.
 pub(crate) fn driver_guess_divergence(tol: f64) -> f64 {
     (tol / f64::EPSILON).max(1e6)
+}
+
+/// The CG configuration every driver hands to the solvers for tolerance
+/// `tol`. Public so the serving layer solves with the exact same settings
+/// as the ensemble drivers (part of the bitwise-equivalence contract).
+pub fn driver_cg_config(tol: f64) -> CgConfig {
+    CgConfig {
+        tol,
+        max_iter: 100_000,
+        stagnation_window: DRIVER_STAGNATION_WINDOW,
+        guess_divergence: driver_guess_divergence(tol),
+    }
 }
 
 /// Map a fault-plan lane onto the machine model's lane kind.
@@ -95,6 +106,23 @@ impl MethodKind {
     }
 }
 
+/// How the data-driven snapshot window `s` is chosen each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Online controller: grow/shrink `s` from the measured
+    /// predictor/solver balance (the paper's adaptive window). The window
+    /// is shared by every case of the run, so one case's choice of `s`
+    /// depends on its companions' timing.
+    #[default]
+    Adaptive,
+    /// Always request the full window `s_max`, clamped per case to the
+    /// history that case has accumulated. Purely case-local and
+    /// deterministic — a case's trajectory is independent of which other
+    /// cases share its fused lane. The serving layer requires this policy
+    /// (it is what makes served results bitwise-equal to solo runs).
+    FullWindow,
+}
+
 /// Run configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -110,6 +138,8 @@ pub struct RunConfig {
     pub region_dofs: usize,
     /// CG relative tolerance (paper: 1e-8).
     pub tol: f64,
+    /// Snapshot-window selection policy for the data-driven methods.
+    pub window: WindowPolicy,
     pub n_steps: usize,
     /// Base RNG seed; case `c` uses `seed + c`.
     pub seed: u64,
@@ -131,6 +161,7 @@ impl RunConfig {
             s_max: 16,
             region_dofs: 384,
             tol: 1e-8,
+            window: WindowPolicy::Adaptive,
             n_steps,
             seed: 2024,
             load: RandomLoadSpec::default(),
@@ -225,93 +256,6 @@ impl RunResult {
     }
 }
 
-/// Per-case simulation state.
-struct CaseState {
-    time: TimeState,
-    load: RandomLoad,
-    adams: AdamsState,
-    dd: DataDrivenPredictor,
-    /// Scratch: force, rhs, AB guess, solution guess.
-    f: Vec<f64>,
-    rhs: Vec<f64>,
-    guess: Vec<f64>,
-    waveform: Vec<Vec<f64>>,
-}
-
-impl CaseState {
-    fn new(backend: &Backend, cfg: &RunConfig, case: usize, obs: usize) -> Self {
-        let n = backend.n_dofs();
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + case as u64);
-        let load = RandomLoad::generate(
-            &cfg.load,
-            &backend.problem.surface_nodes,
-            cfg.n_steps,
-            &mut rng,
-        );
-        CaseState {
-            time: TimeState::zeros(n),
-            load,
-            adams: AdamsState::new(),
-            dd: DataDrivenPredictor::new(n, cfg.region_dofs.max(3), cfg.s_max.max(1)),
-            f: vec![0.0; n],
-            rhs: vec![0.0; n],
-            guess: vec![0.0; n],
-            waveform: vec![Vec::new(); obs],
-        }
-    }
-
-    /// Build the initial guess: Adams-Bashforth extrapolation plus (when
-    /// enabled and warmed up) the data-driven correction with window `s`.
-    /// Returns the window actually used.
-    fn predict(&mut self, backend: &Backend, dt: f64, data_driven: bool, s: usize) -> usize {
-        self.adams.predict(&self.time.u, dt, &mut self.guess);
-        let mut s_used = 0;
-        if data_driven && s >= 1 {
-            let mut corr = vec![0.0; self.guess.len()];
-            if self.dd.predict(s, &mut corr) {
-                for (g, c) in self.guess.iter_mut().zip(&corr) {
-                    *g += c;
-                }
-                s_used = s.min(self.dd.available_s());
-            }
-        }
-        backend.problem.mask.project(&mut self.guess);
-        s_used
-    }
-
-    /// After solving into `u_new`: record predictor data and advance the
-    /// Newmark state. `snapshot_fault` (injected) corrupts the correction
-    /// snapshot before it enters the predictor history. Returns `false`
-    /// when the history was poisoned and rebuilt (the caller should drop
-    /// the adaptive window back to its minimum).
-    fn advance(
-        &mut self,
-        backend: &Backend,
-        u_new: &[f64],
-        ab_guess: &[f64],
-        snapshot_fault: Option<VectorFault>,
-    ) -> bool {
-        // correction snapshot: delta = u_true - u_adams
-        let mut delta: Vec<f64> = u_new.iter().zip(ab_guess).map(|(u, g)| u - g).collect();
-        if let Some(f) = snapshot_fault {
-            f.apply(&mut delta);
-        }
-        let history_ok = self.dd.record(&delta);
-        let nm = &backend.problem.newmark;
-        let u_old = std::mem::replace(&mut self.time.u, u_new.to_vec());
-        nm.advance(&self.time.u, &u_old, &mut self.time.v, &mut self.time.a);
-        self.adams.push(&self.time.v);
-        self.time.step += 1;
-        history_ok
-    }
-
-    fn record_waveform(&mut self, obs_dofs: &[usize]) {
-        for (w, &d) in self.waveform.iter_mut().zip(obs_dofs) {
-            w.push(self.time.u[d]);
-        }
-    }
-}
-
 /// Run a time-history simulation with the configured method.
 ///
 /// Returns a typed [`RunError`] instead of panicking when a step's solve
@@ -369,7 +313,7 @@ fn run_crs_single<F: FaultInjector>(
     let on_gpu = cfg.method == MethodKind::CrsCgGpu;
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
-    let mut case = CaseState::new(
+    let mut case = CaseSlot::new(
         backend,
         cfg,
         0,
@@ -378,12 +322,7 @@ fn run_crs_single<F: FaultInjector>(
     let mut clock = ModuleClock::new(cfg.node.module, backend.problem_threads(cfg), false);
     tracer.attach_clock(&mut clock);
     let mut scratch = RhsScratch::new(n);
-    let cg_cfg = CgConfig {
-        tol: cfg.tol,
-        max_iter: 100_000,
-        stagnation_window: DRIVER_STAGNATION_WINDOW,
-        guess_divergence: driver_guess_divergence(cfg.tol),
-    };
+    let cg_cfg = driver_cg_config(cfg.tol);
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut recoveries = Vec::new();
     let a = backend.crs_a();
@@ -490,26 +429,26 @@ fn run_crs_pipelined<F: FaultInjector>(
     let n = backend.n_dofs();
     let obs = backend.problem.surface_dofs_z();
     let n_obs = if cfg.record_surface { obs.len() } else { 0 };
-    let mut cases: Vec<CaseState> = (0..2)
-        .map(|c| CaseState::new(backend, cfg, c, n_obs))
+    let mut cases: Vec<CaseSlot> = (0..2)
+        .map(|c| CaseSlot::new(backend, cfg, c, n_obs))
         .collect();
     let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
     tracer.attach_clock(&mut clock);
     let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
     let mut scratch = RhsScratch::new(n);
-    let cg_cfg = CgConfig {
-        tol: cfg.tol,
-        max_iter: 100_000,
-        stagnation_window: DRIVER_STAGNATION_WINDOW,
-        guess_divergence: driver_guess_divergence(cfg.tol),
-    };
+    let cg_cfg = driver_cg_config(cfg.tol);
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut recoveries = Vec::new();
     let a = backend.crs_a();
     let rhs_counts = backend.rhs_counts_crs();
 
     for step in 0..cfg.n_steps {
-        let s = adaptive.current().min(cases[0].dd.available_s());
+        // Adaptive shares one window across cases; FullWindow is
+        // case-local (clamped to each case's own history below).
+        let s_shared = match cfg.window {
+            WindowPolicy::Adaptive => Some(adaptive.current().min(cases[0].dd.available_s())),
+            WindowPolicy::FullWindow => None,
+        };
         let mut iter_sum = 0.0;
         let mut res_sum = 0.0;
         let mut s_used = 0;
@@ -538,6 +477,7 @@ fn run_crs_pipelined<F: FaultInjector>(
             case.predict(backend, backend.problem.newmark.dt, false, 0);
             let ab_guess = case.guess.clone();
             // ...then the full data-driven guess
+            let s = s_shared.unwrap_or_else(|| cfg.s_max.max(1).min(case.dd.available_s()));
             s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
             let mut x = case.guess.clone();
             let mut guess_faulted = false;
@@ -614,8 +554,10 @@ fn run_crs_pipelined<F: FaultInjector>(
         } else {
             0.0 // dropped exchange: nothing crosses the link
         };
-        let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
-        tracer.window_decision(step, clock.elapsed(), &decision);
+        if cfg.window == WindowPolicy::Adaptive {
+            let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+            tracer.window_decision(step, clock.elapsed(), &decision);
+        }
         tracer.iterations_counter(clock.elapsed(), iter_sum / 2.0);
         records.push(StepRecord {
             step,
@@ -645,19 +587,14 @@ fn run_ebe_mcg<F: FaultInjector>(
     let n_cases = 2 * r;
     let obs = backend.problem.surface_dofs_z();
     let n_obs = if cfg.record_surface { obs.len() } else { 0 };
-    let mut cases: Vec<CaseState> = (0..n_cases)
-        .map(|c| CaseState::new(backend, cfg, c, n_obs))
+    let mut cases: Vec<CaseSlot> = (0..n_cases)
+        .map(|c| CaseSlot::new(backend, cfg, c, n_obs))
         .collect();
     let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
     tracer.attach_clock(&mut clock);
     let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
     let mut scratch = RhsScratch::new(n);
-    let cg_cfg = CgConfig {
-        tol: cfg.tol,
-        max_iter: 100_000,
-        stagnation_window: DRIVER_STAGNATION_WINDOW,
-        guess_divergence: driver_guess_divergence(cfg.tol),
-    };
+    let cg_cfg = driver_cg_config(cfg.tol);
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut recoveries = Vec::new();
     let op = backend.ebe_a(r);
@@ -667,7 +604,10 @@ fn run_ebe_mcg<F: FaultInjector>(
     let mut x_multi = vec![0.0; n * r];
 
     for step in 0..cfg.n_steps {
-        let s = adaptive.current();
+        let s_shared = match cfg.window {
+            WindowPolicy::Adaptive => Some(adaptive.current()),
+            WindowPolicy::FullWindow => None,
+        };
         let mut iter_sum = 0.0;
         let mut res_sum = 0.0;
         let mut s_used = 0;
@@ -685,19 +625,10 @@ fn run_ebe_mcg<F: FaultInjector>(
             let mut ab_guesses: Vec<Vec<f64>> = Vec::with_capacity(r);
             for c in set_cases.clone() {
                 let case = &mut cases[c];
-                case.load.force_into(step, &mut case.f);
-                backend.problem.mask.project(&mut case.f);
-                backend.newmark_rhs(
-                    &case.f,
-                    &case.time.u,
-                    &case.time.v,
-                    &case.time.a,
-                    &mut case.rhs,
-                    &mut scratch,
-                );
-                case.predict(backend, backend.problem.newmark.dt, false, 0);
-                ab_guesses.push(case.guess.clone());
-                s_used = case.predict(backend, backend.problem.newmark.dt, true, s);
+                let s = s_shared.unwrap_or_else(|| cfg.s_max.max(1).min(case.dd.available_s()));
+                let (ab_guess, su) = case.prepare_step(backend, &mut scratch, s);
+                ab_guesses.push(ab_guess);
+                s_used = su;
                 if let Some(vf) = faults.guess_fault(step, c) {
                     vf.apply(&mut case.guess);
                 }
@@ -780,8 +711,10 @@ fn run_ebe_mcg<F: FaultInjector>(
         }
         clock.sync();
         let xfer = 0.0; // transfers already charged inside the set loop
-        let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
-        tracer.window_decision(step, clock.elapsed(), &decision);
+        if cfg.window == WindowPolicy::Adaptive {
+            let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+            tracer.window_decision(step, clock.elapsed(), &decision);
+        }
         tracer.iterations_counter(clock.elapsed(), iter_sum / n_cases as f64);
         records.push(StepRecord {
             step,
@@ -802,7 +735,7 @@ fn run_ebe_mcg<F: FaultInjector>(
 fn finish(
     backend: &Backend,
     cfg: &RunConfig,
-    cases: Vec<CaseState>,
+    cases: Vec<CaseSlot>,
     records: Vec<StepRecord>,
     clock: ModuleClock,
     recoveries: Vec<RecoveryEvent>,

@@ -21,7 +21,7 @@ use std::fmt;
 
 use hetsolve_obs::Termination;
 use hetsolve_sparse::{
-    mcg, pcg, CgConfig, CgStats, LinearOperator, McgStats, MultiOperator, Preconditioner,
+    mcg_masked, pcg, CgConfig, CgStats, LinearOperator, McgStats, MultiOperator, Preconditioner,
     SolveError,
 };
 
@@ -213,15 +213,121 @@ fn merge_cg(prev: CgStats, latest: CgStats) -> CgStats {
     }
 }
 
-/// Multi-RHS recovery ladder around [`mcg`].
+/// Result of [`solve_set_resumable`]: the merged solver stats plus the
+/// ladder attempts made. Per-lane outcomes are in
+/// [`McgStats::case_termination`] — the caller decides what a residual
+/// failure means (the ensemble drivers abort the run; the serving layer
+/// fails one request and backfills the slot).
+#[derive(Debug, Clone)]
+pub struct SetSolveOutcome {
+    pub stats: McgStats,
+    /// Solve attempts made (1 = first attempt converged every lane).
+    pub attempts: usize,
+}
+
+/// Multi-RHS recovery ladder around [`mcg_masked`], resumable per lane.
 ///
 /// Only the failing lanes are restarted: their slots in the interleaved
 /// `x` are overwritten with the downgraded guess and the whole set is
 /// re-solved — already-converged lanes re-enter with a sub-tolerance
 /// residual, are inactive from iteration zero, and keep their solution
 /// bitwise (the MCG freeze contract). `ab_guesses[k]` is the
-/// Adams-Bashforth guess of lane `k`; `case_base` maps lane 0 to its
-/// global case index for the recovery log.
+/// Adams-Bashforth guess of lane `k` (ignored for vacant lanes, which may
+/// hold an empty vec); `occupied[k] == false` marks a vacant lane that is
+/// skipped entirely (see [`mcg_masked`]); `lane_cases[k]` is lane `k`'s
+/// global case/request id for the recovery log.
+///
+/// Unlike the driver-facing wrapper this never errors: lanes that exhaust
+/// the ladder simply keep their failure in `case_termination`, so a caller
+/// with independent lanes can harvest the healthy ones.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_set_resumable<A: MultiOperator, P: Preconditioner>(
+    a: &A,
+    prec: &P,
+    f: &[f64],
+    x: &mut [f64],
+    ab_guesses: &[Vec<f64>],
+    occupied: &[bool],
+    lane_cases: &[Option<usize>],
+    cfg: &CgConfig,
+    first_cfg: &CgConfig,
+    step: usize,
+    set: usize,
+    retry_ab: bool,
+    recoveries: &mut Vec<RecoveryEvent>,
+) -> SetSolveOutcome {
+    let r = a.r();
+    let mut stats = mcg_masked(a, prec, f, x, first_cfg, occupied);
+    if stats.converged {
+        return SetSolveOutcome { stats, attempts: 1 };
+    }
+    let failing = |st: &McgStats, k: usize| occupied[k] && st.case_termination[k].is_failure();
+    let first_failed: Vec<Termination> = stats.case_termination.clone();
+    let initial_rel_res = stats.initial_rel_res.clone();
+    let mut attempts = 1;
+
+    if retry_ab {
+        for k in 0..r {
+            if failing(&stats, k) {
+                hetsolve_sparse::vecops::insert_case(x, r, k, &ab_guesses[k]);
+            }
+        }
+        let retry = mcg_masked(a, prec, f, x, cfg, occupied);
+        attempts += 1;
+        let recovered: Vec<usize> = (0..r)
+            .filter(|&k| failing(&stats, k) && retry.case_termination[k] == Termination::Converged)
+            .collect();
+        stats = merge_mcg(stats, retry);
+        for &k in &recovered {
+            recoveries.push(RecoveryEvent {
+                step,
+                case: lane_cases[k],
+                set,
+                failed: first_failed[k],
+                recovered_with: GuessSource::AdamsBashforth,
+                attempts,
+            });
+        }
+        if stats.converged {
+            stats.initial_rel_res = initial_rel_res;
+            return SetSolveOutcome { stats, attempts };
+        }
+    }
+
+    let n = a.n();
+    let zero = vec![0.0; n];
+    for k in 0..r {
+        if failing(&stats, k) {
+            hetsolve_sparse::vecops::insert_case(x, r, k, &zero);
+        }
+    }
+    let cold_cfg = CgConfig {
+        max_iter: cfg.max_iter.saturating_mul(ZERO_GUESS_ITER_FACTOR),
+        ..*cfg
+    };
+    let cold = mcg_masked(a, prec, f, x, &cold_cfg, occupied);
+    attempts += 1;
+    let recovered: Vec<usize> = (0..r)
+        .filter(|&k| failing(&stats, k) && cold.case_termination[k] == Termination::Converged)
+        .collect();
+    stats = merge_mcg(stats, cold);
+    stats.initial_rel_res = initial_rel_res;
+    for &k in &recovered {
+        recoveries.push(RecoveryEvent {
+            step,
+            case: lane_cases[k],
+            set,
+            failed: first_failed[k],
+            recovered_with: GuessSource::Zero,
+            attempts,
+        });
+    }
+    SetSolveOutcome { stats, attempts }
+}
+
+/// Driver-facing multi-RHS ladder: fully-occupied lane, and a lane that
+/// exhausts the ladder aborts the run with a typed [`SolveError`] naming
+/// the first failing case.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_set_with_ladder<A: MultiOperator, P: Preconditioner>(
     a: &A,
@@ -238,76 +344,23 @@ pub(crate) fn solve_set_with_ladder<A: MultiOperator, P: Preconditioner>(
     recoveries: &mut Vec<RecoveryEvent>,
 ) -> Result<McgStats, SolveError> {
     let r = a.r();
-    let mut stats = mcg(a, prec, f, x, first_cfg);
-    if stats.converged {
-        return Ok(stats);
-    }
-    let first_failed: Vec<Termination> = stats.case_termination.clone();
-    let initial_rel_res = stats.initial_rel_res.clone();
-    let mut attempts = 1;
-
-    if retry_ab {
-        for k in 0..r {
-            if stats.case_termination[k].is_failure() {
-                hetsolve_sparse::vecops::insert_case(x, r, k, &ab_guesses[k]);
-            }
-        }
-        let retry = mcg(a, prec, f, x, cfg);
-        attempts += 1;
-        let recovered: Vec<usize> = (0..r)
-            .filter(|&k| {
-                stats.case_termination[k].is_failure()
-                    && retry.case_termination[k] == Termination::Converged
-            })
-            .collect();
-        stats = merge_mcg(stats, retry);
-        for &k in &recovered {
-            recoveries.push(RecoveryEvent {
-                step,
-                case: Some(case_base + k),
-                set,
-                failed: first_failed[k],
-                recovered_with: GuessSource::AdamsBashforth,
-                attempts,
-            });
-        }
-        if stats.converged {
-            stats.initial_rel_res = initial_rel_res;
-            return Ok(stats);
-        }
-    }
-
-    let n = a.n();
-    let zero = vec![0.0; n];
-    for k in 0..r {
-        if stats.case_termination[k].is_failure() {
-            hetsolve_sparse::vecops::insert_case(x, r, k, &zero);
-        }
-    }
-    let cold_cfg = CgConfig {
-        max_iter: cfg.max_iter.saturating_mul(ZERO_GUESS_ITER_FACTOR),
-        ..*cfg
-    };
-    let cold = mcg(a, prec, f, x, &cold_cfg);
-    attempts += 1;
-    let recovered: Vec<usize> = (0..r)
-        .filter(|&k| {
-            stats.case_termination[k].is_failure()
-                && cold.case_termination[k] == Termination::Converged
-        })
-        .collect();
-    stats = merge_mcg(stats, cold);
-    stats.initial_rel_res = initial_rel_res;
-    for &k in &recovered {
-        recoveries.push(RecoveryEvent {
-            step,
-            case: Some(case_base + k),
-            set,
-            failed: first_failed[k],
-            recovered_with: GuessSource::Zero,
-            attempts,
-        });
-    }
+    let occupied = vec![true; r];
+    let lane_cases: Vec<Option<usize>> = (0..r).map(|k| Some(case_base + k)).collect();
+    let SetSolveOutcome { stats, attempts } = solve_set_resumable(
+        a,
+        prec,
+        f,
+        x,
+        ab_guesses,
+        &occupied,
+        &lane_cases,
+        cfg,
+        first_cfg,
+        step,
+        set,
+        retry_ab,
+        recoveries,
+    );
     if stats.converged {
         return Ok(stats);
     }

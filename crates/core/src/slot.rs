@@ -1,0 +1,200 @@
+//! Per-case simulation state as a resumable *slot*.
+//!
+//! [`CaseSlot`] carries everything one simulation case needs between time
+//! steps: the Newmark time state, its random load history, the
+//! Adams-Bashforth extrapolator and the data-driven correction predictor,
+//! plus per-step scratch. The ensemble drivers in [`crate::methods`] own a
+//! fixed array of slots for a whole run; the serving layer
+//! (`hetsolve-serve`) instead creates and retires slots independently, so a
+//! fused lane can backfill a freed slot at a time-step boundary while its
+//! companions keep iterating. Both paths call the exact same `prepare_step`
+//! / `advance` sequence, which is what makes a served case's trajectory
+//! bitwise-identical to its solo ensemble solve.
+
+use hetsolve_fault::VectorFault;
+use hetsolve_fem::{RandomLoad, TimeState};
+use hetsolve_predictor::{AdamsState, DataDrivenPredictor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::backend::{Backend, RhsScratch};
+use crate::methods::RunConfig;
+
+/// Per-case simulation state (one column of a fused multi-RHS lane).
+pub struct CaseSlot {
+    pub(crate) time: TimeState,
+    pub(crate) load: RandomLoad,
+    pub(crate) adams: AdamsState,
+    pub(crate) dd: DataDrivenPredictor,
+    /// Steps this case runs for (load generation depends on it).
+    n_steps: usize,
+    /// Scratch: force, rhs, solution guess.
+    pub(crate) f: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
+    pub(crate) guess: Vec<f64>,
+    pub(crate) waveform: Vec<Vec<f64>>,
+}
+
+impl CaseSlot {
+    /// Slot for case `case` of an ensemble run: seeded `cfg.seed + case`,
+    /// running for `cfg.n_steps`.
+    pub(crate) fn new(backend: &Backend, cfg: &RunConfig, case: usize, n_obs: usize) -> Self {
+        Self::with_seed(backend, cfg, cfg.seed + case as u64, cfg.n_steps, n_obs)
+    }
+
+    /// Slot with an absolute RNG seed and its own step count — the serving
+    /// layer's constructor. A request served with seed `s` reproduces the
+    /// exact load (and therefore trajectory) of a solo ensemble run whose
+    /// case seed is `s`, provided `n_steps` and the load spec match.
+    pub fn with_seed(
+        backend: &Backend,
+        cfg: &RunConfig,
+        seed: u64,
+        n_steps: usize,
+        n_obs: usize,
+    ) -> Self {
+        let n = backend.n_dofs();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let load =
+            RandomLoad::generate(&cfg.load, &backend.problem.surface_nodes, n_steps, &mut rng);
+        CaseSlot {
+            time: TimeState::zeros(n),
+            load,
+            adams: AdamsState::new(),
+            dd: DataDrivenPredictor::new(n, cfg.region_dofs.max(3), cfg.s_max.max(1)),
+            n_steps,
+            f: vec![0.0; n],
+            rhs: vec![0.0; n],
+            guess: vec![0.0; n],
+            waveform: vec![Vec::new(); n_obs],
+        }
+    }
+
+    /// Build the initial guess: Adams-Bashforth extrapolation plus (when
+    /// enabled and warmed up) the data-driven correction with window `s`.
+    /// Returns the window actually used.
+    pub(crate) fn predict(
+        &mut self,
+        backend: &Backend,
+        dt: f64,
+        data_driven: bool,
+        s: usize,
+    ) -> usize {
+        self.adams.predict(&self.time.u, dt, &mut self.guess);
+        let mut s_used = 0;
+        if data_driven && s >= 1 {
+            let mut corr = vec![0.0; self.guess.len()];
+            if self.dd.predict(s, &mut corr) {
+                for (g, c) in self.guess.iter_mut().zip(&corr) {
+                    *g += c;
+                }
+                s_used = s.min(self.dd.available_s());
+            }
+        }
+        backend.problem.mask.project(&mut self.guess);
+        s_used
+    }
+
+    /// Prepare this slot's current step: assemble the Newmark RHS from the
+    /// step's load into `rhs()`, then build the data-driven initial guess
+    /// with window `s` into `guess()`. Returns the plain Adams-Bashforth
+    /// guess (the recovery ladder's retry rung and the correction-snapshot
+    /// reference) and the window actually used. The step index is the
+    /// slot's own [`step_index`](Self::step_index).
+    pub fn prepare_step(
+        &mut self,
+        backend: &Backend,
+        scratch: &mut RhsScratch,
+        s: usize,
+    ) -> (Vec<f64>, usize) {
+        let step = self.time.step;
+        self.load.force_into(step, &mut self.f);
+        backend.problem.mask.project(&mut self.f);
+        backend.newmark_rhs(
+            &self.f,
+            &self.time.u,
+            &self.time.v,
+            &self.time.a,
+            &mut self.rhs,
+            scratch,
+        );
+        let dt = backend.problem.newmark.dt;
+        self.predict(backend, dt, false, 0);
+        let ab_guess = self.guess.clone();
+        let s_used = self.predict(backend, dt, true, s);
+        (ab_guess, s_used)
+    }
+
+    /// After solving into `u_new`: record predictor data and advance the
+    /// Newmark state. `snapshot_fault` (injected) corrupts the correction
+    /// snapshot before it enters the predictor history. Returns `false`
+    /// when the history was poisoned and rebuilt (the caller should drop
+    /// the adaptive window back to its minimum).
+    pub fn advance(
+        &mut self,
+        backend: &Backend,
+        u_new: &[f64],
+        ab_guess: &[f64],
+        snapshot_fault: Option<VectorFault>,
+    ) -> bool {
+        // correction snapshot: delta = u_true - u_adams
+        let mut delta: Vec<f64> = u_new.iter().zip(ab_guess).map(|(u, g)| u - g).collect();
+        if let Some(f) = snapshot_fault {
+            f.apply(&mut delta);
+        }
+        let history_ok = self.dd.record(&delta);
+        let nm = &backend.problem.newmark;
+        let u_old = std::mem::replace(&mut self.time.u, u_new.to_vec());
+        nm.advance(&self.time.u, &u_old, &mut self.time.v, &mut self.time.a);
+        self.adams.push(&self.time.v);
+        self.time.step += 1;
+        history_ok
+    }
+
+    pub(crate) fn record_waveform(&mut self, obs_dofs: &[usize]) {
+        for (w, &d) in self.waveform.iter_mut().zip(obs_dofs) {
+            w.push(self.time.u[d]);
+        }
+    }
+
+    /// Steps completed so far (the next `prepare_step` runs this index).
+    pub fn step_index(&self) -> usize {
+        self.time.step
+    }
+
+    /// Steps this slot runs for in total.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// All its steps are done.
+    pub fn is_done(&self) -> bool {
+        self.time.step >= self.n_steps
+    }
+
+    /// Current displacement vector.
+    pub fn displacement(&self) -> &[f64] {
+        &self.time.u
+    }
+
+    /// Newmark right-hand side assembled by the last `prepare_step`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Initial guess built by the last `prepare_step`.
+    pub fn guess(&self) -> &[f64] {
+        &self.guess
+    }
+
+    /// Largest data-driven window this slot's history supports right now.
+    pub fn available_s(&self) -> usize {
+        self.dd.available_s()
+    }
+
+    /// Modeled kernel cost of this slot's predictor at window `s` — what a
+    /// driver charges to the CPU lane for the step's prediction.
+    pub fn predictor_cost(&self, s: usize) -> hetsolve_sparse::KernelCounts {
+        self.dd.cost(s)
+    }
+}

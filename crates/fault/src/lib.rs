@@ -110,14 +110,54 @@ pub struct SolverFault {
     pub max_iter: usize,
 }
 
+/// Fault injected into the serving layer's admission decision: the
+/// request is turned away even though the real queue had room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionFault {
+    /// Reject as if the request were malformed/incompatible.
+    Reject,
+    /// Shed as if the queue were at capacity (backpressure).
+    Shed,
+}
+
+/// Forcibly evict an in-flight request from its lane slot at the next
+/// time-step boundary (an operator cancel, a watchdog kill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionFault;
+
 /// One scheduled (or injected) fault with its target.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
-    Guess { case: usize, fault: VectorFault },
-    Snapshot { case: usize, fault: VectorFault },
-    Exchange { set: usize, fault: ExchangeFault },
-    Lane { set: usize, fault: LaneFault },
-    Solver { set: usize, fault: SolverFault },
+    Guess {
+        case: usize,
+        fault: VectorFault,
+    },
+    Snapshot {
+        case: usize,
+        fault: VectorFault,
+    },
+    Exchange {
+        set: usize,
+        fault: ExchangeFault,
+    },
+    Lane {
+        set: usize,
+        fault: LaneFault,
+    },
+    Solver {
+        set: usize,
+        fault: SolverFault,
+    },
+    /// Serving-layer admission fault; `index` is the admission sequence
+    /// number (the n-th `admit` call), recorded as the step.
+    Admission {
+        index: usize,
+        fault: AdmissionFault,
+    },
+    /// Serving-layer eviction of request `case` at a step boundary.
+    Eviction {
+        case: usize,
+    },
 }
 
 /// A fault that actually fired: the step it hit plus what it did.
@@ -158,6 +198,18 @@ pub trait FaultInjector {
     /// (applies to the first solve attempt only; recovery retries run with
     /// the real configuration).
     fn solver_fault(&mut self, _step: usize, _set: usize) -> Option<SolverFault> {
+        None
+    }
+
+    /// Fault the serving layer's `index`-th admission decision (0-based
+    /// over the server's lifetime).
+    fn admission_fault(&mut self, _index: usize) -> Option<AdmissionFault> {
+        None
+    }
+
+    /// Evict in-flight request `case` at the `step` boundary of the
+    /// serving layer's global clock.
+    fn eviction_fault(&mut self, _step: usize, _case: usize) -> Option<EvictionFault> {
         None
     }
 }
@@ -298,6 +350,40 @@ impl FaultPlan {
         self
     }
 
+    /// Reject the serving layer's `index`-th admission.
+    pub fn reject_admission(mut self, index: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step: index,
+            kind: FaultKind::Admission {
+                index,
+                fault: AdmissionFault::Reject,
+            },
+        });
+        self
+    }
+
+    /// Shed the serving layer's `index`-th admission (simulated
+    /// backpressure).
+    pub fn shed_admission(mut self, index: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step: index,
+            kind: FaultKind::Admission {
+                index,
+                fault: AdmissionFault::Shed,
+            },
+        });
+        self
+    }
+
+    /// Evict in-flight request `case` at serving step `step`.
+    pub fn evict(mut self, step: usize, case: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Eviction { case },
+        });
+        self
+    }
+
     /// Faults scheduled in this plan.
     pub fn planned(&self) -> &[FaultRecord] {
         &self.planned
@@ -365,6 +451,24 @@ impl FaultInjector for FaultPlan {
         })?;
         self.log(step, FaultKind::Solver { set, fault: hit });
         Some(hit)
+    }
+
+    fn admission_fault(&mut self, index: usize) -> Option<AdmissionFault> {
+        let hit = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::Admission { index: i, fault } if i == index => Some(fault),
+            _ => None,
+        })?;
+        self.log(index, FaultKind::Admission { index, fault: hit });
+        Some(hit)
+    }
+
+    fn eviction_fault(&mut self, step: usize, case: usize) -> Option<EvictionFault> {
+        self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::Eviction { case: c } if p.step == step && c == case => Some(()),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::Eviction { case });
+        Some(EvictionFault)
     }
 }
 
@@ -457,6 +561,25 @@ mod tests {
         assert_eq!(lf.seconds, 0.25);
         assert!(plan.all_fired());
         assert_eq!(plan.injected().len(), 4);
+    }
+
+    #[test]
+    fn admission_and_eviction_faults_fire_on_target() {
+        let mut plan = FaultPlan::new(3)
+            .reject_admission(0)
+            .shed_admission(2)
+            .evict(5, 7);
+        assert_eq!(plan.admission_fault(0), Some(AdmissionFault::Reject));
+        assert!(plan.admission_fault(1).is_none());
+        assert_eq!(plan.admission_fault(2), Some(AdmissionFault::Shed));
+        assert!(plan.eviction_fault(5, 6).is_none(), "wrong request");
+        assert!(plan.eviction_fault(4, 7).is_none(), "wrong step");
+        assert_eq!(plan.eviction_fault(5, 7), Some(EvictionFault));
+        assert!(plan.all_fired());
+        // Noop defaults stay None
+        let mut noop = NoopFaults;
+        assert!(noop.admission_fault(0).is_none());
+        assert!(noop.eviction_fault(0, 0).is_none());
     }
 
     #[test]

@@ -29,9 +29,11 @@
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod serve;
 pub mod trace;
 
 pub use json::{parse_json, Json};
 pub use metrics::{MethodMetrics, MetricsSink, BENCH_SCHEMA};
 pub use observer::{NoopObserver, ResidualLog, SolveObserver, Termination};
+pub use serve::ServeStats;
 pub use trace::{validate_lane_serialization, TraceBuilder, TraceEvent, TRACE_SCHEMA};

@@ -1,0 +1,217 @@
+//! Serving-layer metrics: queue depth, fused-lane occupancy, request
+//! latency.
+//!
+//! The serving layer's throughput claim — continuous batching beats
+//! drain-then-refill because it keeps the fused lanes full — is a claim
+//! about *occupancy over time*, so [`ServeStats`] samples the queue and
+//! every lane at each scheduling boundary and aggregates modeled
+//! end-to-end latencies per request. The summary JSON becomes a
+//! `serve` section of the bench snapshot (`BENCH_<n>.json`), giving the
+//! ROADMAP's perf trajectory lane-occupancy and queue-latency columns.
+
+use crate::json::Json;
+
+/// Counters and samples collected by a serving run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Queue depth sampled at each scheduling boundary.
+    queue_depth: Vec<usize>,
+    /// Occupied slots sampled per lane per boundary, with the lane width.
+    occupancy: Vec<(usize, usize)>,
+    /// Modeled admit→done latency (s) per completed request.
+    latencies: Vec<f64>,
+    completed: usize,
+    failed: usize,
+    evicted: usize,
+    rejected: usize,
+    shed: usize,
+    /// Modeled wall time (s) the serving run spanned.
+    elapsed_s: f64,
+}
+
+impl ServeStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sample the admission queue's depth at a scheduling boundary.
+    pub fn sample_queue_depth(&mut self, depth: usize) {
+        self.queue_depth.push(depth);
+    }
+
+    /// Sample one fused lane: `occupied` of `width` slots held a live case
+    /// while the lane solved a step.
+    pub fn sample_occupancy(&mut self, occupied: usize, width: usize) {
+        self.occupancy.push((occupied, width));
+    }
+
+    /// A request finished successfully after `latency_s` modeled seconds
+    /// in the system (queued + solving).
+    pub fn record_completion(&mut self, latency_s: f64) {
+        self.completed += 1;
+        self.latencies.push(latency_s);
+    }
+
+    pub fn record_failure(&mut self) {
+        self.failed += 1;
+    }
+
+    pub fn record_eviction(&mut self) {
+        self.evicted += 1;
+    }
+
+    pub fn record_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    pub fn record_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Advance the modeled wall clock the summary rates divide by.
+    pub fn set_elapsed(&mut self, elapsed_s: f64) {
+        self.elapsed_s = elapsed_s;
+    }
+
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Mean queue depth over all boundary samples.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth.is_empty() {
+            return 0.0;
+        }
+        self.queue_depth.iter().sum::<usize>() as f64 / self.queue_depth.len() as f64
+    }
+
+    /// Mean fraction of lane slots occupied while solving (1.0 = every
+    /// fused column carried a live case every step).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy.is_empty() {
+            return 0.0;
+        }
+        let frac: f64 = self
+            .occupancy
+            .iter()
+            .map(|&(o, w)| o as f64 / w.max(1) as f64)
+            .sum();
+        frac / self.occupancy.len() as f64
+    }
+
+    /// Completed cases per modeled second.
+    pub fn cases_per_sec(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed_s
+    }
+
+    /// Latency percentile (`p` in [0, 1], nearest-rank) over completed
+    /// requests; 0 when nothing completed.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(sorted.len() - 1);
+        sorted[rank]
+    }
+
+    /// Summary document — the bench snapshot's `serve` section.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("completed", Json::from(self.completed)),
+            ("failed", Json::from(self.failed)),
+            ("evicted", Json::from(self.evicted)),
+            ("rejected", Json::from(self.rejected)),
+            ("shed", Json::from(self.shed)),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            ("cases_per_sec", Json::Num(self.cases_per_sec())),
+            ("mean_queue_depth", Json::Num(self.mean_queue_depth())),
+            ("lane_occupancy", Json::Num(self.mean_occupancy())),
+            (
+                "queue_latency_p50_s",
+                Json::Num(self.latency_percentile(0.5)),
+            ),
+            (
+                "queue_latency_p95_s",
+                Json::Num(self.latency_percentile(0.95)),
+            ),
+            (
+                "queue_latency_max_s",
+                Json::Num(self.latency_percentile(1.0)),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_and_queue_means() {
+        let mut s = ServeStats::new();
+        s.sample_occupancy(4, 4);
+        s.sample_occupancy(2, 4);
+        assert!((s.mean_occupancy() - 0.75).abs() < 1e-12);
+        s.sample_queue_depth(3);
+        s.sample_queue_depth(1);
+        assert!((s.mean_queue_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_needs_elapsed_time() {
+        let mut s = ServeStats::new();
+        s.record_completion(0.5);
+        s.record_completion(1.5);
+        assert_eq!(s.cases_per_sec(), 0.0, "no elapsed time yet");
+        s.set_elapsed(4.0);
+        assert!((s.cases_per_sec() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = ServeStats::new();
+        for l in [4.0, 1.0, 3.0, 2.0] {
+            s.record_completion(l);
+        }
+        assert_eq!(s.latency_percentile(0.5), 2.0);
+        assert_eq!(s.latency_percentile(1.0), 4.0);
+        assert_eq!(s.latency_percentile(0.0), 1.0);
+        let empty = ServeStats::new();
+        assert_eq!(empty.latency_percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_json_has_bench_columns() {
+        let mut s = ServeStats::new();
+        s.sample_occupancy(3, 4);
+        s.record_completion(0.25);
+        s.record_rejection();
+        s.record_shed();
+        s.set_elapsed(1.0);
+        let v = s.to_json();
+        assert_eq!(v.get("completed").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("rejected").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("lane_occupancy").unwrap().as_f64(), Some(0.75));
+        assert!(v.get("queue_latency_p95_s").is_some());
+        assert_eq!(v.get("cases_per_sec").unwrap().as_f64(), Some(1.0));
+    }
+}

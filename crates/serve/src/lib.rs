@@ -1,0 +1,45 @@
+//! # hetsolve-serve
+//!
+//! The serving layer of the `hetsolve` reproduction of the SC24 paper
+//! *"Heterogeneous computing in a strongly-connected CPU-GPU
+//! environment"* (Ichimura et al.): a continuous-batching ensemble
+//! service with admission control and fused-lane scheduling.
+//!
+//! The batch drivers in `hetsolve-core` solve a *fixed* set of `2r` cases
+//! for a fixed number of steps; any case count that doesn't fill the
+//! fused multi-RHS lanes wastes GPU time, because the EBE kernels cost
+//! the same at any occupancy. This crate turns that batch engine into a
+//! *service*:
+//!
+//! * [`request`] — [`SolveRequest`]s (seed, steps, priority, deadline,
+//!   tolerance) and their `Queued → Batched → Solving → Done | Failed |
+//!   Evicted` lifecycle,
+//! * [`queue`] — bounded [`AdmissionQueue`] with typed backpressure
+//!   ([`AdmitError::Rejected`] / [`AdmitError::ShedLoad`]) and
+//!   deterministic priority/deadline/seeded-tie scheduling,
+//! * [`batcher`] — the pure lane packer: compatible requests (same
+//!   backend, bit-identical tolerance → same [`CompatKey`]) fill vacant
+//!   columns of 2 × `r`-wide lanes under [`BatchPolicy::Continuous`] or
+//!   the [`BatchPolicy::DrainThenRefill`] baseline, never moving an
+//!   in-flight column,
+//! * [`server`] — [`EnsembleServer`]: the tick loop driving the lanes
+//!   through the predictor@CPU / fused-MCG@GPU pipeline with per-lane
+//!   occupancy masks, the resumable recovery ladder, serving metrics
+//!   ([`hetsolve_obs::ServeStats`]) and optional Chrome-trace export.
+//!
+//! Served results are bitwise-identical to solo
+//! [`run_ensemble`](hetsolve_core::run_ensemble) solves of the same seed
+//! (see the `server` module docs for why), which the serve suite asserts
+//! with `f64::to_bits`.
+
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use batcher::{Assignment, BatchPolicy, Batcher, CompatKey};
+pub use queue::{AdmissionQueue, AdmitError, RejectReason};
+pub use request::{RequestId, RequestRecord, RequestState, SolveRequest};
+pub use server::{EnsembleServer, ServeConfig};

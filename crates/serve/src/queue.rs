@@ -1,0 +1,261 @@
+//! Bounded admission queue with priority + deadline scheduling and a
+//! seeded deterministic tie-break.
+//!
+//! Admission control is the serving layer's backpressure: the queue holds
+//! at most `capacity` requests, and an `admit` past that sheds load with a
+//! typed [`AdmitError::ShedLoad`] instead of growing without bound.
+//! Scheduling order is total and deterministic: priority (desc), then
+//! deadline (asc, `None` = never), then a splitmix64 hash of
+//! `sched_seed ^ id` (so two servers with the same seed replay the same
+//! schedule, and different seeds break ties differently), then the id
+//! itself.
+
+use crate::batcher::CompatKey;
+use crate::request::RequestId;
+
+/// Why an admission was refused outright (the request itself is at fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// `n_steps == 0`: a case must advance at least one step.
+    ZeroSteps,
+    /// Tolerance override is not a finite positive number.
+    InvalidTol,
+    /// An injected admission fault turned the request away.
+    FaultInjected,
+}
+
+impl RejectReason {
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::ZeroSteps => "zero_steps",
+            RejectReason::InvalidTol => "invalid_tol",
+            RejectReason::FaultInjected => "fault_injected",
+        }
+    }
+}
+
+/// Typed admission failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitError {
+    /// The request is malformed or incompatible; resubmitting the same
+    /// request will never succeed.
+    Rejected(RejectReason),
+    /// The queue is at capacity (or an injected fault simulated it);
+    /// resubmitting later may succeed.
+    ShedLoad { queued: usize, capacity: usize },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Rejected(r) => write!(f, "request rejected: {}", r.label()),
+            AdmitError::ShedLoad { queued, capacity } => {
+                write!(f, "load shed: queue at {queued}/{capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// splitmix64 — the same minimal deterministic stream the fault plan
+/// uses for placement; good enough for tie-breaking, no dependency.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone)]
+struct QueueEntry {
+    id: RequestId,
+    key: CompatKey,
+    priority: u8,
+    deadline: Option<f64>,
+    /// Seeded tie-break hash, fixed at admission.
+    tie: u64,
+}
+
+impl QueueEntry {
+    /// Totally ordered scheduling rank: smaller runs first.
+    fn rank(&self) -> (std::cmp::Reverse<u8>, u64, u64, u64) {
+        (
+            std::cmp::Reverse(self.priority),
+            // deadline asc with None = never; finite f64 bits order like
+            // the values for non-negative deadlines, and NaN is rejected
+            // at admission
+            self.deadline.map_or(u64::MAX, |d| d.max(0.0).to_bits()),
+            self.tie,
+            self.id.0,
+        )
+    }
+}
+
+/// The bounded, scheduled request queue.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    seed: u64,
+    entries: Vec<QueueEntry>,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue an already-validated request; sheds when full.
+    pub fn push(
+        &mut self,
+        id: RequestId,
+        key: CompatKey,
+        priority: u8,
+        deadline: Option<f64>,
+    ) -> Result<(), AdmitError> {
+        if self.entries.len() >= self.capacity {
+            return Err(AdmitError::ShedLoad {
+                queued: self.entries.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.entries.push(QueueEntry {
+            id,
+            key,
+            priority,
+            deadline,
+            tie: splitmix64(self.seed ^ id.0),
+        });
+        Ok(())
+    }
+
+    fn pop_at(&mut self, i: usize) -> (RequestId, CompatKey) {
+        let e = self.entries.remove(i);
+        (e.id, e.key)
+    }
+
+    /// Pop the scheduling-order head over all compatibility keys.
+    pub fn pop_best(&mut self) -> Option<(RequestId, CompatKey)> {
+        let i = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.rank())
+            .map(|(i, _)| i)?;
+        Some(self.pop_at(i))
+    }
+
+    /// Pop the scheduling-order head among requests with key `key`.
+    pub fn pop_best_for(&mut self, key: CompatKey) -> Option<RequestId> {
+        let i = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.key == key)
+            .min_by_key(|(_, e)| e.rank())
+            .map(|(i, _)| i)?;
+        Some(self.pop_at(i).0)
+    }
+
+    /// Remove every queued request whose deadline has passed; returns the
+    /// shed ids (the caller marks them `Evicted`).
+    pub fn expire(&mut self, now: f64) -> Vec<RequestId> {
+        let mut shed = Vec::new();
+        self.entries.retain(|e| match e.deadline {
+            Some(d) if d < now => {
+                shed.push(e.id);
+                false
+            }
+            _ => true,
+        });
+        shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> AdmissionQueue {
+        AdmissionQueue::new(8, 1234)
+    }
+
+    const K: CompatKey = CompatKey(1);
+
+    #[test]
+    fn priority_beats_deadline_beats_tie() {
+        let mut q = q();
+        q.push(RequestId(0), K, 0, Some(0.1)).unwrap();
+        q.push(RequestId(1), K, 5, None).unwrap();
+        q.push(RequestId(2), K, 5, Some(9.0)).unwrap();
+        assert_eq!(
+            q.pop_best().unwrap().0,
+            RequestId(2),
+            "earliest deadline among top priority"
+        );
+        assert_eq!(q.pop_best().unwrap().0, RequestId(1));
+        assert_eq!(q.pop_best().unwrap().0, RequestId(0));
+        assert!(q.pop_best().is_none());
+    }
+
+    #[test]
+    fn tie_break_is_seeded_and_deterministic() {
+        let order = |seed: u64| {
+            let mut q = AdmissionQueue::new(8, seed);
+            for id in 0..6 {
+                q.push(RequestId(id), K, 1, None).unwrap();
+            }
+            let mut out = Vec::new();
+            while let Some((id, _)) = q.pop_best() {
+                out.push(id.0);
+            }
+            out
+        };
+        assert_eq!(order(7), order(7), "same seed, same schedule");
+        assert_ne!(order(7), order(8), "different seed breaks ties differently");
+    }
+
+    #[test]
+    fn backpressure_sheds_typed() {
+        let mut q = AdmissionQueue::new(2, 0);
+        q.push(RequestId(0), K, 0, None).unwrap();
+        q.push(RequestId(1), K, 0, None).unwrap();
+        assert_eq!(
+            q.push(RequestId(2), K, 0, None),
+            Err(AdmitError::ShedLoad {
+                queued: 2,
+                capacity: 2
+            })
+        );
+    }
+
+    #[test]
+    fn keyed_pop_and_expiry() {
+        let mut q = q();
+        q.push(RequestId(0), CompatKey(1), 0, None).unwrap();
+        q.push(RequestId(1), CompatKey(2), 9, None).unwrap();
+        q.push(RequestId(2), CompatKey(1), 1, Some(0.5)).unwrap();
+        assert_eq!(q.pop_best_for(CompatKey(1)), Some(RequestId(2)));
+        assert_eq!(q.pop_best_for(CompatKey(3)), None);
+        assert_eq!(q.expire(1.0), Vec::<RequestId>::new(), "already popped");
+        q.push(RequestId(3), CompatKey(1), 0, Some(0.25)).unwrap();
+        assert_eq!(q.expire(1.0), vec![RequestId(3)]);
+        assert_eq!(q.len(), 2);
+    }
+}

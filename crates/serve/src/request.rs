@@ -1,0 +1,149 @@
+//! Requests, their lifecycle states, and the per-request record the
+//! server keeps.
+//!
+//! A [`SolveRequest`] names *one* simulation case — the seed and step
+//! count that pin its random load — plus the scheduling knobs (priority,
+//! deadline) and an optional solver-tolerance override. Every admitted
+//! request walks the lifecycle
+//! `Queued → Batched → Solving → Done | Failed | Evicted` recorded in its
+//! [`RequestRecord`].
+
+/// Handle to an admitted request (dense: the `n`-th admitted request is
+/// `RequestId(n)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// One solve case submitted to the serving layer.
+///
+/// A request served with seed `s` reproduces the exact trajectory of a
+/// solo [`run_ensemble`](hetsolve_core::run_ensemble) case whose seed is
+/// `s` (same backend, same `RunConfig` load/window settings) — the
+/// serving layer's bitwise-equivalence contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRequest {
+    /// Absolute RNG seed for this case's random load.
+    pub seed: u64,
+    /// Time steps this case runs for.
+    pub n_steps: usize,
+    /// Scheduling priority (higher runs first).
+    pub priority: u8,
+    /// Absolute modeled deadline (s on the server clock); a request still
+    /// queued past it is shed as `Evicted`.
+    pub deadline: Option<f64>,
+    /// Solver-tolerance override; `None` uses the server default. Cases
+    /// only share a fused lane when their effective tolerances are
+    /// bit-identical (one `CgConfig` drives all columns of a lane).
+    pub tol: Option<f64>,
+}
+
+impl SolveRequest {
+    pub fn new(seed: u64, n_steps: usize) -> Self {
+        SolveRequest {
+            seed,
+            n_steps,
+            priority: 0,
+            deadline: None,
+            tol: None,
+        }
+    }
+
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = Some(tol);
+        self
+    }
+}
+
+/// Lifecycle state of an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// Admitted, waiting in the queue.
+    Queued,
+    /// Assigned a lane slot at a step boundary, not yet solving.
+    Batched,
+    /// Its lane is iterating.
+    Solving,
+    /// All steps completed; result available.
+    Done,
+    /// Its column exhausted the recovery ladder; the slot was freed.
+    Failed,
+    /// Shed past its deadline, or force-evicted (injected / operator).
+    Evicted,
+}
+
+impl RequestState {
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestState::Queued => "queued",
+            RequestState::Batched => "batched",
+            RequestState::Solving => "solving",
+            RequestState::Done => "done",
+            RequestState::Failed => "failed",
+            RequestState::Evicted => "evicted",
+        }
+    }
+
+    /// The request will never run again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            RequestState::Done | RequestState::Failed | RequestState::Evicted
+        )
+    }
+}
+
+/// Everything the server remembers about one admitted request.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    pub id: RequestId,
+    pub request: SolveRequest,
+    pub state: RequestState,
+    /// Server clock (modeled s) at admission.
+    pub admitted_at: f64,
+    /// Server clock when the request reached a terminal state.
+    pub finished_at: Option<f64>,
+    /// Final displacement vector (only for `Done`).
+    pub result: Option<Vec<f64>>,
+}
+
+impl RequestRecord {
+    /// Admit→done latency; `None` until the request is terminal.
+    pub fn latency(&self) -> Option<f64> {
+        self.finished_at.map(|t| t - self.admitted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_labels() {
+        let r = SolveRequest::new(42, 10)
+            .with_priority(3)
+            .with_deadline(1.5)
+            .with_tol(1e-6);
+        assert_eq!(r.priority, 3);
+        assert_eq!(r.deadline, Some(1.5));
+        assert_eq!(r.tol, Some(1e-6));
+        assert!(!RequestState::Solving.is_terminal());
+        assert!(RequestState::Evicted.is_terminal());
+        assert_eq!(RequestState::Done.label(), "done");
+        assert_eq!(RequestId(7).to_string(), "req#7");
+    }
+}

@@ -1,0 +1,453 @@
+//! The continuous-batching ensemble server.
+//!
+//! [`EnsembleServer`] owns one [`Backend`] worth of serving: requests are
+//! [`admit`](EnsembleServer::admit)ted at any time (with backpressure),
+//! packed by the [`Batcher`] into 2 process sets × `r` fused MCG lanes
+//! (the EBE-MCG@CPU-GPU layout of the paper's Algorithm 3), and advanced
+//! one time step per [`tick`](EnsembleServer::tick). At every tick
+//! boundary, finished / failed / evicted columns are freed and — under
+//! [`BatchPolicy::Continuous`] — immediately backfilled from the queue, so
+//! the fused GPU kernels (whose modeled cost is the same at any occupancy)
+//! keep running at high occupancy.
+//!
+//! # Bitwise equivalence
+//!
+//! A served case advances through the *same* `CaseSlot::prepare_step` /
+//! `solve_set_resumable` / `CaseSlot::advance` sequence as a solo
+//! [`run_ensemble`](hetsolve_core::run_ensemble) case, with
+//! [`WindowPolicy::FullWindow`] making the snapshot window purely
+//! case-local and the MCG lane mask making vacant columns invisible to
+//! occupied ones. A request with seed `s`, the server's `RunConfig`, and
+//! `n_steps` matching a solo run therefore produces a bitwise-identical
+//! final displacement — under any load, any companions, any backfill
+//! order. The serve suite asserts this with `f64::to_bits`.
+
+use hetsolve_core::{
+    driver_cg_config, solve_set_resumable, Backend, CaseSlot, MethodKind, RecoveryEvent,
+    RhsScratch, RunConfig, WindowPolicy, TID_CPU, TID_GPU, TID_LINK,
+};
+use hetsolve_fault::{AdmissionFault, FaultInjector, NoopFaults};
+use hetsolve_machine::{ModuleClock, NodeSpec};
+use hetsolve_obs::{Json, ServeStats, TraceBuilder};
+use hetsolve_sparse::vecops::{extract_case, insert_case};
+
+use crate::batcher::{BatchPolicy, Batcher, CompatKey};
+use crate::queue::{AdmissionQueue, AdmitError, RejectReason};
+use crate::request::{RequestId, RequestRecord, RequestState, SolveRequest};
+
+/// Process sets the server schedules over (the paper's 2-process layout:
+/// while one set solves on the GPU, the other's predictors run on the CPU).
+const N_LANES: usize = 2;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Numerics and machine model shared by every request. The server
+    /// forces `method = EbeMcgCpuGpu` and `window = FullWindow` (the
+    /// case-local window is what makes served results bitwise-equal to
+    /// solo runs); `run.n_steps` is unused — each request brings its own.
+    pub run: RunConfig,
+    /// Admission-queue bound (backpressure past it).
+    pub queue_capacity: usize,
+    /// When vacant lane slots are refilled.
+    pub policy: BatchPolicy,
+    /// Seed of the scheduler's deterministic tie-break.
+    pub sched_seed: u64,
+    /// Safety bound for [`EnsembleServer::run_until_idle`].
+    pub max_ticks: usize,
+}
+
+impl ServeConfig {
+    pub fn new(node: NodeSpec) -> Self {
+        let mut run = RunConfig::new(MethodKind::EbeMcgCpuGpu, node, 0);
+        run.window = WindowPolicy::FullWindow;
+        ServeConfig {
+            run,
+            queue_capacity: 64,
+            policy: BatchPolicy::Continuous,
+            sched_seed: 0x5e7e,
+            max_ticks: 100_000,
+        }
+    }
+}
+
+/// The serving subsystem: queue + batcher + lanes over one backend.
+pub struct EnsembleServer<'b, F: FaultInjector = NoopFaults> {
+    backend: &'b Backend,
+    cfg: ServeConfig,
+    queue: AdmissionQueue,
+    batcher: Batcher,
+    /// Live per-column simulation state, `[lane][slot]` matching the
+    /// batcher's geometry.
+    slots: Vec<Vec<Option<CaseSlot>>>,
+    /// Every admitted request, indexed by `RequestId.0`.
+    records: Vec<RequestRecord>,
+    clock: ModuleClock,
+    scratch: RhsScratch,
+    stats: ServeStats,
+    recoveries: Vec<RecoveryEvent>,
+    faults: F,
+    /// Admission attempts made (rejected ones included) — the fault
+    /// injector's admission index.
+    admissions: usize,
+    ticks: usize,
+    trace: Option<TraceBuilder>,
+}
+
+impl<'b> EnsembleServer<'b, NoopFaults> {
+    pub fn new(backend: &'b Backend, cfg: ServeConfig) -> Self {
+        Self::with_faults(backend, cfg, NoopFaults)
+    }
+}
+
+impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
+    /// Server with a fault injector on the admission/eviction hooks.
+    pub fn with_faults(backend: &'b Backend, mut cfg: ServeConfig, faults: F) -> Self {
+        cfg.run.method = MethodKind::EbeMcgCpuGpu;
+        cfg.run.window = WindowPolicy::FullWindow;
+        let r = cfg.run.r.max(1);
+        cfg.run.r = r;
+        let clock = ModuleClock::new(cfg.run.node.module, cfg.run.cpu_threads, true);
+        EnsembleServer {
+            backend,
+            queue: AdmissionQueue::new(cfg.queue_capacity, cfg.sched_seed),
+            batcher: Batcher::new(N_LANES, r, cfg.policy),
+            slots: (0..N_LANES)
+                .map(|_| (0..r).map(|_| None).collect())
+                .collect(),
+            records: Vec::new(),
+            clock,
+            scratch: RhsScratch::new(backend.n_dofs()),
+            stats: ServeStats::new(),
+            recoveries: Vec::new(),
+            faults,
+            admissions: 0,
+            ticks: 0,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Record a Chrome-trace timeline of the serving run (queue-depth
+    /// counters plus per-lane predictor/solver/exchange spans).
+    pub fn enable_trace(&mut self) {
+        let mut t = TraceBuilder::new();
+        t.set_meta("subsystem", Json::from("hetsolve-serve"));
+        t.name_process(0, "scheduler");
+        for lane in 0..N_LANES {
+            let pid = 1 + lane;
+            t.name_process(pid, &format!("process set {lane}"));
+            t.name_thread(pid, TID_CPU, "CPU (predictors)");
+            t.name_thread(pid, TID_GPU, "GPU (fused MCG)");
+            t.name_thread(pid, TID_LINK, "C2C link");
+        }
+        self.trace = Some(t);
+    }
+
+    /// Take the recorded trace (if [`enable_trace`](Self::enable_trace)
+    /// was called), ready for [`TraceBuilder::write_to`].
+    pub fn take_trace(&mut self) -> Option<TraceBuilder> {
+        self.trace.take()
+    }
+
+    /// Submit a request. Validation failures are typed
+    /// ([`AdmitError::Rejected`]); a full queue sheds load
+    /// ([`AdmitError::ShedLoad`]). Admitted requests start `Queued`.
+    pub fn admit(&mut self, request: SolveRequest) -> Result<RequestId, AdmitError> {
+        let index = self.admissions;
+        self.admissions += 1;
+        match self.faults.admission_fault(index) {
+            Some(AdmissionFault::Reject) => {
+                self.stats.record_rejection();
+                return Err(AdmitError::Rejected(RejectReason::FaultInjected));
+            }
+            Some(AdmissionFault::Shed) => {
+                self.stats.record_shed();
+                return Err(AdmitError::ShedLoad {
+                    queued: self.queue.len(),
+                    capacity: self.queue.capacity(),
+                });
+            }
+            None => {}
+        }
+        if request.n_steps == 0 {
+            self.stats.record_rejection();
+            return Err(AdmitError::Rejected(RejectReason::ZeroSteps));
+        }
+        let tol = request.tol.unwrap_or(self.cfg.run.tol);
+        if !tol.is_finite() || tol <= 0.0 {
+            self.stats.record_rejection();
+            return Err(AdmitError::Rejected(RejectReason::InvalidTol));
+        }
+        let id = RequestId(self.records.len() as u64);
+        if let Err(e) = self.queue.push(
+            id,
+            CompatKey::from_tol(tol),
+            request.priority,
+            request.deadline,
+        ) {
+            self.stats.record_shed();
+            return Err(e);
+        }
+        self.records.push(RequestRecord {
+            id,
+            request,
+            state: RequestState::Queued,
+            admitted_at: self.clock.elapsed(),
+            finished_at: None,
+            result: None,
+        });
+        Ok(id)
+    }
+
+    /// One scheduling boundary: shed expired deadlines, apply injected
+    /// evictions, backfill vacant slots per the policy, then advance every
+    /// non-empty lane by one time step.
+    pub fn tick(&mut self) {
+        let now = self.clock.elapsed();
+        for id in self.queue.expire(now) {
+            self.finish(id, RequestState::Evicted, now);
+            self.stats.record_eviction();
+        }
+        for lane in 0..N_LANES {
+            for slot in 0..self.batcher.width() {
+                let Some(id) = self.batcher.slot(lane, slot) else {
+                    continue;
+                };
+                if self
+                    .faults
+                    .eviction_fault(self.ticks, id.0 as usize)
+                    .is_some()
+                {
+                    self.batcher.free(lane, slot);
+                    self.slots[lane][slot] = None;
+                    self.finish(id, RequestState::Evicted, now);
+                    self.stats.record_eviction();
+                }
+            }
+        }
+        for a in self.batcher.backfill(&mut self.queue) {
+            let req = self.records[a.id.0 as usize].request;
+            self.slots[a.lane][a.slot] = Some(CaseSlot::with_seed(
+                self.backend,
+                &self.cfg.run,
+                req.seed,
+                req.n_steps,
+                0,
+            ));
+            self.records[a.id.0 as usize].state = RequestState::Batched;
+        }
+        self.stats.sample_queue_depth(self.queue.len());
+        if let Some(t) = self.trace.as_mut() {
+            t.counter(0, "queue", now * 1e6, &[("depth", self.queue.len() as f64)]);
+        }
+        for lane in 0..N_LANES {
+            self.advance_lane(lane);
+        }
+        self.stats.set_elapsed(self.clock.elapsed());
+        self.ticks += 1;
+    }
+
+    /// Tick until the queue and every lane are empty; returns the ticks
+    /// executed. Bounded by `cfg.max_ticks` as a safety net.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut n = 0;
+        while !(self.queue.is_empty() && self.batcher.is_idle()) && n < self.cfg.max_ticks {
+            self.tick();
+            n += 1;
+        }
+        n
+    }
+
+    /// Advance one lane's occupied columns by one time step. An entirely
+    /// vacant lane is skipped without charging any kernel or transfer —
+    /// the modeled cost of the fused solve otherwise scales with the full
+    /// width `r` regardless of occupancy, which is exactly why backfilling
+    /// matters.
+    fn advance_lane(&mut self, lane: usize) {
+        let occupied = self.batcher.occupied_mask(lane);
+        let n_occ = occupied.iter().filter(|&&o| o).count();
+        if n_occ == 0 {
+            return;
+        }
+        let r = self.batcher.width();
+        let n = self.backend.n_dofs();
+        self.stats.sample_occupancy(n_occ, r);
+        let tol = self
+            .batcher
+            .lane_key(lane)
+            .expect("occupied lane has a key")
+            .tol();
+        let cg_cfg = driver_cg_config(tol);
+
+        // predictors (CPU lane), RHS assembly, fused-vector packing
+        let mut ab_guesses: Vec<Vec<f64>> = vec![Vec::new(); r];
+        let mut lane_cases: Vec<Option<usize>> = vec![None; r];
+        let mut f_multi = vec![0.0; n * r];
+        let mut x_multi = vec![0.0; n * r];
+        let mut pred_t = 0.0;
+        for k in 0..r {
+            if !occupied[k] {
+                continue;
+            }
+            let id = self.batcher.slot(lane, k).expect("occupied slot");
+            lane_cases[k] = Some(id.0 as usize);
+            self.records[id.0 as usize].state = RequestState::Solving;
+            let case = self.slots[lane][k]
+                .as_mut()
+                .expect("occupied slot has a case");
+            let s = self.cfg.run.s_max.max(1).min(case.available_s());
+            let (ab, s_used) = case.prepare_step(self.backend, &mut self.scratch, s);
+            pred_t += self.clock.run_cpu(&case.predictor_cost(s_used.max(1)));
+            insert_case(&mut f_multi, r, k, case.rhs());
+            insert_case(&mut x_multi, r, k, case.guess());
+            ab_guesses[k] = ab;
+        }
+
+        // fused masked solve (GPU lane) through the resumable ladder:
+        // a column that exhausts it keeps its failure, companions survive
+        let outcome = solve_set_resumable(
+            &self.backend.ebe_a(r),
+            &self.backend.precond,
+            &f_multi,
+            &mut x_multi,
+            &ab_guesses,
+            &occupied,
+            &lane_cases,
+            &cg_cfg,
+            &cg_cfg,
+            self.ticks,
+            lane,
+            true,
+            &mut self.recoveries,
+        );
+        let solver_t = self
+            .clock
+            .run_gpu(&self.backend.rhs_counts_ebe(r).merged(outcome.stats.counts));
+
+        // harvest columns
+        let mut x = vec![0.0; n];
+        for k in 0..r {
+            if !occupied[k] {
+                continue;
+            }
+            let id = self.batcher.slot(lane, k).expect("occupied slot");
+            if outcome.stats.case_termination[k].is_failure() {
+                self.slots[lane][k] = None;
+                self.batcher.free(lane, k);
+                self.finish(id, RequestState::Failed, self.clock.elapsed());
+                self.stats.record_failure();
+                continue;
+            }
+            extract_case(&x_multi, r, k, &mut x);
+            let case = self.slots[lane][k]
+                .as_mut()
+                .expect("occupied slot has a case");
+            case.advance(self.backend, &x, &ab_guesses[k], None);
+            if case.is_done() {
+                let result = case.displacement().to_vec();
+                self.slots[lane][k] = None;
+                self.batcher.free(lane, k);
+                let done_at = self.clock.elapsed();
+                let latency = done_at - self.records[id.0 as usize].admitted_at;
+                self.finish(id, RequestState::Done, done_at);
+                self.records[id.0 as usize].result = Some(result);
+                self.stats.record_completion(latency);
+            }
+        }
+
+        // sync + exchange predictions/solutions, as in the ensemble driver
+        self.clock.sync();
+        let xfer = self.clock.transfer(2.0 * (n * r) as f64 * 8.0);
+
+        if let Some(t) = self.trace.as_mut() {
+            let pid = 1 + lane;
+            let end = self.clock.elapsed();
+            t.span(
+                pid,
+                TID_CPU,
+                "predict",
+                "predictors",
+                (end - xfer - pred_t) * 1e6,
+                pred_t * 1e6,
+                vec![("occupied".to_string(), Json::from(n_occ))],
+            );
+            t.span(
+                pid,
+                TID_GPU,
+                "solve",
+                "fused MCG",
+                (end - xfer - solver_t) * 1e6,
+                solver_t * 1e6,
+                vec![
+                    ("occupied".to_string(), Json::from(n_occ)),
+                    (
+                        "fused_iterations".to_string(),
+                        Json::from(outcome.stats.fused_iterations),
+                    ),
+                    ("attempts".to_string(), Json::from(outcome.attempts)),
+                ],
+            );
+            t.span(
+                pid,
+                TID_LINK,
+                "transfer",
+                "exchange",
+                (end - xfer) * 1e6,
+                xfer * 1e6,
+                Vec::new(),
+            );
+        }
+    }
+
+    /// Move a request to a terminal state.
+    fn finish(&mut self, id: RequestId, state: RequestState, at: f64) {
+        let rec = &mut self.records[id.0 as usize];
+        rec.state = state;
+        rec.finished_at = Some(at);
+    }
+
+    /// The serving metrics collected so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Record of an admitted request.
+    pub fn record(&self, id: RequestId) -> &RequestRecord {
+        &self.records[id.0 as usize]
+    }
+
+    /// Final displacement of a `Done` request.
+    pub fn result(&self, id: RequestId) -> Option<&[f64]> {
+        self.records[id.0 as usize].result.as_deref()
+    }
+
+    /// Recovery-ladder events across all lanes so far.
+    pub fn recoveries(&self) -> &[RecoveryEvent] {
+        &self.recoveries
+    }
+
+    /// Scheduling boundaries executed so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Modeled server clock (s).
+    pub fn elapsed(&self) -> f64 {
+        self.clock.elapsed()
+    }
+
+    /// Queued (not yet batched) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently occupying lane slots.
+    pub fn in_flight(&self) -> usize {
+        (0..N_LANES).map(|l| self.batcher.occupied_count(l)).sum()
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+}

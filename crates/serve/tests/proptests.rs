@@ -1,0 +1,192 @@
+//! Property-based tests of the fused-lane batcher: the scheduling-safety
+//! invariants the serving layer's correctness rests on, under arbitrary
+//! workloads and backfill/free interleavings.
+//!
+//! * a lane never holds two compatibility classes at once,
+//! * a lane never exceeds its width, even under heavy overload,
+//! * backfill assigns in scheduling order (priority preserved among
+//!   equal deadlines),
+//! * backfill writes only vacant slots — in-flight columns never move
+//!   (moving one would re-associate a CG trajectory with a different
+//!   request mid-solve).
+
+use std::collections::HashMap;
+
+use hetsolve_serve::{AdmissionQueue, BatchPolicy, Batcher, CompatKey, RequestId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full-simulation invariants: run arbitrary requests (mixed keys and
+    /// priorities) through arbitrary backfill/free interleavings under
+    /// both policies, checking after every backfill that lanes are
+    /// single-key, within width, and that pre-existing occupants kept
+    /// their exact slots.
+    #[test]
+    fn lanes_stay_compatible_and_stable(
+        reqs in vec((0u64..3, 0u8..8), 1..40),
+        n_lanes in 1usize..4,
+        width in 1usize..6,
+        drain in any::<bool>(),
+        free_bits in vec(any::<bool>(), 144),
+    ) {
+        let policy = if drain {
+            BatchPolicy::DrainThenRefill
+        } else {
+            BatchPolicy::Continuous
+        };
+        let mut q = AdmissionQueue::new(reqs.len().max(1), 99);
+        let mut keys = Vec::new();
+        for (i, &(key, prio)) in reqs.iter().enumerate() {
+            let k = CompatKey(key);
+            q.push(RequestId(i as u64), k, prio, None).unwrap();
+            keys.push(k);
+        }
+        let mut b = Batcher::new(n_lanes, width, policy);
+        let mut bit = free_bits.iter().cycle();
+
+        for _round in 0..400 {
+            let pre: Vec<Vec<Option<RequestId>>> = (0..b.n_lanes())
+                .map(|l| (0..b.width()).map(|s| b.slot(l, s)).collect())
+                .collect();
+            let assigned = b.backfill(&mut q);
+            for a in &assigned {
+                prop_assert!(pre[a.lane][a.slot].is_none(), "assigned into an occupied slot");
+            }
+            for l in 0..b.n_lanes() {
+                for s in 0..b.width() {
+                    if let Some(id) = pre[l][s] {
+                        prop_assert_eq!(b.slot(l, s), Some(id), "in-flight column moved");
+                    }
+                }
+                prop_assert!(b.occupied_count(l) <= b.width());
+                let lane_keys: Vec<CompatKey> = (0..b.width())
+                    .filter_map(|s| b.slot(l, s))
+                    .map(|id| keys[id.0 as usize])
+                    .collect();
+                match b.lane_key(l) {
+                    Some(k) => prop_assert!(
+                        lane_keys.iter().all(|&lk| lk == k),
+                        "lane mixed compatibility classes"
+                    ),
+                    None => prop_assert!(lane_keys.is_empty(), "occupied lane without a key"),
+                }
+            }
+            if q.is_empty() && b.is_idle() {
+                break;
+            }
+            // free a pseudo-random subset; force at least one free so the
+            // simulation always progresses
+            let mut freed = false;
+            for l in 0..b.n_lanes() {
+                for s in 0..b.width() {
+                    if b.slot(l, s).is_some() && *bit.next().unwrap() {
+                        b.free(l, s);
+                        freed = true;
+                    }
+                }
+            }
+            if !freed {
+                'force: for l in 0..b.n_lanes() {
+                    for s in 0..b.width() {
+                        if b.slot(l, s).is_some() {
+                            b.free(l, s);
+                            break 'force;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(q.is_empty() && b.is_idle(), "workload did not drain");
+    }
+
+    /// Among requests with equal deadlines, backfill hands out slots in
+    /// non-increasing priority order — across rounds, lanes, and slots.
+    #[test]
+    fn priority_order_preserved_among_equal_deadlines(
+        prios in vec(0u8..8, 1..30),
+        width in 1usize..6,
+        n_lanes in 1usize..3,
+        with_deadline in any::<bool>(),
+    ) {
+        let mut q = AdmissionQueue::new(prios.len(), 7);
+        let deadline = if with_deadline { Some(1e9) } else { None };
+        for (i, &p) in prios.iter().enumerate() {
+            q.push(RequestId(i as u64), CompatKey(1), p, deadline).unwrap();
+        }
+        let mut b = Batcher::new(n_lanes, width, BatchPolicy::Continuous);
+        let mut order: Vec<u8> = Vec::new();
+        while !q.is_empty() {
+            let assigned = b.backfill(&mut q);
+            prop_assert!(!assigned.is_empty(), "empty lanes must take work");
+            for a in &assigned {
+                order.push(prios[a.id.0 as usize]);
+            }
+            for l in 0..b.n_lanes() {
+                for s in 0..b.width() {
+                    if b.slot(l, s).is_some() {
+                        b.free(l, s);
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            order.windows(2).all(|w| w[0] >= w[1]),
+            "priorities not non-increasing: {:?}",
+            order
+        );
+    }
+
+    /// Overload never overfills: one backfill against a deep queue places
+    /// exactly lanes×width requests and leaves the rest queued.
+    #[test]
+    fn width_never_exceeded_under_overload(
+        extra in 0usize..64,
+        width in 1usize..6,
+    ) {
+        let n_req = 2 * width + extra;
+        let mut q = AdmissionQueue::new(n_req, 3);
+        for i in 0..n_req {
+            q.push(RequestId(i as u64), CompatKey(0), 0, None).unwrap();
+        }
+        let mut b = Batcher::new(2, width, BatchPolicy::Continuous);
+        let assigned = b.backfill(&mut q);
+        prop_assert_eq!(assigned.len(), 2 * width);
+        for l in 0..2 {
+            prop_assert_eq!(b.occupied_count(l), width);
+        }
+        prop_assert_eq!(q.len(), extra);
+    }
+
+    /// Continuous backfill across an arbitrary admit/free stream: every
+    /// in-flight request stays in the slot it was assigned until freed.
+    #[test]
+    fn inflight_columns_never_move(
+        seq in vec((0usize..8, any::<bool>()), 4..40),
+        width in 2usize..6,
+    ) {
+        let mut q = AdmissionQueue::new(256, 11);
+        let mut next_id = 0u64;
+        let mut b = Batcher::new(1, width, BatchPolicy::Continuous);
+        let mut position: HashMap<u64, usize> = HashMap::new();
+        for &(slot, push_two) in &seq {
+            for _ in 0..if push_two { 2 } else { 1 } {
+                q.push(RequestId(next_id), CompatKey(0), 0, None).unwrap();
+                next_id += 1;
+            }
+            let s = slot % width;
+            if let Some(id) = b.slot(0, s) {
+                position.remove(&id.0);
+                b.free(0, s);
+            }
+            for a in b.backfill(&mut q) {
+                position.insert(a.id.0, a.slot);
+            }
+            for (&id, &s) in &position {
+                prop_assert_eq!(b.slot(0, s), Some(RequestId(id)), "column moved");
+            }
+        }
+    }
+}

@@ -44,6 +44,6 @@ pub use ebe::{color_faces, ebe_counts, EbeData, EbeMultiOperator, EbeOperator};
 pub use ebe32::{EbeOperator32, EbeStore32};
 pub use error::SolveError;
 pub use hetsolve_obs::{NoopObserver, ResidualLog, SolveObserver, Termination};
-pub use mcg::{mcg, mcg_observed, McgStats};
+pub use mcg::{mcg, mcg_masked, mcg_masked_observed, mcg_observed, McgStats};
 pub use op::{KernelCounts, LinearOperator, MultiOperator, Preconditioner};
 pub use parcheck::ColorScatter;

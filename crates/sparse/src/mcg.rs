@@ -67,10 +67,46 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
     cfg: &CgConfig,
     obs: &mut O,
 ) -> McgStats {
+    mcg_masked_observed(a, prec, f, x, cfg, &vec![true; a.r()], obs)
+}
+
+/// [`mcg`] over a partially-occupied fused lane. `occupied[c] == false`
+/// marks a vacant column: it never enters the active set, performs zero
+/// iterations, reports [`Termination::Converged`], and its column of `x`
+/// is left untouched. Occupied columns run the exact same arithmetic as
+/// [`mcg`] (an all-`true` mask is bitwise-identical), because every
+/// per-case quantity — dot products, alpha/beta, freeze decisions — is
+/// already computed per column.
+///
+/// Callers should keep vacant columns of `f` and `x` finite (the serving
+/// layer zeroes a column when its slot is freed); non-finite garbage in a
+/// vacant column stays in that column but wastes no logic.
+pub fn mcg_masked<A: MultiOperator, P: Preconditioner>(
+    a: &A,
+    prec: &P,
+    f: &[f64],
+    x: &mut [f64],
+    cfg: &CgConfig,
+    occupied: &[bool],
+) -> McgStats {
+    mcg_masked_observed(a, prec, f, x, cfg, occupied, &mut NoopObserver)
+}
+
+/// [`mcg_masked`] with per-iteration observation (see [`mcg_observed`]).
+pub fn mcg_masked_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
+    a: &A,
+    prec: &P,
+    f: &[f64],
+    x: &mut [f64],
+    cfg: &CgConfig,
+    occupied: &[bool],
+    obs: &mut O,
+) -> McgStats {
     let n = a.n();
     let r = a.r();
     assert_eq!(f.len(), n * r);
     assert_eq!(x.len(), n * r);
+    assert_eq!(occupied.len(), r);
 
     let mut counts = KernelCounts::default();
     let vec_counts = KernelCounts {
@@ -104,7 +140,11 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
     // anyway, so a fully-converging solve is bitwise-identical.
     let mut abnormal: Vec<Option<Termination>> = vec![None; r];
     for c in 0..r {
-        if f_norm[c] == 0.0 {
+        if !occupied[c] {
+            // vacant lane slot: never iterates, `x` column left untouched
+            rel[c] = 0.0;
+            active[c] = false;
+        } else if f_norm[c] == 0.0 {
             // zero RHS: solution is zero (see single-RHS CG)
             for i in 0..n {
                 x[i * r + c] = 0.0;
@@ -238,7 +278,7 @@ pub fn mcg_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver>(
     // abnormal cause, then the iteration cap.
     let case_termination: Vec<Termination> = (0..r)
         .map(|c| {
-            if f_norm[c] == 0.0 || rel[c] < cfg.tol {
+            if !occupied[c] || f_norm[c] == 0.0 || rel[c] < cfg.tol {
                 Termination::Converged
             } else if let Some(t) = abnormal[c] {
                 t
@@ -443,6 +483,84 @@ mod tests {
         // case 0's result stayed at the exact solution
         for i in 0..n {
             assert!((x[i * r] - x_exact[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn masked_all_true_is_bitwise_identical() {
+        let m = spd_matrix(18);
+        let n = m.n();
+        let r = 4;
+        let multi = LoopMulti { a: &m, r };
+        let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
+        let mut f = vec![0.0; n * r];
+        for c in 0..r {
+            for i in 0..n {
+                f[i * r + c] = ((i * (c + 2)) as f64 * 0.31).sin();
+            }
+        }
+        let cfg = CgConfig::default();
+        let mut x_plain = vec![0.0; n * r];
+        let s_plain = mcg(&multi, &prec, &f, &mut x_plain, &cfg);
+        let mut x_masked = vec![0.0; n * r];
+        let s_masked = mcg_masked(&multi, &prec, &f, &mut x_masked, &cfg, &[true; 4]);
+        assert_eq!(s_plain.fused_iterations, s_masked.fused_iterations);
+        assert_eq!(s_plain.case_iterations, s_masked.case_iterations);
+        for i in 0..n * r {
+            assert_eq!(x_plain[i].to_bits(), x_masked[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn vacant_lane_is_skipped_and_untouched() {
+        let m = spd_matrix(18);
+        let n = m.n();
+        let r = 4;
+        let multi = LoopMulti { a: &m, r };
+        let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
+        let occupied = [true, false, true, false];
+        let mut f = vec![0.0; n * r];
+        for c in 0..r {
+            if !occupied[c] {
+                continue;
+            }
+            for i in 0..n {
+                f[i * r + c] = ((i * (c + 1)) as f64 * 0.19).cos();
+            }
+        }
+        let cfg = CgConfig::default();
+        let mut x = vec![0.0; n * r];
+        // vacant columns carry a sentinel that must survive untouched
+        for c in 0..r {
+            if !occupied[c] {
+                for i in 0..n {
+                    x[i * r + c] = 42.5;
+                }
+            }
+        }
+        let stats = mcg_masked(&multi, &prec, &f, &mut x, &cfg, &occupied);
+        assert!(stats.converged);
+        for c in 0..r {
+            if occupied[c] {
+                assert!(stats.case_iterations[c] > 0);
+                assert_eq!(stats.case_termination[c], Termination::Converged);
+            } else {
+                assert_eq!(stats.case_iterations[c], 0);
+                assert_eq!(stats.case_termination[c], Termination::Converged);
+                for i in 0..n {
+                    assert_eq!(x[i * r + c], 42.5);
+                }
+            }
+        }
+        // occupied columns match their solo single-RHS solves
+        for c in [0usize, 2] {
+            let fc: Vec<f64> = (0..n).map(|i| f[i * r + c]).collect();
+            let mut xc = vec![0.0; n];
+            let s = pcg(&m, &prec, &fc, &mut xc, &cfg);
+            assert!(s.converged);
+            for i in 0..n {
+                assert!((x[i * r + c] - xc[i]).abs() < 1e-6);
+            }
         }
     }
 

@@ -19,10 +19,11 @@ fn main() {
     let spec = GroundModelSpec::paper_like(6, 6, 4, InterfaceShape::Stratified);
     let backend = Backend::new(FemProblem::paper_like(&spec), false, true);
 
-    let trace_path =
-        std::env::var("HETSOLVE_TRACE").unwrap_or_else(|_| "ensemble_trace.json".into());
-    let metrics_path =
-        std::env::var("HETSOLVE_METRICS").unwrap_or_else(|_| "ensemble_metrics.json".into());
+    std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
+    let trace_path = std::env::var("HETSOLVE_TRACE")
+        .unwrap_or_else(|_| "target/artifacts/ensemble_trace.json".into());
+    let metrics_path = std::env::var("HETSOLVE_METRICS")
+        .unwrap_or_else(|_| "target/artifacts/ensemble_metrics.json".into());
     let mut metrics = MetricsSink::new();
     metrics.set_meta("generator", Json::from("example ensemble_hetero"));
     metrics.set_meta("n_dofs", Json::from(backend.n_dofs()));

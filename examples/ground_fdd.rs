@@ -26,7 +26,7 @@ fn main() {
     ] {
         let spec = GroundModelSpec::paper_like(6, 6, 4, shape);
         let backend = Backend::new(FemProblem::paper_like(&spec), false, true);
-        let mut cfg = EnsembleConfig::new(node, n_cases, n_steps);
+        let mut cfg = EnsembleConfig::new(node, n_cases, n_steps).expect("valid config");
         cfg.run.r = 4;
         cfg.run.s_max = 8;
         cfg.run.load = RandomLoadSpec {

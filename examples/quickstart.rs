@@ -48,10 +48,11 @@ fn main() {
         ebe_mcg_cpu_gpu(&dims, 32, 4),
     ];
 
-    let trace_path =
-        std::env::var("HETSOLVE_TRACE").unwrap_or_else(|_| "quickstart_trace.json".into());
-    let metrics_path =
-        std::env::var("HETSOLVE_METRICS").unwrap_or_else(|_| "quickstart_metrics.json".into());
+    std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
+    let trace_path = std::env::var("HETSOLVE_TRACE")
+        .unwrap_or_else(|_| "target/artifacts/quickstart_trace.json".into());
+    let metrics_path = std::env::var("HETSOLVE_METRICS")
+        .unwrap_or_else(|_| "target/artifacts/quickstart_metrics.json".into());
     let mut metrics = MetricsSink::new();
     metrics.set_meta("generator", Json::from("example quickstart"));
     metrics.set_meta("n_dofs", Json::from(backend.n_dofs()));

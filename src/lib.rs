@@ -23,7 +23,9 @@
 //!   poisoned snapshots, dropped exchanges, lane stalls, solver caps) for
 //!   the robustness suite,
 //! * [`core`] — the four methods (`CRS-CG@CPU/GPU/CPU-GPU`,
-//!   `EBE-MCG@CPU-GPU`), ensembles, and multi-node execution.
+//!   `EBE-MCG@CPU-GPU`), ensembles, and multi-node execution,
+//! * [`serve`] — the serving layer: continuous-batching ensemble service
+//!   with admission control and fused-lane scheduling.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
 //! the reproduction methodology and measured results.
@@ -37,6 +39,7 @@ pub use hetsolve_machine as machine;
 pub use hetsolve_mesh as mesh;
 pub use hetsolve_obs as obs;
 pub use hetsolve_predictor as predictor;
+pub use hetsolve_serve as serve;
 pub use hetsolve_signal as signal;
 pub use hetsolve_sparse as sparse;
 
@@ -50,5 +53,6 @@ pub mod prelude {
     pub use hetsolve_fem::{FemProblem, RandomLoadSpec};
     pub use hetsolve_machine::{alps_node, single_gh200, NodeSpec};
     pub use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+    pub use hetsolve_serve::{AdmitError, BatchPolicy, EnsembleServer, ServeConfig, SolveRequest};
     pub use hetsolve_signal::WelchConfig;
 }

@@ -26,7 +26,7 @@ fn stratified_mean_frequency(
     let problem = FemProblem::build(&spec, 0.02, 0.2, 5.0, 0.01);
     let backend = Backend::new(problem, false, true);
 
-    let mut cfg = EnsembleConfig::new(single_gh200(), n_cases, n_steps);
+    let mut cfg = EnsembleConfig::new(single_gh200(), n_cases, n_steps).expect("valid config");
     cfg.run.method = MethodKind::EbeMcgCpuGpu;
     cfg.run.r = 2;
     cfg.run.s_max = 8;
@@ -89,7 +89,7 @@ fn frequency_map_of(
     let spec = GroundModelSpec::paper_like(nxy, nxy, nz, shape);
     let problem = FemProblem::build(&spec, 0.02, 0.2, 5.0, 0.01);
     let backend = Backend::new(problem, false, true);
-    let mut cfg = EnsembleConfig::new(single_gh200(), 2, n_steps);
+    let mut cfg = EnsembleConfig::new(single_gh200(), 2, n_steps).expect("valid config");
     cfg.run.r = 1;
     cfg.run.s_max = 6;
     cfg.run.tol = 1e-7;

@@ -12,6 +12,7 @@ use hetsolve_fem::{FemProblem, RandomLoadSpec};
 use hetsolve_machine::single_gh200;
 use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
 use hetsolve_obs::{Json, MethodMetrics, MetricsSink};
+use hetsolve_serve::{BatchPolicy, EnsembleServer, ServeConfig, SolveRequest};
 
 /// Reference-problem shape: small enough for a debug-profile run in
 /// seconds, large enough that the four methods order as in the paper.
@@ -79,6 +80,18 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
     let part = PartitionedProblem::new(&backend.problem, 4, false);
     sink.set_section("partition", part.metrics().to_json());
 
+    // serving layer: the same reference workload under both batch
+    // policies, so the snapshot carries the continuous-batching win
+    // (lane-occupancy and queue-latency columns) across PRs
+    let serve = Json::obj([
+        ("continuous", serve_stats(&backend, BatchPolicy::Continuous)),
+        (
+            "drain_then_refill",
+            serve_stats(&backend, BatchPolicy::DrainThenRefill),
+        ),
+    ]);
+    sink.set_section("serve", serve);
+
     match sink.write_bench_snapshot(&dir) {
         Ok(path) => {
             println!("bench-snapshot: wrote {}", path.display());
@@ -89,6 +102,42 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Run the reference serving workload (two long cases + a burst of short
+/// ones, queue depth 2× the fused width) and return the `ServeStats`
+/// summary for the snapshot's `serve` section.
+fn serve_stats(backend: &Backend, policy: BatchPolicy) -> Json {
+    let mut cfg = ServeConfig::new(single_gh200());
+    cfg.run = bench_config(MethodKind::EbeMcgCpuGpu);
+    cfg.run.r = 4;
+    cfg.run.s_max = 1; // uniform per-step iterations: isolates occupancy
+    cfg.policy = policy;
+    let mut server = EnsembleServer::new(backend, cfg);
+    // distinct priorities pin one long + three shorts into each lane's
+    // initial fill under both policies
+    for (i, n_steps) in [16, 4, 4, 4, 16, 4, 4, 4].into_iter().enumerate() {
+        let req = SolveRequest::new(9_000 + i as u64, n_steps).with_priority(255 - i as u8);
+        server.admit(req).expect("admit bench request");
+    }
+    for k in 0..18u64 {
+        server
+            .admit(SolveRequest::new(9_100 + k, 4).with_priority(100))
+            .expect("admit bench request");
+    }
+    server.run_until_idle();
+    let stats = server.stats();
+    println!(
+        "bench-snapshot: serve/{:<17} {:.1} cases/s, occupancy {:.2}, p95 latency {:.3e} s",
+        match policy {
+            BatchPolicy::Continuous => "continuous",
+            BatchPolicy::DrainThenRefill => "drain_then_refill",
+        },
+        stats.cases_per_sec(),
+        stats.mean_occupancy(),
+        stats.latency_percentile(0.95),
+    );
+    stats.to_json()
 }
 
 fn bench_config(method: MethodKind) -> RunConfig {

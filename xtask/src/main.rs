@@ -32,6 +32,7 @@ const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/mesh/src/lib.rs",
     "crates/obs/src/lib.rs",
     "crates/predictor/src/lib.rs",
+    "crates/serve/src/lib.rs",
     "crates/signal/src/lib.rs",
     "src/lib.rs",
 ];
