@@ -1,0 +1,572 @@
+//! The binary snapshot format: header, checksummed sections, and the
+//! little-endian field codecs ([`Enc`]/[`Dec`]) the rest of the workspace
+//! encodes its state with.
+//!
+//! Layout of a checkpoint file (all integers little-endian):
+//!
+//! ```text
+//! magic    [u8; 8]  = b"HSCKPT\r\n"
+//! version  u32      = 1
+//! section* { tag [u8; 4], len u64, crc32 u32, payload [u8; len] }
+//! end      { tag b"END\0", len 0, crc32 of [] }
+//! ```
+//!
+//! The trailing `END` section doubles as a whole-file completeness marker:
+//! a write torn anywhere before it parses as [`CkptError::Truncated`], and
+//! a flipped payload byte as [`CkptError::ChecksumMismatch`] — both typed,
+//! both recoverable by falling back to an older checkpoint.
+
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic. The `\r\n` tail catches text-mode mangling, like PNG's.
+pub const MAGIC: [u8; 8] = *b"HSCKPT\r\n";
+
+/// Current format version. Readers reject anything newer; older versions
+/// stay parseable for as long as a reader for them exists.
+pub const VERSION: u32 = 1;
+
+const END_TAG: [u8; 4] = *b"END\0";
+
+/// Typed checkpoint format / restore failure. Every variant is
+/// recoverable: the store reacts by skipping the file and trying the next
+/// older checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Underlying filesystem error (message only; `std::io::Error` does
+    /// not implement `Clone`).
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u32),
+    /// The file ends before its sections do — the torn-write signature.
+    Truncated,
+    /// A section's payload does not match its stored CRC32.
+    ChecksumMismatch { tag: [u8; 4] },
+    /// A required section is absent.
+    MissingSection { tag: [u8; 4] },
+    /// A section parsed but its contents are inconsistent (bad length,
+    /// unknown enum code, fingerprint mismatch, ...).
+    Corrupt(String),
+}
+
+fn tag_str(tag: &[u8; 4]) -> String {
+    tag.iter()
+        .map(|&b| if b.is_ascii_graphic() { b as char } else { '.' })
+        .collect()
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(msg) => write!(f, "checkpoint io error: {msg}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (reader is v{VERSION})"
+                )
+            }
+            CkptError::Truncated => write!(f, "checkpoint truncated (torn write)"),
+            CkptError::ChecksumMismatch { tag } => {
+                write!(f, "checksum mismatch in section '{}'", tag_str(tag))
+            }
+            CkptError::MissingSection { tag } => {
+                write!(f, "missing section '{}'", tag_str(tag))
+            }
+            CkptError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial), table built at compile time.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 of `bytes` (IEEE polynomial, init/xorout `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint mixers shared by the config-fingerprint builders in core and
+// serve: a splitmix64 chain over u64 words plus FNV-1a for labels.
+
+/// Fold `v` into running hash `h` (splitmix64 finalizer over `h ^ v`).
+pub fn mix64(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over `bytes` — stable label hashing for fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs.
+
+/// Little-endian field encoder for section payloads.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// `f64` as its IEEE-754 bit pattern — the bitwise-restore contract.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    pub fn put_f64s(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Length-prefixed list of length-prefixed `f64` vectors.
+    pub fn put_f64_vecs(&mut self, v: &[Vec<f64>]) {
+        self.put_usize(v.len());
+        for x in v {
+            self.put_f64s(x);
+        }
+    }
+}
+
+/// Little-endian field decoder over a section payload.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn usize_(&mut self) -> Result<usize, CkptError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| CkptError::Corrupt("length overflows usize".into()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool_(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, CkptError> {
+        Ok(if self.bool_()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, CkptError> {
+        Ok(if self.bool_()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// A length is bounded by the bytes left: a corrupt length can never
+    /// trigger a huge allocation.
+    fn bounded_len(&mut self, elem_bytes: usize) -> Result<usize, CkptError> {
+        let len = self.usize_()?;
+        if len.checked_mul(elem_bytes.max(1)).is_none()
+            || len * elem_bytes.max(1) > self.remaining()
+        {
+            return Err(CkptError::Truncated);
+        }
+        Ok(len)
+    }
+
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CkptError> {
+        let len = self.bounded_len(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    pub fn f64_vecs(&mut self) -> Result<Vec<Vec<f64>>, CkptError> {
+        let len = self.bounded_len(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64s()?);
+        }
+        Ok(out)
+    }
+
+    /// Everything must be consumed: trailing bytes mean a reader/writer
+    /// mismatch, not padding.
+    pub fn finish(&self) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::Corrupt(format!(
+                "{} trailing bytes in section",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sectioned container.
+
+/// Builds a checkpoint file image: header, then checksummed sections in
+/// call order, closed by `finish`.
+#[derive(Debug)]
+pub struct SectionWriter {
+    buf: Vec<u8>,
+}
+
+impl SectionWriter {
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        SectionWriter { buf }
+    }
+
+    pub fn section(&mut self, tag: [u8; 4], payload: &[u8]) {
+        self.buf.extend_from_slice(&tag);
+        self.buf
+            .extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Append the `END` marker and return the complete file image.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.section(END_TAG, &[]);
+        self.buf
+    }
+}
+
+impl Default for SectionWriter {
+    fn default() -> Self {
+        SectionWriter::new()
+    }
+}
+
+/// Parses and fully validates a checkpoint file image: magic, version,
+/// every section CRC, and the `END` completeness marker.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SectionReader<'a> {
+    version: u32,
+    sections: Vec<([u8; 4], &'a [u8])>,
+}
+
+impl<'a> SectionReader<'a> {
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, CkptError> {
+        let mut d = Dec::new(bytes);
+        let magic = d.take(8).map_err(|_| CkptError::Truncated)?;
+        if magic != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = d.u32()?;
+        if version == 0 || version > VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+        let mut sections = Vec::new();
+        loop {
+            let tag: [u8; 4] = d.take(4)?.try_into().unwrap();
+            let len = d.usize_()?;
+            let crc = d.u32()?;
+            let payload = d.take(len)?;
+            if crc32(payload) != crc {
+                return Err(CkptError::ChecksumMismatch { tag });
+            }
+            if tag == END_TAG {
+                if len != 0 {
+                    return Err(CkptError::Corrupt("END section with payload".into()));
+                }
+                if d.remaining() != 0 {
+                    return Err(CkptError::Corrupt("bytes after END section".into()));
+                }
+                return Ok(SectionReader { version, sections });
+            }
+            sections.push((tag, payload));
+        }
+    }
+
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    pub fn has(&self, tag: [u8; 4]) -> bool {
+        self.sections.iter().any(|(t, _)| *t == tag)
+    }
+
+    pub fn section(&self, tag: [u8; 4]) -> Result<&'a [u8], CkptError> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| *p)
+            .ok_or(CkptError::MissingSection { tag })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic write.
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename. A crash at any point leaves either the old file or the
+/// new one — never a mix (the rename is the commit point).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // the classic zlib check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fields_round_trip_bitwise() {
+        let mut e = Enc::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 1);
+        e.put_usize(42);
+        e.put_f64(-0.0);
+        e.put_f64(f64::from_bits(0x7FF8_0000_0000_0001)); // a specific NaN
+        e.put_bool(true);
+        e.put_opt_f64(None);
+        e.put_opt_f64(Some(1.5e-300));
+        e.put_opt_u64(Some(9));
+        e.put_f64s(&[1.0, -2.5]);
+        e.put_f64_vecs(&[vec![], vec![3.0]]);
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.usize_().unwrap(), 42);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.f64().unwrap().to_bits(), 0x7FF8_0000_0000_0001);
+        assert!(d.bool_().unwrap());
+        assert_eq!(d.opt_f64().unwrap(), None);
+        assert_eq!(d.opt_f64().unwrap(), Some(1.5e-300));
+        assert_eq!(d.opt_u64().unwrap(), Some(9));
+        assert_eq!(d.f64s().unwrap(), vec![1.0, -2.5]);
+        assert_eq!(d.f64_vecs().unwrap(), vec![vec![], vec![3.0]]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let mut w = SectionWriter::new();
+        w.section(*b"AAAA", b"hello");
+        w.section(*b"BBBB", &[]);
+        let bytes = w.finish();
+        let r = SectionReader::parse(&bytes).unwrap();
+        assert_eq!(r.version(), VERSION);
+        assert_eq!(r.section(*b"AAAA").unwrap(), b"hello");
+        assert_eq!(r.section(*b"BBBB").unwrap(), b"");
+        assert!(r.has(*b"AAAA"));
+        assert!(!r.has(*b"CCCC"));
+        assert_eq!(
+            r.section(*b"CCCC"),
+            Err(CkptError::MissingSection { tag: *b"CCCC" })
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let bytes = SectionWriter::new().finish();
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        assert_eq!(SectionReader::parse(&wrong), Err(CkptError::BadMagic));
+        let mut newer = bytes.clone();
+        newer[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        assert_eq!(
+            SectionReader::parse(&newer),
+            Err(CkptError::UnsupportedVersion(VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed_not_a_panic() {
+        let mut w = SectionWriter::new();
+        w.section(*b"DATA", &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let e = SectionReader::parse(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(e, CkptError::Truncated | CkptError::BadMagic),
+                "cut at {cut}: {e}"
+            );
+        }
+        assert!(SectionReader::parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut w = SectionWriter::new();
+        w.section(*b"DATA", b"payload-bytes");
+        let mut bytes = w.finish();
+        // flip one payload byte (header is 12 bytes, section header 16)
+        bytes[12 + 16] ^= 0x01;
+        assert_eq!(
+            SectionReader::parse(&bytes),
+            Err(CkptError::ChecksumMismatch { tag: *b"DATA" })
+        );
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("hsckpt-format-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.bin");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        assert!(!dir.join("a.bin.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

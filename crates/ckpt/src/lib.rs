@@ -1,0 +1,34 @@
+//! Crash-consistent checkpointing: a versioned, section-checksummed binary
+//! snapshot format with atomic writes and a sequence-numbered store that
+//! falls back past torn or corrupt files.
+//!
+//! The format is deliberately dumb: a magic + version header, then a flat
+//! list of `(tag, length, CRC32, payload)` sections closed by an `END`
+//! marker. Every `f64` crosses the boundary as its IEEE-754 bit pattern
+//! (`to_bits`/`from_bits`), so a restored state is *bitwise* what was
+//! saved — the property the durable drivers in `hetsolve-core` build their
+//! replay-determinism argument on (see DESIGN.md §12).
+//!
+//! Durability comes from two mechanisms working together:
+//!
+//! * **atomic writes** — [`write_atomic`] writes a temp file, fsyncs, and
+//!   renames into place, so a crash mid-write never replaces a good
+//!   checkpoint with a half-written one;
+//! * **validated restore with fallback** — [`CheckpointStore::load_latest_valid`]
+//!   walks checkpoints newest-first and skips (with a typed
+//!   [`RestoreReport`]) any file that fails magic, version, section, or
+//!   per-section CRC validation — e.g. one torn by a crash *during* the
+//!   rename-free window, or by the [`tear`] chaos helper in tests.
+//!
+//! The crate is dependency-free and `forbid(unsafe_code)`.
+
+#![forbid(unsafe_code)]
+
+mod format;
+mod store;
+
+pub use format::{
+    crc32, fnv1a, mix64, write_atomic, CkptError, Dec, Enc, SectionReader, SectionWriter, MAGIC,
+    VERSION,
+};
+pub use store::{tear, CheckpointStore, RestoreReport, SkippedCheckpoint};

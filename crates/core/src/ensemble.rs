@@ -8,9 +8,16 @@ use hetsolve_machine::NodeSpec;
 use hetsolve_mesh::GroundModelSpec;
 use hetsolve_signal::{dominant_frequency_psd, fdd, welch_psd, FddResult, WelchConfig};
 
+use std::path::Path;
+
+use hetsolve_ckpt::CheckpointStore;
+use hetsolve_fault::NoopFaults;
+
 use crate::backend::Backend;
+use crate::durable::{run_durable, CheckpointPolicy, DurableOutcome};
 use crate::methods::{run, MethodKind, RunConfig, RunResult};
 use crate::recovery::RunError;
+use crate::trace::StepTracer;
 
 /// Why an [`EnsembleConfig`] was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +199,65 @@ pub fn run_ensemble(
             dt: backend.problem.newmark.dt,
         },
         runs,
+    ))
+}
+
+/// Like [`run_ensemble`], but every fused batch runs under the durable
+/// driver ([`run_durable`]), checkpointing into `<dir>/batch<k>/`. A
+/// killed ensemble re-invoked with the same `dir` skips nothing it has
+/// not computed: each batch resumes bitwise-identically from its own
+/// newest valid checkpoint, so only the interrupted batch's tail and the
+/// batches never started are re-executed.
+pub fn run_ensemble_durable(
+    backend: &Backend,
+    cfg: &EnsembleConfig,
+    dir: &Path,
+    policy: CheckpointPolicy,
+) -> Result<(EnsembleResult, Vec<DurableOutcome>), RunError> {
+    let cases_per_run = cfg.run.method.n_cases(cfg.run.r).max(1);
+    let n_runs = cfg.n_cases.div_ceil(cases_per_run);
+    let mut waveforms = Vec::with_capacity(cfg.n_cases);
+    let mut outcomes = Vec::with_capacity(n_runs);
+    for batch in 0..n_runs {
+        let mut rc = cfg.run.clone();
+        rc.n_steps = cfg.n_steps;
+        rc.record_surface = true;
+        rc.seed = cfg.seed + (batch * cases_per_run) as u64;
+        let store =
+            CheckpointStore::new(dir.join(format!("batch{batch}")), policy.keep).map_err(|e| {
+                RunError::Checkpoint {
+                    message: format!("open store for batch {batch}: {e}"),
+                }
+            })?;
+        let out = run_durable(
+            backend,
+            &rc,
+            &mut StepTracer::new(),
+            &mut NoopFaults,
+            &store,
+            policy,
+        )?;
+        for w in &out.result.waveforms {
+            if waveforms.len() < cfg.n_cases {
+                waveforms.push(w.clone());
+            }
+        }
+        outcomes.push(out);
+    }
+    let coords = backend
+        .problem
+        .surface_nodes
+        .iter()
+        .map(|&n| backend.problem.model.mesh.coords[n as usize])
+        .collect();
+    Ok((
+        EnsembleResult {
+            surface_nodes: backend.problem.surface_nodes.clone(),
+            coords,
+            waveforms,
+            dt: backend.problem.newmark.dt,
+        },
+        outcomes,
     ))
 }
 

@@ -14,6 +14,9 @@
 //!   (Fig. 1 application),
 //! * [`multinode`] — partitioned/distributed operators consistent with the
 //!   sequential ones (Fig. 2, Fig. 5),
+//! * [`checkpoint`] / [`durable`] — crash-consistent snapshots of the
+//!   EBE-MCG run state and the checkpoint-every-N / resume-from-latest
+//!   driver built on them (bitwise-identical replay after a crash),
 //! * [`recovery`] — the typed error ladder: retry failed solves with
 //!   progressively safer guesses, recording each [`recovery::RecoveryEvent`],
 //! * [`report`] — table/series formatting for the benchmark harnesses,
@@ -23,6 +26,8 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod checkpoint;
+pub mod durable;
 pub mod ensemble;
 pub mod methods;
 pub mod multinode;
@@ -35,8 +40,14 @@ pub mod study;
 pub mod trace;
 
 pub use backend::{Backend, RhsScratch};
+pub use checkpoint::{
+    decode_clock_state, decode_recovery_event, encode_clock_state, encode_recovery_event,
+    ConfigFingerprint, RunCheckpoint, SlotState,
+};
+pub use durable::{run_durable, CheckpointPolicy, DurableOutcome};
 pub use ensemble::{
-    run_ensemble, run_ensemble_for_model, EnsembleConfig, EnsembleConfigError, EnsembleResult,
+    run_ensemble, run_ensemble_durable, run_ensemble_for_model, EnsembleConfig,
+    EnsembleConfigError, EnsembleResult,
 };
 pub use methods::{
     driver_cg_config, run, run_faulted, run_traced, MethodKind, RunConfig, RunResult, StepRecord,

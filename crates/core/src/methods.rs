@@ -16,7 +16,7 @@
 //! algorithms. Per-step records regenerate Tables 3–4 and Fig. 4.
 
 use hetsolve_fault::{FaultInjector, FaultLane, NoopFaults};
-use hetsolve_fem::RandomLoadSpec;
+use hetsolve_fem::{CompactEbe, RandomLoadSpec};
 use hetsolve_machine::{EnergyReport, LaneKind, ModuleClock, NodeSpec};
 use hetsolve_obs::Json;
 use hetsolve_predictor::AdaptiveWindow;
@@ -173,7 +173,7 @@ impl RunConfig {
 
 /// Per-step record (regenerates Fig. 4 and the per-step columns of
 /// Tables 3–4).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepRecord {
     pub step: usize,
     /// Modeled wall time of the step per case (s).
@@ -582,30 +582,99 @@ fn run_ebe_mcg<F: FaultInjector>(
     tracer: &mut StepTracer,
     faults: &mut F,
 ) -> Result<RunResult, RunError> {
-    let n = backend.n_dofs();
-    let r = cfg.r;
-    let n_cases = 2 * r;
-    let obs = backend.problem.surface_dofs_z();
-    let n_obs = if cfg.record_surface { obs.len() } else { 0 };
-    let mut cases: Vec<CaseSlot> = (0..n_cases)
-        .map(|c| CaseSlot::new(backend, cfg, c, n_obs))
-        .collect();
-    let mut clock = ModuleClock::new(cfg.node.module, cfg.cpu_threads, true);
-    tracer.attach_clock(&mut clock);
-    let mut adaptive = AdaptiveWindow::new(1, cfg.s_max.max(1));
-    let mut scratch = RhsScratch::new(n);
-    let cg_cfg = driver_cg_config(cfg.tol);
-    let mut records = Vec::with_capacity(cfg.n_steps);
-    let mut recoveries = Vec::new();
-    let op = backend.ebe_a(r);
-    let rhs_counts = backend.rhs_counts_ebe(r);
+    let ctx = EbeRunCtx::new(backend, cfg);
+    let mut st = EbeRunState::new(backend, cfg);
+    tracer.attach_clock(&mut st.clock);
+    while st.step < cfg.n_steps {
+        st.step_once(backend, cfg, tracer, faults, &ctx)?;
+    }
+    Ok(st.into_result(backend, cfg))
+}
 
-    let mut f_multi = vec![0.0; n * r];
-    let mut x_multi = vec![0.0; n * r];
+/// Immutable per-run context of the EBE-MCG driver: the matrix-free
+/// operator and kernel costs borrowed from the backend, the CG settings,
+/// and the observation DOFs. Rebuilt identically from `(backend, cfg)` on
+/// every (re)start, so none of it belongs in a checkpoint.
+pub(crate) struct EbeRunCtx<'a> {
+    op: CompactEbe<'a>,
+    rhs_counts: KernelCounts,
+    cg_cfg: CgConfig,
+    obs: Vec<usize>,
+}
 
-    for step in 0..cfg.n_steps {
+impl<'a> EbeRunCtx<'a> {
+    pub(crate) fn new(backend: &'a Backend, cfg: &RunConfig) -> Self {
+        EbeRunCtx {
+            op: backend.ebe_a(cfg.r),
+            rhs_counts: backend.rhs_counts_ebe(cfg.r),
+            cg_cfg: driver_cg_config(cfg.tol),
+            obs: backend.problem.surface_dofs_z(),
+        }
+    }
+}
+
+/// Mutable state of an EBE-MCG run at a step boundary — exactly what a
+/// crash-consistent checkpoint must persist. The `scratch`/`f_multi`/
+/// `x_multi` buffers are excluded on purpose: every step fully rewrites
+/// them before reading, so a resumed run is bitwise-identical without
+/// them. Both the uninterrupted driver ([`run_ebe_mcg`]) and the durable
+/// driver ([`crate::durable::run_durable`]) advance through the same
+/// [`EbeRunState::step_once`], which is what makes the replay-determinism
+/// claim structural rather than coincidental.
+pub(crate) struct EbeRunState {
+    pub(crate) cases: Vec<CaseSlot>,
+    pub(crate) clock: ModuleClock,
+    pub(crate) adaptive: AdaptiveWindow,
+    pub(crate) records: Vec<StepRecord>,
+    pub(crate) recoveries: Vec<RecoveryEvent>,
+    /// Next step boundary to execute (`records.len()` on a healthy run).
+    pub(crate) step: usize,
+    scratch: RhsScratch,
+    f_multi: Vec<f64>,
+    x_multi: Vec<f64>,
+}
+
+impl EbeRunState {
+    pub(crate) fn new(backend: &Backend, cfg: &RunConfig) -> Self {
+        let n = backend.n_dofs();
+        let r = cfg.r;
+        let n_cases = 2 * r;
+        let n_obs = if cfg.record_surface {
+            backend.problem.surface_dofs_z().len()
+        } else {
+            0
+        };
+        EbeRunState {
+            cases: (0..n_cases)
+                .map(|c| CaseSlot::new(backend, cfg, c, n_obs))
+                .collect(),
+            clock: ModuleClock::new(cfg.node.module, cfg.cpu_threads, true),
+            adaptive: AdaptiveWindow::new(1, cfg.s_max.max(1)),
+            records: Vec::with_capacity(cfg.n_steps),
+            recoveries: Vec::new(),
+            step: 0,
+            scratch: RhsScratch::new(n),
+            f_multi: vec![0.0; n * r],
+            x_multi: vec![0.0; n * r],
+        }
+    }
+
+    /// Execute one step boundary: predictors on the CPU lane, the fused
+    /// multi-RHS solve on the GPU lane, advance, sync, exchange, adapt.
+    pub(crate) fn step_once<F: FaultInjector>(
+        &mut self,
+        backend: &Backend,
+        cfg: &RunConfig,
+        tracer: &mut StepTracer,
+        faults: &mut F,
+        ctx: &EbeRunCtx<'_>,
+    ) -> Result<(), RunError> {
+        let n = backend.n_dofs();
+        let r = cfg.r;
+        let n_cases = 2 * r;
+        let step = self.step;
         let s_shared = match cfg.window {
-            WindowPolicy::Adaptive => Some(adaptive.current()),
+            WindowPolicy::Adaptive => Some(self.adaptive.current()),
             WindowPolicy::FullWindow => None,
         };
         let mut iter_sum = 0.0;
@@ -624,16 +693,16 @@ fn run_ebe_mcg<F: FaultInjector>(
             // predictors (CPU lane)
             let mut ab_guesses: Vec<Vec<f64>> = Vec::with_capacity(r);
             for c in set_cases.clone() {
-                let case = &mut cases[c];
+                let case = &mut self.cases[c];
                 let s = s_shared.unwrap_or_else(|| cfg.s_max.max(1).min(case.dd.available_s()));
-                let (ab_guess, su) = case.prepare_step(backend, &mut scratch, s);
+                let (ab_guess, su) = case.prepare_step(backend, &mut self.scratch, s);
                 ab_guesses.push(ab_guess);
                 s_used = su;
                 if let Some(vf) = faults.guess_fault(step, c) {
                     vf.apply(&mut case.guess);
                 }
                 pred_t += tracer.charge_cpu(
-                    &mut clock,
+                    &mut self.clock,
                     set,
                     "predictor",
                     &case.dd.cost(s_used.max(1)),
@@ -642,46 +711,47 @@ fn run_ebe_mcg<F: FaultInjector>(
             }
             // fused solve (GPU lane)
             for (k, c) in set_cases.clone().enumerate() {
-                hetsolve_sparse::vecops::insert_case(&mut f_multi, r, k, &cases[c].rhs);
-                hetsolve_sparse::vecops::insert_case(&mut x_multi, r, k, &cases[c].guess);
+                hetsolve_sparse::vecops::insert_case(&mut self.f_multi, r, k, &self.cases[c].rhs);
+                hetsolve_sparse::vecops::insert_case(&mut self.x_multi, r, k, &self.cases[c].guess);
             }
             let first_cfg = match faults.solver_fault(step, set) {
                 Some(sf) => CgConfig {
-                    max_iter: sf.max_iter.min(cg_cfg.max_iter),
-                    ..cg_cfg
+                    max_iter: sf.max_iter.min(ctx.cg_cfg.max_iter),
+                    ..ctx.cg_cfg
                 },
-                None => cg_cfg,
+                None => ctx.cg_cfg,
             };
-            let before = recoveries.len();
+            let before = self.recoveries.len();
             let stats = solve_set_with_ladder(
-                &op,
+                &ctx.op,
                 &backend.precond,
-                &f_multi,
-                &mut x_multi,
+                &self.f_multi,
+                &mut self.x_multi,
                 &ab_guesses,
-                &cg_cfg,
+                &ctx.cg_cfg,
                 &first_cfg,
                 step,
                 set,
                 set * r,
                 true,
-                &mut recoveries,
+                &mut self.recoveries,
             )?;
             solver_t += tracer.charge_gpu(
-                &mut clock,
+                &mut self.clock,
                 set,
                 "rhs + MCG solve",
-                &rhs_counts.merged(stats.counts),
+                &ctx.rhs_counts.merged(stats.counts),
                 &[
                     ("r", Json::from(r)),
                     ("fused_iterations", Json::from(stats.fused_iterations)),
                 ],
             );
-            for ev in &recoveries[before..] {
-                tracer.recovery_event(clock.elapsed(), ev);
+            for ev in &self.recoveries[before..] {
+                tracer.recovery_event(self.clock.elapsed(), ev);
             }
             if let Some(lf) = faults.lane_fault(step, set) {
-                let stall = tracer.charge_stall(&mut clock, set, lane_kind(lf.lane), lf.seconds);
+                let stall =
+                    tracer.charge_stall(&mut self.clock, set, lane_kind(lf.lane), lf.seconds);
                 match lf.lane {
                     FaultLane::Cpu => stall_pred += stall,
                     FaultLane::Gpu => stall_solver += stall,
@@ -689,34 +759,41 @@ fn run_ebe_mcg<F: FaultInjector>(
             }
             for (k, c) in set_cases.clone().enumerate() {
                 let mut x = vec![0.0; n];
-                hetsolve_sparse::vecops::extract_case(&x_multi, r, k, &mut x);
+                hetsolve_sparse::vecops::extract_case(&self.x_multi, r, k, &mut x);
                 iter_sum += stats.case_iterations[k] as f64;
                 res_sum += stats.initial_rel_res[k];
-                if !cases[c].advance(backend, &x, &ab_guesses[k], faults.snapshot_fault(step, c)) {
+                if !self.cases[c].advance(
+                    backend,
+                    &x,
+                    &ab_guesses[k],
+                    faults.snapshot_fault(step, c),
+                ) {
                     history_poisoned = true;
                 }
                 if cfg.record_surface {
-                    cases[c].record_waveform(&obs);
+                    self.cases[c].record_waveform(&ctx.obs);
                 }
             }
             // sync + exchange predictions/solutions between the processes
-            clock.sync();
+            self.clock.sync();
             let bytes = exchange_bytes(faults, step, set, 2.0 * (n * r) as f64 * 8.0);
             if bytes > 0.0 {
-                let _ = tracer.charge_transfer(&mut clock, set, "exchange", bytes);
+                let _ = tracer.charge_transfer(&mut self.clock, set, "exchange", bytes);
             }
         }
         if history_poisoned {
-            adaptive.reset_window();
+            self.adaptive.reset_window();
         }
-        clock.sync();
+        self.clock.sync();
         let xfer = 0.0; // transfers already charged inside the set loop
         if cfg.window == WindowPolicy::Adaptive {
-            let decision = adaptive.observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
-            tracer.window_decision(step, clock.elapsed(), &decision);
+            let decision =
+                self.adaptive
+                    .observe_logged(s_used.max(1), pred_t / 2.0, solver_t / 2.0);
+            tracer.window_decision(step, self.clock.elapsed(), &decision);
         }
-        tracer.iterations_counter(clock.elapsed(), iter_sum / n_cases as f64);
-        records.push(StepRecord {
+        tracer.iterations_counter(self.clock.elapsed(), iter_sum / n_cases as f64);
+        self.records.push(StepRecord {
             step,
             step_time_per_case: (solver_t + stall_solver).max(pred_t + stall_pred) / n_cases as f64
                 + 2.0 * (2.0 * (n * r) as f64 * 8.0 / cfg.node.module.link.bw) / n_cases as f64,
@@ -727,9 +804,20 @@ fn run_ebe_mcg<F: FaultInjector>(
             s_used,
             initial_rel_res: res_sum / n_cases as f64,
         });
+        self.step += 1;
+        Ok(())
     }
 
-    Ok(finish(backend, cfg, cases, records, clock, recoveries))
+    pub(crate) fn into_result(self, backend: &Backend, cfg: &RunConfig) -> RunResult {
+        finish(
+            backend,
+            cfg,
+            self.cases,
+            self.records,
+            self.clock,
+            self.recoveries,
+        )
+    }
 }
 
 fn finish(

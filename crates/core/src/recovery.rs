@@ -47,6 +47,25 @@ impl GuessSource {
             GuessSource::Zero => "zero",
         }
     }
+
+    /// Stable wire code for checkpoint encoding (append-only).
+    pub fn code(&self) -> u8 {
+        match self {
+            GuessSource::DataDriven => 0,
+            GuessSource::AdamsBashforth => 1,
+            GuessSource::Zero => 2,
+        }
+    }
+
+    /// Inverse of [`GuessSource::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => GuessSource::DataDriven,
+            1 => GuessSource::AdamsBashforth,
+            2 => GuessSource::Zero,
+            _ => return None,
+        })
+    }
 }
 
 /// One recovery performed by the ladder: the step survived, on a downgraded
@@ -94,6 +113,12 @@ pub enum RunError {
     /// A worker thread of the realtime driver panicked; `phase` names the
     /// half-step ("solve" or "predict") that died.
     WorkerPanic { phase: &'static str },
+    /// An injected crash point killed the durable run at step boundary
+    /// `step` (chaos testing); resume from the latest checkpoint.
+    Crashed { step: usize },
+    /// A checkpoint write failed (I/O); the run stopped rather than keep
+    /// computing results it could not make durable.
+    Checkpoint { message: String },
 }
 
 impl fmt::Display for RunError {
@@ -102,6 +127,12 @@ impl fmt::Display for RunError {
             RunError::Solve(e) => write!(f, "{e}"),
             RunError::WorkerPanic { phase } => {
                 write!(f, "realtime worker thread panicked during {phase}")
+            }
+            RunError::Crashed { step } => {
+                write!(f, "injected crash at step boundary {step}")
+            }
+            RunError::Checkpoint { message } => {
+                write!(f, "checkpoint write failed: {message}")
             }
         }
     }
@@ -112,6 +143,8 @@ impl std::error::Error for RunError {
         match self {
             RunError::Solve(e) => Some(e),
             RunError::WorkerPanic { .. } => None,
+            RunError::Crashed { .. } => None,
+            RunError::Checkpoint { .. } => None,
         }
     }
 }

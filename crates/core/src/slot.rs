@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
+use crate::checkpoint::SlotState;
 use crate::methods::RunConfig;
 
 /// Per-case simulation state (one column of a fused multi-RHS lane).
@@ -26,6 +27,9 @@ pub struct CaseSlot {
     pub(crate) load: RandomLoad,
     pub(crate) adams: AdamsState,
     pub(crate) dd: DataDrivenPredictor,
+    /// Absolute RNG seed the load was generated from — with `n_steps`, all
+    /// a checkpoint needs to regenerate the load bitwise on restore.
+    seed: u64,
     /// Steps this case runs for (load generation depends on it).
     n_steps: usize,
     /// Scratch: force, rhs, solution guess.
@@ -62,6 +66,7 @@ impl CaseSlot {
             load,
             adams: AdamsState::new(),
             dd: DataDrivenPredictor::new(n, cfg.region_dofs.max(3), cfg.s_max.max(1)),
+            seed,
             n_steps,
             f: vec![0.0; n],
             rhs: vec![0.0; n],
@@ -196,5 +201,40 @@ impl CaseSlot {
     /// driver charges to the CPU lane for the step's prediction.
     pub fn predictor_cost(&self, s: usize) -> hetsolve_sparse::KernelCounts {
         self.dd.cost(s)
+    }
+
+    /// Capture everything a checkpoint needs to rebuild this slot bitwise:
+    /// seed + step count (the load regenerates from them), Newmark vectors,
+    /// both predictor histories, and the recorded waveform. The `f`/`rhs`/
+    /// `guess` scratch is deliberately excluded — `prepare_step` fully
+    /// recomputes it before any read.
+    pub fn state(&self) -> SlotState {
+        SlotState {
+            seed: self.seed,
+            n_steps: self.n_steps,
+            step: self.time.step,
+            u: self.time.u.clone(),
+            v: self.time.v.clone(),
+            a: self.time.a.clone(),
+            adams_hist: self.adams.history(),
+            dd_hist: self.dd.history(),
+            waveform: self.waveform.clone(),
+        }
+    }
+
+    /// Rebuild a slot from a captured [`SlotState`] — the restore-side
+    /// inverse of [`CaseSlot::state`]. The load is regenerated from the
+    /// stored seed, so the resumed trajectory is bitwise-identical to the
+    /// uninterrupted one.
+    pub fn from_state(backend: &Backend, cfg: &RunConfig, st: &SlotState) -> Self {
+        let mut slot = Self::with_seed(backend, cfg, st.seed, st.n_steps, st.waveform.len());
+        slot.time.step = st.step;
+        slot.time.u = st.u.clone();
+        slot.time.v = st.v.clone();
+        slot.time.a = st.a.clone();
+        slot.adams.restore_history(st.adams_hist.clone());
+        slot.dd.restore_history(st.dd_hist.clone());
+        slot.waveform = st.waveform.clone();
+        slot
     }
 }

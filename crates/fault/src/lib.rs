@@ -11,6 +11,8 @@
 //! * dropped or delayed modeled halo exchanges,
 //! * stalled device lanes on the modeled [`ModuleClock`] timeline,
 //! * forced CG iteration-cap exhaustion,
+//! * crash points at durable-run step boundaries and torn checkpoint
+//!   writes (both one-shot: they fire once, so a resumed run proceeds),
 //!
 //! and the core drivers consume it through the [`FaultInjector`] trait.
 //! [`NoopFaults`] mirrors `NoopObserver`/`StepTracer::disabled()`: a
@@ -125,6 +127,14 @@ pub enum AdmissionFault {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictionFault;
 
+/// Tear the checkpoint file that was just written: keep only the leading
+/// `keep_frac` of its bytes, simulating a crash mid-write on a filesystem
+/// without the atomic-rename guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TornWriteFault {
+    pub keep_frac: f64,
+}
+
 /// One scheduled (or injected) fault with its target.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
@@ -157,6 +167,12 @@ pub enum FaultKind {
     /// Serving-layer eviction of request `case` at a step boundary.
     Eviction {
         case: usize,
+    },
+    /// Process death at the start of durable-run step `step` (one-shot).
+    Crash,
+    /// Tear the checkpoint written with sequence number `step` (one-shot).
+    TornWrite {
+        keep_frac: f64,
     },
 }
 
@@ -212,6 +228,20 @@ pub trait FaultInjector {
     fn eviction_fault(&mut self, _step: usize, _case: usize) -> Option<EvictionFault> {
         None
     }
+
+    /// Kill the process at the `step` boundary of a durable run, *before*
+    /// the step executes. One-shot in [`FaultPlan`]: querying the same
+    /// boundary again (the resumed run replaying it) returns `false`, so
+    /// a resume with the same plan instance proceeds past the crash.
+    fn crash_fault(&mut self, _step: usize) -> bool {
+        false
+    }
+
+    /// Tear the checkpoint file just written with sequence number `seq`.
+    /// One-shot in [`FaultPlan`], like [`FaultInjector::crash_fault`].
+    fn torn_write_fault(&mut self, _seq: u64) -> Option<TornWriteFault> {
+        None
+    }
 }
 
 /// The zero-cost default: a ZST whose hooks are the empty default bodies.
@@ -232,6 +262,9 @@ pub struct FaultPlan {
     seed: u64,
     planned: Vec<FaultRecord>,
     injected: Vec<FaultRecord>,
+    /// Planned entries already consumed by a one-shot hook (crash, torn
+    /// write); indexed parallel to `planned`, grown lazily.
+    spent: Vec<bool>,
 }
 
 impl FaultPlan {
@@ -240,6 +273,7 @@ impl FaultPlan {
             seed,
             planned: Vec::new(),
             injected: Vec::new(),
+            spent: Vec::new(),
         }
     }
 
@@ -384,6 +418,26 @@ impl FaultPlan {
         self
     }
 
+    /// Kill the process at durable-run step boundary `step` (one-shot:
+    /// fires once, so the resumed run proceeds past it).
+    pub fn crash_at(mut self, step: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Tear the checkpoint written with sequence number `seq` down to the
+    /// leading `keep_frac` of its bytes (one-shot).
+    pub fn tear_checkpoint(mut self, seq: u64, keep_frac: f64) -> Self {
+        self.planned.push(FaultRecord {
+            step: seq as usize,
+            kind: FaultKind::TornWrite { keep_frac },
+        });
+        self
+    }
+
     /// Faults scheduled in this plan.
     pub fn planned(&self) -> &[FaultRecord] {
         &self.planned
@@ -404,6 +458,21 @@ impl FaultPlan {
 
     fn log(&mut self, step: usize, kind: FaultKind) {
         self.injected.push(FaultRecord { step, kind });
+    }
+
+    /// Find a not-yet-consumed planned entry matching `pred`, mark it
+    /// consumed, and return its kind — the one-shot firing discipline.
+    fn take_one_shot(&mut self, pred: impl Fn(&FaultRecord) -> bool) -> Option<FaultKind> {
+        if self.spent.len() < self.planned.len() {
+            self.spent.resize(self.planned.len(), false);
+        }
+        let i = self
+            .planned
+            .iter()
+            .enumerate()
+            .position(|(i, p)| !self.spent[i] && pred(p))?;
+        self.spent[i] = true;
+        Some(self.planned[i].kind)
     }
 }
 
@@ -469,6 +538,25 @@ impl FaultInjector for FaultPlan {
         })?;
         self.log(step, FaultKind::Eviction { case });
         Some(EvictionFault)
+    }
+
+    fn crash_fault(&mut self, step: usize) -> bool {
+        let hit = self.take_one_shot(|p| matches!(p.kind, FaultKind::Crash) && p.step == step);
+        if hit.is_some() {
+            self.log(step, FaultKind::Crash);
+        }
+        hit.is_some()
+    }
+
+    fn torn_write_fault(&mut self, seq: u64) -> Option<TornWriteFault> {
+        let kind = self.take_one_shot(|p| {
+            matches!(p.kind, FaultKind::TornWrite { .. }) && p.step == seq as usize
+        })?;
+        let FaultKind::TornWrite { keep_frac } = kind else {
+            unreachable!("one-shot matcher filtered on TornWrite");
+        };
+        self.log(seq as usize, kind);
+        Some(TornWriteFault { keep_frac })
     }
 }
 
@@ -603,5 +691,43 @@ mod tests {
         let g = p.guess_fault(1, 0).unwrap();
         let s = p.snapshot_fault(1, 0).unwrap();
         assert_ne!(g, s, "guess and snapshot patterns must be independent");
+    }
+
+    #[test]
+    fn crash_fault_is_one_shot() {
+        let mut plan = FaultPlan::new(1).crash_at(4);
+        assert!(!plan.crash_fault(3), "wrong boundary");
+        assert!(plan.crash_fault(4), "planned crash fires");
+        // The resumed run replays the same boundary with the same plan
+        // instance — it must sail through.
+        assert!(!plan.crash_fault(4), "crash already consumed");
+        assert!(plan.all_fired());
+        assert_eq!(plan.injected().len(), 1);
+    }
+
+    #[test]
+    fn torn_write_is_one_shot_and_keyed_by_seq() {
+        let mut plan = FaultPlan::new(1).tear_checkpoint(8, 0.5);
+        assert!(plan.torn_write_fault(7).is_none(), "wrong sequence");
+        let t = plan.torn_write_fault(8).expect("planned tear fires");
+        assert_eq!(t.keep_frac, 0.5);
+        assert!(
+            plan.torn_write_fault(8).is_none(),
+            "tear already consumed; the rewritten checkpoint survives"
+        );
+        assert!(plan.all_fired());
+    }
+
+    #[test]
+    fn distinct_crash_points_fire_independently() {
+        let mut plan = FaultPlan::new(1).crash_at(2).crash_at(6);
+        assert!(plan.crash_fault(2));
+        assert!(!plan.crash_fault(2));
+        assert!(plan.crash_fault(6));
+        assert!(plan.all_fired());
+        // Noop defaults never crash or tear
+        let mut noop = NoopFaults;
+        assert!(!noop.crash_fault(0));
+        assert!(noop.torn_write_fault(0).is_none());
     }
 }

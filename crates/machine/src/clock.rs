@@ -62,6 +62,22 @@ pub struct ModuleClock {
     spans: Option<Vec<LaneSpan>>,
 }
 
+/// Bitwise snapshot of a [`ModuleClock`]'s mutable timeline — what a
+/// checkpoint must persist so a restored run's modeled times and energies
+/// continue exactly where they left off. The configuration (spec,
+/// threads, overlap) is *not* part of the state: it is re-derived from
+/// the run configuration at restore, and a mismatch there is caught by
+/// the checkpoint's config fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClockState {
+    pub cpu_time: f64,
+    pub cpu_busy: f64,
+    pub cpu_busy_energy: f64,
+    pub gpu_time: f64,
+    pub gpu_busy: f64,
+    pub gpu_busy_energy: f64,
+}
+
 /// Summary of a finished (or in-progress) timeline.
 #[derive(Debug, Clone, Copy)]
 pub struct EnergyReport {
@@ -236,6 +252,98 @@ impl ModuleClock {
         if let Some(v) = self.spans.as_mut() {
             v.clear();
         }
+    }
+
+    /// Snapshot the timeline for a checkpoint.
+    pub fn state(&self) -> ClockState {
+        ClockState {
+            cpu_time: self.cpu.time,
+            cpu_busy: self.cpu.busy,
+            cpu_busy_energy: self.cpu.busy_energy,
+            gpu_time: self.gpu.time,
+            gpu_busy: self.gpu.busy,
+            gpu_busy_energy: self.gpu.busy_energy,
+        }
+    }
+
+    /// Restore a timeline snapshot taken by [`ModuleClock::state`].
+    pub fn restore_state(&mut self, s: &ClockState) {
+        self.cpu = Lane {
+            time: s.cpu_time,
+            busy: s.cpu_busy,
+            busy_energy: s.cpu_busy_energy,
+        };
+        self.gpu = Lane {
+            time: s.gpu_time,
+            busy: s.gpu_busy,
+            busy_energy: s.gpu_busy_energy,
+        };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wall clock (real time, as opposed to the modeled timeline above).
+
+/// Injectable source of wall-clock seconds. Production code uses
+/// [`SystemClock`]; deterministic tests (watchdog escalation, replay)
+/// inject a [`ManualClock`] so no code path under test ever reads
+/// `std::time` directly.
+pub trait WallClock {
+    /// Seconds since this clock's origin.
+    fn now(&self) -> f64;
+}
+
+/// The real wall clock: seconds since construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemClock {
+    origin: std::time::Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WallClock for SystemClock {
+    fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// A hand-cranked wall clock for deterministic tests. Clones share the
+/// same underlying time, so a test can keep one handle and advance the
+/// clone it injected.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: std::rc::Rc<std::cell::Cell<f64>>,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, seconds: f64) {
+        self.now.set(seconds);
+    }
+
+    pub fn advance(&self, seconds: f64) {
+        self.now.set(self.now.get() + seconds);
+    }
+}
+
+impl WallClock for ManualClock {
+    fn now(&self) -> f64 {
+        self.now.get()
     }
 }
 

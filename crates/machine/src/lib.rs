@@ -26,7 +26,9 @@ pub mod memory;
 pub mod roofline;
 pub mod spec;
 
-pub use clock::{EnergyReport, LaneKind, LaneSpan, ModuleClock};
+pub use clock::{
+    ClockState, EnergyReport, LaneKind, LaneSpan, ManualClock, ModuleClock, SystemClock, WallClock,
+};
 pub use cluster::{
     box_halo_pattern, halo_exchange_time, weak_scaling_efficiency, weak_scaling_step_time,
     HaloPattern,

@@ -49,6 +49,35 @@ impl Termination {
     pub fn is_failure(&self) -> bool {
         !matches!(self, Termination::Converged)
     }
+
+    /// Stable wire code for checkpoint encoding. Codes are append-only:
+    /// existing values never change meaning across format versions.
+    pub fn code(&self) -> u8 {
+        match self {
+            Termination::Converged => 0,
+            Termination::MaxIter => 1,
+            Termination::Breakdown => 2,
+            Termination::NanResidual => 3,
+            Termination::Stagnation => 4,
+            Termination::RhoBreakdown => 5,
+            Termination::DivergentGuess => 6,
+        }
+    }
+
+    /// Inverse of [`Termination::code`]; `None` for unknown codes (a
+    /// corrupt or future-version checkpoint).
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Termination::Converged,
+            1 => Termination::MaxIter,
+            2 => Termination::Breakdown,
+            3 => Termination::NanResidual,
+            4 => Termination::Stagnation,
+            5 => Termination::RhoBreakdown,
+            6 => Termination::DivergentGuess,
+            _ => return None,
+        })
+    }
 }
 
 /// Observer hooks called by the CG solvers. `rel_res` carries one relative

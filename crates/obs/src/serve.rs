@@ -25,6 +25,11 @@ pub struct ServeStats {
     evicted: usize,
     rejected: usize,
     shed: usize,
+    /// Lane-step deadline breaches seen by the watchdog supervisor.
+    watchdog_breaches: usize,
+    /// Lane restarts (roll back to the last lane checkpoint) the watchdog
+    /// escalated to.
+    watchdog_restarts: usize,
     /// Modeled wall time (s) the serving run spanned.
     elapsed_s: f64,
 }
@@ -68,6 +73,14 @@ impl ServeStats {
         self.shed += 1;
     }
 
+    pub fn record_watchdog_breach(&mut self) {
+        self.watchdog_breaches += 1;
+    }
+
+    pub fn record_watchdog_restart(&mut self) {
+        self.watchdog_restarts += 1;
+    }
+
     /// Advance the modeled wall clock the summary rates divide by.
     pub fn set_elapsed(&mut self, elapsed_s: f64) {
         self.elapsed_s = elapsed_s;
@@ -85,8 +98,72 @@ impl ServeStats {
         self.evicted
     }
 
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    pub fn shed(&self) -> usize {
+        self.shed
+    }
+
+    pub fn watchdog_breaches(&self) -> usize {
+        self.watchdog_breaches
+    }
+
+    pub fn watchdog_restarts(&self) -> usize {
+        self.watchdog_restarts
+    }
+
     pub fn elapsed_s(&self) -> f64 {
         self.elapsed_s
+    }
+
+    /// Raw queue-depth samples, in boundary order (checkpoint access).
+    pub fn queue_depth_samples(&self) -> &[usize] {
+        &self.queue_depth
+    }
+
+    /// Raw `(occupied, width)` lane samples (checkpoint access).
+    pub fn occupancy_samples(&self) -> &[(usize, usize)] {
+        &self.occupancy
+    }
+
+    /// Raw completion latencies (s), in completion order (checkpoint
+    /// access).
+    pub fn latency_samples(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Rebuild stats from checkpointed parts — the restore-side inverse
+    /// of the accessors above. Counters resume exactly where the saved
+    /// run left off (they must not reset on resume).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        queue_depth: Vec<usize>,
+        occupancy: Vec<(usize, usize)>,
+        latencies: Vec<f64>,
+        completed: usize,
+        failed: usize,
+        evicted: usize,
+        rejected: usize,
+        shed: usize,
+        watchdog_breaches: usize,
+        watchdog_restarts: usize,
+        elapsed_s: f64,
+    ) -> Self {
+        ServeStats {
+            queue_depth,
+            occupancy,
+            latencies,
+            completed,
+            failed,
+            evicted,
+            rejected,
+            shed,
+            watchdog_breaches,
+            watchdog_restarts,
+            elapsed_s,
+        }
     }
 
     /// Mean queue depth over all boundary samples.
@@ -141,6 +218,8 @@ impl ServeStats {
             ("evicted", Json::from(self.evicted)),
             ("rejected", Json::from(self.rejected)),
             ("shed", Json::from(self.shed)),
+            ("watchdog_breaches", Json::from(self.watchdog_breaches)),
+            ("watchdog_restarts", Json::from(self.watchdog_restarts)),
             ("elapsed_s", Json::Num(self.elapsed_s)),
             ("cases_per_sec", Json::Num(self.cases_per_sec())),
             ("mean_queue_depth", Json::Num(self.mean_queue_depth())),

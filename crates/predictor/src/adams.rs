@@ -71,6 +71,23 @@ impl AdamsState {
         self.hist.is_empty()
     }
 
+    /// Snapshot the velocity history (oldest first) for a checkpoint.
+    pub fn history(&self) -> Vec<Vec<f64>> {
+        self.hist.iter().cloned().collect()
+    }
+
+    /// Restore a history snapshot taken by [`AdamsState::history`]
+    /// (oldest first); only the newest 4 entries are kept.
+    pub fn restore_history(&mut self, hist: Vec<Vec<f64>>) {
+        self.hist.clear();
+        for v in hist {
+            self.hist.push_back(v);
+        }
+        while self.hist.len() > 4 {
+            self.hist.pop_front();
+        }
+    }
+
     /// Predict the next displacement; returns `false` (leaving `out = u_prev`)
     /// when no history exists yet.
     pub fn predict(&self, u_prev: &[f64], dt: f64, out: &mut [f64]) -> bool {

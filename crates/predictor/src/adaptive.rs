@@ -107,6 +107,19 @@ impl AdaptiveWindow {
         }
     }
 
+    /// `(current window, unit-cost EWMA)` — the controller's mutable state,
+    /// what a checkpoint must persist for the window trajectory to resume
+    /// exactly (bounds and tuning constants are rebuilt from the config).
+    pub fn state(&self) -> (usize, Option<f64>) {
+        (self.s, self.unit_cost)
+    }
+
+    /// Restore state captured by [`AdaptiveWindow::state`].
+    pub fn restore_state(&mut self, s: usize, unit_cost: Option<f64>) {
+        self.s = s.clamp(self.s_min, self.s_cap);
+        self.unit_cost = unit_cost;
+    }
+
     /// Clamp the cap (e.g. when memory gets tighter at runtime).
     pub fn set_cap(&mut self, cap: usize) {
         self.s_cap = cap.max(self.s_min);

@@ -70,6 +70,25 @@ impl DataDrivenPredictor {
         true
     }
 
+    /// Snapshot the correction history (oldest first) for a checkpoint.
+    pub fn history(&self) -> Vec<Vec<f64>> {
+        self.history.iter().cloned().collect()
+    }
+
+    /// Restore a history snapshot taken by
+    /// [`DataDrivenPredictor::history`] (oldest first). Columns must be
+    /// `n_dofs` long; only the newest `s_max + 1` are kept.
+    pub fn restore_history(&mut self, hist: Vec<Vec<f64>>) {
+        self.history.clear();
+        for v in hist {
+            assert_eq!(v.len(), self.n_dofs, "restored column has wrong length");
+            self.history.push_back(v);
+        }
+        while self.history.len() > self.s_max + 1 {
+            self.history.pop_front();
+        }
+    }
+
     /// Largest usable window with the current history (needs `s+1` stored
     /// corrections).
     pub fn available_s(&self) -> usize {

@@ -141,6 +141,20 @@ impl Batcher {
         }
     }
 
+    /// Place `id` directly into a vacant slot during checkpoint restore,
+    /// bypassing the queue. Panics on an occupied slot or a key conflict —
+    /// a checkpoint that violates the lane invariants is a bug, not data.
+    pub fn restore_slot(&mut self, lane: usize, slot: usize, id: RequestId, key: CompatKey) {
+        let l = &mut self.lanes[lane];
+        assert!(l.slots[slot].is_none(), "restore into occupied slot");
+        assert!(
+            l.key.is_none() || l.key == Some(key),
+            "restore key conflicts with lane key"
+        );
+        l.key = Some(key);
+        l.slots[slot] = Some(id);
+    }
+
     /// Fill vacant slots from the queue per the policy. Pops follow the
     /// queue's scheduling order; an empty lane adopts the key of the best
     /// request overall, an occupied lane only accepts its own key. Occupied

@@ -1,0 +1,519 @@
+//! Crash-consistent snapshots of a whole [`EnsembleServer`].
+//!
+//! [`ServerCheckpoint`] captures everything a serving run has accumulated
+//! at a tick boundary — the admission queue (including its admission-time
+//! tie-breaks), lane geometry and every in-flight [`CaseSlot`]'s state,
+//! every [`RequestRecord`] lifecycle, the modeled clock, the serving
+//! counters, and the recovery-ladder events — in the sectioned,
+//! checksummed `hetsolve-ckpt` format. A restored server continues
+//! *bitwise-identically*: the same requests finish with the same final
+//! displacements on the same modeled timeline, and counters resume where
+//! the saved run left off instead of resetting.
+//!
+//! A [`ServeFingerprint`] extends the core run fingerprint with the
+//! serving knobs that shape the trajectory (queue capacity, scheduler
+//! seed, batch policy, watchdog ladder); a snapshot restored against a
+//! different configuration fails typed, and
+//! [`CheckpointStore::load_latest_valid`] falls back to an older file.
+
+use std::io;
+use std::path::PathBuf;
+
+use hetsolve_ckpt::{
+    mix64, CheckpointStore, CkptError, Dec, Enc, RestoreReport, SectionReader, SectionWriter,
+};
+use hetsolve_core::{
+    decode_clock_state, decode_recovery_event, encode_clock_state, encode_recovery_event, Backend,
+    CaseSlot, ConfigFingerprint, RecoveryEvent, SlotState,
+};
+use hetsolve_fault::{FaultInjector, NoopFaults};
+use hetsolve_machine::ClockState;
+use hetsolve_obs::ServeStats;
+
+use crate::batcher::{BatchPolicy, CompatKey};
+use crate::queue::QueueEntrySnapshot;
+use crate::request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest};
+use crate::server::{EnsembleServer, ServeConfig};
+
+/// Section tags of the server-checkpoint format.
+const TAG_META: [u8; 4] = *b"META";
+const TAG_CLOCK: [u8; 4] = *b"CLK\0";
+const TAG_QUEUE: [u8; 4] = *b"QUE\0";
+const TAG_LANES: [u8; 4] = *b"LANE";
+const TAG_REQUESTS: [u8; 4] = *b"REQ\0";
+const TAG_STATS: [u8; 4] = *b"STAT";
+const TAG_RECOVERIES: [u8; 4] = *b"RCVR";
+
+/// Hash of everything that determines a serving run's trajectory but is
+/// rebuilt from `(backend, cfg)` on restore: the core run fingerprint
+/// plus the scheduling and supervision knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFingerprint(pub u64);
+
+impl ServeFingerprint {
+    pub fn of(backend: &Backend, cfg: &ServeConfig) -> Self {
+        let mut h = ConfigFingerprint::of(backend, &cfg.run).0;
+        h = mix64(h, cfg.queue_capacity as u64);
+        h = mix64(h, cfg.sched_seed);
+        h = mix64(
+            h,
+            match cfg.policy {
+                BatchPolicy::Continuous => 0,
+                BatchPolicy::DrainThenRefill => 1,
+            },
+        );
+        h = mix64(h, cfg.checkpoint_every as u64);
+        match cfg.watchdog {
+            None => h = mix64(h, 0),
+            Some(wd) => {
+                h = mix64(h, 1);
+                h = mix64(h, wd.step_deadline_s.to_bits());
+                h = mix64(h, wd.max_retries as u64);
+                h = mix64(h, wd.backoff_base_s.to_bits());
+                h = mix64(h, wd.backoff_factor.to_bits());
+            }
+        }
+        ServeFingerprint(h)
+    }
+}
+
+/// One lane as the checkpoint sees it: its compatibility key, its
+/// consecutive-breach count, and each occupied column's request and
+/// captured case state.
+#[derive(Debug, Clone)]
+pub struct LaneCheckpoint {
+    pub key: Option<u64>,
+    pub breach: u32,
+    pub slots: Vec<Option<(RequestId, SlotState)>>,
+}
+
+/// One crash-consistent snapshot of a serving run at a tick boundary.
+#[derive(Debug, Clone)]
+pub struct ServerCheckpoint {
+    pub fingerprint: ServeFingerprint,
+    pub ticks: usize,
+    pub admissions: usize,
+    pub clock: ClockState,
+    pub queue: Vec<QueueEntrySnapshot>,
+    pub lanes: Vec<LaneCheckpoint>,
+    pub records: Vec<RequestRecord>,
+    pub stats: ServeStats,
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+fn encode_queue_entry(enc: &mut Enc, e: &QueueEntrySnapshot) {
+    enc.put_u64(e.id.0);
+    enc.put_u64(e.key.0);
+    enc.put_u8(e.priority);
+    enc.put_opt_f64(e.deadline);
+    enc.put_u64(e.tie);
+}
+
+fn decode_queue_entry(dec: &mut Dec<'_>) -> Result<QueueEntrySnapshot, CkptError> {
+    Ok(QueueEntrySnapshot {
+        id: RequestId(dec.u64()?),
+        key: CompatKey(dec.u64()?),
+        priority: dec.u8()?,
+        deadline: dec.opt_f64()?,
+        tie: dec.u64()?,
+    })
+}
+
+fn encode_record(enc: &mut Enc, r: &RequestRecord) {
+    enc.put_u64(r.id.0);
+    enc.put_u64(r.request.seed);
+    enc.put_usize(r.request.n_steps);
+    enc.put_u8(r.request.priority);
+    enc.put_opt_f64(r.request.deadline);
+    enc.put_opt_f64(r.request.tol);
+    enc.put_u8(r.state.code());
+    enc.put_f64(r.admitted_at);
+    enc.put_opt_f64(r.finished_at);
+    match r.evict_reason {
+        Some(er) => {
+            enc.put_bool(true);
+            enc.put_u8(er.code());
+        }
+        None => enc.put_bool(false),
+    }
+    match &r.result {
+        Some(u) => {
+            enc.put_bool(true);
+            enc.put_f64s(u);
+        }
+        None => enc.put_bool(false),
+    }
+}
+
+fn decode_record(dec: &mut Dec<'_>) -> Result<RequestRecord, CkptError> {
+    let id = RequestId(dec.u64()?);
+    let request = SolveRequest {
+        seed: dec.u64()?,
+        n_steps: dec.usize_()?,
+        priority: dec.u8()?,
+        deadline: dec.opt_f64()?,
+        tol: dec.opt_f64()?,
+    };
+    let state = RequestState::from_code(dec.u8()?)
+        .ok_or_else(|| CkptError::Corrupt("unknown request-state code".into()))?;
+    let admitted_at = dec.f64()?;
+    let finished_at = dec.opt_f64()?;
+    let evict_reason = if dec.bool_()? {
+        Some(
+            EvictReason::from_code(dec.u8()?)
+                .ok_or_else(|| CkptError::Corrupt("unknown evict-reason code".into()))?,
+        )
+    } else {
+        None
+    };
+    let result = if dec.bool_()? {
+        Some(dec.f64s()?)
+    } else {
+        None
+    };
+    Ok(RequestRecord {
+        id,
+        request,
+        state,
+        admitted_at,
+        finished_at,
+        evict_reason,
+        result,
+    })
+}
+
+fn encode_stats(enc: &mut Enc, s: &ServeStats) {
+    let depth = s.queue_depth_samples();
+    enc.put_usize(depth.len());
+    for &d in depth {
+        enc.put_usize(d);
+    }
+    let occ = s.occupancy_samples();
+    enc.put_usize(occ.len());
+    for &(o, w) in occ {
+        enc.put_usize(o);
+        enc.put_usize(w);
+    }
+    enc.put_f64s(s.latency_samples());
+    enc.put_usize(s.completed());
+    enc.put_usize(s.failed());
+    enc.put_usize(s.evicted());
+    enc.put_usize(s.rejected());
+    enc.put_usize(s.shed());
+    enc.put_usize(s.watchdog_breaches());
+    enc.put_usize(s.watchdog_restarts());
+    enc.put_f64(s.elapsed_s());
+}
+
+fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
+    let n = dec.usize_()?;
+    let mut queue_depth = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        queue_depth.push(dec.usize_()?);
+    }
+    let n = dec.usize_()?;
+    let mut occupancy = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        occupancy.push((dec.usize_()?, dec.usize_()?));
+    }
+    let latencies = dec.f64s()?;
+    Ok(ServeStats::from_parts(
+        queue_depth,
+        occupancy,
+        latencies,
+        dec.usize_()?,
+        dec.usize_()?,
+        dec.usize_()?,
+        dec.usize_()?,
+        dec.usize_()?,
+        dec.usize_()?,
+        dec.usize_()?,
+        dec.f64()?,
+    ))
+}
+
+impl ServerCheckpoint {
+    /// Serialize into the sectioned `hetsolve-ckpt` format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        let mut meta = Enc::new();
+        meta.put_u64(self.fingerprint.0);
+        meta.put_usize(self.ticks);
+        meta.put_usize(self.admissions);
+        w.section(TAG_META, &meta.into_bytes());
+
+        let mut clk = Enc::new();
+        encode_clock_state(&mut clk, &self.clock);
+        w.section(TAG_CLOCK, &clk.into_bytes());
+
+        let mut que = Enc::new();
+        que.put_usize(self.queue.len());
+        for e in &self.queue {
+            encode_queue_entry(&mut que, e);
+        }
+        w.section(TAG_QUEUE, &que.into_bytes());
+
+        let mut lanes = Enc::new();
+        lanes.put_usize(self.lanes.len());
+        for lane in &self.lanes {
+            lanes.put_opt_u64(lane.key);
+            lanes.put_u32(lane.breach);
+            lanes.put_usize(lane.slots.len());
+            for slot in &lane.slots {
+                match slot {
+                    Some((id, st)) => {
+                        lanes.put_bool(true);
+                        lanes.put_u64(id.0);
+                        st.encode_into(&mut lanes);
+                    }
+                    None => lanes.put_bool(false),
+                }
+            }
+        }
+        w.section(TAG_LANES, &lanes.into_bytes());
+
+        let mut reqs = Enc::new();
+        reqs.put_usize(self.records.len());
+        for r in &self.records {
+            encode_record(&mut reqs, r);
+        }
+        w.section(TAG_REQUESTS, &reqs.into_bytes());
+
+        let mut stat = Enc::new();
+        encode_stats(&mut stat, &self.stats);
+        w.section(TAG_STATS, &stat.into_bytes());
+
+        let mut rcvr = Enc::new();
+        rcvr.put_usize(self.recoveries.len());
+        for ev in &self.recoveries {
+            encode_recovery_event(&mut rcvr, ev);
+        }
+        w.section(TAG_RECOVERIES, &rcvr.into_bytes());
+        w.finish()
+    }
+
+    /// Parse and validate a snapshot. A fingerprint mismatch is typed
+    /// corruption — the snapshot belongs to a different serving setup —
+    /// so the store's restore scan skips it and keeps falling back.
+    pub fn from_bytes(bytes: &[u8], expect: ServeFingerprint) -> Result<Self, CkptError> {
+        let r = SectionReader::parse(bytes)?;
+        let mut meta = Dec::new(r.section(TAG_META)?);
+        let fingerprint = ServeFingerprint(meta.u64()?);
+        let ticks = meta.usize_()?;
+        let admissions = meta.usize_()?;
+        meta.finish()?;
+        if fingerprint != expect {
+            return Err(CkptError::Corrupt(format!(
+                "serve fingerprint mismatch: checkpoint {:#018x}, server {:#018x}",
+                fingerprint.0, expect.0
+            )));
+        }
+
+        let mut cd = Dec::new(r.section(TAG_CLOCK)?);
+        let clock = decode_clock_state(&mut cd)?;
+        cd.finish()?;
+
+        let mut qd = Dec::new(r.section(TAG_QUEUE)?);
+        let n_queue = qd.usize_()?;
+        let mut queue = Vec::with_capacity(n_queue.min(1 << 20));
+        for _ in 0..n_queue {
+            queue.push(decode_queue_entry(&mut qd)?);
+        }
+        qd.finish()?;
+
+        let mut ld = Dec::new(r.section(TAG_LANES)?);
+        let n_lanes = ld.usize_()?;
+        let mut lanes = Vec::with_capacity(n_lanes.min(1 << 10));
+        for _ in 0..n_lanes {
+            let key = ld.opt_u64()?;
+            let breach = ld.u32()?;
+            let n_slots = ld.usize_()?;
+            let mut slots = Vec::with_capacity(n_slots.min(1 << 16));
+            for _ in 0..n_slots {
+                slots.push(if ld.bool_()? {
+                    let id = RequestId(ld.u64()?);
+                    Some((id, SlotState::decode_from(&mut ld)?))
+                } else {
+                    None
+                });
+            }
+            lanes.push(LaneCheckpoint { key, breach, slots });
+        }
+        ld.finish()?;
+
+        let mut rd = Dec::new(r.section(TAG_REQUESTS)?);
+        let n_recs = rd.usize_()?;
+        let mut records = Vec::with_capacity(n_recs.min(1 << 20));
+        for _ in 0..n_recs {
+            records.push(decode_record(&mut rd)?);
+        }
+        rd.finish()?;
+
+        let mut sd = Dec::new(r.section(TAG_STATS)?);
+        let stats = decode_stats(&mut sd)?;
+        sd.finish()?;
+
+        let mut vd = Dec::new(r.section(TAG_RECOVERIES)?);
+        let n_rcv = vd.usize_()?;
+        let mut recoveries = Vec::with_capacity(n_rcv.min(1 << 20));
+        for _ in 0..n_rcv {
+            recoveries.push(decode_recovery_event(&mut vd)?);
+        }
+        vd.finish()?;
+
+        Ok(ServerCheckpoint {
+            fingerprint,
+            ticks,
+            admissions,
+            clock,
+            queue,
+            lanes,
+            records,
+            stats,
+            recoveries,
+        })
+    }
+}
+
+impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
+    /// Snapshot the server as it stands at a tick boundary.
+    pub fn checkpoint(&self) -> ServerCheckpoint {
+        let lanes = (0..self.batcher.n_lanes())
+            .map(|lane| LaneCheckpoint {
+                key: self.batcher.lane_key(lane).map(|k| k.0),
+                breach: self.watchdog_breach[lane],
+                slots: (0..self.batcher.width())
+                    .map(|slot| {
+                        match (
+                            self.batcher.slot(lane, slot),
+                            self.slots[lane][slot].as_ref(),
+                        ) {
+                            (Some(id), Some(case)) => Some((id, case.state())),
+                            _ => None,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        ServerCheckpoint {
+            fingerprint: ServeFingerprint::of(self.backend, &self.cfg),
+            ticks: self.ticks,
+            admissions: self.admissions,
+            clock: self.clock.state(),
+            queue: self.queue.snapshot(),
+            lanes,
+            records: self.records.clone(),
+            stats: self.stats.clone(),
+            recoveries: self.recoveries.clone(),
+        }
+    }
+
+    /// Serialized snapshot, ready for [`CheckpointStore::save`].
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        self.checkpoint().to_bytes()
+    }
+
+    /// Atomically write a snapshot to `store`, sequenced by the tick
+    /// count (so newer boundaries sort after older ones).
+    pub fn save_checkpoint(&self, store: &CheckpointStore) -> io::Result<PathBuf> {
+        store.save(self.ticks as u64, &self.checkpoint_bytes())
+    }
+
+    /// Rebuild a server from a parsed snapshot. The restored server
+    /// continues bitwise-identically to the one the snapshot was taken
+    /// from — same results, same modeled timeline, counters intact.
+    pub fn from_checkpoint(
+        backend: &'b Backend,
+        cfg: ServeConfig,
+        faults: F,
+        ck: ServerCheckpoint,
+    ) -> Result<Self, CkptError> {
+        let mut server = Self::with_faults(backend, cfg, faults);
+        if ck.lanes.len() != server.batcher.n_lanes()
+            || ck
+                .lanes
+                .iter()
+                .any(|l| l.slots.len() != server.batcher.width())
+        {
+            return Err(CkptError::Corrupt("lane geometry mismatch".into()));
+        }
+        server.queue.restore(ck.queue);
+        for (lane, lc) in ck.lanes.iter().enumerate() {
+            server.watchdog_breach[lane] = lc.breach;
+            for (slot, entry) in lc.slots.iter().enumerate() {
+                let Some((id, st)) = entry else { continue };
+                let key = lc
+                    .key
+                    .ok_or_else(|| CkptError::Corrupt("occupied lane without a key".into()))?;
+                server.batcher.restore_slot(lane, slot, *id, CompatKey(key));
+                server.slots[lane][slot] = Some(CaseSlot::from_state(backend, &server.cfg.run, st));
+            }
+        }
+        server.records = ck.records;
+        server.clock.restore_state(&ck.clock);
+        server.stats = ck.stats;
+        server.recoveries = ck.recoveries;
+        server.admissions = ck.admissions;
+        server.ticks = ck.ticks;
+        // the in-memory lane checkpoints do not survive a crash; re-seed
+        // them from the restored state so the watchdog's restart rung has
+        // a rollback point from the first supervised tick on
+        for lane in 0..server.batcher.n_lanes() {
+            server.capture_lane(lane);
+        }
+        Ok(server)
+    }
+
+    /// Parse `bytes` (validating the fingerprint against `(backend, cfg)`)
+    /// and rebuild the server.
+    pub fn restore_with_faults(
+        backend: &'b Backend,
+        cfg: ServeConfig,
+        faults: F,
+        bytes: &[u8],
+    ) -> Result<Self, CkptError> {
+        let fp = ServeFingerprint::of(backend, &cfg);
+        let ck = ServerCheckpoint::from_bytes(bytes, fp)?;
+        Self::from_checkpoint(backend, cfg, faults, ck)
+    }
+
+    /// Restore from the newest valid checkpoint in `store`, falling back
+    /// past torn or corrupt files (the [`RestoreReport`] says which were
+    /// skipped). `None` when no valid checkpoint exists.
+    pub fn restore_latest(
+        backend: &'b Backend,
+        cfg: ServeConfig,
+        faults: F,
+        store: &CheckpointStore,
+    ) -> (Option<(u64, Self)>, RestoreReport) {
+        let fp = ServeFingerprint::of(backend, &cfg);
+        let (found, mut report) =
+            store.load_latest_valid(|_, bytes| ServerCheckpoint::from_bytes(bytes, fp));
+        match found {
+            Some((seq, ck)) => match Self::from_checkpoint(backend, cfg, faults, ck) {
+                Ok(server) => (Some((seq, server)), report),
+                Err(error) => {
+                    report.skipped.push(hetsolve_ckpt::SkippedCheckpoint {
+                        seq,
+                        path: store.path_for(seq),
+                        error,
+                    });
+                    (None, report)
+                }
+            },
+            None => (None, report),
+        }
+    }
+}
+
+impl<'b> EnsembleServer<'b, NoopFaults> {
+    /// [`restore_with_faults`](Self::restore_with_faults) without
+    /// injection.
+    pub fn restore(
+        backend: &'b Backend,
+        cfg: ServeConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CkptError> {
+        Self::restore_with_faults(backend, cfg, NoopFaults, bytes)
+    }
+}

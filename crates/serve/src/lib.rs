@@ -25,7 +25,14 @@
 //! * [`server`] — [`EnsembleServer`]: the tick loop driving the lanes
 //!   through the predictor@CPU / fused-MCG@GPU pipeline with per-lane
 //!   occupancy masks, the resumable recovery ladder, serving metrics
-//!   ([`hetsolve_obs::ServeStats`]) and optional Chrome-trace export.
+//!   ([`hetsolve_obs::ServeStats`]) and optional Chrome-trace export,
+//! * [`watchdog`] — deadline-based lane supervision with the
+//!   retry-with-backoff → restart-from-checkpoint → evict escalation
+//!   ladder ([`WatchdogConfig`], [`WatchdogEvent`]),
+//! * [`checkpoint`] — [`ServerCheckpoint`]: crash-consistent snapshots of
+//!   the whole server (queue, lanes, in-flight cases, records, stats) in
+//!   the sectioned `hetsolve-ckpt` format, restorable to a server that
+//!   continues bitwise-identically.
 //!
 //! Served results are bitwise-identical to solo
 //! [`run_ensemble`](hetsolve_core::run_ensemble) solves of the same seed
@@ -35,11 +42,15 @@
 #![forbid(unsafe_code)]
 
 pub mod batcher;
+pub mod checkpoint;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod watchdog;
 
 pub use batcher::{Assignment, BatchPolicy, Batcher, CompatKey};
-pub use queue::{AdmissionQueue, AdmitError, RejectReason};
-pub use request::{RequestId, RequestRecord, RequestState, SolveRequest};
+pub use checkpoint::{ServeFingerprint, ServerCheckpoint};
+pub use queue::{AdmissionQueue, AdmitError, QueueEntrySnapshot, RejectReason};
+pub use request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest};
 pub use server::{EnsembleServer, ServeConfig};
+pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};

@@ -77,6 +77,18 @@ struct QueueEntry {
     tie: u64,
 }
 
+/// One queued request as a checkpoint sees it — the full [`QueueEntry`],
+/// including the admission-time tie-break (so a restored queue replays
+/// the exact same schedule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueEntrySnapshot {
+    pub id: RequestId,
+    pub key: CompatKey,
+    pub priority: u8,
+    pub deadline: Option<f64>,
+    pub tie: u64,
+}
+
 impl QueueEntry {
     /// Totally ordered scheduling rank: smaller runs first.
     fn rank(&self) -> (std::cmp::Reverse<u8>, u64, u64, u64) {
@@ -171,6 +183,37 @@ impl AdmissionQueue {
             .min_by_key(|(_, e)| e.rank())
             .map(|(i, _)| i)?;
         Some(self.pop_at(i).0)
+    }
+
+    /// Capture the queue's contents for a checkpoint, in insertion order.
+    /// The admission-time tie-break hashes travel with the entries, so the
+    /// restored queue replays the exact same schedule.
+    pub fn snapshot(&self) -> Vec<QueueEntrySnapshot> {
+        self.entries
+            .iter()
+            .map(|e| QueueEntrySnapshot {
+                id: e.id,
+                key: e.key,
+                priority: e.priority,
+                deadline: e.deadline,
+                tie: e.tie,
+            })
+            .collect()
+    }
+
+    /// Replace the queue's contents with a captured snapshot (restore-side
+    /// inverse of [`AdmissionQueue::snapshot`]).
+    pub fn restore(&mut self, entries: Vec<QueueEntrySnapshot>) {
+        self.entries = entries
+            .into_iter()
+            .map(|s| QueueEntry {
+                id: s.id,
+                key: s.key,
+                priority: s.priority,
+                deadline: s.deadline,
+                tie: s.tie,
+            })
+            .collect();
     }
 
     /// Remove every queued request whose deadline has passed; returns the

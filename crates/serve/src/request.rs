@@ -105,6 +105,72 @@ impl RequestState {
             RequestState::Done | RequestState::Failed | RequestState::Evicted
         )
     }
+
+    /// Stable wire code for checkpoint encoding (append-only).
+    pub fn code(&self) -> u8 {
+        match self {
+            RequestState::Queued => 0,
+            RequestState::Batched => 1,
+            RequestState::Solving => 2,
+            RequestState::Done => 3,
+            RequestState::Failed => 4,
+            RequestState::Evicted => 5,
+        }
+    }
+
+    /// Inverse of [`RequestState::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => RequestState::Queued,
+            1 => RequestState::Batched,
+            2 => RequestState::Solving,
+            3 => RequestState::Done,
+            4 => RequestState::Failed,
+            5 => RequestState::Evicted,
+            _ => return None,
+        })
+    }
+}
+
+/// Why an `Evicted` request was removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// Still queued past its deadline.
+    DeadlineExpired,
+    /// An injected eviction fault (chaos testing / operator cancel).
+    Injected,
+    /// The watchdog supervisor exhausted its escalation ladder on the
+    /// request's lane (retry → restart-from-checkpoint → evict).
+    Watchdog,
+}
+
+impl EvictReason {
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictReason::DeadlineExpired => "deadline_expired",
+            EvictReason::Injected => "injected",
+            EvictReason::Watchdog => "watchdog",
+        }
+    }
+
+    /// Stable wire code for checkpoint encoding (append-only).
+    pub fn code(&self) -> u8 {
+        match self {
+            EvictReason::DeadlineExpired => 0,
+            EvictReason::Injected => 1,
+            EvictReason::Watchdog => 2,
+        }
+    }
+
+    /// Inverse of [`EvictReason::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => EvictReason::DeadlineExpired,
+            1 => EvictReason::Injected,
+            2 => EvictReason::Watchdog,
+            _ => return None,
+        })
+    }
 }
 
 /// Everything the server remembers about one admitted request.
@@ -117,6 +183,8 @@ pub struct RequestRecord {
     pub admitted_at: f64,
     /// Server clock when the request reached a terminal state.
     pub finished_at: Option<f64>,
+    /// Why the request was evicted (only for `Evicted`).
+    pub evict_reason: Option<EvictReason>,
     /// Final displacement vector (only for `Done`).
     pub result: Option<Vec<f64>>,
 }

@@ -24,16 +24,17 @@
 
 use hetsolve_core::{
     driver_cg_config, solve_set_resumable, Backend, CaseSlot, MethodKind, RecoveryEvent,
-    RhsScratch, RunConfig, WindowPolicy, TID_CPU, TID_GPU, TID_LINK,
+    RhsScratch, RunConfig, SlotState, WindowPolicy, TID_CPU, TID_GPU, TID_LINK,
 };
-use hetsolve_fault::{AdmissionFault, FaultInjector, NoopFaults};
-use hetsolve_machine::{ModuleClock, NodeSpec};
+use hetsolve_fault::{AdmissionFault, FaultInjector, FaultLane, NoopFaults};
+use hetsolve_machine::{LaneKind, ModuleClock, NodeSpec, SystemClock, WallClock};
 use hetsolve_obs::{Json, ServeStats, TraceBuilder};
 use hetsolve_sparse::vecops::{extract_case, insert_case};
 
 use crate::batcher::{BatchPolicy, Batcher, CompatKey};
 use crate::queue::{AdmissionQueue, AdmitError, RejectReason};
-use crate::request::{RequestId, RequestRecord, RequestState, SolveRequest};
+use crate::request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest};
+use crate::watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};
 
 /// Process sets the server schedules over (the paper's 2-process layout:
 /// while one set solves on the GPU, the other's predictors run on the CPU).
@@ -55,6 +56,12 @@ pub struct ServeConfig {
     pub sched_seed: u64,
     /// Safety bound for [`EnsembleServer::run_until_idle`].
     pub max_ticks: usize,
+    /// Lane supervision (deadline watchdog with the retry → restart →
+    /// evict ladder); `None` disables it.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Capture an in-memory per-lane checkpoint every this many ticks
+    /// (the watchdog's restart rung rolls back to it). 0 disables.
+    pub checkpoint_every: usize,
 }
 
 impl ServeConfig {
@@ -67,31 +74,47 @@ impl ServeConfig {
             policy: BatchPolicy::Continuous,
             sched_seed: 0x5e7e,
             max_ticks: 100_000,
+            watchdog: None,
+            checkpoint_every: 4,
         }
     }
 }
 
 /// The serving subsystem: queue + batcher + lanes over one backend.
+/// Fields are `pub(crate)` for the sibling [`crate::checkpoint`] module,
+/// which serializes and rebuilds the whole server.
 pub struct EnsembleServer<'b, F: FaultInjector = NoopFaults> {
-    backend: &'b Backend,
-    cfg: ServeConfig,
-    queue: AdmissionQueue,
-    batcher: Batcher,
+    pub(crate) backend: &'b Backend,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) queue: AdmissionQueue,
+    pub(crate) batcher: Batcher,
     /// Live per-column simulation state, `[lane][slot]` matching the
     /// batcher's geometry.
-    slots: Vec<Vec<Option<CaseSlot>>>,
+    pub(crate) slots: Vec<Vec<Option<CaseSlot>>>,
     /// Every admitted request, indexed by `RequestId.0`.
-    records: Vec<RequestRecord>,
-    clock: ModuleClock,
-    scratch: RhsScratch,
-    stats: ServeStats,
-    recoveries: Vec<RecoveryEvent>,
-    faults: F,
+    pub(crate) records: Vec<RequestRecord>,
+    pub(crate) clock: ModuleClock,
+    pub(crate) scratch: RhsScratch,
+    pub(crate) stats: ServeStats,
+    pub(crate) recoveries: Vec<RecoveryEvent>,
+    pub(crate) faults: F,
     /// Admission attempts made (rejected ones included) — the fault
     /// injector's admission index.
-    admissions: usize,
-    ticks: usize,
+    pub(crate) admissions: usize,
+    pub(crate) ticks: usize,
     trace: Option<TraceBuilder>,
+    /// Injectable wall clock stamped onto watchdog events (never used for
+    /// deadlines or latencies, which live on the modeled clock) — a
+    /// `ManualClock` makes supervision tests fully deterministic.
+    wall: Box<dyn WallClock>,
+    /// Consecutive step-deadline breaches per lane.
+    pub(crate) watchdog_breach: Vec<u32>,
+    /// Supervision decisions, in order.
+    watchdog_events: Vec<WatchdogEvent>,
+    /// Last in-memory lane checkpoint, `[lane][slot]`: the occupant and
+    /// its captured state at the boundary. The watchdog's restart rung
+    /// rolls back to this.
+    pub(crate) lane_ckpt: Vec<Vec<Option<(RequestId, SlotState)>>>,
 }
 
 impl<'b> EnsembleServer<'b, NoopFaults> {
@@ -124,8 +147,20 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             admissions: 0,
             ticks: 0,
             trace: None,
+            wall: Box::new(SystemClock::new()),
+            watchdog_breach: vec![0; N_LANES],
+            watchdog_events: Vec::new(),
+            lane_ckpt: (0..N_LANES)
+                .map(|_| (0..r).map(|_| None).collect())
+                .collect(),
             cfg,
         }
+    }
+
+    /// Replace the wall clock stamped onto watchdog events (tests inject a
+    /// [`hetsolve_machine::ManualClock`] for deterministic replay).
+    pub fn set_wall_clock(&mut self, wall: Box<dyn WallClock>) {
+        self.wall = wall;
     }
 
     /// Record a Chrome-trace timeline of the serving run (queue-depth
@@ -195,6 +230,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             state: RequestState::Queued,
             admitted_at: self.clock.elapsed(),
             finished_at: None,
+            evict_reason: None,
             result: None,
         });
         Ok(id)
@@ -202,11 +238,13 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
 
     /// One scheduling boundary: shed expired deadlines, apply injected
     /// evictions, backfill vacant slots per the policy, then advance every
-    /// non-empty lane by one time step.
+    /// non-empty lane by one time step (supervised by the watchdog when
+    /// one is configured).
     pub fn tick(&mut self) {
         let now = self.clock.elapsed();
         for id in self.queue.expire(now) {
             self.finish(id, RequestState::Evicted, now);
+            self.records[id.0 as usize].evict_reason = Some(EvictReason::DeadlineExpired);
             self.stats.record_eviction();
         }
         for lane in 0..N_LANES {
@@ -222,6 +260,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                     self.batcher.free(lane, slot);
                     self.slots[lane][slot] = None;
                     self.finish(id, RequestState::Evicted, now);
+                    self.records[id.0 as usize].evict_reason = Some(EvictReason::Injected);
                     self.stats.record_eviction();
                 }
             }
@@ -241,8 +280,31 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         if let Some(t) = self.trace.as_mut() {
             t.counter(0, "queue", now * 1e6, &[("depth", self.queue.len() as f64)]);
         }
+        let supervised = self.cfg.watchdog;
+        let capture = supervised.is_some()
+            && self.cfg.checkpoint_every > 0
+            && self.ticks.is_multiple_of(self.cfg.checkpoint_every);
         for lane in 0..N_LANES {
+            if capture {
+                self.capture_lane(lane);
+            }
+            let before = self.clock.elapsed();
+            // injected lane stall (PR 3's fault hook): the watchdog is
+            // what turns this timing fault into a supervised recovery
+            if self.batcher.occupied_count(lane) > 0 {
+                if let Some(lf) = self.faults.lane_fault(self.ticks, lane) {
+                    let kind = match lf.lane {
+                        FaultLane::Cpu => LaneKind::Cpu,
+                        FaultLane::Gpu => LaneKind::Gpu,
+                    };
+                    self.clock.stall(kind, lf.seconds);
+                }
+            }
             self.advance_lane(lane);
+            let dt = self.clock.elapsed() - before;
+            if let Some(wd) = supervised {
+                self.supervise(lane, dt, wd);
+            }
         }
         self.stats.set_elapsed(self.clock.elapsed());
         self.ticks += 1;
@@ -400,6 +462,106 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         }
     }
 
+    /// Capture lane `lane`'s occupants into the in-memory lane checkpoint
+    /// (the watchdog's restart rung rolls back to this).
+    pub(crate) fn capture_lane(&mut self, lane: usize) {
+        for slot in 0..self.batcher.width() {
+            self.lane_ckpt[lane][slot] = match (
+                self.batcher.slot(lane, slot),
+                self.slots[lane][slot].as_ref(),
+            ) {
+                (Some(id), Some(case)) => Some((id, case.state())),
+                _ => None,
+            };
+        }
+    }
+
+    /// Judge one supervised lane step against the watchdog deadline and
+    /// walk the escalation ladder on consecutive breaches.
+    fn supervise(&mut self, lane: usize, dt: f64, wd: WatchdogConfig) {
+        if self.batcher.occupied_count(lane) == 0 || dt <= wd.step_deadline_s {
+            self.watchdog_breach[lane] = 0;
+            return;
+        }
+        self.watchdog_breach[lane] += 1;
+        let breach = self.watchdog_breach[lane];
+        self.stats.record_watchdog_breach();
+        let action = if breach <= wd.max_retries {
+            // rung 1: wait out the stall, charging exponential backoff
+            // to the link lane of the modeled clock
+            let backoff_s = wd.backoff_s(breach);
+            self.clock.stall(LaneKind::Link, backoff_s);
+            WatchdogAction::Retry { backoff_s }
+        } else if breach == wd.max_retries + 1 {
+            // rung 2: roll the lane back to its last checkpoint; the
+            // breach counter persists so a still-stalled lane escalates
+            let restored = self.restart_lane(lane);
+            self.stats.record_watchdog_restart();
+            WatchdogAction::RestartLane { restored }
+        } else {
+            // rung 3: give up on the lane entirely
+            let evicted = self.evict_lane(lane);
+            self.watchdog_breach[lane] = 0;
+            WatchdogAction::EvictLane { evicted }
+        };
+        self.watchdog_events.push(WatchdogEvent {
+            tick: self.ticks,
+            lane,
+            breach,
+            overrun_s: dt - wd.step_deadline_s,
+            wall_s: self.wall.now(),
+            action,
+        });
+    }
+
+    /// Roll lane `lane`'s surviving columns back to the last in-memory
+    /// lane checkpoint; returns how many columns were restored. Columns
+    /// whose occupant changed since the capture (finished and backfilled)
+    /// keep their live state.
+    fn restart_lane(&mut self, lane: usize) -> usize {
+        let mut restored = 0;
+        for slot in 0..self.batcher.width() {
+            let Some(id) = self.batcher.slot(lane, slot) else {
+                continue;
+            };
+            let Some((ckpt_id, st)) = self.lane_ckpt[lane][slot].as_ref() else {
+                continue;
+            };
+            if *ckpt_id != id {
+                continue;
+            }
+            self.slots[lane][slot] = Some(CaseSlot::from_state(self.backend, &self.cfg.run, st));
+            self.records[id.0 as usize].state = RequestState::Batched;
+            restored += 1;
+        }
+        restored
+    }
+
+    /// Free every column of lane `lane`, marking its requests
+    /// `Evicted`/`Watchdog`; returns how many were evicted.
+    fn evict_lane(&mut self, lane: usize) -> usize {
+        let now = self.clock.elapsed();
+        let mut evicted = 0;
+        for slot in 0..self.batcher.width() {
+            let Some(id) = self.batcher.slot(lane, slot) else {
+                continue;
+            };
+            self.batcher.free(lane, slot);
+            self.slots[lane][slot] = None;
+            self.lane_ckpt[lane][slot] = None;
+            self.finish(id, RequestState::Evicted, now);
+            self.records[id.0 as usize].evict_reason = Some(EvictReason::Watchdog);
+            self.stats.record_eviction();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Supervision decisions taken so far, in order.
+    pub fn watchdog_events(&self) -> &[WatchdogEvent] {
+        &self.watchdog_events
+    }
+
     /// Move a request to a terminal state.
     fn finish(&mut self, id: RequestId, state: RequestState, at: f64) {
         let rec = &mut self.records[id.0 as usize];
@@ -415,6 +577,16 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
     /// Record of an admitted request.
     pub fn record(&self, id: RequestId) -> &RequestRecord {
         &self.records[id.0 as usize]
+    }
+
+    /// Number of requests ever admitted (ids are `0..admitted()`).
+    pub fn admitted(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records of every admitted request, in admission order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
     }
 
     /// Final displacement of a `Done` request.

@@ -8,7 +8,7 @@
 //! cargo run --release --example ground_fdd
 //! ```
 
-use hetsolve::core::{run_ensemble, Backend, EnsembleConfig};
+use hetsolve::core::{run_ensemble_durable, Backend, CheckpointPolicy, EnsembleConfig};
 use hetsolve::fem::{FemProblem, RandomLoadSpec};
 use hetsolve::machine::single_gh200;
 use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
@@ -35,7 +35,22 @@ fn main() {
             amplitude: 1e6,
             active_window: 0.1,
         };
-        let (res, _) = run_ensemble(&backend, &cfg).expect("ensemble");
+        // the durable ensemble checkpoints each fused batch under
+        // target/artifacts/, so a killed 2048-step run resumes instead of
+        // restarting (fresh dir per invocation here: results must reflect
+        // this configuration, not stale snapshots)
+        let ckpt_dir = std::path::PathBuf::from(format!("target/artifacts/fdd_ckpt_{shape:?}"));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let (res, _) = run_ensemble_durable(
+            &backend,
+            &cfg,
+            &ckpt_dir,
+            CheckpointPolicy {
+                every: 512,
+                keep: 2,
+            },
+        )
+        .expect("ensemble");
 
         let welch = WelchConfig::new(512, 256, res.dt);
         let fmap = res.dominant_frequency_map(&welch, 5.0);

@@ -5,7 +5,9 @@
 //! (equivalent-linear hyperbolic law); the per-step "reassembly" is a
 //! 16-float geometry refresh per element instead of a global CRS rebuild.
 //!
-//! Writes `nonlinear_site.vtk` with the final softening field for ParaView.
+//! Writes `target/artifacts/nonlinear_site.vtk` with the final softening
+//! field for ParaView. (The equivalent-linear outer iteration is the one
+//! driver without a resumable checkpoint state; see DESIGN.md §12.)
 //!
 //! ```bash
 //! cargo run --release --example nonlinear_site
@@ -64,7 +66,8 @@ fn main() {
         &res.final_u,
         &model,
     );
-    let out = "nonlinear_site.vtk";
+    std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
+    let out = "target/artifacts/nonlinear_site.vtk";
     hetsolve::mesh::write_vtk_file(
         out,
         &backend.problem.model.mesh,

@@ -9,10 +9,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use hetsolve::ckpt::CheckpointStore;
 use hetsolve::core::{
-    apply_speedups, format_application_table, run_traced, Backend, MethodKind, MethodSummary,
-    RunConfig, StepTracer,
+    apply_speedups, format_application_table, run_durable, run_traced, Backend, CheckpointPolicy,
+    MethodKind, MethodSummary, RunConfig, StepTracer,
 };
+use hetsolve::fault::NoopFaults;
 use hetsolve::fem::{FemProblem, RandomLoadSpec};
 use hetsolve::machine::{
     crs_cg_cpu, crs_cg_cpu_gpu, crs_cg_gpu, ebe_mcg_cpu_gpu, single_gh200, ProblemDims,
@@ -78,7 +80,32 @@ fn main() {
             active_window: 0.15,
         };
         let mut tracer = StepTracer::new();
-        let result = run_traced(&backend, &cfg, &mut tracer).expect("run");
+        // The EBE-MCG leg runs under the durable driver: every few steps it
+        // writes a crash-consistent checkpoint under target/artifacts/, so a
+        // killed run resumes bitwise-identically (see DESIGN.md section 12).
+        let result = if method == MethodKind::EbeMcgCpuGpu {
+            let ckpt_dir = "target/artifacts/quickstart_ckpt";
+            let _ = std::fs::remove_dir_all(ckpt_dir);
+            let store = CheckpointStore::new(ckpt_dir, 3).expect("open checkpoint store");
+            let out = run_durable(
+                &backend,
+                &cfg,
+                &mut tracer,
+                &mut NoopFaults,
+                &store,
+                CheckpointPolicy { every: 12, keep: 3 },
+            )
+            .expect("durable run");
+            println!(
+                "{:<17} wrote {} checkpoints ({} B each) under {ckpt_dir}",
+                method.label(),
+                out.checkpoints_written,
+                out.checkpoint_bytes,
+            );
+            out.result
+        } else {
+            run_traced(&backend, &cfg, &mut tracer).expect("run")
+        };
         println!(
             "{:<17} done: {} cases x {} steps, mean {:.1} CG iterations/step",
             method.label(),

@@ -1,22 +1,38 @@
 //! Serving-layer demo: stand up an [`EnsembleServer`], admit a mixed
 //! workload (priorities, deadlines, a malformed request that admission
 //! control rejects), and let continuous batching pack the fused lanes
-//! until the queue drains. Prints the per-request outcomes and the
-//! summary the bench snapshot's `serve` section is built from, and
-//! exports the scheduler/lane timeline as Chrome-trace JSON
-//! (`HETSOLVE_TRACE` / `HETSOLVE_METRICS` override the paths).
+//! until the queue drains. The server snapshots itself every few ticks
+//! into `target/artifacts/serve_ckpt/`; kill the process at any point and
+//! re-run with `--resume` to continue bitwise-identically from the newest
+//! valid checkpoint. Prints the per-request outcomes and the summary the
+//! bench snapshot's `serve` section is built from, and exports the
+//! scheduler/lane timeline as Chrome-trace JSON (`HETSOLVE_TRACE` /
+//! `HETSOLVE_METRICS` override the paths).
 //!
 //! ```bash
 //! cargo run --release --example serve_demo
+//! cargo run --release --example serve_demo -- --resume
+//! cargo run --release --example serve_demo -- --resume path/to/ckpt_dir
 //! ```
 
+use hetsolve::ckpt::CheckpointStore;
 use hetsolve::fem::{FemProblem, RandomLoadSpec};
 use hetsolve::machine::single_gh200;
 use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
 use hetsolve::obs::{Json, MetricsSink};
 use hetsolve::prelude::*;
 
+const CKPT_EVERY_TICKS: usize = 4;
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let resume_dir = args.iter().position(|a| a == "--resume").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "target/artifacts/serve_ckpt".into())
+    });
+
     let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
     let backend = Backend::new(FemProblem::paper_like(&spec), false, false);
 
@@ -30,39 +46,71 @@ fn main() {
         amplitude: 1e6,
         active_window: 0.2,
     };
-    let mut server = EnsembleServer::new(&backend, cfg);
+
+    std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
+    let ckpt_dir = resume_dir
+        .clone()
+        .unwrap_or_else(|| "target/artifacts/serve_ckpt".into());
+    if resume_dir.is_none() {
+        // fresh start: clear stale snapshots so the store only holds this
+        // run's boundaries
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+    let store = CheckpointStore::new(&ckpt_dir, 3).expect("open checkpoint store");
+
+    let mut server = match &resume_dir {
+        Some(dir) => {
+            let (found, report) = EnsembleServer::restore_latest(&backend, cfg, NoopFaults, &store);
+            let (seq, server) = found.unwrap_or_else(|| {
+                panic!("no valid checkpoint under {dir} to resume from ({report})")
+            });
+            println!("resumed from checkpoint seq {seq} under {dir} ({report})");
+            server
+        }
+        None => {
+            let mut server = EnsembleServer::new(&backend, cfg);
+            // A workload deeper than the lanes: two long high-priority
+            // cases, a burst of short ones, one with a deadline it can't
+            // make, and one malformed request that admission control
+            // rejects outright.
+            for (seed, n_steps, prio) in [(42u64, 12usize, 9u8), (43, 12, 9)] {
+                server
+                    .admit(SolveRequest::new(seed, n_steps).with_priority(prio))
+                    .expect("admit long");
+            }
+            for k in 0..10 {
+                server
+                    .admit(SolveRequest::new(1_000 + k, 4).with_priority(3))
+                    .expect("admit short");
+            }
+            server
+                .admit(SolveRequest::new(2_000, 3).with_deadline(1e-9))
+                .expect("admit doomed");
+            match server.admit(SolveRequest::new(3_000, 0)) {
+                Err(err) => println!("admission control: {err}"),
+                Ok(id) => unreachable!("zero-step request admitted as {id}"),
+            }
+            server
+        }
+    };
     server.enable_trace();
 
-    // A workload deeper than the lanes: two long high-priority cases, a
-    // burst of short ones, one with a deadline it can't make, and one
-    // malformed request that admission control rejects outright.
-    let mut ids = Vec::new();
-    for (seed, n_steps, prio) in [(42u64, 12usize, 9u8), (43, 12, 9)] {
-        ids.push(
-            server
-                .admit(SolveRequest::new(seed, n_steps).with_priority(prio))
-                .expect("admit long"),
-        );
+    // the tick loop, snapshotting at a fixed cadence so a kill at any
+    // point loses at most CKPT_EVERY_TICKS boundaries of progress
+    let start_ticks = server.ticks();
+    while !(server.queue_depth() == 0 && server.in_flight() == 0)
+        && server.ticks() - start_ticks < server.config().max_ticks
+    {
+        server.tick();
+        if server.ticks() % CKPT_EVERY_TICKS == 0 {
+            server.save_checkpoint(&store).expect("write checkpoint");
+        }
     }
-    for k in 0..10 {
-        ids.push(
-            server
-                .admit(SolveRequest::new(1_000 + k, 4).with_priority(3))
-                .expect("admit short"),
-        );
-    }
-    ids.push(
-        server
-            .admit(SolveRequest::new(2_000, 3).with_deadline(1e-9))
-            .expect("admit doomed"),
-    );
-    match server.admit(SolveRequest::new(3_000, 0)) {
-        Err(err) => println!("admission control: {err}"),
-        Ok(id) => unreachable!("zero-step request admitted as {id}"),
-    }
+    let ticks = server.ticks() - start_ticks;
 
-    let ticks = server.run_until_idle();
-
+    let ids: Vec<_> = (0..server.admitted() as u64)
+        .map(hetsolve::serve::RequestId)
+        .collect();
     println!(
         "\nserved {} requests in {} scheduling ticks ({:.4} modeled s):\n",
         ids.len(),
@@ -89,8 +137,8 @@ fn main() {
         stats.mean_queue_depth(),
         stats.latency_percentile(0.95),
     );
+    println!("checkpoints under {ckpt_dir} (re-run with --resume to continue from them)");
 
-    std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
     let trace_path = std::env::var("HETSOLVE_TRACE")
         .unwrap_or_else(|_| "target/artifacts/serve_trace.json".into());
     let metrics_path = std::env::var("HETSOLVE_METRICS")

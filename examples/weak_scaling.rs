@@ -7,9 +7,12 @@
 //! cargo run --release --example weak_scaling
 //! ```
 
+use hetsolve::ckpt::CheckpointStore;
 use hetsolve::core::{
-    run, Backend, DistributedOperator, MethodKind, PartitionedProblem, RunConfig,
+    run_durable, Backend, CheckpointPolicy, DistributedOperator, MethodKind, PartitionedProblem,
+    RunConfig, StepTracer,
 };
+use hetsolve::fault::NoopFaults;
 use hetsolve::fem::FemProblem;
 use hetsolve::machine::{alps_node, weak_scaling_efficiency, weak_scaling_step_time};
 use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
@@ -55,7 +58,20 @@ fn main() {
     run_cfg.r = 4;
     run_cfg.s_max = 8;
     run_cfg.cpu_threads = 16;
-    let result = run(&backend, &run_cfg).expect("run");
+    let ckpt_dir = "target/artifacts/weak_scaling_ckpt";
+    let _ = std::fs::remove_dir_all(ckpt_dir);
+    std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
+    let store = CheckpointStore::new(ckpt_dir, 2).expect("open checkpoint store");
+    let result = run_durable(
+        &backend,
+        &run_cfg,
+        &mut StepTracer::new(),
+        &mut NoopFaults,
+        &store,
+        CheckpointPolicy { every: 10, keep: 2 },
+    )
+    .expect("run")
+    .result;
     let from = 15;
     let step_time = result.mean_step_time(from) * result.n_cases as f64; // per module wall
     let iters = result.mean_iterations(from);

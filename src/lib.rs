@@ -20,8 +20,11 @@
 //! * [`obs`] — dependency-free observability: solver observers,
 //!   Chrome-trace-event export, bench-snapshot metrics,
 //! * [`fault`] — deterministic fault injection (corrupted guesses,
-//!   poisoned snapshots, dropped exchanges, lane stalls, solver caps) for
-//!   the robustness suite,
+//!   poisoned snapshots, dropped exchanges, lane stalls, solver caps,
+//!   crashes, torn writes) for the robustness suite,
+//! * [`ckpt`] — crash-consistent checkpointing: the versioned,
+//!   section-checksummed snapshot format, atomic writes, and the
+//!   sequence-numbered store with torn-write fallback,
 //! * [`core`] — the four methods (`CRS-CG@CPU/GPU/CPU-GPU`,
 //!   `EBE-MCG@CPU-GPU`), ensembles, and multi-node execution,
 //! * [`serve`] — the serving layer: continuous-batching ensemble service
@@ -32,6 +35,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use hetsolve_ckpt as ckpt;
 pub use hetsolve_core as core;
 pub use hetsolve_fault as fault;
 pub use hetsolve_fem as fem;
@@ -45,9 +49,11 @@ pub use hetsolve_sparse as sparse;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use hetsolve_ckpt::CheckpointStore;
     pub use hetsolve_core::{
-        run, run_ensemble, run_faulted, run_traced, Backend, EnsembleConfig, MethodKind,
-        PartitionedProblem, RecoveryEvent, RunConfig, RunError, RunResult, StepTracer,
+        run, run_durable, run_ensemble, run_faulted, run_traced, Backend, CheckpointPolicy,
+        EnsembleConfig, MethodKind, PartitionedProblem, RecoveryEvent, RunConfig, RunError,
+        RunResult, StepTracer,
     };
     pub use hetsolve_fault::{FaultInjector, FaultPlan, NoopFaults};
     pub use hetsolve_fem::{FemProblem, RandomLoadSpec};

@@ -1,0 +1,508 @@
+//! The crash-consistency acceptance suite (DESIGN.md §12): a run killed
+//! at *any* step boundary and resumed from its latest checkpoint must
+//! produce a bitwise-identical `RunResult`; a torn latest checkpoint must
+//! fall back to the previous good one with a typed, non-panicking report;
+//! and the serve-layer snapshot must restore a server whose counters and
+//! results continue exactly where the saved run left off.
+
+use hetsolve::ckpt::{CheckpointStore, CkptError, SectionWriter, MAGIC};
+use hetsolve::core::{run, run_durable, CheckpointPolicy, RunError, StepTracer};
+use hetsolve::fault::FaultLane;
+use hetsolve::fem::FemProblem;
+use hetsolve::machine::ManualClock;
+use hetsolve::prelude::*;
+use hetsolve::serve::{
+    EnsembleServer, EvictReason, RequestState, ServeConfig, ServerCheckpoint, SolveRequest,
+    WatchdogAction, WatchdogConfig,
+};
+
+fn backend() -> Backend {
+    let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
+    Backend::new(FemProblem::paper_like(&spec), true, false)
+}
+
+fn config(steps: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(MethodKind::EbeMcgCpuGpu, single_gh200(), steps);
+    cfg.r = 2;
+    cfg.s_max = 4;
+    cfg.region_dofs = 64;
+    cfg.load = RandomLoadSpec {
+        n_sources: 4,
+        impulses_per_source: 2.0,
+        amplitude: 1e6,
+        active_window: 0.2,
+    };
+    cfg
+}
+
+fn tmp_store(name: &str) -> CheckpointStore {
+    let dir = std::env::temp_dir().join(format!("hs-chaos-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointStore::new(dir, 3).unwrap()
+}
+
+fn assert_bitwise_eq(a: &[Vec<f64>], b: &[Vec<f64>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: case count");
+    for (case, (ua, ub)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ua.len(), ub.len(), "{what}: case {case} length");
+        for (i, (&p, &q)) in ua.iter().zip(ub).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{what}: case {case} dof {i}: {p:e} != {q:e}"
+            );
+        }
+    }
+}
+
+/// The tentpole property: kill the run at *every* step boundary in turn;
+/// each resumed run must be bitwise-identical to the uninterrupted one —
+/// displacements, waveforms, step records, and recovery log alike.
+#[test]
+fn kill_at_any_step_boundary_resumes_bitwise_identical() {
+    let b = backend();
+    let cfg = config(6);
+    let plain = run(&b, &cfg).expect("uninterrupted baseline");
+    let policy = CheckpointPolicy { every: 2, keep: 3 };
+
+    for boundary in 0..cfg.n_steps {
+        let store = tmp_store(&format!("kill-{boundary}"));
+        let mut plan = FaultPlan::new(7).crash_at(boundary);
+        let err = run_durable(
+            &b,
+            &cfg,
+            &mut StepTracer::disabled(),
+            &mut plan,
+            &store,
+            policy,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Crashed { step: boundary },
+            "crash is a typed error, not a panic"
+        );
+        assert!(plan.all_fired(), "boundary {boundary}: crash never fired");
+
+        // resume with the same (now spent) plan: restores the newest
+        // checkpoint at or before the kill point and runs to completion
+        let out = run_durable(
+            &b,
+            &cfg,
+            &mut StepTracer::disabled(),
+            &mut plan,
+            &store,
+            policy,
+        )
+        .unwrap_or_else(|e| panic!("boundary {boundary}: resume failed: {e}"));
+        assert!(out.restore.clean(), "boundary {boundary}: {}", out.restore);
+        assert_eq!(
+            out.resumed_from,
+            if boundary < policy.every {
+                None
+            } else {
+                Some(boundary - boundary % policy.every)
+            },
+            "boundary {boundary}: wrong resume point"
+        );
+        assert_bitwise_eq(
+            &out.result.final_u,
+            &plain.final_u,
+            &format!("boundary {boundary}: final_u"),
+        );
+        for (case, (wa, wb)) in out
+            .result
+            .waveforms
+            .iter()
+            .zip(&plain.waveforms)
+            .enumerate()
+        {
+            assert_bitwise_eq(
+                wa,
+                wb,
+                &format!("boundary {boundary}: waveform case {case}"),
+            );
+        }
+        assert_eq!(
+            out.result.records, plain.records,
+            "boundary {boundary}: step records diverged"
+        );
+        assert_eq!(out.result.recoveries, plain.recoveries);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+}
+
+/// Acceptance criterion: a torn *latest* checkpoint is skipped with a
+/// typed report and the run resumes from the previous good one — still
+/// bitwise-identical, never a panic.
+#[test]
+fn torn_latest_checkpoint_falls_back_typed_and_stays_bitwise() {
+    let b = backend();
+    let cfg = config(6);
+    let plain = run(&b, &cfg).expect("baseline");
+    let store = tmp_store("torn");
+    let policy = CheckpointPolicy { every: 2, keep: 3 };
+
+    // crash at step 5 after tearing the seq-4 checkpoint mid-write
+    let mut plan = FaultPlan::new(11).tear_checkpoint(4, 0.5).crash_at(5);
+    let err = run_durable(
+        &b,
+        &cfg,
+        &mut StepTracer::disabled(),
+        &mut plan,
+        &store,
+        policy,
+    )
+    .unwrap_err();
+    assert_eq!(err, RunError::Crashed { step: 5 });
+    assert!(plan.all_fired());
+
+    let out = run_durable(
+        &b,
+        &cfg,
+        &mut StepTracer::disabled(),
+        &mut plan,
+        &store,
+        policy,
+    )
+    .expect("resume past the torn file");
+    assert_eq!(out.resumed_from, Some(2), "fell back to the seq-2 snapshot");
+    assert!(!out.restore.clean(), "the skip must be reported");
+    assert_eq!(out.restore.skipped.len(), 1);
+    assert_eq!(out.restore.skipped[0].seq, 4);
+    assert_eq!(out.restore.skipped[0].error, CkptError::Truncated);
+    assert_bitwise_eq(&out.result.final_u, &plain.final_u, "torn fallback");
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
+/// A checkpoint written under a different configuration is rejected typed
+/// (fingerprint mismatch → `Corrupt`), and the scan falls back rather
+/// than resuming the wrong simulation.
+#[test]
+fn checkpoint_from_other_config_is_rejected_not_resumed() {
+    let b = backend();
+    let store = tmp_store("fingerprint");
+    let policy = CheckpointPolicy { every: 2, keep: 3 };
+    run_durable(
+        &b,
+        &config(6),
+        &mut StepTracer::disabled(),
+        &mut NoopFaults,
+        &store,
+        policy,
+    )
+    .expect("seed the store under config A");
+
+    // same store, different seed: every stored snapshot is foreign
+    let mut other = config(6);
+    other.seed = 999;
+    let out = run_durable(
+        &b,
+        &other,
+        &mut StepTracer::disabled(),
+        &mut NoopFaults,
+        &store,
+        policy,
+    )
+    .expect("run under config B");
+    assert!(
+        out.resumed_from.is_none(),
+        "must not resume a foreign snapshot"
+    );
+    assert_eq!(out.restore.skipped.len(), out.restore.scanned);
+    assert!(out
+        .restore
+        .skipped
+        .iter()
+        .all(|s| matches!(s.error, CkptError::Corrupt(_))));
+    let plain = run(&b, &other).expect("plain run under config B");
+    assert_bitwise_eq(&out.result.final_u, &plain.final_u, "foreign-store run");
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
+/// Format evolution stays append-only: a v1 file carrying an extra,
+/// unknown section still restores (readers look tags up by name), and a
+/// file with a wholly foreign layout fails typed.
+#[test]
+fn format_tolerates_unknown_sections_and_rejects_foreign_files() {
+    let b = backend();
+    let cfg = config(4);
+    let store = tmp_store("format");
+    run_durable(
+        &b,
+        &cfg,
+        &mut StepTracer::disabled(),
+        &mut NoopFaults,
+        &store,
+        CheckpointPolicy { every: 2, keep: 3 },
+    )
+    .expect("seed one checkpoint");
+    let (seq, path) = store.latest().unwrap().expect("a checkpoint exists");
+
+    // splice an unknown section in front of the END marker
+    let bytes = std::fs::read(&path).unwrap();
+    let mut w = SectionWriter::new();
+    let end_len = 4 + 8 + 4; // END tag + len + crc
+    w.section(*b"XTRA", b"future extension payload");
+    let mut extended = bytes[..bytes.len() - end_len].to_vec();
+    extended.extend_from_slice(&w.finish()[MAGIC.len() + 4..]);
+    std::fs::write(store.path_for(seq + 2), &extended).unwrap();
+
+    let out = run_durable(
+        &b,
+        &cfg,
+        &mut StepTracer::disabled(),
+        &mut NoopFaults,
+        &store,
+        CheckpointPolicy { every: 0, keep: 3 },
+    )
+    .expect("restore from the extended file");
+    assert_eq!(out.resumed_from, Some(2));
+    assert!(out.restore.clean(), "{}", out.restore);
+
+    // a non-checkpoint file in the newest slot fails typed and falls back
+    std::fs::write(store.path_for(seq + 4), b"not a checkpoint at all").unwrap();
+    let out = run_durable(
+        &b,
+        &cfg,
+        &mut StepTracer::disabled(),
+        &mut NoopFaults,
+        &store,
+        CheckpointPolicy { every: 0, keep: 5 },
+    )
+    .expect("fall back past the foreign file");
+    assert_eq!(out.restore.skipped.len(), 1);
+    assert_eq!(out.restore.skipped[0].error, CkptError::BadMagic);
+    assert_eq!(out.resumed_from, Some(2));
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
+fn serve_cfg(r: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(single_gh200());
+    cfg.run.r = r;
+    cfg.run.s_max = 4;
+    cfg.run.region_dofs = 64;
+    cfg.run.load = RandomLoadSpec {
+        n_sources: 4,
+        impulses_per_source: 2.0,
+        amplitude: 1e6,
+        active_window: 0.2,
+    };
+    cfg
+}
+
+/// Serve-layer round trip: checkpoint a mid-flight server, restore it,
+/// and finish both. The restored server's counters resume (not reset) and
+/// every request finishes with bitwise-identical results on an identical
+/// modeled timeline.
+#[test]
+fn server_checkpoint_restores_counters_and_results_bitwise() {
+    let backend = backend();
+    let cfg = serve_cfg(2);
+    let mut server = EnsembleServer::new(&backend, cfg.clone());
+    let ids: Vec<_> = (0..5)
+        .map(|c| {
+            server
+                .admit(SolveRequest::new(100 + c, 6).with_priority(c as u8))
+                .expect("admit")
+        })
+        .collect();
+    // drive a recovery event through the ladder so the log is non-empty
+    // at snapshot time, then tick to a mid-flight boundary
+    for _ in 0..3 {
+        server.tick();
+    }
+    let ck = server.checkpoint();
+    let bytes = ck.to_bytes();
+    assert!(server.in_flight() > 0, "snapshot must be mid-flight");
+
+    // corrupting any byte of the image is caught by a section CRC
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    assert!(
+        ServerCheckpoint::from_bytes(&flipped, ck.fingerprint).is_err(),
+        "bit flip must not parse"
+    );
+
+    let mut restored =
+        EnsembleServer::restore(&backend, cfg.clone(), &bytes).expect("restore server");
+    assert_eq!(restored.ticks(), server.ticks());
+    assert_eq!(restored.queue_depth(), server.queue_depth());
+    assert_eq!(restored.in_flight(), server.in_flight());
+    assert_eq!(
+        restored.elapsed().to_bits(),
+        server.elapsed().to_bits(),
+        "modeled clock must restore bitwise"
+    );
+    // counters resume where the saved run left off — they must not reset
+    assert_eq!(
+        restored.stats().queue_depth_samples(),
+        server.stats().queue_depth_samples()
+    );
+    assert_eq!(restored.stats().completed(), server.stats().completed());
+    assert_eq!(restored.stats().evicted(), server.stats().evicted());
+    assert_eq!(restored.recoveries(), server.recoveries());
+
+    server.run_until_idle();
+    restored.run_until_idle();
+    assert_eq!(restored.ticks(), server.ticks(), "same tick count to idle");
+    assert_eq!(restored.elapsed().to_bits(), server.elapsed().to_bits());
+    for &id in &ids {
+        assert_eq!(server.record(id).state, RequestState::Done);
+        assert_eq!(restored.record(id).state, RequestState::Done);
+        let a = server.result(id).expect("original result");
+        let b = restored.result(id).expect("restored result");
+        assert_bitwise_eq(&[a.to_vec()], &[b.to_vec()], &format!("request {}", id.0));
+    }
+    assert_eq!(
+        restored.stats().completed(),
+        server.stats().completed(),
+        "completion counter continued from the snapshot"
+    );
+}
+
+/// A torn latest *server* checkpoint falls back to the previous good one
+/// through the same store scan the run driver uses.
+#[test]
+fn torn_server_checkpoint_falls_back_to_previous() {
+    let backend = backend();
+    let cfg = serve_cfg(2);
+    let store = tmp_store("serve-torn");
+    let mut server = EnsembleServer::new(&backend, cfg.clone());
+    for c in 0..4 {
+        server.admit(SolveRequest::new(300 + c, 6)).expect("admit");
+    }
+    server.tick();
+    server.save_checkpoint(&store).expect("save at tick 1");
+    server.tick();
+    server.save_checkpoint(&store).expect("save at tick 2");
+    hetsolve::ckpt::tear(&store.path_for(2), 0.4).expect("tear the newest");
+
+    let (found, report) = EnsembleServer::restore_latest(&backend, cfg.clone(), NoopFaults, &store);
+    let (seq, mut restored) = found.expect("fallback restore");
+    assert_eq!(seq, 1, "fell back to the tick-1 snapshot");
+    assert_eq!(report.skipped.len(), 1);
+    assert_eq!(report.skipped[0].error, CkptError::Truncated);
+
+    // the fallback server replays from tick 1 to the same final bits
+    server.run_until_idle();
+    restored.run_until_idle();
+    assert_eq!(restored.elapsed().to_bits(), server.elapsed().to_bits());
+    for id in 0..4u64 {
+        let a = server.result(hetsolve::serve::RequestId(id)).unwrap();
+        let b = restored.result(hetsolve::serve::RequestId(id)).unwrap();
+        assert_bitwise_eq(&[a.to_vec()], &[b.to_vec()], &format!("request {id}"));
+    }
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
+/// The watchdog escalation ladder, driven deterministically: consecutive
+/// injected lane stalls walk retry-with-backoff → restart-from-checkpoint
+/// → evict-with-`EvictReason::Watchdog`, and a healthy step resets the
+/// breach counter.
+#[test]
+fn watchdog_ladder_escalates_retry_restart_evict() {
+    let backend = backend();
+    let mut cfg = serve_cfg(2);
+    cfg.watchdog = Some(WatchdogConfig {
+        step_deadline_s: 0.05,
+        max_retries: 2,
+        backoff_base_s: 1e-3,
+        backoff_factor: 2.0,
+    });
+    cfg.checkpoint_every = 1;
+    // four consecutive stalls on lane 0: breaches 1, 2 (retries), 3
+    // (restart), 4 (evict)
+    let mut plan = FaultPlan::new(31);
+    for tick in 0..4 {
+        plan = plan.stall_lane(tick, 0, FaultLane::Gpu, 1.0);
+    }
+    let mut server = EnsembleServer::with_faults(&backend, cfg, plan);
+    server.set_wall_clock(Box::new(ManualClock::new()));
+    let victim = server
+        .admit(SolveRequest::new(777, 12))
+        .expect("admit the victim");
+    for _ in 0..6 {
+        server.tick();
+    }
+
+    let actions: Vec<&'static str> = server
+        .watchdog_events()
+        .iter()
+        .map(|e| e.action.label())
+        .collect();
+    assert_eq!(
+        actions,
+        vec!["retry", "retry", "restart_lane", "evict_lane"],
+        "ladder order: {:?}",
+        server.watchdog_events()
+    );
+    let events = server.watchdog_events();
+    assert_eq!(events[0].breach, 1);
+    assert!(matches!(
+        events[0].action,
+        WatchdogAction::Retry { backoff_s } if backoff_s == 1e-3
+    ));
+    assert!(matches!(
+        events[1].action,
+        WatchdogAction::Retry { backoff_s } if backoff_s == 2e-3
+    ));
+    assert!(matches!(
+        events[2].action,
+        WatchdogAction::RestartLane { restored: 1 }
+    ));
+    assert!(matches!(
+        events[3].action,
+        WatchdogAction::EvictLane { evicted: 1 }
+    ));
+    assert!(
+        events.iter().all(|e| e.overrun_s > 0.0 && e.wall_s == 0.0),
+        "manual wall clock stamps deterministically"
+    );
+
+    let rec = server.record(victim);
+    assert_eq!(rec.state, RequestState::Evicted);
+    assert_eq!(rec.evict_reason, Some(EvictReason::Watchdog));
+    assert_eq!(server.stats().watchdog_breaches(), 4);
+    assert_eq!(server.stats().watchdog_restarts(), 1);
+    assert_eq!(server.stats().evicted(), 1);
+    assert_eq!(
+        server.watchdog_events().len(),
+        4,
+        "post-eviction ticks are healthy (empty lane resets the counter)"
+    );
+}
+
+/// Below the deadline the watchdog is inert: no breaches, no events, and
+/// the supervised run is bitwise-identical to an unsupervised one.
+#[test]
+fn healthy_run_under_watchdog_is_bitwise_unchanged() {
+    let backend = backend();
+    let base_cfg = serve_cfg(2);
+    let mut plain = EnsembleServer::new(&backend, base_cfg.clone());
+    let mut wd_cfg = base_cfg;
+    wd_cfg.watchdog = Some(WatchdogConfig::new(1e9));
+    wd_cfg.checkpoint_every = 2;
+    let mut supervised = EnsembleServer::new(&backend, wd_cfg);
+    for c in 0..4u64 {
+        plain.admit(SolveRequest::new(40 + c, 5)).expect("admit");
+        supervised
+            .admit(SolveRequest::new(40 + c, 5))
+            .expect("admit");
+    }
+    plain.run_until_idle();
+    supervised.run_until_idle();
+    assert!(supervised.watchdog_events().is_empty());
+    assert_eq!(supervised.stats().watchdog_breaches(), 0);
+    assert_eq!(
+        supervised.elapsed().to_bits(),
+        plain.elapsed().to_bits(),
+        "supervision must not perturb the modeled timeline"
+    );
+    for id in 0..4u64 {
+        let a = plain.result(hetsolve::serve::RequestId(id)).unwrap();
+        let b = supervised.result(hetsolve::serve::RequestId(id)).unwrap();
+        assert_bitwise_eq(&[a.to_vec()], &[b.to_vec()], &format!("request {id}"));
+    }
+}

@@ -7,7 +7,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hetsolve_core::{run_traced, Backend, MethodKind, PartitionedProblem, RunConfig, StepTracer};
+use hetsolve_ckpt::CheckpointStore;
+use hetsolve_core::{
+    run_durable, run_traced, Backend, CheckpointPolicy, MethodKind, PartitionedProblem, RunConfig,
+    StepTracer,
+};
+use hetsolve_fault::NoopFaults;
 use hetsolve_fem::{FemProblem, RandomLoadSpec};
 use hetsolve_machine::single_gh200;
 use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
@@ -92,6 +97,10 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
     ]);
     sink.set_section("serve", serve);
 
+    // durability: checkpoint write/restore cost on the reference run,
+    // so the snapshot tracks the overhead of crash consistency
+    sink.set_section("checkpoint", ckpt_stats(&backend));
+
     match sink.write_bench_snapshot(&dir) {
         Ok(path) => {
             println!("bench-snapshot: wrote {}", path.display());
@@ -138,6 +147,61 @@ fn serve_stats(backend: &Backend, policy: BatchPolicy) -> Json {
         stats.latency_percentile(0.95),
     );
     stats.to_json()
+}
+
+/// Measure the durable driver on the reference EBE-MCG run: a fresh run
+/// reports write cost, a second invocation against the same store reports
+/// restore cost and the boundary it resumed from.
+fn ckpt_stats(backend: &Backend) -> Json {
+    let cfg = bench_config(MethodKind::EbeMcgCpuGpu);
+    let dir = std::env::temp_dir().join("hetsolve-bench-ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir, 3).expect("open bench checkpoint store");
+    let policy = CheckpointPolicy { every: 4, keep: 3 };
+
+    let fresh = run_durable(
+        backend,
+        &cfg,
+        &mut StepTracer::new(),
+        &mut NoopFaults,
+        &store,
+        policy,
+    )
+    .expect("durable bench run");
+    let resumed = run_durable(
+        backend,
+        &cfg,
+        &mut StepTracer::new(),
+        &mut NoopFaults,
+        &store,
+        policy,
+    )
+    .expect("durable bench resume");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "bench-snapshot: checkpoint        {} writes x {} B, {:.3e} s/write, restore {:.3e} s (resumed from step {})",
+        fresh.checkpoints_written,
+        fresh.checkpoint_bytes,
+        fresh.write_s / fresh.checkpoints_written.max(1) as f64,
+        resumed.restore_s,
+        resumed.resumed_from.unwrap_or(0),
+    );
+    Json::obj([
+        ("every_steps", Json::from(policy.every)),
+        ("checkpoints_written", Json::from(fresh.checkpoints_written)),
+        ("checkpoint_bytes", Json::from(fresh.checkpoint_bytes)),
+        ("write_s_total", Json::from(fresh.write_s)),
+        (
+            "write_s_per_checkpoint",
+            Json::from(fresh.write_s / fresh.checkpoints_written.max(1) as f64),
+        ),
+        ("restore_s", Json::from(resumed.restore_s)),
+        (
+            "resumed_from_step",
+            Json::from(resumed.resumed_from.unwrap_or(0)),
+        ),
+    ])
 }
 
 fn bench_config(method: MethodKind) -> RunConfig {
