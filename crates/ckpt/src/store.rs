@@ -224,6 +224,28 @@ mod tests {
     }
 
     #[test]
+    fn pruning_keeps_enough_history_for_torn_newest_fallback() {
+        // keep-N pruning and torn-write fallback interact: after pruning,
+        // the fallback must land on a RETAINED older checkpoint, not on
+        // one that pruning already deleted.
+        let store = CheckpointStore::new(tmpdir("prune-torn"), 3).unwrap();
+        for seq in [1u64, 2, 3, 4, 5] {
+            store.save(seq, &payload(seq as u8)).unwrap();
+        }
+        let seqs: Vec<u64> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![3, 4, 5], "pruned to the newest keep=3");
+
+        tear(&store.path_for(5), 0.5).unwrap();
+        let (found, report) = store.load_latest_valid(|_, b| parse_payload(b));
+        assert_eq!(found, Some((4, 4)), "fell back to the retained seq 4");
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].seq, 5);
+        assert_eq!(report.skipped[0].error, CkptError::Truncated);
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
     fn empty_store_restores_nothing_cleanly() {
         let store = CheckpointStore::new(tmpdir("empty"), 2).unwrap();
         let (found, report) = store.load_latest_valid(|_, b| parse_payload(b));

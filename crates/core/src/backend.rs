@@ -160,10 +160,20 @@ impl Backend {
         )
     }
 
+    /// Were the assembled (CRS) matrices built? The run drivers check
+    /// this at entry and return [`crate::recovery::RunError::Config`]
+    /// for CRS methods on a matrix-free backend.
+    pub fn has_crs(&self) -> bool {
+        self.crs_a.is_some()
+    }
+
     /// Assembled system matrix (panics if built without CRS).
     pub fn crs_a(&self) -> &Bcrs3 {
         self.crs_a
             .as_ref()
+            // PANIC-OK: drivers reject CRS methods on matrix-free backends
+            // at entry (`has_crs` precheck → RunError::Config); direct
+            // callers own the documented panic contract.
             .expect("backend built without CRS matrices")
     }
 
@@ -195,6 +205,8 @@ impl Backend {
     /// matrices (charged to CRS methods): A·x-shaped + M·x-shaped SpMVs.
     pub fn rhs_counts_crs(&self) -> KernelCounts {
         let a = self.crs_a().counts();
+        // PANIC-OK: `crs_a` and `crs_m` are built together (`with_crs`),
+        // and the line above already enforced the crs_a half.
         let m = self.crs_m.as_ref().expect("CRS backend").counts();
         a.merged(m)
     }

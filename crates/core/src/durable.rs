@@ -16,10 +16,9 @@
 //! `kill -9`), and [`FaultInjector::torn_write_fault`] truncates the
 //! checkpoint that was just written, exercising the restore fallback.
 
-use std::time::Instant;
-
 use hetsolve_ckpt::{tear, CheckpointStore, RestoreReport};
 use hetsolve_fault::FaultInjector;
+use hetsolve_machine::{SystemClock, WallClock};
 
 use crate::backend::Backend;
 use crate::checkpoint::{ConfigFingerprint, RunCheckpoint};
@@ -79,14 +78,39 @@ pub fn run_durable<F: FaultInjector>(
     store: &CheckpointStore,
     policy: CheckpointPolicy,
 ) -> Result<DurableOutcome, RunError> {
+    run_durable_clocked(
+        backend,
+        cfg,
+        tracer,
+        faults,
+        store,
+        policy,
+        &SystemClock::new(),
+    )
+}
+
+/// [`run_durable`] with an injected wall clock. The clock only feeds the
+/// [`DurableOutcome`] I/O timing fields (`write_s`, `restore_s`) — it
+/// never influences the solve — so a [`hetsolve_machine::ManualClock`]
+/// makes those fields deterministic in tests, and the determinism lint
+/// (`cargo xtask analyze`) can ban ambient `Instant` reads outright.
+pub fn run_durable_clocked<F: FaultInjector, C: WallClock + ?Sized>(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+    faults: &mut F,
+    store: &CheckpointStore,
+    policy: CheckpointPolicy,
+    wall: &C,
+) -> Result<DurableOutcome, RunError> {
     let mut run_cfg = cfg.clone();
     run_cfg.method = MethodKind::EbeMcgCpuGpu;
     let fp = ConfigFingerprint::of(backend, &run_cfg);
 
-    let t0 = Instant::now();
+    let t0 = wall.now();
     let (found, restore) =
         store.load_latest_valid(|_seq, bytes| RunCheckpoint::from_bytes(bytes, fp));
-    let restore_s = t0.elapsed().as_secs_f64();
+    let restore_s = wall.now() - t0;
     let (mut st, resumed_from) = match found {
         Some((_seq, snap)) => {
             let step = snap.step;
@@ -113,11 +137,11 @@ pub fn run_durable<F: FaultInjector>(
         if policy.every > 0 && st.step % policy.every == 0 && st.step < run_cfg.n_steps {
             let bytes = RunCheckpoint::capture(&st, fp).to_bytes();
             let seq = st.step as u64;
-            let tw = Instant::now();
+            let tw = wall.now();
             let path = store.save(seq, &bytes).map_err(|e| RunError::Checkpoint {
                 message: e.to_string(),
             })?;
-            write_s += tw.elapsed().as_secs_f64();
+            write_s += wall.now() - tw;
             checkpoints_written += 1;
             checkpoint_bytes = bytes.len();
             if let Some(t) = faults.torn_write_fault(seq) {
@@ -214,6 +238,30 @@ mod tests {
         assert_eq!(out.resumed_from, Some(4));
         let plain = crate::methods::run(&backend, &cfg).unwrap();
         assert_eq!(out.result.final_u, plain.final_u);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    /// With an injected manual clock the I/O timing fields are exactly
+    /// what the clock says — durable runs read no ambient time at all.
+    #[test]
+    fn manual_clock_makes_io_timings_deterministic() {
+        let (backend, cfg) = small();
+        let store = tmp_store("manual-clock");
+        let clock = hetsolve_machine::ManualClock::new();
+        clock.set(100.0);
+        let out = run_durable_clocked(
+            &backend,
+            &cfg,
+            &mut StepTracer::disabled(),
+            &mut hetsolve_fault::NoopFaults,
+            &store,
+            CheckpointPolicy { every: 2, keep: 3 },
+            &clock,
+        )
+        .unwrap();
+        assert_eq!(out.restore_s, 0.0, "clock never advanced");
+        assert_eq!(out.write_s, 0.0);
+        assert_eq!(out.checkpoints_written, 2);
         std::fs::remove_dir_all(store.dir()).unwrap();
     }
 }

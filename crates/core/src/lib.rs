@@ -44,7 +44,7 @@ pub use checkpoint::{
     decode_clock_state, decode_recovery_event, encode_clock_state, encode_recovery_event,
     ConfigFingerprint, RunCheckpoint, SlotState,
 };
-pub use durable::{run_durable, CheckpointPolicy, DurableOutcome};
+pub use durable::{run_durable, run_durable_clocked, CheckpointPolicy, DurableOutcome};
 pub use ensemble::{
     run_ensemble, run_ensemble_durable, run_ensemble_for_model, EnsembleConfig,
     EnsembleConfigError, EnsembleResult,
@@ -57,7 +57,9 @@ pub use multinode::{DistributedOperator, LocalPart, PartitionMetrics, Partitione
 pub use nonlinear_run::{
     run_nonlinear, run_nonlinear_traced, NonlinearResult, NonlinearStepRecord,
 };
-pub use realtime::{run_realtime, run_realtime_faulted, run_realtime_traced, RealtimeReport};
+pub use realtime::{
+    run_realtime, run_realtime_clocked, run_realtime_faulted, run_realtime_traced, RealtimeReport,
+};
 pub use recovery::{solve_set_resumable, GuessSource, RecoveryEvent, RunError, SetSolveOutcome};
 pub use report::{apply_speedups, format_application_table, format_series, MethodSummary};
 pub use slot::CaseSlot;

@@ -289,6 +289,15 @@ pub fn run_faulted<F: FaultInjector>(
     tracer: &mut StepTracer,
     faults: &mut F,
 ) -> Result<RunResult, RunError> {
+    if cfg.method != MethodKind::EbeMcgCpuGpu && !backend.has_crs() {
+        return Err(RunError::Config {
+            message: format!(
+                "method {} needs assembled matrices, but the backend was built \
+                 with `with_crs = false`",
+                cfg.method.label()
+            ),
+        });
+    }
     let n_sets = match cfg.method {
         MethodKind::CrsCgCpu | MethodKind::CrsCgGpu => 1,
         MethodKind::CrsCgCpuGpu | MethodKind::EbeMcgCpuGpu => 2,
@@ -1007,5 +1016,28 @@ mod tests {
         assert!(r.mean_solver_time(0) > 0.0);
         assert!(r.mean_predictor_time(0) >= 0.0);
         assert!(r.energy_per_step_per_case() > 0.0);
+    }
+
+    /// A CRS method on a matrix-free backend is a typed configuration
+    /// error at driver entry, not a panic deep inside the RHS path.
+    #[test]
+    fn crs_method_without_crs_backend_is_a_typed_error() {
+        let spec = GroundModelSpec::paper_like(2, 2, 2, InterfaceShape::Stratified);
+        let no_crs = Backend::new(FemProblem::paper_like(&spec), false, false);
+        for method in [
+            MethodKind::CrsCgCpu,
+            MethodKind::CrsCgGpu,
+            MethodKind::CrsCgCpuGpu,
+        ] {
+            let err = run(&no_crs, &cfg(method, 3)).unwrap_err();
+            match err {
+                crate::recovery::RunError::Config { message } => {
+                    assert!(message.contains("with_crs"), "{message}");
+                }
+                other => panic!("expected RunError::Config, got {other}"),
+            }
+        }
+        // the matrix-free method still runs on the same backend
+        run(&no_crs, &cfg(MethodKind::EbeMcgCpuGpu, 3)).expect("EBE run");
     }
 }

@@ -114,6 +114,9 @@ impl PartitionedProblem {
                         .faces
                         .iter()
                         .position(|fc| *fc == fb.nodes)
+                        // PANIC-OK: boundary faces are enumerated from the
+                        // same mesh the dashpot store was built from, so
+                        // every Side face has a stored matrix by construction.
                         .expect("dashpot store mismatch");
                     cb.extend_from_slice(problem.dashpots.cb_of(idx));
                 }

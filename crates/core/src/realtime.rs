@@ -16,10 +16,9 @@
 //! `EBE-MCG@CPU-GPU` (verified by tests); only the execution medium
 //! differs.
 
-use std::time::Instant;
-
 use hetsolve_fault::{FaultInjector, NoopFaults, VectorFault};
 use hetsolve_fem::{RandomLoad, TimeState};
+use hetsolve_machine::{SystemClock, WallClock};
 use hetsolve_predictor::{AdamsState, DataDrivenPredictor};
 use hetsolve_sparse::vecops::{extract_case, insert_case};
 use hetsolve_sparse::{CgConfig, SolveError};
@@ -253,6 +252,22 @@ pub fn run_realtime_faulted<F: FaultInjector>(
     tracer: &mut StepTracer,
     faults: &mut F,
 ) -> Result<(Vec<Vec<f64>>, RealtimeReport), RunError> {
+    run_realtime_clocked(backend, cfg, tracer, faults, &SystemClock::new())
+}
+
+/// [`run_realtime_faulted`] with an injected wall clock. Both device
+/// threads read the clock concurrently, so it must be `Sync`
+/// ([`SystemClock`] in production, [`hetsolve_machine::SharedManualClock`]
+/// in deterministic tests). The clock feeds only the [`RealtimeReport`]
+/// and the wall-span trace — numerics are clock-independent — which is
+/// what lets the determinism lint ban ambient `Instant` reads here.
+pub fn run_realtime_clocked<F: FaultInjector, C: WallClock + Sync>(
+    backend: &Backend,
+    cfg: &RunConfig,
+    tracer: &mut StepTracer,
+    faults: &mut F,
+    wall: &C,
+) -> Result<(Vec<Vec<f64>>, RealtimeReport), RunError> {
     assert!(cfg.r >= 1);
     tracer.begin_run("EBE-MCG@CPU-GPU (realtime)", cfg, 2);
     let mut set_a = SetState::new(backend, cfg, 0);
@@ -267,7 +282,9 @@ pub fn run_realtime_faulted<F: FaultInjector>(
         guess_divergence: driver_guess_divergence(cfg.tol),
     };
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
-    let t0 = Instant::now();
+    let t_start = wall.now();
+    // run-relative timestamp of "now" on the injected clock
+    let since_start = || wall.now() - t_start;
 
     // window grows with available history, as in the modeled driver
     let s_for = |dd: &DataDrivenPredictor, cap: usize| dd.available_s().min(cap);
@@ -285,18 +302,18 @@ pub fn run_realtime_faulted<F: FaultInjector>(
         let solved = crossbeam::thread::scope(|scope| {
             let (busy, spans) = (&busy, &spans);
             let b = scope.spawn(|_| {
-                let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
+                let start = since_start();
                 let out = set_b.solve(backend, cfg, it, 1, &ph_b);
-                let dur = t.elapsed().as_secs_f64();
+                let dur = since_start() - start;
                 busy.lock().0 += dur;
                 if trace_on {
                     spans.lock().push((1, TID_GPU, "solve (wall)", start, dur));
                 }
                 out
             });
-            let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
+            let start = since_start();
             set_a.predict(backend, it, s_a);
-            let dur = t.elapsed().as_secs_f64();
+            let dur = since_start() - start;
             busy.lock().1 += dur;
             if trace_on {
                 spans
@@ -310,6 +327,8 @@ pub fn run_realtime_faulted<F: FaultInjector>(
                 }),
             }
         })
+        // PANIC-OK: the scope closure joins both children, so crossbeam's
+        // scope-level error (an unjoined child panic) is unreachable.
         .expect("thread scope failed");
         let (_, evs) = solved?;
         recoveries.extend(evs);
@@ -320,9 +339,9 @@ pub fn run_realtime_faulted<F: FaultInjector>(
         let solved = crossbeam::thread::scope(|scope| {
             let (busy, spans) = (&busy, &spans);
             let a = scope.spawn(|_| {
-                let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
+                let start = since_start();
                 let out = set_a.solve(backend, cfg, it, 0, &ph_a);
-                let dur = t.elapsed().as_secs_f64();
+                let dur = since_start() - start;
                 busy.lock().0 += dur;
                 if trace_on {
                     spans.lock().push((0, TID_GPU, "solve (wall)", start, dur));
@@ -330,9 +349,9 @@ pub fn run_realtime_faulted<F: FaultInjector>(
                 out
             });
             if it + 1 < cfg.n_steps {
-                let (start, t) = (t0.elapsed().as_secs_f64(), Instant::now());
+                let start = since_start();
                 set_b.predict(backend, it + 1, s_b);
-                let dur = t.elapsed().as_secs_f64();
+                let dur = since_start() - start;
                 busy.lock().1 += dur;
                 if trace_on {
                     spans
@@ -347,6 +366,8 @@ pub fn run_realtime_faulted<F: FaultInjector>(
                 }),
             }
         })
+        // PANIC-OK: the scope closure joins both children, so crossbeam's
+        // scope-level error (an unjoined child panic) is unreachable.
         .expect("thread scope failed");
         let (_, evs) = solved?;
         recoveries.extend(evs);
@@ -357,12 +378,12 @@ pub fn run_realtime_faulted<F: FaultInjector>(
             .trace
             .span(pid, tid, "wall", name, start_s * 1e6, dur_s * 1e6, vec![]);
     }
-    let t_now = t0.elapsed().as_secs_f64();
+    let t_now = since_start();
     for ev in &recoveries {
         tracer.recovery_event(t_now, ev);
     }
 
-    let wall = t0.elapsed().as_secs_f64();
+    let wall = since_start();
     let (solver_busy, predictor_busy) = *busy.lock();
     let report = RealtimeReport {
         wall,
@@ -453,5 +474,31 @@ mod tests {
                 assert!((a - b).abs() < 1e-5 * scale, "case {c} dof {i}: {a} vs {b}");
             }
         }
+    }
+
+    /// With an injected shared manual clock the wall-clock report is
+    /// fully deterministic: the driver reads no ambient time, so a frozen
+    /// clock yields a zero report while the numerics are untouched.
+    #[test]
+    fn manual_clock_makes_the_report_deterministic() {
+        let (backend, mut cfg) = setup();
+        cfg.n_steps = 3;
+        let clock = hetsolve_machine::SharedManualClock::new();
+        clock.set(42.0);
+        let (final_u, rep) = run_realtime_clocked(
+            &backend,
+            &cfg,
+            &mut StepTracer::disabled(),
+            &mut NoopFaults,
+            &clock,
+        )
+        .expect("realtime");
+        assert_eq!(rep.wall, 0.0, "frozen clock: no wall time elapsed");
+        assert_eq!(rep.solver_busy, 0.0);
+        assert_eq!(rep.predictor_busy, 0.0);
+        assert!(final_u.iter().any(|u| u.iter().any(|&x| x != 0.0)));
+        // the same run on the real clock computes identical numerics
+        let (real_u, _) = run_realtime(&backend, &cfg).expect("realtime");
+        assert_eq!(final_u, real_u, "clock choice must not affect results");
     }
 }

@@ -119,6 +119,10 @@ pub enum RunError {
     /// A checkpoint write failed (I/O); the run stopped rather than keep
     /// computing results it could not make durable.
     Checkpoint { message: String },
+    /// The run configuration is inconsistent with the backend it was
+    /// given (e.g. a CRS method on a backend built without assembled
+    /// matrices); caught at driver entry instead of panicking mid-run.
+    Config { message: String },
 }
 
 impl fmt::Display for RunError {
@@ -134,6 +138,9 @@ impl fmt::Display for RunError {
             RunError::Checkpoint { message } => {
                 write!(f, "checkpoint write failed: {message}")
             }
+            RunError::Config { message } => {
+                write!(f, "invalid run configuration: {message}")
+            }
         }
     }
 }
@@ -145,6 +152,7 @@ impl std::error::Error for RunError {
             RunError::WorkerPanic { .. } => None,
             RunError::Crashed { .. } => None,
             RunError::Checkpoint { .. } => None,
+            RunError::Config { .. } => None,
         }
     }
 }
@@ -399,6 +407,8 @@ pub(crate) fn solve_set_with_ladder<A: MultiOperator, P: Preconditioner>(
     }
     let worst = (0..r)
         .find(|&k| stats.case_termination[k].is_failure())
+        // PANIC-OK: `!stats.converged` (checked above) means at least one
+        // lane's termination is a failure by `mcg_multi`'s contract.
         .expect("non-converged MCG must have a failing lane");
     Err(SolveError {
         step,

@@ -347,6 +347,36 @@ impl WallClock for ManualClock {
     }
 }
 
+/// A hand-cranked wall clock that is `Send + Sync`, for deterministic
+/// tests of the *threaded* drivers (`run_realtime_clocked` spawns scoped
+/// workers that read the clock concurrently). Time is stored as `f64`
+/// bits in an atomic; clones share the same underlying time.
+#[derive(Debug, Clone, Default)]
+pub struct SharedManualClock {
+    bits: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl SharedManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, seconds: f64) {
+        self.bits
+            .store(seconds.to_bits(), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn advance(&self, seconds: f64) {
+        self.set(self.now() + seconds);
+    }
+}
+
+impl WallClock for SharedManualClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(std::sync::atomic::Ordering::SeqCst))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

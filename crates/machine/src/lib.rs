@@ -27,7 +27,8 @@ pub mod roofline;
 pub mod spec;
 
 pub use clock::{
-    ClockState, EnergyReport, LaneKind, LaneSpan, ManualClock, ModuleClock, SystemClock, WallClock,
+    ClockState, EnergyReport, LaneKind, LaneSpan, ManualClock, ModuleClock, SharedManualClock,
+    SystemClock, WallClock,
 };
 pub use cluster::{
     box_halo_pattern, halo_exchange_time, weak_scaling_efficiency, weak_scaling_step_time,

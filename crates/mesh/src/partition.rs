@@ -248,6 +248,8 @@ pub fn build_partition(mesh: &TetMesh10, elem_part: &[u32], n_parts: usize) -> P
             }
         }
         let mut neighbors: Vec<(u32, Vec<(u32, u32)>)> = Vec::new();
+        // DETERMINISM-OK: keys are collected then sorted before any
+        // order-sensitive use, so hash iteration order cannot leak out.
         let mut nbr_ids: Vec<u32> = by_nbr.keys().copied().collect();
         nbr_ids.sort_unstable();
         for q in nbr_ids {

@@ -182,19 +182,24 @@ fn decode_record(dec: &mut Dec<'_>) -> Result<RequestRecord, CkptError> {
     })
 }
 
+// Both codec bodies bind one local per `ServeStats` field, under the
+// field's own name: the schema-drift pass (`cargo xtask analyze`)
+// cross-checks the struct's field list against these bodies, so a new
+// field that is not serialized here fails the build.
 fn encode_stats(enc: &mut Enc, s: &ServeStats) {
-    let depth = s.queue_depth_samples();
-    enc.put_usize(depth.len());
-    for &d in depth {
+    let queue_depth = s.queue_depth_samples();
+    enc.put_usize(queue_depth.len());
+    for &d in queue_depth {
         enc.put_usize(d);
     }
-    let occ = s.occupancy_samples();
-    enc.put_usize(occ.len());
-    for &(o, w) in occ {
+    let occupancy = s.occupancy_samples();
+    enc.put_usize(occupancy.len());
+    for &(o, w) in occupancy {
         enc.put_usize(o);
         enc.put_usize(w);
     }
-    enc.put_f64s(s.latency_samples());
+    let latencies = s.latency_samples();
+    enc.put_f64s(latencies);
     enc.put_usize(s.completed());
     enc.put_usize(s.failed());
     enc.put_usize(s.evicted());
@@ -217,18 +222,26 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
         occupancy.push((dec.usize_()?, dec.usize_()?));
     }
     let latencies = dec.f64s()?;
+    let completed = dec.usize_()?;
+    let failed = dec.usize_()?;
+    let evicted = dec.usize_()?;
+    let rejected = dec.usize_()?;
+    let shed = dec.usize_()?;
+    let watchdog_breaches = dec.usize_()?;
+    let watchdog_restarts = dec.usize_()?;
+    let elapsed_s = dec.f64()?;
     Ok(ServeStats::from_parts(
         queue_depth,
         occupancy,
         latencies,
-        dec.usize_()?,
-        dec.usize_()?,
-        dec.usize_()?,
-        dec.usize_()?,
-        dec.usize_()?,
-        dec.usize_()?,
-        dec.usize_()?,
-        dec.f64()?,
+        completed,
+        failed,
+        evicted,
+        rejected,
+        shed,
+        watchdog_breaches,
+        watchdog_restarts,
+        elapsed_s,
     ))
 }
 

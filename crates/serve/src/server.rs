@@ -338,6 +338,9 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         let tol = self
             .batcher
             .lane_key(lane)
+            // PANIC-OK: `n_occ > 0` (early return above) and the batcher
+            // clears a lane's key only when its last slot frees, so an
+            // occupied lane always has a key.
             .expect("occupied lane has a key")
             .tol();
         let cg_cfg = driver_cg_config(tol);
@@ -352,11 +355,16 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             if !occupied[k] {
                 continue;
             }
+            // PANIC-OK: guarded by `occupied[k]` from the same batcher's
+            // occupancy mask, read under the same borrow.
             let id = self.batcher.slot(lane, k).expect("occupied slot");
             lane_cases[k] = Some(id.0 as usize);
             self.records[id.0 as usize].state = RequestState::Solving;
             let case = self.slots[lane][k]
                 .as_mut()
+                // PANIC-OK: `slots` mirrors the batcher occupancy —
+                // populated on admit, cleared on free — and `occupied[k]`
+                // held at the top of this loop body.
                 .expect("occupied slot has a case");
             let s = self.cfg.run.s_max.max(1).min(case.available_s());
             let (ab, s_used) = case.prepare_step(self.backend, &mut self.scratch, s);
@@ -393,6 +401,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             if !occupied[k] {
                 continue;
             }
+            // PANIC-OK: same `occupied[k]` guard as the packing loop; the
+            // solve does not admit or free slots.
             let id = self.batcher.slot(lane, k).expect("occupied slot");
             if outcome.stats.case_termination[k].is_failure() {
                 self.slots[lane][k] = None;
@@ -404,6 +414,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             extract_case(&x_multi, r, k, &mut x);
             let case = self.slots[lane][k]
                 .as_mut()
+                // PANIC-OK: `occupied[k]` held and the failure arm above
+                // `continue`s after clearing, so this slot is still live.
                 .expect("occupied slot has a case");
             case.advance(self.backend, &x, &ab_guesses[k], None);
             if case.is_done() {

@@ -1,0 +1,249 @@
+//! Determinism lints. The paper's replay guarantees (PR 5) and the fused
+//! EBE bitwise-reproducibility argument both die quietly the moment
+//! library code reads an ambient clock, iterates a randomly-seeded hash
+//! table into a result, or draws ambient randomness. These lints make
+//! each of those a build failure:
+//!
+//! 1. **Wall clock** — `Instant`/`SystemTime` may appear only in the
+//!    injectable-clock module (`crates/machine/src/clock.rs`, home of
+//!    `WallClock`/`SystemClock`). Everything else must take a clock.
+//! 2. **Hash-order** — iterating a `HashMap`/`HashSet` binding
+//!    (`.iter()`, `.keys()`, `for … in m`, …) is denied: the default
+//!    hasher is randomly seeded per process, so iteration order leaks
+//!    nondeterminism into anything it feeds. Sort first or use an
+//!    ordered container; provably order-insensitive uses carry
+//!    `// DETERMINISM-OK: <reason>`.
+//! 3. **Ambient randomness** — `thread_rng`/`from_entropy`/`OsRng` are
+//!    denied in library crates; all stochastic inputs flow from explicit
+//!    seeds.
+//!
+//! Scope: library paths only (`crates/*/src`, `src/`). Test code
+//! (`#[cfg(test)]` regions) is exempt — tests may time themselves.
+
+use super::scanner::{token_positions, SourceFile};
+use super::{has_marker, Violation};
+
+const PASS: &str = "determinism";
+const MARKER: &str = "DETERMINISM-OK:";
+
+/// The one module allowed to touch the ambient clock: it defines the
+/// `WallClock` abstraction everything else injects.
+const CLOCK_MODULE: &str = "crates/machine/src/clock.rs";
+
+const WALL_CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime"];
+const RANDOMNESS_TOKENS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "random_seed_entropy"];
+
+/// Method calls on a hash-container binding whose results depend on
+/// iteration order.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".retain(",
+];
+
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !super::is_lib_path(&file.rel) {
+            continue;
+        }
+
+        if file.rel != CLOCK_MODULE {
+            for token in WALL_CLOCK_TOKENS {
+                for pos in token_positions(&file.code, token) {
+                    let line = file.line_of(pos);
+                    if file.in_test(line) || has_marker(file, line, MARKER) {
+                        continue;
+                    }
+                    out.push(Violation::new(
+                        &file.rel,
+                        line,
+                        PASS,
+                        format!(
+                            "ambient wall clock `{token}` outside {CLOCK_MODULE}; inject a \
+                             `WallClock` (hetsolve_machine::SystemClock in production, \
+                             ManualClock in tests) instead"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        for token in RANDOMNESS_TOKENS {
+            for pos in token_positions(&file.code, token) {
+                let line = file.line_of(pos);
+                if file.in_test(line) || has_marker(file, line, MARKER) {
+                    continue;
+                }
+                out.push(Violation::new(
+                    &file.rel,
+                    line,
+                    PASS,
+                    format!(
+                        "ambient randomness `{token}` in library code; thread an explicit \
+                         seed through the config instead"
+                    ),
+                ));
+            }
+        }
+
+        check_hash_iteration(file, &mut out);
+    }
+    out
+}
+
+/// Flag iteration over identifiers bound to `HashMap`/`HashSet` in this
+/// file. Binding detection is a per-file heuristic over `let` statements
+/// — deliberately narrow (no cross-function dataflow), but it covers the
+/// real pattern: build a local map, then iterate it into a result.
+fn check_hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
+    let bindings = hash_bindings(file);
+    if bindings.is_empty() {
+        return;
+    }
+    for (idx, _) in file.raw.iter().enumerate() {
+        let line_code = code_line(file, idx);
+        if file.in_test(idx) || has_marker(file, idx, MARKER) {
+            continue;
+        }
+        for name in &bindings {
+            let hit = ITER_METHODS
+                .iter()
+                .any(|m| line_code.contains(&format!("{name}{m}")))
+                || line_code.contains(&format!("in {name} "))
+                || line_code.trim_end().ends_with(&format!("in {name}"))
+                || line_code.contains(&format!("in &{name} "))
+                || line_code.contains(&format!("in &{name}."));
+            if hit {
+                out.push(Violation::new(
+                    &file.rel,
+                    idx,
+                    PASS,
+                    format!(
+                        "iteration over default-hasher container `{name}`; iteration order \
+                         is randomly seeded per process — sort keys first or use an ordered \
+                         container (annotate `// {MARKER} <reason>` if provably \
+                         order-insensitive)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Identifiers `let`-bound to a `HashMap`/`HashSet` anywhere in the file.
+fn hash_bindings(file: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for idx in 0..file.n_lines() {
+        let line = code_line(file, idx);
+        if !line.contains("HashMap") && !line.contains("HashSet") {
+            continue;
+        }
+        let Some(after_let) = line
+            .trim_start()
+            .strip_prefix("let ")
+            .map(|r| r.trim_start_matches("mut ").trim_start())
+        else {
+            continue;
+        };
+        let ident: String = after_let
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() && !names.contains(&ident) {
+            names.push(ident);
+        }
+    }
+    names
+}
+
+/// The code-view text of 0-based line `idx`.
+fn code_line(file: &SourceFile, idx: usize) -> &str {
+    file.code.split('\n').nth(idx).unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(rel: &str, text: &str) -> SourceFile {
+        SourceFile::parse(rel.into(), text)
+    }
+
+    #[test]
+    fn instant_in_library_code_is_flagged() {
+        let f = sf(
+            "crates/core/src/x.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        );
+        let v = check(std::slice::from_ref(&f));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("WallClock"));
+    }
+
+    #[test]
+    fn clock_module_and_tests_are_exempt() {
+        let clock = sf(
+            "crates/machine/src/clock.rs",
+            "pub struct SystemClock { origin: std::time::Instant }\n",
+        );
+        let test = sf(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n",
+        );
+        assert!(check(&[clock, test]).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_and_marker_exempts() {
+        let bad = sf(
+            "crates/core/src/x.rs",
+            "fn f() {\n    let m: std::collections::HashMap<u32, u32> = make();\n    for (k, v) in m.iter() { out.push(*k); }\n}\n",
+        );
+        let v = check(std::slice::from_ref(&bad));
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|x| &x.message).collect::<Vec<_>>()
+        );
+        assert!(v[0].message.contains("`m`"));
+
+        let ok = sf(
+            "crates/core/src/x.rs",
+            "fn f() {\n    let m: std::collections::HashMap<u32, u32> = make();\n    // DETERMINISM-OK: keys are sorted below before use\n    let mut ks: Vec<u32> = m.keys().copied().collect();\n    ks.sort_unstable();\n}\n",
+        );
+        assert!(check(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn lookup_only_maps_are_fine() {
+        let f = sf(
+            "crates/core/src/x.rs",
+            "fn f() {\n    let g2l: std::collections::HashMap<u32, u32> = make();\n    let v = g2l.get(&3);\n}\n",
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+
+    #[test]
+    fn thread_rng_is_flagged() {
+        let f = sf("crates/core/src/x.rs", "fn f() { let r = thread_rng(); }\n");
+        let v = check(std::slice::from_ref(&f));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("seed"));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_the_lint() {
+        let f = sf(
+            "crates/core/src/x.rs",
+            "// Instant::now is banned here\nconst DOC: &str = \"SystemTime thread_rng\";\n",
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+}

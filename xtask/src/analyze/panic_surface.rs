@@ -1,0 +1,116 @@
+//! Panic-surface lint. The durable/realtime drivers and the serving loop
+//! are explicitly in the business of *surviving* faults (worker panics
+//! are caught, classified, and recovered — see DESIGN.md §10), so a
+//! stray `unwrap()` in hetsolve-core or hetsolve-serve library code is a
+//! recovery path waiting to be skipped: it converts a representable
+//! error into an abort the fault machinery never sees.
+//!
+//! Denied in library code outside `#[cfg(test)]`: `.unwrap()`,
+//! `.unwrap_err()`, `.expect(…)`, `.expect_err(…)`, `panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`. `assert!`/`debug_assert!`
+//! stay allowed — they state invariants, and the chaos suite runs with
+//! them on.
+//!
+//! Sites that are provably infallible (the invariant is established a
+//! few lines up, or by construction) carry `// PANIC-OK: <reason>` on
+//! the same line or the line above; everything else gets a typed error.
+
+use super::scanner::{token_positions, SourceFile};
+use super::{has_marker, Violation};
+
+const PASS: &str = "panic-surface";
+const MARKER: &str = "PANIC-OK:";
+
+/// Crates whose library paths must not panic: the recovery-capable core
+/// driver stack and the serving layer.
+const SCOPES: &[&str] = &["crates/core/src/", "crates/serve/src/"];
+
+const TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".unwrap_err()",
+    ".expect(",
+    ".expect_err(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+            continue;
+        }
+        for token in TOKENS {
+            for pos in token_positions(&file.code, token) {
+                let line = file.line_of(pos);
+                if file.in_test(line) || has_marker(file, line, MARKER) {
+                    continue;
+                }
+                out.push(Violation::new(
+                    &file.rel,
+                    line,
+                    PASS,
+                    format!(
+                        "`{token}` in library code; return a typed error \
+                         (RunError/CkptError/serve Rejected) if reachable, or annotate \
+                         `// {MARKER} <why this cannot fail>` if provably infallible"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(rel: &str, text: &str) -> SourceFile {
+        SourceFile::parse(rel.into(), text)
+    }
+
+    #[test]
+    fn unwrap_in_core_library_code_is_flagged() {
+        let f = sf("crates/core/src/x.rs", "fn f() { let v = opt.unwrap(); }\n");
+        let v = check(std::slice::from_ref(&f));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn marker_and_tests_exempt() {
+        let f = sf(
+            "crates/serve/src/x.rs",
+            concat!(
+                "fn f() {\n",
+                "    // PANIC-OK: slot occupancy checked by the caller\n",
+                "    let v = opt.unwrap();\n",
+                "    let w = opt2.expect(\"batcher invariant\"); // PANIC-OK: ditto\n",
+                "}\n",
+                "#[cfg(test)]\n",
+                "mod tests {\n",
+                "    fn t() { x.unwrap(); panic!(\"boom\"); }\n",
+                "}\n",
+            ),
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let f = sf("crates/sparse/src/x.rs", "fn f() { x.unwrap(); }\n");
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_allowed() {
+        let f = sf(
+            "crates/core/src/x.rs",
+            "fn f() { assert!(n > 0); debug_assert_eq!(a, b); }\n",
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Checkpoint-schema drift detector. The hetsolve-ckpt format is
+//! hand-rolled (sectioned, checksummed, versioned — see DESIGN.md §11),
+//! which means a struct can grow a field that no encode/decode path ever
+//! touches: the write succeeds, the restore succeeds, and the field
+//! silently resurrects as `Default` — exactly the corruption class format
+//! versioning cannot catch, because the format did not change.
+//!
+//! This pass parses the field list of every checkpointed struct and
+//! requires each field identifier to be *mentioned* in both its encode
+//! and its decode function body. Mention-checking is deliberately
+//! shallow: it does not prove the bytes round-trip (the proptest/Miri
+//! suites do that dynamically); it proves the author of a new field had
+//! to touch both codec paths, which is the step people forget.
+//!
+//! The pair table below is the registry of checkpointed structs. Adding a
+//! new struct to a checkpoint without registering it here will be caught
+//! in review via the DESIGN.md §13 checklist; adding a *field* to a
+//! registered struct without serializing it is caught right here, at
+//! build time.
+
+use std::path::Path;
+
+use super::scanner::{token_positions, SourceFile};
+use super::Violation;
+
+const PASS: &str = "schema-drift";
+
+struct CodecPair {
+    /// Struct whose fields must all be serialized.
+    name: &'static str,
+    /// File that defines the struct.
+    def_file: &'static str,
+    /// (file, fn) whose body must mention every field when encoding.
+    encode: (&'static str, &'static str),
+    /// (file, fn) whose body must mention every field when decoding.
+    decode: (&'static str, &'static str),
+    /// Field renamed in the codec: (field, token to look for instead).
+    aliases: &'static [(&'static str, &'static str)],
+}
+
+const CORE_CKPT: &str = "crates/core/src/checkpoint.rs";
+const SERVE_CKPT: &str = "crates/serve/src/checkpoint.rs";
+
+/// Registry of every struct that flows through a checkpoint codec.
+const PAIRS: &[CodecPair] = &[
+    CodecPair {
+        name: "SlotState",
+        def_file: CORE_CKPT,
+        encode: (CORE_CKPT, "encode_into"),
+        decode: (CORE_CKPT, "decode_from"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "RunCheckpoint",
+        def_file: CORE_CKPT,
+        encode: (CORE_CKPT, "to_bytes"),
+        decode: (CORE_CKPT, "from_bytes"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "ClockState",
+        def_file: "crates/machine/src/clock.rs",
+        encode: (CORE_CKPT, "encode_clock_state"),
+        decode: (CORE_CKPT, "decode_clock_state"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "StepRecord",
+        def_file: "crates/core/src/methods.rs",
+        encode: (CORE_CKPT, "encode_record"),
+        decode: (CORE_CKPT, "decode_record"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "RecoveryEvent",
+        def_file: "crates/core/src/recovery.rs",
+        encode: (CORE_CKPT, "encode_recovery_event"),
+        decode: (CORE_CKPT, "decode_recovery_event"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "ServerCheckpoint",
+        def_file: SERVE_CKPT,
+        encode: (SERVE_CKPT, "to_bytes"),
+        decode: (SERVE_CKPT, "from_bytes"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "LaneCheckpoint",
+        def_file: SERVE_CKPT,
+        encode: (SERVE_CKPT, "to_bytes"),
+        decode: (SERVE_CKPT, "from_bytes"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "QueueEntrySnapshot",
+        def_file: "crates/serve/src/queue.rs",
+        encode: (SERVE_CKPT, "encode_queue_entry"),
+        decode: (SERVE_CKPT, "decode_queue_entry"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "SolveRequest",
+        def_file: "crates/serve/src/request.rs",
+        encode: (SERVE_CKPT, "encode_record"),
+        decode: (SERVE_CKPT, "decode_record"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "RequestRecord",
+        def_file: "crates/serve/src/request.rs",
+        encode: (SERVE_CKPT, "encode_record"),
+        decode: (SERVE_CKPT, "decode_record"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "ServeStats",
+        def_file: "crates/obs/src/serve.rs",
+        encode: (SERVE_CKPT, "encode_stats"),
+        decode: (SERVE_CKPT, "decode_stats"),
+        aliases: &[],
+    },
+];
+
+/// Run the pass. Returns (pairs actually checked, violations). A pair
+/// whose defining file is absent from the tree is skipped — that is what
+/// lets the fixture trees exercise a single pair in isolation — but a
+/// present file that lost the struct or a codec function is a violation.
+pub fn check(_root: &Path, files: &[SourceFile]) -> (usize, Vec<Violation>) {
+    let by_rel = |rel: &str| files.iter().find(|f| f.rel == rel);
+    let mut checked = 0usize;
+    let mut out = Vec::new();
+
+    for pair in PAIRS {
+        let Some(def) = by_rel(pair.def_file) else {
+            continue; // fixture tree without this file
+        };
+        let Some(fields) = def.struct_fields(pair.name) else {
+            out.push(Violation::new(
+                pair.def_file,
+                0,
+                PASS,
+                format!(
+                    "struct `{}` not found but registered in the checkpoint codec table \
+                     (xtask/src/analyze/schema_drift.rs); update the registry if it was \
+                     renamed or moved",
+                    pair.name
+                ),
+            ));
+            continue;
+        };
+        checked += 1;
+
+        let mut body = |file_fn: (&str, &str), role: &str| -> Option<String> {
+            let (rel, fn_name) = file_fn;
+            let Some(file) = by_rel(rel) else {
+                out.push(Violation::new(
+                    pair.def_file,
+                    0,
+                    PASS,
+                    format!("{role} file {rel} for `{}` is missing", pair.name),
+                ));
+                return None;
+            };
+            match file.find_fn(fn_name) {
+                Some((_, b)) => Some(b.to_string()),
+                None => {
+                    out.push(Violation::new(
+                        rel,
+                        0,
+                        PASS,
+                        format!("{role} fn `{fn_name}` for `{}` not found", pair.name),
+                    ));
+                    None
+                }
+            }
+        };
+        let enc = body(pair.encode, "encode");
+        let dec = body(pair.decode, "decode");
+
+        for (line, field) in &fields {
+            let token = pair
+                .aliases
+                .iter()
+                .find(|(f, _)| f == field)
+                .map(|(_, t)| *t)
+                .unwrap_or(field.as_str());
+            for (role, (_, fn_name), b) in
+                [("encode", pair.encode, &enc), ("decode", pair.decode, &dec)]
+            {
+                if let Some(b) = b {
+                    if token_positions(b, token).is_empty() {
+                        out.push(Violation::new(
+                            pair.def_file,
+                            *line,
+                            PASS,
+                            format!(
+                                "field `{field}` of `{}` is never mentioned by {role} fn \
+                                 `{fn_name}`; a checkpointed struct field must be \
+                                 serialized on both paths (or the restore silently \
+                                 defaults it)",
+                                pair.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    (checked, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_field_mention_fires_on_a_synthetic_tree() {
+        let def = SourceFile::parse(
+            CORE_CKPT.into(),
+            concat!(
+                "pub struct SlotState {\n",
+                "    pub seed: u64,\n",
+                "    pub drifted: f64,\n",
+                "}\n",
+                "pub struct RunCheckpoint {\n",
+                "    pub step: usize,\n",
+                "}\n",
+                "fn encode_into(s: &SlotState) { put(s.seed); }\n",
+                "fn decode_from() -> SlotState { SlotState { seed: get(), drifted: 0.0 } }\n",
+                "fn to_bytes(c: &RunCheckpoint) { put(c.step); }\n",
+                "fn from_bytes() -> RunCheckpoint { RunCheckpoint { step: get() } }\n",
+            ),
+        );
+        let (checked, v) = check(Path::new("/x"), std::slice::from_ref(&def));
+        assert_eq!(checked, 2);
+        // `drifted` is decoded (mentioned in the struct literal) but never
+        // encoded — exactly one violation, on the encode path.
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|x| &x.message).collect::<Vec<_>>()
+        );
+        assert!(v[0].message.contains("`drifted`"));
+        assert!(v[0].message.contains("encode"));
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn consistent_codec_is_clean_and_absent_files_are_skipped() {
+        let def = SourceFile::parse(
+            CORE_CKPT.into(),
+            concat!(
+                "pub struct SlotState {\n",
+                "    pub seed: u64,\n",
+                "}\n",
+                "fn encode_into(s: &SlotState) { put(s.seed); }\n",
+                "fn decode_from() -> SlotState { SlotState { seed: get() } }\n",
+            ),
+        );
+        let (checked, v) = check(Path::new("/x"), std::slice::from_ref(&def));
+        // RunCheckpoint is registered in the same file but absent here —
+        // that is a rename-style violation, not a silent skip.
+        assert_eq!(checked, 1);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("RunCheckpoint"));
+    }
+
+    #[test]
+    fn every_registered_codec_file_is_a_checkpoint_module() {
+        for pair in PAIRS {
+            for (rel, _) in [pair.encode, pair.decode] {
+                assert!(
+                    rel.ends_with("checkpoint.rs"),
+                    "codec fns live in checkpoint modules, got {rel}"
+                );
+            }
+        }
+    }
+}

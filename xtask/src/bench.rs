@@ -101,6 +101,11 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
     // so the snapshot tracks the overhead of crash consistency
     sink.set_section("checkpoint", ckpt_stats(&backend));
 
+    // static analysis: gate cost and surface size, so the snapshot shows
+    // the analyzer staying in the milliseconds and the workspace staying
+    // clean as the audit surface (unsafe sites, codec pairs) grows
+    sink.set_section("analyze", analyze_stats());
+
     match sink.write_bench_snapshot(&dir) {
         Ok(path) => {
             println!("bench-snapshot: wrote {}", path.display());
@@ -111,6 +116,34 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Run `analyze` in-process against the workspace and summarize its cost
+/// and surface for the snapshot's `analyze` section. xtask itself is
+/// outside the determinism scope, so wall-clock timing here is fine.
+fn analyze_stats() -> Json {
+    let root = crate::workspace_root();
+    let t0 = std::time::Instant::now();
+    let report = crate::analyze::analyze(&root, None);
+    let runtime_s = t0.elapsed().as_secs_f64();
+    println!(
+        "bench-snapshot: analyze           {:.3} s, {} files, {} unsafe sites, {} codec pairs, {} violation(s)",
+        runtime_s,
+        report.files_scanned,
+        report.unsafe_sites,
+        report.codec_pairs_checked,
+        report.violations.len(),
+    );
+    Json::obj([
+        ("runtime_s", Json::from(runtime_s)),
+        ("files_scanned", Json::from(report.files_scanned)),
+        ("unsafe_sites", Json::from(report.unsafe_sites)),
+        (
+            "codec_pairs_checked",
+            Json::from(report.codec_pairs_checked),
+        ),
+        ("violations", Json::from(report.violations.len())),
+    ])
 }
 
 /// Run the reference serving workload (two long cases + a burst of short

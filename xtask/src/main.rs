@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+mod analyze;
 mod bench;
 
 use std::fs;
@@ -45,13 +46,17 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("analyze") => analyze::run(args),
         Some("bench-snapshot") => bench::bench_snapshot(args.next()),
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint, bench-snapshot");
+            eprintln!("unknown xtask `{other}`; available: lint, analyze, bench-snapshot");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <lint | bench-snapshot [dir]>");
+            eprintln!(
+                "usage: cargo xtask <lint | analyze [--root <dir>] [--write-audit] \
+                 [--pass <name>] | bench-snapshot [dir]>"
+            );
             ExitCode::FAILURE
         }
     }
@@ -194,8 +199,12 @@ fn unsafe_impl_kind(line: &str) -> Option<MarkerImpl> {
     None
 }
 
-/// All `.rs` files under the scan roots, skipping `target/`.
-fn rust_sources(root: &Path) -> Vec<PathBuf> {
+/// All `.rs` files under the scan roots, skipping `target/` and the
+/// seeded-bad-source `fixtures/` trees under `xtask/tests/` (those exist
+/// precisely to violate the rules; `analyze --root <fixture>` still scans
+/// them because the skip applies to children of a walked root, not to the
+/// root itself).
+pub(crate) fn rust_sources(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     for top in SCAN_ROOTS {
         walk(&root.join(top), &mut out);
@@ -211,7 +220,10 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == "fixtures")
+            {
                 continue;
             }
             walk(&path, out);
@@ -223,7 +235,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// The workspace root: parent of this binary's crate directory, or the
 /// current directory when run from the root (as `cargo xtask` does).
-fn workspace_root() -> PathBuf {
+pub(crate) fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
 }

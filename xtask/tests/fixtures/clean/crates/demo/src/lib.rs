@@ -1,0 +1,22 @@
+//! Clean fixture: no analysis pass should fire on this tree.
+
+/// Mentions of banned tokens in prose or strings must not trip the
+/// scanner: Instant::now, SystemTime, thread_rng, unsafe { }, .unwrap().
+pub fn total(values: &[f64]) -> f64 {
+    let banned_in_a_string = "Instant::now() .unwrap() panic!";
+    let _ = banned_in_a_string.len();
+    values.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // test code may time itself and panic freely
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(super::total(&[1.0, 2.0]) > 0.0);
+        let _ = t.elapsed();
+        let v: Option<usize> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,8 @@
+//! Bad fixture: iterates a default-hasher map into a result.
+
+use std::collections::HashMap;
+
+pub fn first_key(pairs: &[(u32, u32)]) -> Option<u32> {
+    let index: HashMap<u32, u32> = pairs.iter().copied().collect();
+    index.keys().next().copied()
+}

@@ -1,0 +1,6 @@
+//! Bad fixture: ambient randomness in library code.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

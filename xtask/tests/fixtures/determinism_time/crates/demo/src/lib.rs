@@ -1,0 +1,6 @@
+//! Bad fixture: reads the ambient wall clock in library code.
+
+pub fn stamp() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,20 @@
+//! Bad fixture: panicking calls in hetsolve-core library paths.
+
+pub fn head(values: &[f64]) -> f64 {
+    let first = values.first().unwrap();
+    *first
+}
+
+pub fn checked(flag: bool) -> usize {
+    if flag {
+        1
+    } else {
+        panic!("no typed error here")
+    }
+}
+
+// an annotated site must NOT fire
+pub fn annotated(values: &[f64]) -> f64 {
+    // PANIC-OK: caller guarantees non-empty input
+    *values.first().unwrap()
+}

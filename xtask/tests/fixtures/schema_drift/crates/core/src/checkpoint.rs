@@ -1,0 +1,52 @@
+//! Bad fixture: `RunCheckpoint` grew a field (`unserialized_extra`) that
+//! neither `to_bytes` nor `from_bytes` touches — the silent-corruption
+//! drift the schema pass must catch. `SlotState` stays consistent so it
+//! produces no noise.
+
+pub struct SlotState {
+    pub seed: u64,
+    pub step: usize,
+}
+
+pub struct RunCheckpoint {
+    pub step: usize,
+    pub slots: Vec<SlotState>,
+    pub unserialized_extra: f64,
+}
+
+impl SlotState {
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.step as u64).to_le_bytes());
+    }
+
+    pub fn decode_from(bytes: &[u8]) -> SlotState {
+        let seed = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let step = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        SlotState { seed, step }
+    }
+}
+
+impl RunCheckpoint {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.step as u64).to_le_bytes());
+        for slot in &self.slots {
+            slot.encode_into(&mut out);
+        }
+        out
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> RunCheckpoint {
+        let step = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+        let mut slots = Vec::new();
+        for chunk in bytes[8..].chunks_exact(16) {
+            slots.push(SlotState::decode_from(chunk));
+        }
+        RunCheckpoint {
+            step,
+            slots,
+            unserialized_extra: 0.0,
+        }
+    }
+}

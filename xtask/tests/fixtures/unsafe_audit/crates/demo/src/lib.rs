@@ -1,0 +1,5 @@
+//! Bad fixture: an `unsafe` block with no `// SAFETY:` justification.
+
+pub fn read_first(ptr: *const f64) -> f64 {
+    unsafe { *ptr }
+}
