@@ -223,6 +223,12 @@ impl Enc {
             self.put_f64s(x);
         }
     }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
 }
 
 /// Little-endian field decoder over a section payload.
@@ -323,6 +329,14 @@ impl<'a> Dec<'a> {
             out.push(self.f64s()?);
         }
         Ok(out)
+    }
+
+    /// Length-prefixed UTF-8 string (dual of [`Enc::put_str`]).
+    pub fn str_(&mut self) -> Result<String, CkptError> {
+        let len = self.bounded_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CkptError::Corrupt("string section is not valid UTF-8".into()))
     }
 
     /// Everything must be consumed: trailing bytes mean a reader/writer
@@ -496,6 +510,37 @@ mod tests {
         assert_eq!(d.f64s().unwrap(), vec![1.0, -2.5]);
         assert_eq!(d.f64_vecs().unwrap(), vec![vec![], vec![3.0]]);
         d.finish().unwrap();
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        let mut e = Enc::new();
+        e.put_str("");
+        e.put_str("watchdog_breach lane#1 \"quoted\" \u{2192} evict");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.str_().unwrap(), "");
+        assert_eq!(
+            d.str_().unwrap(),
+            "watchdog_breach lane#1 \"quoted\" \u{2192} evict"
+        );
+        d.finish().unwrap();
+
+        // length claims more bytes than remain -> typed truncation
+        let mut e = Enc::new();
+        e.put_usize(100);
+        let bytes = e.into_bytes();
+        assert_eq!(Dec::new(&bytes).str_(), Err(CkptError::Truncated));
+
+        // invalid UTF-8 payload -> typed corruption, not a panic
+        let mut e = Enc::new();
+        e.put_usize(2);
+        let mut bytes = e.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            Dec::new(&bytes).str_(),
+            Err(CkptError::Corrupt(_))
+        ));
     }
 
     #[test]

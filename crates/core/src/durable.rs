@@ -118,6 +118,18 @@ pub fn run_durable_clocked<F: FaultInjector, C: WallClock + ?Sized>(
         }
         None => (EbeRunState::new(backend, &run_cfg), None),
     };
+    if let Some(step) = resumed_from {
+        let skipped = restore.skipped.len();
+        tracer.flight_event(
+            st.clock.elapsed(),
+            "ckpt_restore",
+            Some(step as u64),
+            format!("resumed from step {step}, {skipped} invalid checkpoint(s) skipped"),
+        );
+        if let Some(reg) = tracer.registry_mut() {
+            reg.inc("core_ckpt_restores_total", 1.0);
+        }
+    }
 
     tracer.begin_run(run_cfg.method.label(), &run_cfg, 2);
     tracer.attach_clock(&mut st.clock);
@@ -128,12 +140,31 @@ pub fn run_durable_clocked<F: FaultInjector, C: WallClock + ?Sized>(
 
     loop {
         if faults.crash_fault(st.step) {
+            // black-box behavior: the last thing the recorder sees is the
+            // crash itself, then the ring hits disk (best-effort — a dump
+            // failure must not mask the crash error)
+            tracer.flight_event(
+                st.clock.elapsed(),
+                "crash",
+                Some(st.step as u64),
+                "injected crash_fault at step boundary",
+            );
+            let _ = tracer.dump_flight("crash");
             return Err(RunError::Crashed { step: st.step });
         }
         if st.step >= run_cfg.n_steps {
             break;
         }
-        st.step_once(backend, &run_cfg, tracer, faults, &ctx)?;
+        if let Err(e) = st.step_once(backend, &run_cfg, tracer, faults, &ctx) {
+            tracer.flight_event(
+                st.clock.elapsed(),
+                "run_error",
+                Some(st.step as u64),
+                format!("{e}"),
+            );
+            let _ = tracer.dump_flight("run_error");
+            return Err(e);
+        }
         if policy.every > 0 && st.step % policy.every == 0 && st.step < run_cfg.n_steps {
             let bytes = RunCheckpoint::capture(&st, fp).to_bytes();
             let seq = st.step as u64;
@@ -144,6 +175,15 @@ pub fn run_durable_clocked<F: FaultInjector, C: WallClock + ?Sized>(
             write_s += wall.now() - tw;
             checkpoints_written += 1;
             checkpoint_bytes = bytes.len();
+            tracer.flight_event(
+                st.clock.elapsed(),
+                "ckpt_write",
+                Some(seq),
+                format!("{} bytes", bytes.len()),
+            );
+            if let Some(reg) = tracer.registry_mut() {
+                reg.inc("core_ckpt_writes_total", 1.0);
+            }
             if let Some(t) = faults.torn_write_fault(seq) {
                 tear(&path, t.keep_frac).map_err(|e| RunError::Checkpoint {
                     message: format!("injected tear failed: {e}"),

@@ -814,6 +814,7 @@ impl EbeRunState {
             initial_rel_res: res_sum / n_cases as f64,
         });
         self.step += 1;
+        tracer.step_completed(self.clock.elapsed());
         Ok(())
     }
 

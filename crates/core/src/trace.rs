@@ -21,7 +21,9 @@
 use std::path::{Path, PathBuf};
 
 use hetsolve_machine::{LaneKind, ModuleClock};
-use hetsolve_obs::{Json, MethodMetrics, MetricsSink, TraceBuilder};
+use hetsolve_obs::{
+    FlightRecorder, Json, MethodMetrics, MetricsRegistry, MetricsSink, TraceBuilder,
+};
 use hetsolve_predictor::WindowDecision;
 use hetsolve_sparse::KernelCounts;
 
@@ -44,6 +46,17 @@ pub struct StepTracer {
     enabled: bool,
     pub trace: TraceBuilder,
     pub sink: MetricsSink,
+    /// Telemetry-v2 registry, independent of `enabled`: an attached
+    /// registry aggregates phase histograms and counters even on a
+    /// `disabled()` tracer (no span labeling, no per-event allocation),
+    /// which is what the bench snapshot's observer-overhead ratio
+    /// measures. `None` (the default) costs one branch per charge.
+    registry: Option<MetricsRegistry>,
+    /// Crash-time flight recorder: always on (a ring push per event —
+    /// the drivers only feed it step/checkpoint/recovery boundaries, not
+    /// per-kernel), dumped by the durable driver on typed errors and
+    /// injected crashes.
+    pub flight: FlightRecorder,
     /// Total kernel work charged through this tracer.
     total_counts: KernelCounts,
     /// Adaptive-window decision log rows for the metrics export.
@@ -52,6 +65,7 @@ pub struct StepTracer {
     recovery_log: Vec<Json>,
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
+    flight_path: Option<PathBuf>,
 }
 
 impl StepTracer {
@@ -100,8 +114,83 @@ impl StepTracer {
         self
     }
 
+    /// Dump the flight-recorder ring to `path` when the durable driver
+    /// hits a typed error or an injected crash (convention: somewhere
+    /// under `target/artifacts/`).
+    pub fn flight_dump_path(mut self, path: impl AsRef<Path>) -> Self {
+        self.flight_path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Attach a metrics registry. Works on disabled tracers too — the
+    /// registry seam is separate from span tracing, so its overhead can
+    /// be measured (and its bitwise neutrality proven) in isolation.
+    pub fn attach_registry(&mut self, registry: MetricsRegistry) {
+        self.registry = Some(registry);
+    }
+
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.registry.as_ref()
+    }
+
+    pub fn registry_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.registry.as_mut()
+    }
+
+    /// Detach and return the registry (e.g. to merge into a server-level
+    /// aggregate after a run).
+    pub fn take_registry(&mut self) -> Option<MetricsRegistry> {
+        self.registry.take()
+    }
+
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Record a structured event into the always-on flight ring. `ts_s`
+    /// is modeled seconds; `step` the driver's step counter.
+    pub fn flight_event(
+        &mut self,
+        ts_s: f64,
+        kind: &str,
+        step: Option<u64>,
+        detail: impl Into<String>,
+    ) {
+        self.flight.record(ts_s, kind, None, None, step, detail);
+    }
+
+    /// Dump the flight ring to the configured path (no-op without one).
+    /// Returns the path written. Callers treat failures as best-effort:
+    /// a dump that cannot be written must not mask the original error.
+    pub fn dump_flight(&self, trigger: &str) -> std::io::Result<Option<PathBuf>> {
+        match &self.flight_path {
+            Some(p) => {
+                self.flight.dump_to(p, trigger)?;
+                Ok(Some(p.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Registry-side accounting for a charged phase: the phase histogram
+    /// plus work counters. One branch when no registry is attached.
+    fn observe_phase(&mut self, lane: LaneKind, seconds: f64, counts: &KernelCounts) {
+        let Some(reg) = self.registry.as_mut() else {
+            return;
+        };
+        let name = match lane {
+            LaneKind::Cpu => "core_phase_cpu_s",
+            LaneKind::Gpu => "core_phase_gpu_s",
+            LaneKind::Link => "core_phase_link_s",
+        };
+        reg.observe(name, seconds);
+        if counts.flops > 0.0 {
+            reg.inc("core_flops_total", counts.flops);
+        }
+        let bytes = counts.bytes();
+        if bytes > 0.0 {
+            reg.inc("core_bytes_total", bytes);
+        }
     }
 
     /// Total kernel work charged through this tracer so far.
@@ -150,6 +239,7 @@ impl StepTracer {
         args: &[(&str, Json)],
     ) -> f64 {
         let t = clock.run_cpu(counts);
+        self.observe_phase(LaneKind::Cpu, t, counts);
         self.label(clock, set, name, counts, args);
         t
     }
@@ -164,6 +254,7 @@ impl StepTracer {
         args: &[(&str, Json)],
     ) -> f64 {
         let t = clock.run_gpu(counts);
+        self.observe_phase(LaneKind::Gpu, t, counts);
         self.label(clock, set, name, counts, args);
         t
     }
@@ -177,6 +268,10 @@ impl StepTracer {
         bytes: f64,
     ) -> f64 {
         let t = clock.transfer(bytes);
+        if let Some(reg) = self.registry.as_mut() {
+            reg.observe("core_phase_link_s", t);
+            reg.inc("core_bytes_total", bytes);
+        }
         if self.enabled {
             let args = [("bytes", Json::Num(bytes))];
             self.label(clock, set, name, &KernelCounts::default(), &args);
@@ -220,6 +315,9 @@ impl StepTracer {
     /// decision: a counter track in the trace plus a row in the metrics
     /// `window_log` section. `ts_s` is the modeled time of the decision.
     pub fn window_decision(&mut self, step: usize, ts_s: f64, d: &WindowDecision) {
+        if let Some(reg) = self.registry.as_mut() {
+            reg.gauge_set("core_window_s", d.s_next as f64);
+        }
         if !self.enabled {
             return;
         }
@@ -245,6 +343,17 @@ impl StepTracer {
     /// a row in the metrics `recovery_log` section. `ts_s` is the modeled
     /// time the recovery completed.
     pub fn recovery_event(&mut self, ts_s: f64, ev: &RecoveryEvent) {
+        if let Some(reg) = self.registry.as_mut() {
+            reg.inc("core_recoveries_total", 1.0);
+        }
+        self.flight.record(
+            ts_s,
+            "recovery",
+            ev.case.map(|c| c as u64),
+            None,
+            Some(ev.step as u64),
+            format!("{} -> {}", ev.failed.label(), ev.recovered_with.label()),
+        );
         if !self.enabled {
             return;
         }
@@ -292,6 +401,7 @@ impl StepTracer {
         seconds: f64,
     ) -> f64 {
         let t = clock.stall(lane, seconds);
+        self.observe_phase(lane, t, &KernelCounts::default());
         if self.enabled {
             let args = [("seconds", Json::Num(seconds))];
             self.label(
@@ -303,6 +413,15 @@ impl StepTracer {
             );
         }
         t
+    }
+
+    /// A driver finished one time step at modeled time `ts_s`: bump the
+    /// step counter on an attached registry. Called by `step_once` at the
+    /// step boundary — one branch when nothing is attached.
+    pub fn step_completed(&mut self, _ts_s: f64) {
+        if let Some(reg) = self.registry.as_mut() {
+            reg.inc("core_steps_total", 1.0);
+        }
     }
 
     /// Record a mean-iterations counter sample (one per step).
@@ -317,6 +436,9 @@ impl StepTracer {
     /// Fold a finished run into the metrics sink as a method row (and
     /// flush the window log into a section).
     pub fn finish_run(&mut self, result: &RunResult, from: usize) {
+        if let Some(reg) = &self.registry {
+            self.sink.set_section("registry", reg.to_json());
+        }
         if !self.enabled {
             return;
         }

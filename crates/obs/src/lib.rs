@@ -19,21 +19,36 @@
 //!   reproduction of the paper's Fig. 4 CPU/GPU/transfer overlap diagram,
 //! * [`metrics`] — [`MetricsSink`] aggregating kernel counts, iteration
 //!   counts and method summaries into a schema-versioned `BENCH_<n>.json`
-//!   snapshot (written by `cargo xtask bench-snapshot`) or JSONL stream.
+//!   snapshot (written by `cargo xtask bench-snapshot`) or JSONL stream,
+//! * [`registry`] — telemetry v2's [`MetricsRegistry`]: named counters,
+//!   gauges and fixed-size log-bucketed [`LogHistogram`]s with mergeable
+//!   snapshots, exported as JSON or a Prometheus-style text page,
+//! * [`names`] — the committed metric-name table the `cargo xtask
+//!   analyze` metric-names pass enforces,
+//! * [`flight`] — the crash-time [`FlightRecorder`]: a bounded ring of
+//!   structured events dumped as JSON on watchdog breach, eviction, typed
+//!   run errors, or injected crashes.
 //!
 //! The crate is dependency-free and `#![forbid(unsafe_code)]`; everything
 //! here is plumbing that must never perturb the numerics it observes.
 
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod observer;
+pub mod registry;
 pub mod serve;
 pub mod trace;
 
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHT_SCHEMA};
 pub use json::{parse_json, Json};
 pub use metrics::{MethodMetrics, MetricsSink, BENCH_SCHEMA};
 pub use observer::{NoopObserver, ResidualLog, SolveObserver, Termination};
+pub use registry::{LogHistogram, MetricsRegistry, HIST_BUCKETS};
 pub use serve::ServeStats;
-pub use trace::{validate_lane_serialization, TraceBuilder, TraceEvent, TRACE_SCHEMA};
+pub use trace::{
+    flow_id_for_request, validate_lane_serialization, TraceBuilder, TraceEvent, TRACE_SCHEMA,
+};

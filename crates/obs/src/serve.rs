@@ -10,6 +10,7 @@
 //! ROADMAP's perf trajectory lane-occupancy and queue-latency columns.
 
 use crate::json::Json;
+use crate::registry::{LogHistogram, MetricsRegistry};
 
 /// Counters and samples collected by a serving run.
 #[derive(Debug, Clone, Default)]
@@ -18,8 +19,12 @@ pub struct ServeStats {
     queue_depth: Vec<usize>,
     /// Occupied slots sampled per lane per boundary, with the lane width.
     occupancy: Vec<(usize, usize)>,
-    /// Modeled admit→done latency (s) per completed request.
-    latencies: Vec<f64>,
+    /// Modeled admit→done latency (s) per completed request, aggregated
+    /// into a fixed-size log-bucketed histogram: memory is constant no
+    /// matter how many requests complete, and percentiles are an
+    /// O(buckets) walk with the ≤ 19% bucket error bound documented in
+    /// [`crate::registry`] (min/max stay exact).
+    latency: LogHistogram,
     completed: usize,
     failed: usize,
     evicted: usize,
@@ -54,7 +59,7 @@ impl ServeStats {
     /// in the system (queued + solving).
     pub fn record_completion(&mut self, latency_s: f64) {
         self.completed += 1;
-        self.latencies.push(latency_s);
+        self.latency.observe(latency_s);
     }
 
     pub fn record_failure(&mut self) {
@@ -128,10 +133,9 @@ impl ServeStats {
         &self.occupancy
     }
 
-    /// Raw completion latencies (s), in completion order (checkpoint
-    /// access).
-    pub fn latency_samples(&self) -> &[f64] {
-        &self.latencies
+    /// The completion-latency histogram (checkpoint + export access).
+    pub fn latency(&self) -> &LogHistogram {
+        &self.latency
     }
 
     /// Rebuild stats from checkpointed parts — the restore-side inverse
@@ -141,7 +145,7 @@ impl ServeStats {
     pub fn from_parts(
         queue_depth: Vec<usize>,
         occupancy: Vec<(usize, usize)>,
-        latencies: Vec<f64>,
+        latency: LogHistogram,
         completed: usize,
         failed: usize,
         evicted: usize,
@@ -154,7 +158,7 @@ impl ServeStats {
         ServeStats {
             queue_depth,
             occupancy,
-            latencies,
+            latency,
             completed,
             failed,
             evicted,
@@ -196,18 +200,37 @@ impl ServeStats {
         self.completed as f64 / self.elapsed_s
     }
 
-    /// Latency percentile (`p` in [0, 1], nearest-rank) over completed
-    /// requests; 0 when nothing completed.
+    /// Latency percentile (`p` in [0, 1], nearest-rank over histogram
+    /// buckets) over completed requests; 0 when nothing completed.
+    /// `p = 0` and `p = 1` are exact (min/max); interior percentiles
+    /// carry the histogram's ≤ 19% bucket error bound. O(buckets) per
+    /// call — no sort, no per-request memory.
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
-            .saturating_sub(1)
-            .min(sorted.len() - 1);
-        sorted[rank]
+        self.latency.quantile(p)
+    }
+
+    /// Export these stats into a metrics registry under the declared
+    /// `serve_*` names (see `crates/obs/src/names.rs`). Counters map to
+    /// `_total`s, the samples to gauges, and the latency histogram is
+    /// merged bucket-wise.
+    pub fn to_registry(&self, registry: &mut MetricsRegistry) {
+        registry.inc("serve_requests_completed_total", self.completed as f64);
+        registry.inc("serve_requests_failed_total", self.failed as f64);
+        registry.inc("serve_requests_evicted_total", self.evicted as f64);
+        registry.inc("serve_requests_rejected_total", self.rejected as f64);
+        registry.inc("serve_requests_shed_total", self.shed as f64);
+        registry.inc(
+            "serve_watchdog_breaches_total",
+            self.watchdog_breaches as f64,
+        );
+        registry.inc(
+            "serve_watchdog_restarts_total",
+            self.watchdog_restarts as f64,
+        );
+        registry.gauge_set("serve_queue_depth", self.mean_queue_depth());
+        registry.gauge_set("serve_lane_occupancy", self.mean_occupancy());
+        registry.gauge_set("serve_elapsed_s", self.elapsed_s);
+        registry.merge_histogram("serve_request_latency_s", &self.latency);
     }
 
     /// Summary document — the bench snapshot's `serve` section.
@@ -266,16 +289,44 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_nearest_rank() {
+    fn percentiles_are_bucketed_with_exact_extremes() {
         let mut s = ServeStats::new();
         for l in [4.0, 1.0, 3.0, 2.0] {
             s.record_completion(l);
         }
-        assert_eq!(s.latency_percentile(0.5), 2.0);
-        assert_eq!(s.latency_percentile(1.0), 4.0);
+        // extremes are exact; interior percentiles report the bucket upper
+        // bound, within the 2^(1/4) histogram error bound of the exact
+        // nearest-rank value (2.0 here)
         assert_eq!(s.latency_percentile(0.0), 1.0);
+        assert_eq!(s.latency_percentile(1.0), 4.0);
+        let p50 = s.latency_percentile(0.5);
+        assert!(
+            (2.0..=2.0 * 2f64.powf(0.25) + 1e-12).contains(&p50),
+            "p50 {p50} outside the bucket error bound"
+        );
         let empty = ServeStats::new();
         assert_eq!(empty.latency_percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn registry_export_mirrors_counters_and_latency() {
+        let mut s = ServeStats::new();
+        s.record_completion(0.5);
+        s.record_completion(1.0);
+        s.record_eviction();
+        s.record_watchdog_breach();
+        s.sample_queue_depth(4);
+        s.set_elapsed(2.0);
+        let mut r = MetricsRegistry::new();
+        s.to_registry(&mut r);
+        assert_eq!(r.counter("serve_requests_completed_total"), 2.0);
+        assert_eq!(r.counter("serve_requests_evicted_total"), 1.0);
+        assert_eq!(r.counter("serve_watchdog_breaches_total"), 1.0);
+        assert_eq!(r.gauge("serve_queue_depth"), Some(4.0));
+        assert_eq!(r.gauge("serve_elapsed_s"), Some(2.0));
+        let h = r.histogram("serve_request_latency_s").unwrap();
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.max(), 1.0);
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub struct TraceEvent {
     pub name: String,
     /// Category: "cpu", "gpu", "link", "wall", ...
     pub cat: String,
-    /// "X" (complete span) or "C" (counter).
+    /// "X" (complete span), "C" (counter), "i" (instant), or the flow
+    /// phases "s"/"t"/"f" (start/step/end).
     pub ph: char,
     /// Process id — one per process set in the pipelined methods.
     pub pid: usize,
@@ -37,6 +38,9 @@ pub struct TraceEvent {
     pub ts_us: f64,
     /// Span duration in microseconds (spans only).
     pub dur_us: Option<f64>,
+    /// Flow-event binding id (flow phases only). Stable per request, so a
+    /// case's life is followable across lanes and restarts.
+    pub id: Option<u64>,
     /// Extra payload rendered into `args`.
     pub args: Vec<(String, Json)>,
 }
@@ -92,8 +96,89 @@ impl TraceBuilder {
             tid,
             ts_us,
             dur_us: Some(dur_us),
+            id: None,
             args,
         });
+    }
+
+    /// Record an instant event (a labeled tick mark on a thread row).
+    pub fn instant(
+        &mut self,
+        pid: usize,
+        tid: usize,
+        cat: &str,
+        name: &str,
+        ts_us: f64,
+        args: Vec<(String, Json)>,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'i',
+            pid,
+            tid,
+            ts_us,
+            dur_us: None,
+            id: None,
+            args,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn flow(
+        &mut self,
+        ph: char,
+        pid: usize,
+        tid: usize,
+        cat: &str,
+        name: &str,
+        ts_us: f64,
+        id: u64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph,
+            pid,
+            tid,
+            ts_us,
+            dur_us: None,
+            id: Some(id),
+            args: Vec::new(),
+        });
+    }
+
+    /// Begin a flow (ph "s"). Perfetto draws an arrow from here to the
+    /// next flow step/end with the same `id`.
+    pub fn flow_start(
+        &mut self,
+        pid: usize,
+        tid: usize,
+        cat: &str,
+        name: &str,
+        ts_us: f64,
+        id: u64,
+    ) {
+        self.flow('s', pid, tid, cat, name, ts_us, id);
+    }
+
+    /// Continue a flow (ph "t") — an intermediate hop, possibly on a
+    /// different pid/tid than the start.
+    pub fn flow_step(
+        &mut self,
+        pid: usize,
+        tid: usize,
+        cat: &str,
+        name: &str,
+        ts_us: f64,
+        id: u64,
+    ) {
+        self.flow('t', pid, tid, cat, name, ts_us, id);
+    }
+
+    /// End a flow (ph "f", binding-point "e").
+    pub fn flow_end(&mut self, pid: usize, tid: usize, cat: &str, name: &str, ts_us: f64, id: u64) {
+        self.flow('f', pid, tid, cat, name, ts_us, id);
     }
 
     /// Record a counter sample (rendered as a step chart in Perfetto).
@@ -106,6 +191,7 @@ impl TraceBuilder {
             tid: 0,
             ts_us,
             dur_us: None,
+            id: None,
             args: series
                 .iter()
                 .map(|(k, v)| (k.to_string(), Json::Num(*v)))
@@ -144,6 +230,16 @@ impl TraceBuilder {
             if let Some(dur) = e.dur_us {
                 obj.push(("dur", Json::Num(dur)));
             }
+            if let Some(id) = e.id {
+                // flow ids are rendered as strings: u64 survives JSON
+                obj.push(("id", Json::Str(format!("{id:#x}"))));
+            }
+            if e.ph == 'i' {
+                obj.push(("s", Json::from("t"))); // thread-scoped instant
+            }
+            if e.ph == 'f' {
+                obj.push(("bp", Json::from("e"))); // bind to enclosing slice
+            }
             if !e.args.is_empty() {
                 obj.push(("args", Json::Obj(e.args.iter().cloned().collect())));
             }
@@ -163,6 +259,15 @@ impl TraceBuilder {
     pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
         std::fs::write(path, self.to_json().to_string_pretty())
     }
+}
+
+/// Stable flow id for a request. Derived purely from the request id (no
+/// lane, tick or restart state), so the same case carries the same flow id
+/// on whichever lane it lands after a restart — Perfetto then draws one
+/// continuous arrow chain across lanes. Offset by 1 so id 0 stays valid
+/// (flow id 0 is reserved-looking in some viewers).
+pub fn flow_id_for_request(request_id: u64) -> u64 {
+    request_id.wrapping_add(1)
 }
 
 fn meta_event(kind: &str, pid: usize, tid: usize, name: &str) -> Json {
@@ -258,5 +363,70 @@ mod tests {
         let err = validate_lane_serialization(t.events(), 1e-6).unwrap_err();
         assert_eq!(err.0.name, "a");
         assert_eq!(err.1.name, "b");
+    }
+
+    /// A span name with every JSON-hostile character class must survive
+    /// export and re-parse byte-for-byte.
+    #[test]
+    fn span_names_are_json_escaped() {
+        let hostile = "fused \"MCG\" \\ solve\n\tπ/2 \u{1} end";
+        let mut t = TraceBuilder::new();
+        t.span(0, 0, "cpu", hostile, 0.0, 1.0, vec![]);
+        let text = t.to_json().to_string_pretty();
+        let v = parse_json(&text).expect("escaped export must stay valid JSON");
+        let name = v.get("traceEvents").unwrap().items()[0]
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(name, hostile);
+    }
+
+    /// An empty builder still exports a complete, parseable document with
+    /// the schema tag and an empty (not absent) traceEvents array.
+    #[test]
+    fn empty_trace_exports_valid_document() {
+        let t = TraceBuilder::new();
+        assert!(t.is_empty());
+        let text = t.to_json().to_string_pretty();
+        let v = parse_json(&text).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().items().len(), 0);
+        assert_eq!(
+            v.get("otherData").unwrap().get("schema").unwrap().as_str(),
+            Some(TRACE_SCHEMA)
+        );
+    }
+
+    /// Flow events serialize with the binding id and the "f" phase gets
+    /// the enclosing-slice binding point.
+    #[test]
+    fn flow_events_carry_stable_ids() {
+        let id = flow_id_for_request(41);
+        assert_eq!(id, 42);
+        // purely a function of the request id: stable across "restarts"
+        assert_eq!(flow_id_for_request(41), id);
+        let mut t = TraceBuilder::new();
+        t.flow_start(0, 0, "request", "admitted", 0.0, id);
+        t.flow_step(1, 1, "request", "step", 5.0, id); // another lane
+        t.flow_end(2, 1, "request", "done", 9.0, id); // a third lane
+        t.instant(0, 0, "request", "evicted", 9.5, vec![]);
+        let text = t.to_json().to_string_pretty();
+        let v = parse_json(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().items();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phases, ["s", "t", "f", "i"]);
+        // all three flow hops share one id even though pids differ
+        let ids: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("id").and_then(Json::as_str))
+            .collect();
+        assert_eq!(ids, ["0x2a", "0x2a", "0x2a"]);
+        let end = &events[2];
+        assert_eq!(end.get("bp").and_then(Json::as_str), Some("e"));
+        let inst = &events[3];
+        assert_eq!(inst.get("s").and_then(Json::as_str), Some("t"));
     }
 }

@@ -28,7 +28,7 @@ use hetsolve_core::{
 };
 use hetsolve_fault::{FaultInjector, NoopFaults};
 use hetsolve_machine::ClockState;
-use hetsolve_obs::ServeStats;
+use hetsolve_obs::{FlightEvent, FlightRecorder, LogHistogram, ServeStats};
 
 use crate::batcher::{BatchPolicy, CompatKey};
 use crate::queue::QueueEntrySnapshot;
@@ -43,6 +43,9 @@ const TAG_LANES: [u8; 4] = *b"LANE";
 const TAG_REQUESTS: [u8; 4] = *b"REQ\0";
 const TAG_STATS: [u8; 4] = *b"STAT";
 const TAG_RECOVERIES: [u8; 4] = *b"RCVR";
+/// Flight-recorder ring (added in telemetry v2). Optional on decode so
+/// pre-v2 snapshots restore with an empty ring instead of failing typed.
+const TAG_FLIGHT: [u8; 4] = *b"FLIT";
 
 /// Hash of everything that determines a serving run's trajectory but is
 /// rebuilt from `(backend, cfg)` on restore: the core run fingerprint
@@ -99,6 +102,7 @@ pub struct ServerCheckpoint {
     pub records: Vec<RequestRecord>,
     pub stats: ServeStats,
     pub recoveries: Vec<RecoveryEvent>,
+    pub flight: FlightRecorder,
 }
 
 fn encode_queue_entry(enc: &mut Enc, e: &QueueEntrySnapshot) {
@@ -182,6 +186,105 @@ fn decode_record(dec: &mut Dec<'_>) -> Result<RequestRecord, CkptError> {
     })
 }
 
+// Both codec bodies bind one local per `LogHistogram` field, under the
+// field's own name: the schema-drift pass (`cargo xtask analyze`)
+// cross-checks the struct's field list against these bodies, so a new
+// field that is not serialized here fails the build.
+fn encode_histogram(enc: &mut Enc, h: &LogHistogram) {
+    let counts = h.counts();
+    enc.put_usize(counts.len());
+    for &c in counts {
+        enc.put_u64(c);
+    }
+    let total = h.total();
+    enc.put_u64(total);
+    let sum = h.sum();
+    enc.put_f64(sum);
+    // raw views: the ±inf empty-histogram sentinels, not the clamped
+    // public accessors — `from_parts` expects the in-memory field values
+    let min = h.raw_min();
+    enc.put_f64(min);
+    let max = h.raw_max();
+    enc.put_f64(max);
+}
+
+fn decode_histogram(dec: &mut Dec<'_>) -> Result<LogHistogram, CkptError> {
+    let n = dec.usize_()?;
+    let mut counts = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        counts.push(dec.u64()?);
+    }
+    let total = dec.u64()?;
+    let sum = dec.f64()?;
+    let min = dec.f64()?;
+    let max = dec.f64()?;
+    Ok(LogHistogram::from_parts(counts, total, sum, min, max))
+}
+
+fn encode_flight_event(enc: &mut Enc, e: &FlightEvent) {
+    let seq = e.seq;
+    enc.put_u64(seq);
+    let t_s = e.t_s;
+    enc.put_f64(t_s);
+    let kind = &e.kind;
+    enc.put_str(kind);
+    let request = e.request;
+    enc.put_opt_u64(request);
+    let lane = e.lane;
+    enc.put_opt_u64(lane);
+    let step = e.step;
+    enc.put_opt_u64(step);
+    let detail = &e.detail;
+    enc.put_str(detail);
+}
+
+fn decode_flight_event(dec: &mut Dec<'_>) -> Result<FlightEvent, CkptError> {
+    let seq = dec.u64()?;
+    let t_s = dec.f64()?;
+    let kind = dec.str_()?;
+    let request = dec.opt_u64()?;
+    let lane = dec.opt_u64()?;
+    let step = dec.opt_u64()?;
+    let detail = dec.str_()?;
+    Ok(FlightEvent {
+        seq,
+        t_s,
+        kind,
+        request,
+        lane,
+        step,
+        detail,
+    })
+}
+
+fn encode_flight(enc: &mut Enc, f: &FlightRecorder) {
+    let capacity = f.capacity();
+    enc.put_usize(capacity);
+    let events = f.events();
+    enc.put_usize(f.len());
+    for e in events {
+        encode_flight_event(enc, e);
+    }
+    let next_seq = f.next_seq();
+    enc.put_u64(next_seq);
+    let dropped = f.dropped();
+    enc.put_u64(dropped);
+}
+
+fn decode_flight(dec: &mut Dec<'_>) -> Result<FlightRecorder, CkptError> {
+    let capacity = dec.usize_()?;
+    let n = dec.usize_()?;
+    let mut events = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        events.push(decode_flight_event(dec)?);
+    }
+    let next_seq = dec.u64()?;
+    let dropped = dec.u64()?;
+    Ok(FlightRecorder::from_parts(
+        capacity, events, next_seq, dropped,
+    ))
+}
+
 // Both codec bodies bind one local per `ServeStats` field, under the
 // field's own name: the schema-drift pass (`cargo xtask analyze`)
 // cross-checks the struct's field list against these bodies, so a new
@@ -198,8 +301,8 @@ fn encode_stats(enc: &mut Enc, s: &ServeStats) {
         enc.put_usize(o);
         enc.put_usize(w);
     }
-    let latencies = s.latency_samples();
-    enc.put_f64s(latencies);
+    let latency = s.latency();
+    encode_histogram(enc, latency);
     enc.put_usize(s.completed());
     enc.put_usize(s.failed());
     enc.put_usize(s.evicted());
@@ -221,7 +324,7 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
     for _ in 0..n {
         occupancy.push((dec.usize_()?, dec.usize_()?));
     }
-    let latencies = dec.f64s()?;
+    let latency = decode_histogram(dec)?;
     let completed = dec.usize_()?;
     let failed = dec.usize_()?;
     let evicted = dec.usize_()?;
@@ -233,7 +336,7 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
     Ok(ServeStats::from_parts(
         queue_depth,
         occupancy,
-        latencies,
+        latency,
         completed,
         failed,
         evicted,
@@ -302,6 +405,10 @@ impl ServerCheckpoint {
             encode_recovery_event(&mut rcvr, ev);
         }
         w.section(TAG_RECOVERIES, &rcvr.into_bytes());
+
+        let mut flt = Enc::new();
+        encode_flight(&mut flt, &self.flight);
+        w.section(TAG_FLIGHT, &flt.into_bytes());
         w.finish()
     }
 
@@ -374,6 +481,16 @@ impl ServerCheckpoint {
         }
         vd.finish()?;
 
+        // optional: pre-telemetry-v2 snapshots have no flight section
+        let flight = if r.has(TAG_FLIGHT) {
+            let mut fd = Dec::new(r.section(TAG_FLIGHT)?);
+            let flight = decode_flight(&mut fd)?;
+            fd.finish()?;
+            flight
+        } else {
+            FlightRecorder::default()
+        };
+
         Ok(ServerCheckpoint {
             fingerprint,
             ticks,
@@ -384,6 +501,7 @@ impl ServerCheckpoint {
             records,
             stats,
             recoveries,
+            flight,
         })
     }
 }
@@ -418,6 +536,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             records: self.records.clone(),
             stats: self.stats.clone(),
             recoveries: self.recoveries.clone(),
+            flight: self.flight.clone(),
         }
     }
 
@@ -427,9 +546,21 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
     }
 
     /// Atomically write a snapshot to `store`, sequenced by the tick
-    /// count (so newer boundaries sort after older ones).
-    pub fn save_checkpoint(&self, store: &CheckpointStore) -> io::Result<PathBuf> {
-        store.save(self.ticks as u64, &self.checkpoint_bytes())
+    /// count (so newer boundaries sort after older ones). The write is
+    /// itself a flight event — visible in the *next* snapshot's ring, so
+    /// a post-restore dump shows where the restored state came from.
+    pub fn save_checkpoint(&mut self, store: &CheckpointStore) -> io::Result<PathBuf> {
+        let bytes = self.checkpoint_bytes();
+        let path = store.save(self.ticks as u64, &bytes)?;
+        self.flight.record(
+            self.clock.elapsed(),
+            "ckpt_write",
+            None,
+            None,
+            Some(self.ticks as u64),
+            format!("{} bytes", bytes.len()),
+        );
+        Ok(path)
     }
 
     /// Rebuild a server from a parsed snapshot. The restored server
@@ -468,6 +599,15 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         server.recoveries = ck.recoveries;
         server.admissions = ck.admissions;
         server.ticks = ck.ticks;
+        server.flight = ck.flight;
+        server.flight.record(
+            server.clock.elapsed(),
+            "restored",
+            None,
+            None,
+            Some(server.ticks as u64),
+            "server rebuilt from checkpoint",
+        );
         // the in-memory lane checkpoints do not survive a crash; re-seed
         // them from the restored state so the watchdog's restart rung has
         // a rollback point from the first supervised tick on

@@ -22,13 +22,18 @@
 //! final displacement — under any load, any companions, any backfill
 //! order. The serve suite asserts this with `f64::to_bits`.
 
+use std::path::PathBuf;
+
 use hetsolve_core::{
     driver_cg_config, solve_set_resumable, Backend, CaseSlot, MethodKind, RecoveryEvent,
     RhsScratch, RunConfig, SlotState, WindowPolicy, TID_CPU, TID_GPU, TID_LINK,
 };
 use hetsolve_fault::{AdmissionFault, FaultInjector, FaultLane, NoopFaults};
 use hetsolve_machine::{LaneKind, ModuleClock, NodeSpec, SystemClock, WallClock};
-use hetsolve_obs::{Json, ServeStats, TraceBuilder};
+use hetsolve_obs::{
+    flow_id_for_request, FlightRecorder, Json, MetricsRegistry, ServeStats, TraceBuilder,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use hetsolve_sparse::vecops::{extract_case, insert_case};
 
 use crate::batcher::{BatchPolicy, Batcher, CompatKey};
@@ -62,6 +67,14 @@ pub struct ServeConfig {
     /// Capture an in-memory per-lane checkpoint every this many ticks
     /// (the watchdog's restart rung rolls back to it). 0 disables.
     pub checkpoint_every: usize,
+    /// Flight-recorder ring capacity (recent structured events kept for
+    /// the crash-time dump). Telemetry only — not part of the checkpoint
+    /// fingerprint, because it never shapes the trajectory.
+    pub flight_capacity: usize,
+    /// Where the flight recorder dumps on watchdog breach, eviction, or
+    /// injected crash (convention: under `target/artifacts/`). `None`
+    /// keeps the ring in memory only.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -76,6 +89,8 @@ impl ServeConfig {
             max_ticks: 100_000,
             watchdog: None,
             checkpoint_every: 4,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            flight_dump: None,
         }
     }
 }
@@ -115,6 +130,13 @@ pub struct EnsembleServer<'b, F: FaultInjector = NoopFaults> {
     /// its captured state at the boundary. The watchdog's restart rung
     /// rolls back to this.
     pub(crate) lane_ckpt: Vec<Vec<Option<(RequestId, SlotState)>>>,
+    /// Always-on ring of recent structured events (admissions, steps,
+    /// watchdog rungs, checkpoints); dumped to `cfg.flight_dump` on
+    /// failure triggers and checkpointed with the server.
+    pub(crate) flight: FlightRecorder,
+    /// Set by an injected `crash_fault`: the server stops ticking (the
+    /// modeled `kill -9`) until restored from a checkpoint.
+    crashed: bool,
 }
 
 impl<'b> EnsembleServer<'b, NoopFaults> {
@@ -153,6 +175,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             lane_ckpt: (0..N_LANES)
                 .map(|_| (0..r).map(|_| None).collect())
                 .collect(),
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            crashed: false,
             cfg,
         }
     }
@@ -191,13 +215,18 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
     pub fn admit(&mut self, request: SolveRequest) -> Result<RequestId, AdmitError> {
         let index = self.admissions;
         self.admissions += 1;
+        let now = self.clock.elapsed();
         match self.faults.admission_fault(index) {
             Some(AdmissionFault::Reject) => {
                 self.stats.record_rejection();
+                self.flight
+                    .record(now, "admit_rejected", None, None, None, "fault injected");
                 return Err(AdmitError::Rejected(RejectReason::FaultInjected));
             }
             Some(AdmissionFault::Shed) => {
                 self.stats.record_shed();
+                self.flight
+                    .record(now, "admit_shed", None, None, None, "fault injected");
                 return Err(AdmitError::ShedLoad {
                     queued: self.queue.len(),
                     capacity: self.queue.capacity(),
@@ -207,11 +236,15 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         }
         if request.n_steps == 0 {
             self.stats.record_rejection();
+            self.flight
+                .record(now, "admit_rejected", None, None, None, "zero steps");
             return Err(AdmitError::Rejected(RejectReason::ZeroSteps));
         }
         let tol = request.tol.unwrap_or(self.cfg.run.tol);
         if !tol.is_finite() || tol <= 0.0 {
             self.stats.record_rejection();
+            self.flight
+                .record(now, "admit_rejected", None, None, None, "invalid tol");
             return Err(AdmitError::Rejected(RejectReason::InvalidTol));
         }
         let id = RequestId(self.records.len() as u64);
@@ -222,17 +255,39 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             request.deadline,
         ) {
             self.stats.record_shed();
+            self.flight
+                .record(now, "admit_shed", Some(id.0), None, None, "queue full");
             return Err(e);
         }
         self.records.push(RequestRecord {
             id,
             request,
             state: RequestState::Queued,
-            admitted_at: self.clock.elapsed(),
+            admitted_at: now,
             finished_at: None,
             evict_reason: None,
             result: None,
         });
+        self.flight.record(
+            now,
+            "admitted",
+            Some(id.0),
+            None,
+            None,
+            format!("n_steps={} depth={}", request.n_steps, self.queue.len()),
+        );
+        if let Some(t) = self.trace.as_mut() {
+            // the request's causal flow starts on the scheduler row; each
+            // later hop (batched/step/done) binds to the same stable id
+            t.flow_start(
+                0,
+                0,
+                "request",
+                "admitted",
+                now * 1e6,
+                flow_id_for_request(id.0),
+            );
+        }
         Ok(id)
     }
 
@@ -242,10 +297,28 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
     /// one is configured).
     pub fn tick(&mut self) {
         let now = self.clock.elapsed();
+        if self.faults.crash_fault(self.ticks) {
+            // modeled `kill -9`: the flight ring is the black box — dump
+            // it with the crash as its last event and stop ticking
+            self.flight.record(
+                now,
+                "crash",
+                None,
+                None,
+                Some(self.ticks as u64),
+                "injected crash_fault at tick boundary",
+            );
+            self.dump_flight("crash");
+            self.crashed = true;
+            return;
+        }
+        let mut dump_eviction = false;
         for id in self.queue.expire(now) {
             self.finish(id, RequestState::Evicted, now);
             self.records[id.0 as usize].evict_reason = Some(EvictReason::DeadlineExpired);
             self.stats.record_eviction();
+            self.record_eviction_event(id, None, EvictReason::DeadlineExpired, now);
+            dump_eviction = true;
         }
         for lane in 0..N_LANES {
             for slot in 0..self.batcher.width() {
@@ -262,8 +335,13 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                     self.finish(id, RequestState::Evicted, now);
                     self.records[id.0 as usize].evict_reason = Some(EvictReason::Injected);
                     self.stats.record_eviction();
+                    self.record_eviction_event(id, Some(lane), EvictReason::Injected, now);
+                    dump_eviction = true;
                 }
             }
+        }
+        if dump_eviction {
+            self.dump_flight("eviction");
         }
         for a in self.batcher.backfill(&mut self.queue) {
             let req = self.records[a.id.0 as usize].request;
@@ -275,6 +353,24 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 0,
             ));
             self.records[a.id.0 as usize].state = RequestState::Batched;
+            self.flight.record(
+                now,
+                "batched",
+                Some(a.id.0),
+                Some(a.lane as u64),
+                Some(self.ticks as u64),
+                format!("slot {}", a.slot),
+            );
+            if let Some(t) = self.trace.as_mut() {
+                t.flow_step(
+                    1 + a.lane,
+                    TID_GPU,
+                    "request",
+                    "batched",
+                    now * 1e6,
+                    flow_id_for_request(a.id.0),
+                );
+            }
         }
         self.stats.sample_queue_depth(self.queue.len());
         if let Some(t) = self.trace.as_mut() {
@@ -311,14 +407,77 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
     }
 
     /// Tick until the queue and every lane are empty; returns the ticks
-    /// executed. Bounded by `cfg.max_ticks` as a safety net.
+    /// executed. Bounded by `cfg.max_ticks` as a safety net. Stops early
+    /// when an injected crash fires ([`Self::crashed`]).
     pub fn run_until_idle(&mut self) -> usize {
         let mut n = 0;
-        while !(self.queue.is_empty() && self.batcher.is_idle()) && n < self.cfg.max_ticks {
+        while !(self.crashed || self.queue.is_empty() && self.batcher.is_idle())
+            && n < self.cfg.max_ticks
+        {
             self.tick();
             n += 1;
         }
         n
+    }
+
+    /// An injected `crash_fault` stopped the server mid-run. Work still
+    /// in flight stays in flight; only a checkpoint restore resumes it.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The always-on flight-recorder ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Dump the flight ring to `cfg.flight_dump` (no-op without a path).
+    /// Dump failures are swallowed: the black box must never turn a
+    /// recoverable fault into an I/O error.
+    fn dump_flight(&self, trigger: &str) {
+        if let Some(path) = &self.cfg.flight_dump {
+            let _ = self.flight.dump_to(path, trigger);
+        }
+    }
+
+    /// Flight + trace bookkeeping for one evicted request.
+    fn record_eviction_event(
+        &mut self,
+        id: RequestId,
+        lane: Option<usize>,
+        reason: EvictReason,
+        now: f64,
+    ) {
+        self.flight.record(
+            now,
+            "evicted",
+            Some(id.0),
+            lane.map(|l| l as u64),
+            Some(self.ticks as u64),
+            reason.label(),
+        );
+        if let Some(t) = self.trace.as_mut() {
+            let pid = lane.map_or(0, |l| 1 + l);
+            t.flow_end(
+                pid,
+                if lane.is_some() { TID_GPU } else { 0 },
+                "request",
+                "evicted",
+                now * 1e6,
+                flow_id_for_request(id.0),
+            );
+        }
+    }
+
+    /// Telemetry-v2 snapshot of the serving layer: [`ServeStats`] mapped
+    /// onto the declared `serve_*` metric names plus admission and
+    /// flight-ring counters. Mergeable into run-level registries.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("serve_requests_admitted_total", self.records.len() as f64);
+        self.stats.to_registry(&mut reg);
+        reg.inc("flight_events_dropped_total", self.flight.dropped() as f64);
+        reg
     }
 
     /// Advance one lane's occupied columns by one time step. An entirely
@@ -395,7 +554,9 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             .clock
             .run_gpu(&self.backend.rhs_counts_ebe(r).merged(outcome.stats.counts));
 
-        // harvest columns
+        // harvest columns; flow hops collect each occupant's fate for the
+        // causal-trace arrows emitted with the spans below
+        let mut flow_hops: Vec<(u64, RequestState)> = Vec::with_capacity(n_occ);
         let mut x = vec![0.0; n];
         for k in 0..r {
             if !occupied[k] {
@@ -407,8 +568,18 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             if outcome.stats.case_termination[k].is_failure() {
                 self.slots[lane][k] = None;
                 self.batcher.free(lane, k);
-                self.finish(id, RequestState::Failed, self.clock.elapsed());
+                let failed_at = self.clock.elapsed();
+                self.finish(id, RequestState::Failed, failed_at);
                 self.stats.record_failure();
+                self.flight.record(
+                    failed_at,
+                    "failed",
+                    Some(id.0),
+                    Some(lane as u64),
+                    Some(self.ticks as u64),
+                    "solver failure after recovery ladder",
+                );
+                flow_hops.push((id.0, RequestState::Failed));
                 continue;
             }
             extract_case(&x_multi, r, k, &mut x);
@@ -427,6 +598,25 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 self.finish(id, RequestState::Done, done_at);
                 self.records[id.0 as usize].result = Some(result);
                 self.stats.record_completion(latency);
+                self.flight.record(
+                    done_at,
+                    "done",
+                    Some(id.0),
+                    Some(lane as u64),
+                    Some(self.ticks as u64),
+                    format!("latency {latency:.3e}s"),
+                );
+                flow_hops.push((id.0, RequestState::Done));
+            } else {
+                self.flight.record(
+                    self.clock.elapsed(),
+                    "step",
+                    Some(id.0),
+                    Some(lane as u64),
+                    Some(self.ticks as u64),
+                    "",
+                );
+                flow_hops.push((id.0, RequestState::Solving));
             }
         }
 
@@ -471,6 +661,19 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 xfer * 1e6,
                 Vec::new(),
             );
+            // causal arrows: one hop per occupant, anchored inside this
+            // tick's fused-MCG span so Perfetto binds them to the slice
+            let hop_ts = (end - xfer - 0.5 * solver_t) * 1e6;
+            for (rid, fate) in &flow_hops {
+                let fid = flow_id_for_request(*rid);
+                match fate {
+                    RequestState::Done => t.flow_end(pid, TID_GPU, "request", "done", hop_ts, fid),
+                    RequestState::Failed => {
+                        t.flow_end(pid, TID_GPU, "request", "failed", hop_ts, fid)
+                    }
+                    _ => t.flow_step(pid, TID_GPU, "request", "step", hop_ts, fid),
+                }
+            }
         }
     }
 
@@ -498,6 +701,14 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         self.watchdog_breach[lane] += 1;
         let breach = self.watchdog_breach[lane];
         self.stats.record_watchdog_breach();
+        self.flight.record(
+            self.clock.elapsed(),
+            "watchdog_breach",
+            None,
+            Some(lane as u64),
+            Some(self.ticks as u64),
+            format!("breach {breach}, overrun {:.3e}s", dt - wd.step_deadline_s),
+        );
         let action = if breach <= wd.max_retries {
             // rung 1: wait out the stall, charging exponential backoff
             // to the link lane of the modeled clock
@@ -516,6 +727,14 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             self.watchdog_breach[lane] = 0;
             WatchdogAction::EvictLane { evicted }
         };
+        self.flight.record(
+            self.clock.elapsed(),
+            "watchdog_action",
+            None,
+            Some(lane as u64),
+            Some(self.ticks as u64),
+            action.label(),
+        );
         self.watchdog_events.push(WatchdogEvent {
             tick: self.ticks,
             lane,
@@ -524,6 +743,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             wall_s: self.wall.now(),
             action,
         });
+        self.dump_flight("watchdog_breach");
     }
 
     /// Roll lane `lane`'s surviving columns back to the last in-memory
@@ -545,6 +765,28 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             self.slots[lane][slot] = Some(CaseSlot::from_state(self.backend, &self.cfg.run, st));
             self.records[id.0 as usize].state = RequestState::Batched;
             restored += 1;
+            let now = self.clock.elapsed();
+            self.flight.record(
+                now,
+                "lane_restored",
+                Some(id.0),
+                Some(lane as u64),
+                Some(self.ticks as u64),
+                "rolled back to lane checkpoint",
+            );
+            if let Some(t) = self.trace.as_mut() {
+                // the flow id is derived from the request id alone, so
+                // this hop chains onto the same arrow the case had before
+                // the restart — across lanes and rollbacks
+                t.flow_step(
+                    1 + lane,
+                    TID_GPU,
+                    "request",
+                    "restored",
+                    now * 1e6,
+                    flow_id_for_request(id.0),
+                );
+            }
         }
         restored
     }
@@ -564,6 +806,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             self.finish(id, RequestState::Evicted, now);
             self.records[id.0 as usize].evict_reason = Some(EvictReason::Watchdog);
             self.stats.record_eviction();
+            self.record_eviction_event(id, Some(lane), EvictReason::Watchdog, now);
             evicted += 1;
         }
         evicted

@@ -46,6 +46,9 @@ fn main() {
         amplitude: 1e6,
         active_window: 0.2,
     };
+    // black box: if anything goes wrong (watchdog, eviction, injected
+    // crash) the last N structured events land here
+    cfg.flight_dump = Some("target/artifacts/serve_flight.json".into());
 
     std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
     let ckpt_dir = resume_dir
@@ -147,7 +150,12 @@ fn main() {
     metrics.set_meta("generator", Json::from("example serve_demo"));
     metrics.set_meta("n_dofs", Json::from(backend.n_dofs()));
     metrics.set_section("serve", stats.to_json());
+    metrics.set_section("registry", server.metrics_registry().to_json());
     metrics.write_to(&metrics_path).expect("write metrics");
+    let prom_path = std::env::var("HETSOLVE_PROM")
+        .unwrap_or_else(|_| "target/artifacts/serve_metrics.prom".into());
+    std::fs::write(&prom_path, server.metrics_registry().to_prometheus_text())
+        .expect("write metrics page");
     server
         .take_trace()
         .expect("trace enabled")
@@ -155,4 +163,10 @@ fn main() {
         .expect("write trace");
     println!("\nwrote {trace_path} (scheduler + lane timeline; open in ui.perfetto.dev)");
     println!("wrote {metrics_path} (serve section, bench-snapshot schema)");
+    println!("wrote {prom_path} (Prometheus text exposition of the metrics registry)");
+    println!(
+        "flight recorder: {} events in the ring (dumped to target/artifacts/serve_flight.json \
+         on watchdog breach, eviction, or crash)",
+        server.flight().len()
+    );
 }

@@ -397,6 +397,135 @@ fn torn_server_checkpoint_falls_back_to_previous() {
     std::fs::remove_dir_all(store.dir()).unwrap();
 }
 
+/// Telemetry v2 acceptance: kill a serving run with `crash_at` while a
+/// lane is mid-flight (with a watchdog rung already climbed) and the
+/// flight dump must contain the full causal chain — admission → last
+/// step → watchdog rung → crash — for every request still in flight.
+#[test]
+fn crash_flight_dump_carries_the_full_causal_chain() {
+    let backend = backend();
+    let mut cfg = serve_cfg(2);
+    cfg.watchdog = Some(WatchdogConfig {
+        step_deadline_s: 0.05,
+        max_retries: 2,
+        backoff_base_s: 1e-3,
+        backoff_factor: 2.0,
+    });
+    cfg.checkpoint_every = 1;
+    let dump_path = std::env::temp_dir().join("hs-chaos-flight-dump.json");
+    let _ = std::fs::remove_file(&dump_path);
+    cfg.flight_dump = Some(dump_path.clone());
+
+    // tick 1 stalls lane 0 (one watchdog breach), tick 3 is the kill
+    let plan = FaultPlan::new(23)
+        .stall_lane(1, 0, FaultLane::Gpu, 1.0)
+        .crash_at(3);
+    let mut server = EnsembleServer::with_faults(&backend, cfg, plan);
+    let ids: Vec<_> = (0..4)
+        .map(|c| {
+            server
+                .admit(SolveRequest::new(600 + c, 10).with_priority(c as u8))
+                .expect("admit")
+        })
+        .collect();
+    server.run_until_idle();
+    assert!(server.crashed(), "the injected crash must stop the server");
+    assert!(server.in_flight() > 0, "work must still be in flight");
+
+    let text = std::fs::read_to_string(&dump_path).expect("flight dump written");
+    let dump = hetsolve::obs::parse_json(&text).expect("dump parses");
+    assert_eq!(
+        dump.get("schema").and_then(|s| s.as_str()),
+        Some(hetsolve::obs::FLIGHT_SCHEMA)
+    );
+    assert_eq!(dump.get("trigger").and_then(|s| s.as_str()), Some("crash"));
+    let events = dump.get("events").expect("events array").items();
+    assert!(!events.is_empty());
+    let kind_of =
+        |e: &hetsolve::obs::Json| e.get("kind").and_then(|k| k.as_str()).unwrap().to_string();
+    let request_of =
+        |e: &hetsolve::obs::Json| e.get("request").and_then(|r| r.as_f64()).map(|r| r as u64);
+    assert_eq!(
+        kind_of(events.last().unwrap()),
+        "crash",
+        "the crash itself is the last thing the black box saw"
+    );
+    assert!(
+        events.iter().any(|e| kind_of(e) == "watchdog_breach"),
+        "the watchdog rung must be in the window"
+    );
+    // sequence numbers are strictly increasing — the chain is ordered
+    let seqs: Vec<f64> = events
+        .iter()
+        .map(|e| e.get("seq").and_then(|s| s.as_f64()).unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[1] > w[0]), "{seqs:?}");
+
+    for &id in &ids {
+        let state = server.record(id).state;
+        if !matches!(state, RequestState::Batched | RequestState::Solving) {
+            continue;
+        }
+        let chain: Vec<String> = events
+            .iter()
+            .filter(|e| request_of(e) == Some(id.0))
+            .map(kind_of)
+            .collect();
+        assert_eq!(
+            chain.first().map(String::as_str),
+            Some("admitted"),
+            "request {id}: chain must start at admission, got {chain:?}"
+        );
+        assert!(
+            chain.iter().any(|k| k == "batched"),
+            "request {id}: no batching hop in {chain:?}"
+        );
+        assert!(
+            chain.iter().any(|k| k == "step"),
+            "request {id}: no step events before the crash in {chain:?}"
+        );
+    }
+    std::fs::remove_file(&dump_path).unwrap();
+}
+
+/// The flight ring itself is checkpointed state: a restored server
+/// remembers the events recorded before the snapshot, continues the
+/// sequence numbering, and notes the restore itself in the ring.
+#[test]
+fn flight_ring_survives_server_checkpoint_restore() {
+    let backend = backend();
+    let cfg = serve_cfg(2);
+    let mut server = EnsembleServer::new(&backend, cfg.clone());
+    for c in 0..3 {
+        server.admit(SolveRequest::new(800 + c, 5)).expect("admit");
+    }
+    for _ in 0..2 {
+        server.tick();
+    }
+    let before: Vec<_> = server.flight().events().cloned().collect();
+    let next_seq = server.flight().next_seq();
+    assert!(!before.is_empty(), "admissions and steps were recorded");
+
+    let bytes = server.checkpoint().to_bytes();
+    let restored = EnsembleServer::restore(&backend, cfg, &bytes).expect("restore");
+    let after: Vec<_> = restored.flight().events().cloned().collect();
+    assert_eq!(
+        &after[..before.len()],
+        &before[..],
+        "pre-snapshot events survive the round trip"
+    );
+    assert_eq!(
+        after.last().map(|e| e.kind.as_str()),
+        Some("restored"),
+        "the restore itself lands in the ring"
+    );
+    assert_eq!(
+        restored.flight().next_seq(),
+        next_seq + 1,
+        "sequence numbering continues (restore appended one event)"
+    );
+}
+
 /// The watchdog escalation ladder, driven deterministically: consecutive
 /// injected lane stalls walk retry-with-backoff → restart-from-checkpoint
 /// → evict-with-`EvictReason::Watchdog`, and a healthy step resets the

@@ -5,11 +5,14 @@
 //! timeline must actually show the paper's Fig. 4 CPU/GPU overlap.
 
 use hetsolve::core::{run, run_traced, StepTracer, TID_CPU, TID_GPU};
+use hetsolve::fault::FaultLane;
 use hetsolve::fem::FemProblem;
 use hetsolve::obs::{
-    parse_json, validate_lane_serialization, Termination, BENCH_SCHEMA, TRACE_SCHEMA,
+    flow_id_for_request, parse_json, validate_lane_serialization, MetricsRegistry, Termination,
+    BENCH_SCHEMA, TRACE_SCHEMA,
 };
 use hetsolve::prelude::*;
+use hetsolve::serve::{EnsembleServer, ServeConfig, SolveRequest, WatchdogConfig};
 use hetsolve::sparse::{mcg, mcg_observed, pcg, pcg_observed, CgConfig, ResidualLog};
 
 fn backend() -> Backend {
@@ -175,6 +178,160 @@ fn exported_artifacts_round_trip_with_schemas() {
             .is_some(),
         "EBE-MCG snapshot must carry the adaptive-window log"
     );
+}
+
+/// Telemetry v2 acceptance: with a metrics registry AND the tracer
+/// attached the numerics stay bitwise-identical — the registry rides the
+/// same zero-cost observer seam — and the registry actually fills with
+/// the declared phase timers, totals, and the adaptive-window gauge.
+#[test]
+fn registry_attached_run_is_bitwise_neutral_and_populated() {
+    let b = backend();
+    let cfg = config(MethodKind::EbeMcgCpuGpu, 20);
+    let plain = run(&b, &cfg).expect("run");
+
+    let mut tracer = StepTracer::new();
+    tracer.attach_registry(MetricsRegistry::new());
+    let observed = run_traced(&b, &cfg, &mut tracer).expect("run");
+    for (case, (up, uo)) in plain.final_u.iter().zip(&observed.final_u).enumerate() {
+        for (p, o) in up.iter().zip(uo) {
+            assert_eq!(
+                p.to_bits(),
+                o.to_bits(),
+                "registry+tracer perturbed case {case}"
+            );
+        }
+    }
+
+    let reg = tracer.take_registry().expect("registry attached");
+    assert_eq!(reg.counter("core_steps_total"), 20.0);
+    assert!(reg.counter("core_flops_total") > 0.0);
+    assert!(reg.counter("core_bytes_total") > 0.0);
+    for name in ["core_phase_cpu_s", "core_phase_gpu_s", "core_phase_link_s"] {
+        let h = reg
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} empty"));
+        assert!(h.total() > 0, "{name} never observed");
+        assert!(h.sum() > 0.0 && h.quantile(0.95) >= h.quantile(0.5));
+    }
+    assert!(
+        reg.gauge("core_window_s").is_some(),
+        "adaptive-window gauge never set"
+    );
+
+    // the same registry exports a valid Prometheus text page
+    let page = reg.to_prometheus_text();
+    assert!(page.contains("# TYPE core_phase_gpu_s histogram"));
+    assert!(page.contains("core_steps_total 20"));
+    assert!(page.contains("core_phase_gpu_s_bucket{le=\"+Inf\"}"));
+
+    // a registry on a *disabled* tracer (the overhead-measurement setup
+    // used by the bench snapshot) is populated identically
+    let mut quiet = StepTracer::disabled();
+    quiet.attach_registry(MetricsRegistry::new());
+    let q = run_traced(&b, &cfg, &mut quiet).expect("run");
+    for (up, uq) in plain.final_u.iter().zip(&q.final_u) {
+        for (p, o) in up.iter().zip(uq) {
+            assert_eq!(p.to_bits(), o.to_bits());
+        }
+    }
+    let quiet_reg = quiet.take_registry().expect("registry attached");
+    assert_eq!(quiet_reg.counter("core_steps_total"), 20.0);
+}
+
+/// Causal tracing across failure: the flow id of a request is derived
+/// from its id alone, so the arrows stay joinable across watchdog lane
+/// restarts — the chain admitted → step… → restored → step… → evicted
+/// shares one id in the exported trace.
+#[test]
+fn request_flow_ids_stay_stable_across_lane_restart() {
+    let backend = {
+        let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
+        Backend::new(FemProblem::paper_like(&spec), true, false)
+    };
+    let mut cfg = ServeConfig::new(single_gh200());
+    cfg.run.r = 2;
+    cfg.run.s_max = 4;
+    cfg.run.region_dofs = 64;
+    cfg.watchdog = Some(WatchdogConfig {
+        step_deadline_s: 0.05,
+        max_retries: 2,
+        backoff_base_s: 1e-3,
+        backoff_factor: 2.0,
+    });
+    cfg.checkpoint_every = 1;
+    // three consecutive stalls walk retry, retry, restart_lane — then a
+    // fourth breach evicts, ending the flow
+    let mut plan = FaultPlan::new(17);
+    for tick in 0..4 {
+        plan = plan.stall_lane(tick, 0, FaultLane::Gpu, 1.0);
+    }
+    let mut server = EnsembleServer::with_faults(&backend, cfg, plan);
+    server.enable_trace();
+    let victim = server.admit(SolveRequest::new(555, 12)).expect("admit");
+    for _ in 0..6 {
+        server.tick();
+    }
+
+    let trace = server.take_trace().expect("trace enabled");
+    let fid = flow_id_for_request(victim.0);
+    let hops: Vec<_> = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.ph, 's' | 't' | 'f') && e.id == Some(fid))
+        .collect();
+    assert!(
+        hops.len() >= 3,
+        "expected admitted/restored/evicted hops, got {hops:?}"
+    );
+    assert_eq!(hops[0].ph, 's', "the chain starts at admission");
+    assert!(
+        hops.iter().any(|e| e.name == "restored"),
+        "lane restart must appear in the flow: {hops:?}"
+    );
+    assert_eq!(
+        hops.last().unwrap().ph,
+        'f',
+        "the chain ends (eviction closes the flow)"
+    );
+    // the whole chain is followable by one id even though it spans the
+    // scheduler process (pid 0) and the lane process — i.e. >1 pid
+    let pids: std::collections::BTreeSet<_> = hops.iter().map(|e| e.pid).collect();
+    assert!(pids.len() > 1, "flow must cross processes: {pids:?}");
+    // and the document round-trips with the ids serialized
+    let doc = trace.to_json().to_string_pretty();
+    let v = parse_json(&doc).expect("trace with flows parses");
+    assert!(doc.contains("\"bp\""), "flow finish carries bp=e binding");
+    assert!(v.get("traceEvents").is_some());
+}
+
+/// Artifact hygiene (repo convention): every example writes its dumps,
+/// traces, metrics pages and checkpoints under `target/artifacts/` —
+/// never to the repo root or an ad-hoc directory.
+#[test]
+fn examples_write_artifacts_only_under_target_artifacts() {
+    let examples = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&examples).expect("examples dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read example");
+        for (i, line) in text.lines().enumerate() {
+            if let Some(pos) = line.find("target/") {
+                assert!(
+                    line[pos..].starts_with("target/artifacts"),
+                    "{}:{}: artifact path must live under target/artifacts/: {}",
+                    path.display(),
+                    i + 1,
+                    line.trim()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 10, "expected many artifact paths, saw {checked}");
 }
 
 /// Acceptance check from the issue: the EBE-MCG timeline must show the

@@ -1,6 +1,6 @@
 //! `cargo xtask analyze` — workspace-wide static analysis.
 //!
-//! Four passes over a comment/string-aware code view of every Rust source
+//! Five passes over a comment/string-aware code view of every Rust source
 //! (see [`scanner`]), each enforcing an invariant the test suite can only
 //! check dynamically:
 //!
@@ -17,12 +17,17 @@
 //! * [`panic_surface`] — no `unwrap`/`expect`/`panic!` in hetsolve-core
 //!   and hetsolve-serve library code outside tests, unless annotated
 //!   `// PANIC-OK: <reason>`.
+//! * [`metric_names`] — every metric name written through the
+//!   `MetricsRegistry` is declared exactly once in the committed
+//!   `crates/obs/src/names.rs` table, with the kind the call site
+//!   implies, so a typo'd name cannot silently split a series.
 //!
 //! All passes are textual and dependency-free, like the original
 //! `unsafe impl` tripwire: they cannot be silenced by cfg gymnastics and
 //! they run in milliseconds on any toolchain.
 
 pub mod determinism;
+pub mod metric_names;
 pub mod panic_surface;
 pub mod scanner;
 pub mod schema_drift;
@@ -60,6 +65,7 @@ pub struct Report {
     pub files_scanned: usize,
     pub unsafe_sites: usize,
     pub codec_pairs_checked: usize,
+    pub metric_names_declared: usize,
     pub violations: Vec<Violation>,
 }
 
@@ -115,8 +121,12 @@ pub fn run(mut args: impl Iterator<Item = String>) -> ExitCode {
     if report.violations.is_empty() {
         println!(
             "xtask analyze: ok — {} files, {} unsafe sites audited, \
-             {} codec pairs drift-checked, determinism and panic-surface clean",
-            report.files_scanned, report.unsafe_sites, report.codec_pairs_checked
+             {} codec pairs drift-checked, {} metric names registered, \
+             determinism and panic-surface clean",
+            report.files_scanned,
+            report.unsafe_sites,
+            report.codec_pairs_checked,
+            report.metric_names_declared
         );
         ExitCode::SUCCESS
     } else {
@@ -143,6 +153,7 @@ pub fn analyze(root: &Path, only_pass: Option<&str>) -> Report {
     let mut violations = Vec::new();
     let mut unsafe_sites = 0usize;
     let mut codec_pairs_checked = 0usize;
+    let mut metric_names_declared = 0usize;
 
     if enabled("unsafe-audit") {
         let (sites, mut v) = unsafe_audit::check(root, &files);
@@ -160,12 +171,18 @@ pub fn analyze(root: &Path, only_pass: Option<&str>) -> Report {
     if enabled("panic-surface") {
         violations.append(&mut panic_surface::check(&files));
     }
+    if enabled("metric-names") {
+        let (declared, mut v) = metric_names::check(&files);
+        metric_names_declared = declared;
+        violations.append(&mut v);
+    }
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Report {
         files_scanned: files.len(),
         unsafe_sites,
         codec_pairs_checked,
+        metric_names_declared,
         violations,
     }
 }

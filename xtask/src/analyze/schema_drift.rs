@@ -120,6 +120,27 @@ const PAIRS: &[CodecPair] = &[
         decode: (SERVE_CKPT, "decode_stats"),
         aliases: &[],
     },
+    CodecPair {
+        name: "LogHistogram",
+        def_file: "crates/obs/src/registry.rs",
+        encode: (SERVE_CKPT, "encode_histogram"),
+        decode: (SERVE_CKPT, "decode_histogram"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "FlightEvent",
+        def_file: "crates/obs/src/flight.rs",
+        encode: (SERVE_CKPT, "encode_flight_event"),
+        decode: (SERVE_CKPT, "decode_flight_event"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "FlightRecorder",
+        def_file: "crates/obs/src/flight.rs",
+        encode: (SERVE_CKPT, "encode_flight"),
+        decode: (SERVE_CKPT, "decode_flight"),
+        aliases: &[],
+    },
 ];
 
 /// Run the pass. Returns (pairs actually checked, violations). A pair

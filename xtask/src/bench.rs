@@ -16,7 +16,7 @@ use hetsolve_fault::NoopFaults;
 use hetsolve_fem::{FemProblem, RandomLoadSpec};
 use hetsolve_machine::single_gh200;
 use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
-use hetsolve_obs::{Json, MethodMetrics, MetricsSink};
+use hetsolve_obs::{FlightRecorder, Json, MethodMetrics, MetricsRegistry, MetricsSink};
 use hetsolve_serve::{BatchPolicy, EnsembleServer, ServeConfig, SolveRequest};
 
 /// Reference-problem shape: small enough for a debug-profile run in
@@ -101,6 +101,11 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
     // so the snapshot tracks the overhead of crash consistency
     sink.set_section("checkpoint", ckpt_stats(&backend));
 
+    // telemetry: the measured cost of observing — registry attachment
+    // overhead on the reference run (acceptance: ratio stays ≤ 1.05) and
+    // the latency of dumping a full flight-recorder ring
+    sink.set_section("telemetry", telemetry_stats(&backend));
+
     // static analysis: gate cost and surface size, so the snapshot shows
     // the analyzer staying in the milliseconds and the workspace staying
     // clean as the audit surface (unsafe sites, codec pairs) grows
@@ -116,6 +121,79 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Measure what telemetry v2 costs: the observer overhead ratio (same
+/// reference run with and without a `MetricsRegistry` attached to an
+/// otherwise-disabled tracer, best-of-N wall time) and the flight-dump
+/// latency (a full default-capacity ring serialized to disk). xtask is
+/// outside the determinism scope, so `Instant` is fine here.
+fn telemetry_stats(backend: &Backend) -> Json {
+    let cfg = bench_config(MethodKind::EbeMcgCpuGpu);
+    const REPS: usize = 5;
+    let best_of = |mk: &dyn Fn() -> StepTracer| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut tracer = mk();
+            let t0 = std::time::Instant::now();
+            run_traced(backend, &cfg, &mut tracer).expect("telemetry bench run");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let baseline_s = best_of(&StepTracer::disabled);
+    let observed_s = best_of(&|| {
+        let mut t = StepTracer::disabled();
+        t.attach_registry(MetricsRegistry::new());
+        t
+    });
+    let overhead_ratio = if baseline_s > 0.0 {
+        observed_s / baseline_s
+    } else {
+        1.0
+    };
+
+    // the registry the overhead claim is about must actually be populated
+    let mut tracer = StepTracer::disabled();
+    tracer.attach_registry(MetricsRegistry::new());
+    run_traced(backend, &cfg, &mut tracer).expect("telemetry bench run");
+    let reg = tracer.take_registry().expect("registry attached above");
+    assert_eq!(
+        reg.counter("core_steps_total") as usize,
+        STEPS,
+        "registry must observe every step"
+    );
+
+    let mut ring = FlightRecorder::default();
+    for i in 0..ring.capacity() as u64 {
+        ring.record(i as f64, "step", Some(i), Some(0), Some(i), "bench fill");
+    }
+    let dump_path = std::env::temp_dir().join("hetsolve-bench-flight.json");
+    let t0 = std::time::Instant::now();
+    ring.dump_to(&dump_path, "bench").expect("flight dump");
+    let flight_dump_s = t0.elapsed().as_secs_f64();
+    let flight_dump_bytes = std::fs::metadata(&dump_path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&dump_path);
+
+    println!(
+        "bench-snapshot: telemetry         observer overhead x{:.3}, flight dump {:.3e} s ({} events, {} B)",
+        overhead_ratio,
+        flight_dump_s,
+        ring.len(),
+        flight_dump_bytes,
+    );
+    Json::obj([
+        ("baseline_s", Json::from(baseline_s)),
+        ("observed_s", Json::from(observed_s)),
+        ("observer_overhead_ratio", Json::from(overhead_ratio)),
+        (
+            "registry_steps_total",
+            Json::from(reg.counter("core_steps_total")),
+        ),
+        ("flight_dump_events", Json::from(ring.len())),
+        ("flight_dump_s", Json::from(flight_dump_s)),
+        ("flight_dump_bytes", Json::from(flight_dump_bytes as f64)),
+    ])
 }
 
 /// Run `analyze` in-process against the workspace and summarize its cost

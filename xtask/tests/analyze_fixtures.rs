@@ -100,6 +100,28 @@ fn unserialized_checkpoint_field_fires() {
 }
 
 #[test]
+fn unregistered_metric_names_fire() {
+    let stderr = expect_violations(&fixture("metric_names"), &["--pass", "metric-names"]);
+    // duplicate + unknown-kind declarations in the fixture table
+    assert!(
+        stderr.contains("crates/obs/src/names.rs:5: [metric-names]"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("more than once"), "{stderr}");
+    assert!(stderr.contains("unknown kind `summary`"), "{stderr}");
+    // unregistered and kind-clashing call sites
+    assert!(
+        stderr.contains("crates/demo/src/lib.rs:4: [metric-names]"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("demo_typo_total"), "{stderr}");
+    assert!(stderr.contains("declared as a gauge"), "{stderr}");
+    // the clean call site and the commented example must not fire
+    assert!(!stderr.contains("lib.rs:3"), "{stderr}");
+    assert!(!stderr.contains("demo_ghost_total"), "{stderr}");
+}
+
+#[test]
 fn panic_in_library_path_fires() {
     let stderr = expect_violations(&fixture("panic_surface"), &["--pass", "panic-surface"]);
     assert!(

@@ -1,0 +1,7 @@
+// Fixture call sites: one clean, one unregistered name, one kind clash.
+pub fn observe_things(r: &mut hetsolve_obs::MetricsRegistry) {
+    r.inc("demo_steps_total", 1.0);
+    r.inc("demo_typo_total", 1.0);
+    r.observe("demo_depth", 0.5);
+    // commented example must not fire: r.inc("demo_ghost_total", 1.0)
+}

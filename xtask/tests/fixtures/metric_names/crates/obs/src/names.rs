@@ -1,0 +1,7 @@
+// Fixture metric table: one duplicate declaration, one unknown kind.
+pub const METRICS: &[(&str, &str)] = &[
+    ("demo_steps_total", "counter"),
+    ("demo_depth", "gauge"),
+    ("demo_steps_total", "counter"),
+    ("demo_latency_s", "summary"),
+];
