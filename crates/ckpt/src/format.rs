@@ -229,6 +229,12 @@ impl Enc {
         self.put_usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
+
+    /// Length-prefixed raw byte blob (nested checkpoint images).
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
 }
 
 /// Little-endian field decoder over a section payload.
@@ -329,6 +335,12 @@ impl<'a> Dec<'a> {
             out.push(self.f64s()?);
         }
         Ok(out)
+    }
+
+    /// Length-prefixed raw byte blob (dual of [`Enc::put_bytes`]).
+    pub fn bytes_(&mut self) -> Result<Vec<u8>, CkptError> {
+        let len = self.bounded_len(1)?;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Length-prefixed UTF-8 string (dual of [`Enc::put_str`]).

@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 
 mod format;
+mod replica;
 mod store;
 
 pub use format::{
     crc32, fnv1a, mix64, write_atomic, CkptError, Dec, Enc, SectionReader, SectionWriter, MAGIC,
     VERSION,
 };
+pub use replica::ReplicaStore;
 pub use store::{tear, CheckpointStore, RestoreReport, SkippedCheckpoint};

@@ -1,0 +1,215 @@
+//! Peer-replica checkpoint mirror for the sharded serving cluster.
+//!
+//! A [`ReplicaStore`] models the copy of a shard's checkpoint bytes held
+//! by a *peer* node: when node `k` crashes, its own `CheckpointStore`
+//! directory is gone with it, and the failover path restores from the
+//! replica its peer kept. The store is an in-memory, bounded,
+//! sequence-numbered ring of raw checkpoint byte images — raw bytes, not
+//! decoded structs, so the replica path exercises exactly the same
+//! validation (magic, version, per-section CRC) as a cold restore from
+//! disk, and a torn or corrupted replica is detected by the parse
+//! callback rather than trusted.
+//!
+//! Semantics mirror [`CheckpointStore`](crate::CheckpointStore):
+//!
+//! * `keep` is clamped to at least 2 so fallback past a torn newest
+//!   replica has an older one to land on;
+//! * [`ReplicaStore::load_latest_valid`] walks replicas newest-first and
+//!   skips invalid ones with a typed [`RestoreReport`] entry;
+//! * [`ReplicaStore::tear`] is the chaos hook the `corrupt_replica` fault
+//!   injection drives.
+//!
+//! Staleness is first-class: [`ReplicaStore::staleness`] reports how many
+//! mirror sequences the replica lags the primary, so a supervisor can
+//! bound the replay window a failover implies.
+
+use std::path::PathBuf;
+
+use crate::format::CkptError;
+use crate::store::{RestoreReport, SkippedCheckpoint};
+
+/// Bounded in-memory mirror of a shard's checkpoint byte images, newest
+/// `keep` retained, validated on read.
+#[derive(Debug, Clone)]
+pub struct ReplicaStore {
+    keep: usize,
+    /// `(seq, bytes)` ascending by sequence number.
+    entries: Vec<(u64, Vec<u8>)>,
+}
+
+impl ReplicaStore {
+    /// New empty mirror retaining the newest `keep` replicas (clamped to
+    /// at least 2, matching `CheckpointStore`).
+    pub fn new(keep: usize) -> Self {
+        ReplicaStore {
+            keep: keep.max(2),
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Number of replicas currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sequence numbers held, ascending.
+    pub fn seqs(&self) -> Vec<u64> {
+        self.entries.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// Newest mirrored sequence number, if any.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.entries.last().map(|&(s, _)| s)
+    }
+
+    /// How many sequences the mirror lags the primary's `current_seq`
+    /// (0 = fully fresh). `None` when nothing was ever mirrored — the
+    /// caller must treat that as "no failover possible", not "fresh".
+    pub fn staleness(&self, current_seq: u64) -> Option<u64> {
+        self.latest_seq()
+            .map(|latest| current_seq.saturating_sub(latest))
+    }
+
+    /// Mirror checkpoint `seq`: replace any existing image at the same
+    /// sequence, keep entries sorted, prune to the newest `keep`.
+    pub fn mirror(&mut self, seq: u64, bytes: &[u8]) {
+        match self.entries.binary_search_by_key(&seq, |&(s, _)| s) {
+            Ok(i) => self.entries[i].1 = bytes.to_vec(),
+            Err(i) => self.entries.insert(i, (seq, bytes.to_vec())),
+        }
+        if self.entries.len() > self.keep {
+            let drop = self.entries.len() - self.keep;
+            self.entries.drain(..drop);
+        }
+    }
+
+    /// Chaos hook: truncate the replica at `seq` to the leading
+    /// `keep_frac` of its bytes (clamped to `[0, 1]`), simulating a
+    /// mirror write torn by the link or the peer. Returns `false` when
+    /// no replica with that sequence exists.
+    pub fn tear(&mut self, seq: u64, keep_frac: f64) -> bool {
+        let Ok(i) = self.entries.binary_search_by_key(&seq, |&(s, _)| s) else {
+            return false;
+        };
+        let bytes = &mut self.entries[i].1;
+        let keep = ((bytes.len() as f64) * keep_frac.clamp(0.0, 1.0)).floor() as usize;
+        bytes.truncate(keep.min(bytes.len()));
+        true
+    }
+
+    /// Walk replicas newest-first, handing each image to `parse`, and
+    /// return the first that validates. Invalid images are skipped with a
+    /// typed [`RestoreReport`] entry — the same torn-write fallback
+    /// discipline as [`CheckpointStore::load_latest_valid`](crate::CheckpointStore::load_latest_valid).
+    pub fn load_latest_valid<T>(
+        &self,
+        mut parse: impl FnMut(u64, &[u8]) -> Result<T, CkptError>,
+    ) -> (Option<(u64, T)>, RestoreReport) {
+        let mut report = RestoreReport::default();
+        for (seq, bytes) in self.entries.iter().rev() {
+            report.scanned += 1;
+            match parse(*seq, bytes) {
+                Ok(v) => return (Some((*seq, v)), report),
+                Err(error) => report.skipped.push(SkippedCheckpoint {
+                    seq: *seq,
+                    path: PathBuf::from(format!("replica:{seq}")),
+                    error,
+                }),
+            }
+        }
+        (None, report)
+    }
+
+    /// Drop every replica (the peer holding them died too).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{SectionReader, SectionWriter};
+
+    fn payload(v: u8) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        w.section(*b"DATA", &[v; 16]);
+        w.finish()
+    }
+
+    fn parse_payload(bytes: &[u8]) -> Result<u8, CkptError> {
+        let r = SectionReader::parse(bytes)?;
+        Ok(r.section(*b"DATA")?[0])
+    }
+
+    #[test]
+    fn mirror_prunes_to_keep_and_tracks_staleness() {
+        let mut rep = ReplicaStore::new(2);
+        for seq in [1u64, 2, 3, 4] {
+            rep.mirror(seq, &payload(seq as u8));
+        }
+        assert_eq!(rep.seqs(), vec![3, 4], "pruned to the newest keep=2");
+        assert_eq!(rep.latest_seq(), Some(4));
+        assert_eq!(rep.staleness(4), Some(0));
+        assert_eq!(rep.staleness(7), Some(3));
+        assert_eq!(ReplicaStore::new(2).staleness(5), None, "never mirrored");
+    }
+
+    #[test]
+    fn load_latest_valid_prefers_newest() {
+        let mut rep = ReplicaStore::new(3);
+        rep.mirror(5, &payload(5));
+        rep.mirror(8, &payload(8));
+        let (found, report) = rep.load_latest_valid(|_, b| parse_payload(b));
+        assert_eq!(found, Some((8, 8)));
+        assert!(report.clean());
+        assert_eq!(report.scanned, 1);
+    }
+
+    #[test]
+    fn torn_newest_falls_back_to_previous_good() {
+        let mut rep = ReplicaStore::new(3);
+        rep.mirror(1, &payload(1));
+        rep.mirror(2, &payload(2));
+        assert!(rep.tear(2, 0.5));
+        assert!(!rep.tear(9, 0.5), "no such seq");
+        let (found, report) = rep.load_latest_valid(|_, b| parse_payload(b));
+        assert_eq!(found, Some((1, 1)), "fell back past the torn replica");
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].seq, 2);
+        assert_eq!(report.skipped[0].error, CkptError::Truncated);
+    }
+
+    #[test]
+    fn all_replicas_invalid_reports_every_skip() {
+        let mut rep = ReplicaStore::new(3);
+        rep.mirror(1, &payload(1));
+        rep.mirror(2, &payload(2));
+        rep.tear(1, 0.0);
+        rep.tear(2, 0.3);
+        let (found, report) = rep.load_latest_valid(|_, b| parse_payload(b));
+        assert!(found.is_none());
+        assert_eq!(report.skipped.len(), 2, "{report}");
+    }
+
+    #[test]
+    fn re_mirroring_a_seq_replaces_in_place() {
+        let mut rep = ReplicaStore::new(3);
+        rep.mirror(4, &payload(1));
+        rep.mirror(4, &payload(9));
+        assert_eq!(rep.len(), 1);
+        let (found, _) = rep.load_latest_valid(|_, b| parse_payload(b));
+        assert_eq!(found, Some((4, 9)));
+        rep.clear();
+        assert!(rep.is_empty());
+    }
+}

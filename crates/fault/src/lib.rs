@@ -174,6 +174,26 @@ pub enum FaultKind {
     TornWrite {
         keep_frac: f64,
     },
+    /// Whole-node loss in the sharded serving cluster at tick `step`
+    /// (one-shot): the node's shard, lanes and in-flight state vanish and
+    /// the cluster supervisor must fail over from the peer replica.
+    NodeCrash {
+        node: usize,
+    },
+    /// Corrupt the replica of `node`'s checkpoint mirrored with sequence
+    /// number `step` — keep only the leading `keep_frac` of its bytes
+    /// (one-shot). The failover path must fall back past it.
+    ReplicaCorrupt {
+        node: usize,
+        keep_frac: f64,
+    },
+    /// Sever the modeled interconnect between nodes `a` and `b` for the
+    /// single cluster tick `step` (one-shot, symmetric): replica mirroring
+    /// and work stealing across that link are suppressed for the tick.
+    LinkPartition {
+        a: usize,
+        b: usize,
+    },
 }
 
 /// A fault that actually fired: the step it hit plus what it did.
@@ -241,6 +261,26 @@ pub trait FaultInjector {
     /// One-shot in [`FaultPlan`], like [`FaultInjector::crash_fault`].
     fn torn_write_fault(&mut self, _seq: u64) -> Option<TornWriteFault> {
         None
+    }
+
+    /// Kill cluster node `node` at cluster tick `tick`, *before* the tick
+    /// executes. One-shot like [`FaultInjector::crash_fault`]: a failed-over
+    /// shard replaying the same boundary proceeds.
+    fn node_crash_fault(&mut self, _tick: usize, _node: usize) -> bool {
+        false
+    }
+
+    /// Corrupt the peer replica of `node`'s shard checkpoint just mirrored
+    /// with sequence number `seq`. One-shot, keyed by `(node, seq)`.
+    fn replica_corruption_fault(&mut self, _node: usize, _seq: u64) -> Option<TornWriteFault> {
+        None
+    }
+
+    /// Partition the modeled link between nodes `a` and `b` for cluster
+    /// tick `tick`. Symmetric in `(a, b)` and one-shot: the link heals at
+    /// the next tick.
+    fn link_partition_fault(&mut self, _tick: usize, _a: usize, _b: usize) -> bool {
+        false
     }
 }
 
@@ -438,6 +478,37 @@ impl FaultPlan {
         self
     }
 
+    /// Kill cluster node `node` at cluster tick boundary `tick`
+    /// (one-shot: the failed-over shard replays past it).
+    pub fn crash_node(mut self, tick: usize, node: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step: tick,
+            kind: FaultKind::NodeCrash { node },
+        });
+        self
+    }
+
+    /// Corrupt the peer replica of `node`'s checkpoint mirrored with
+    /// sequence number `seq` down to the leading `keep_frac` of its bytes
+    /// (one-shot).
+    pub fn corrupt_replica(mut self, node: usize, seq: u64, keep_frac: f64) -> Self {
+        self.planned.push(FaultRecord {
+            step: seq as usize,
+            kind: FaultKind::ReplicaCorrupt { node, keep_frac },
+        });
+        self
+    }
+
+    /// Sever the modeled link between nodes `a` and `b` for cluster tick
+    /// `tick` (one-shot, symmetric).
+    pub fn partition_link(mut self, tick: usize, a: usize, b: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step: tick,
+            kind: FaultKind::LinkPartition { a, b },
+        });
+        self
+    }
+
     /// Faults scheduled in this plan.
     pub fn planned(&self) -> &[FaultRecord] {
         &self.planned
@@ -557,6 +628,42 @@ impl FaultInjector for FaultPlan {
         };
         self.log(seq as usize, kind);
         Some(TornWriteFault { keep_frac })
+    }
+
+    fn node_crash_fault(&mut self, tick: usize, node: usize) -> bool {
+        let hit = self.take_one_shot(|p| {
+            matches!(p.kind, FaultKind::NodeCrash { node: n } if n == node) && p.step == tick
+        });
+        if hit.is_some() {
+            self.log(tick, FaultKind::NodeCrash { node });
+        }
+        hit.is_some()
+    }
+
+    fn replica_corruption_fault(&mut self, node: usize, seq: u64) -> Option<TornWriteFault> {
+        let kind = self.take_one_shot(|p| {
+            matches!(p.kind, FaultKind::ReplicaCorrupt { node: n, .. } if n == node)
+                && p.step == seq as usize
+        })?;
+        let FaultKind::ReplicaCorrupt { keep_frac, .. } = kind else {
+            unreachable!("one-shot matcher filtered on ReplicaCorrupt");
+        };
+        self.log(seq as usize, kind);
+        Some(TornWriteFault { keep_frac })
+    }
+
+    fn link_partition_fault(&mut self, tick: usize, a: usize, b: usize) -> bool {
+        let hit = self.take_one_shot(|p| {
+            matches!(p.kind, FaultKind::LinkPartition { a: x, b: y }
+                if (x == a && y == b) || (x == b && y == a))
+                && p.step == tick
+        });
+        // log the planned orientation: the match is symmetric in (a, b),
+        // but `all_fired` compares records literally
+        if let Some(kind) = hit {
+            self.log(tick, kind);
+        }
+        hit.is_some()
     }
 }
 
@@ -716,6 +823,42 @@ mod tests {
             "tear already consumed; the rewritten checkpoint survives"
         );
         assert!(plan.all_fired());
+    }
+
+    #[test]
+    fn node_crash_is_one_shot_and_keyed_by_node() {
+        let mut plan = FaultPlan::new(1).crash_node(3, 1);
+        assert!(!plan.node_crash_fault(3, 0), "wrong node");
+        assert!(!plan.node_crash_fault(2, 1), "wrong tick");
+        assert!(plan.node_crash_fault(3, 1), "planned node crash fires");
+        assert!(!plan.node_crash_fault(3, 1), "node crash already consumed");
+        assert!(plan.all_fired());
+    }
+
+    #[test]
+    fn replica_corruption_is_one_shot_and_keyed_by_node_and_seq() {
+        let mut plan = FaultPlan::new(1).corrupt_replica(2, 5, 0.4);
+        assert!(plan.replica_corruption_fault(1, 5).is_none(), "wrong node");
+        assert!(plan.replica_corruption_fault(2, 4).is_none(), "wrong seq");
+        let t = plan.replica_corruption_fault(2, 5).expect("planned fires");
+        assert_eq!(t.keep_frac, 0.4);
+        assert!(plan.replica_corruption_fault(2, 5).is_none(), "consumed");
+        assert!(plan.all_fired());
+    }
+
+    #[test]
+    fn link_partition_is_symmetric_and_one_shot() {
+        let mut plan = FaultPlan::new(1).partition_link(4, 0, 2);
+        assert!(!plan.link_partition_fault(4, 0, 1), "wrong pair");
+        assert!(!plan.link_partition_fault(3, 0, 2), "wrong tick");
+        assert!(plan.link_partition_fault(4, 2, 0), "symmetric pair fires");
+        assert!(!plan.link_partition_fault(4, 0, 2), "link heals after tick");
+        assert!(plan.all_fired());
+        // Noop defaults never partition, crash nodes, or corrupt replicas
+        let mut noop = NoopFaults;
+        assert!(!noop.node_crash_fault(0, 0));
+        assert!(noop.replica_corruption_fault(0, 0).is_none());
+        assert!(!noop.link_partition_fault(0, 0, 1));
     }
 
     #[test]

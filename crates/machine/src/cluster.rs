@@ -73,6 +73,69 @@ pub fn weak_scaling_efficiency(t1: f64, tp: f64) -> f64 {
     t1 / tp
 }
 
+/// Modeled time of one point-to-point control/data transfer between two
+/// cluster nodes: one interconnect latency each way (request + payload
+/// acknowledge) plus the payload over the link bandwidth. This is the
+/// cost the sharded serving layer charges for cross-node work stealing
+/// (a request descriptor) and checkpoint replica mirroring (the full
+/// serialized shard image).
+pub fn link_transfer_time(node: &NodeSpec, bytes: f64) -> f64 {
+    if !node.interconnect_bw.is_finite() || bytes <= 0.0 {
+        return 2.0 * node.interconnect_latency;
+    }
+    2.0 * node.interconnect_latency + bytes / node.interconnect_bw
+}
+
+/// Byte/operation accounting for the cluster serving layer's cross-node
+/// traffic, separate from the halo-exchange model above: stolen request
+/// descriptors and mirrored checkpoint replicas ride the same modeled
+/// interconnect but are bookkept per flow so the bench snapshot can
+/// report them independently.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkTraffic {
+    /// Cross-node work-steal control messages sent.
+    pub steal_msgs: u64,
+    /// Bytes moved by work stealing (request descriptors).
+    pub steal_bytes: f64,
+    /// Checkpoint replicas mirrored to a peer.
+    pub replica_msgs: u64,
+    /// Bytes moved by replica mirroring (serialized shard checkpoints).
+    pub replica_bytes: f64,
+    /// Modeled seconds charged to links for all of the above.
+    pub link_time_s: f64,
+}
+
+impl LinkTraffic {
+    /// Charge one work-steal transfer of `bytes` and return its modeled
+    /// link time.
+    pub fn charge_steal(&mut self, node: &NodeSpec, bytes: f64) -> f64 {
+        let t = link_transfer_time(node, bytes);
+        self.steal_msgs += 1;
+        self.steal_bytes += bytes;
+        self.link_time_s += t;
+        t
+    }
+
+    /// Charge one replica mirror of `bytes` and return its modeled link
+    /// time.
+    pub fn charge_replica(&mut self, node: &NodeSpec, bytes: f64) -> f64 {
+        let t = link_transfer_time(node, bytes);
+        self.replica_msgs += 1;
+        self.replica_bytes += bytes;
+        self.link_time_s += t;
+        t
+    }
+
+    /// Fold another accumulator in (per-node traffic → cluster totals).
+    pub fn merge(&mut self, other: &LinkTraffic) {
+        self.steal_msgs += other.steal_msgs;
+        self.steal_bytes += other.steal_bytes;
+        self.replica_msgs += other.replica_msgs;
+        self.replica_bytes += other.replica_bytes;
+        self.link_time_s += other.link_time_s;
+    }
+}
+
 /// Surface-area model of halo size for a box-partitioned domain: a
 /// partition holding `nodes_per_part` grid nodes has ≈ `6 (n^(1/3))²`
 /// interface nodes split over up to 6 face neighbours. Returns bytes per
@@ -156,6 +219,34 @@ mod tests {
             last = e;
         }
         assert!(last > 0.85);
+    }
+
+    #[test]
+    fn link_transfer_pays_latency_and_bandwidth() {
+        let node = alps_node();
+        let lat_only = link_transfer_time(&node, 0.0);
+        assert!((lat_only - 2.0 * node.interconnect_latency).abs() < 1e-15);
+        let bytes = node.interconnect_bw * 0.002; // 2 ms of bandwidth
+        let t = link_transfer_time(&node, bytes);
+        assert!((t - (lat_only + 0.002)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_traffic_accumulates_and_merges() {
+        let node = alps_node();
+        let mut a = LinkTraffic::default();
+        let t_steal = a.charge_steal(&node, 256.0);
+        let t_rep = a.charge_replica(&node, 1_000_000.0);
+        assert_eq!(a.steal_msgs, 1);
+        assert_eq!(a.replica_msgs, 1);
+        assert!((a.link_time_s - (t_steal + t_rep)).abs() < 1e-15);
+
+        let mut b = LinkTraffic::default();
+        b.charge_steal(&node, 256.0);
+        b.merge(&a);
+        assert_eq!(b.steal_msgs, 2);
+        assert_eq!(b.replica_msgs, 1);
+        assert!((b.steal_bytes - 512.0).abs() < 1e-12);
     }
 
     #[test]

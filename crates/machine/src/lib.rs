@@ -31,8 +31,8 @@ pub use clock::{
     SystemClock, WallClock,
 };
 pub use cluster::{
-    box_halo_pattern, halo_exchange_time, weak_scaling_efficiency, weak_scaling_step_time,
-    HaloPattern,
+    box_halo_pattern, halo_exchange_time, link_transfer_time, weak_scaling_efficiency,
+    weak_scaling_step_time, HaloPattern, LinkTraffic,
 };
 pub use memory::{crs_cg_cpu, crs_cg_cpu_gpu, crs_cg_gpu, ebe_mcg_cpu_gpu, MemUsage, ProblemDims};
 pub use roofline::{achieved_bw, achieved_flops, kernel_time, transfer_time, ExecCtx};

@@ -39,12 +39,23 @@ pub const METRICS: &[(&str, &str)] = &[
     ("serve_requests_shed_total", "counter"),
     ("serve_watchdog_breaches_total", "counter"),
     ("serve_watchdog_restarts_total", "counter"),
+    // cluster serving layer: node loss, restart-on-peer failover,
+    // cross-node work stealing and replica mirroring
+    ("serve_node_crashes_total", "counter"),
+    ("serve_failovers_total", "counter"),
+    ("serve_requests_stolen_total", "counter"),
+    ("serve_replica_writes_total", "counter"),
+    ("serve_replica_skipped_total", "counter"),
     // serving layer gauges
     ("serve_queue_depth", "gauge"),
     ("serve_lane_occupancy", "gauge"),
     ("serve_elapsed_s", "gauge"),
+    ("serve_shards", "gauge"),
+    ("serve_link_time_s", "gauge"),
     // end-to-end queue-to-done latency (modeled seconds)
     ("serve_request_latency_s", "histogram"),
+    // modeled seconds from node loss to the shard serving again on a peer
+    ("serve_failover_recovery_s", "histogram"),
     // flight-recorder ring overflow
     ("flight_events_dropped_total", "counter"),
 ];

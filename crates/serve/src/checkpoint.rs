@@ -123,7 +123,7 @@ fn decode_queue_entry(dec: &mut Dec<'_>) -> Result<QueueEntrySnapshot, CkptError
     })
 }
 
-fn encode_record(enc: &mut Enc, r: &RequestRecord) {
+pub(crate) fn encode_record(enc: &mut Enc, r: &RequestRecord) {
     enc.put_u64(r.id.0);
     enc.put_u64(r.request.seed);
     enc.put_usize(r.request.n_steps);
@@ -149,7 +149,7 @@ fn encode_record(enc: &mut Enc, r: &RequestRecord) {
     }
 }
 
-fn decode_record(dec: &mut Dec<'_>) -> Result<RequestRecord, CkptError> {
+pub(crate) fn decode_record(dec: &mut Dec<'_>) -> Result<RequestRecord, CkptError> {
     let id = RequestId(dec.u64()?);
     let request = SolveRequest {
         seed: dec.u64()?,
@@ -257,7 +257,7 @@ fn decode_flight_event(dec: &mut Dec<'_>) -> Result<FlightEvent, CkptError> {
     })
 }
 
-fn encode_flight(enc: &mut Enc, f: &FlightRecorder) {
+pub(crate) fn encode_flight(enc: &mut Enc, f: &FlightRecorder) {
     let capacity = f.capacity();
     enc.put_usize(capacity);
     let events = f.events();
@@ -271,7 +271,7 @@ fn encode_flight(enc: &mut Enc, f: &FlightRecorder) {
     enc.put_u64(dropped);
 }
 
-fn decode_flight(dec: &mut Dec<'_>) -> Result<FlightRecorder, CkptError> {
+pub(crate) fn decode_flight(dec: &mut Dec<'_>) -> Result<FlightRecorder, CkptError> {
     let capacity = dec.usize_()?;
     let n = dec.usize_()?;
     let mut events = Vec::with_capacity(n.min(1 << 16));
@@ -289,7 +289,7 @@ fn decode_flight(dec: &mut Dec<'_>) -> Result<FlightRecorder, CkptError> {
 // field's own name: the schema-drift pass (`cargo xtask analyze`)
 // cross-checks the struct's field list against these bodies, so a new
 // field that is not serialized here fails the build.
-fn encode_stats(enc: &mut Enc, s: &ServeStats) {
+pub(crate) fn encode_stats(enc: &mut Enc, s: &ServeStats) {
     let queue_depth = s.queue_depth_samples();
     enc.put_usize(queue_depth.len());
     for &d in queue_depth {
@@ -310,10 +310,13 @@ fn encode_stats(enc: &mut Enc, s: &ServeStats) {
     enc.put_usize(s.shed());
     enc.put_usize(s.watchdog_breaches());
     enc.put_usize(s.watchdog_restarts());
+    enc.put_usize(s.node_crashes());
+    enc.put_usize(s.failovers());
+    enc.put_usize(s.stolen());
     enc.put_f64(s.elapsed_s());
 }
 
-fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
+pub(crate) fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
     let n = dec.usize_()?;
     let mut queue_depth = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -332,6 +335,9 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
     let shed = dec.usize_()?;
     let watchdog_breaches = dec.usize_()?;
     let watchdog_restarts = dec.usize_()?;
+    let node_crashes = dec.usize_()?;
+    let failovers = dec.usize_()?;
+    let stolen = dec.usize_()?;
     let elapsed_s = dec.f64()?;
     Ok(ServeStats::from_parts(
         queue_depth,
@@ -344,6 +350,9 @@ fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
         shed,
         watchdog_breaches,
         watchdog_restarts,
+        node_crashes,
+        failovers,
+        stolen,
         elapsed_s,
     ))
 }

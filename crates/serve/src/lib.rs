@@ -32,7 +32,11 @@
 //! * [`checkpoint`] — [`ServerCheckpoint`]: crash-consistent snapshots of
 //!   the whole server (queue, lanes, in-flight cases, records, stats) in
 //!   the sectioned `hetsolve-ckpt` format, restorable to a server that
-//!   continues bitwise-identically.
+//!   continues bitwise-identically,
+//! * [`shard`] — [`ClusterServer`]: N node-local shards behind a
+//!   deterministic router, with cross-node work stealing, peer replica
+//!   mirroring, and node-crash failover via restart-on-peer (eviction as
+//!   `NodeLost` only when every replica is invalid).
 //!
 //! Served results are bitwise-identical to solo
 //! [`run_ensemble`](hetsolve_core::run_ensemble) solves of the same seed
@@ -46,6 +50,7 @@ pub mod checkpoint;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod shard;
 pub mod watchdog;
 
 pub use batcher::{Assignment, BatchPolicy, Batcher, CompatKey};
@@ -53,4 +58,5 @@ pub use checkpoint::{ServeFingerprint, ServerCheckpoint};
 pub use queue::{AdmissionQueue, AdmitError, QueueEntrySnapshot, RejectReason};
 pub use request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest};
 pub use server::{EnsembleServer, ServeConfig};
+pub use shard::{ClusterCheckpoint, ClusterConfig, ClusterFingerprint, ClusterServer, RouteEntry};
 pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};

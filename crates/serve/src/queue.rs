@@ -185,6 +185,15 @@ impl AdmissionQueue {
         Some(self.pop_at(i).0)
     }
 
+    /// Remove a specific queued request (cluster work stealing and
+    /// failover reconciliation pull entries by id, not by rank); returns
+    /// `false` when `id` is not queued.
+    pub fn remove(&mut self, id: RequestId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.id != id);
+        self.entries.len() < before
+    }
+
     /// Capture the queue's contents for a checkpoint, in insertion order.
     /// The admission-time tie-break hashes travel with the entries, so the
     /// restored queue replays the exact same schedule.

@@ -84,6 +84,10 @@ pub enum RequestState {
     Failed,
     /// Shed past its deadline, or force-evicted (injected / operator).
     Evicted,
+    /// Handed to another shard of the serving cluster (work stealing or
+    /// failover reconciliation); this shard's copy is terminal and the
+    /// cluster router points at the new owner.
+    Migrated,
 }
 
 impl RequestState {
@@ -95,14 +99,18 @@ impl RequestState {
             RequestState::Done => "done",
             RequestState::Failed => "failed",
             RequestState::Evicted => "evicted",
+            RequestState::Migrated => "migrated",
         }
     }
 
-    /// The request will never run again.
+    /// The request will never run again (on this shard).
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            RequestState::Done | RequestState::Failed | RequestState::Evicted
+            RequestState::Done
+                | RequestState::Failed
+                | RequestState::Evicted
+                | RequestState::Migrated
         )
     }
 
@@ -115,6 +123,7 @@ impl RequestState {
             RequestState::Done => 3,
             RequestState::Failed => 4,
             RequestState::Evicted => 5,
+            RequestState::Migrated => 6,
         }
     }
 
@@ -127,6 +136,7 @@ impl RequestState {
             3 => RequestState::Done,
             4 => RequestState::Failed,
             5 => RequestState::Evicted,
+            6 => RequestState::Migrated,
             _ => return None,
         })
     }
@@ -142,6 +152,9 @@ pub enum EvictReason {
     /// The watchdog supervisor exhausted its escalation ladder on the
     /// request's lane (retry → restart-from-checkpoint → evict).
     Watchdog,
+    /// The request's cluster node died and no valid peer replica existed
+    /// to fail over from — the extended ladder's true last resort.
+    NodeLost,
 }
 
 impl EvictReason {
@@ -150,6 +163,7 @@ impl EvictReason {
             EvictReason::DeadlineExpired => "deadline_expired",
             EvictReason::Injected => "injected",
             EvictReason::Watchdog => "watchdog",
+            EvictReason::NodeLost => "node_lost",
         }
     }
 
@@ -159,6 +173,7 @@ impl EvictReason {
             EvictReason::DeadlineExpired => 0,
             EvictReason::Injected => 1,
             EvictReason::Watchdog => 2,
+            EvictReason::NodeLost => 3,
         }
     }
 
@@ -168,6 +183,7 @@ impl EvictReason {
             0 => EvictReason::DeadlineExpired,
             1 => EvictReason::Injected,
             2 => EvictReason::Watchdog,
+            3 => EvictReason::NodeLost,
             _ => return None,
         })
     }

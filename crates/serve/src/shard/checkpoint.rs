@@ -1,0 +1,433 @@
+//! Crash-consistent snapshots of a whole [`ClusterServer`].
+//!
+//! [`ClusterCheckpoint`] captures the router (every [`RouteEntry`] and
+//! tombstone), the cluster counters, the modeled link-traffic ledger, the
+//! cluster flight ring, and an opaque serialized [`ServerCheckpoint`]
+//! image per shard — each validated by its own fingerprint/CRC path on
+//! restore, so a torn shard image fails the whole cluster snapshot typed
+//! instead of silently dropping a node. Peer [`ReplicaStore`]s are
+//! volatile by design and *not* checkpointed: a restored cluster refills
+//! them at the next mirror boundary, exactly as a rebooted peer would.
+//!
+//! [`ReplicaStore`]: hetsolve_ckpt::ReplicaStore
+
+use std::io;
+use std::path::PathBuf;
+
+use hetsolve_ckpt::{
+    mix64, CheckpointStore, CkptError, Dec, Enc, RestoreReport, SectionReader, SectionWriter,
+};
+use hetsolve_core::Backend;
+use hetsolve_fault::{FaultInjector, NoopFaults};
+use hetsolve_machine::LinkTraffic;
+use hetsolve_obs::{FlightRecorder, ServeStats};
+
+use crate::checkpoint::{
+    decode_flight, decode_record, decode_stats, encode_flight, encode_record, encode_stats,
+    ServeFingerprint,
+};
+use crate::request::{RequestRecord, SolveRequest};
+use crate::server::EnsembleServer;
+use crate::shard::cluster::{ClusterConfig, ClusterServer, RouteEntry};
+
+/// Section tags of the cluster-checkpoint format.
+const TAG_META: [u8; 4] = *b"META";
+const TAG_ROUTES: [u8; 4] = *b"ROUT";
+const TAG_LOST: [u8; 4] = *b"LOST";
+const TAG_STATS: [u8; 4] = *b"STAT";
+const TAG_TRAFFIC: [u8; 4] = *b"TRAF";
+const TAG_RECOVERY: [u8; 4] = *b"RCVY";
+const TAG_FLIGHT: [u8; 4] = *b"FLIT";
+const TAG_SHARDS: [u8; 4] = *b"SHRD";
+
+/// Hash of everything that determines a cluster run's trajectory but is
+/// rebuilt from `(backend, cfg)` on restore: every shard's
+/// [`ServeFingerprint`] plus the distribution knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterFingerprint(pub u64);
+
+impl ClusterFingerprint {
+    pub fn of(backend: &Backend, cfg: &ClusterConfig) -> Self {
+        let mut h = mix64(0xc1a5_7e12, cfg.shards as u64);
+        for i in 0..cfg.shards {
+            h = mix64(h, ServeFingerprint::of(backend, &cfg.shard_cfg(i)).0);
+        }
+        h = mix64(h, cfg.placement_seed);
+        h = mix64(h, cfg.replica_every as u64);
+        h = mix64(h, cfg.replica_keep as u64);
+        h = mix64(h, cfg.steal as u64);
+        h = mix64(h, cfg.steal_bytes.to_bits());
+        ClusterFingerprint(h)
+    }
+}
+
+/// One crash-consistent snapshot of a cluster run at a tick boundary.
+#[derive(Debug, Clone)]
+pub struct ClusterCheckpoint {
+    pub fingerprint: ClusterFingerprint,
+    pub ticks: usize,
+    pub admissions: usize,
+    pub routes: Vec<RouteEntry>,
+    pub lost: Vec<Option<RequestRecord>>,
+    pub stats: ServeStats,
+    pub replica_writes: usize,
+    pub replica_skipped: usize,
+    pub recovery_s: Vec<f64>,
+    pub traffic: LinkTraffic,
+    pub flight: FlightRecorder,
+    /// One serialized [`crate::checkpoint::ServerCheckpoint`] per shard,
+    /// kept opaque here and validated by the shard's own restore path.
+    pub shards: Vec<Vec<u8>>,
+}
+
+// Both codec bodies bind one local per `RouteEntry` field, under the
+// field's own name: the schema-drift pass (`cargo xtask analyze`)
+// cross-checks the struct's field list against these bodies.
+fn encode_route(enc: &mut Enc, r: &RouteEntry) {
+    let shard = r.shard;
+    enc.put_usize(shard);
+    let local = r.local;
+    enc.put_u64(local);
+    let request = &r.request;
+    enc.put_u64(request.seed);
+    enc.put_usize(request.n_steps);
+    enc.put_u8(request.priority);
+    enc.put_opt_f64(request.deadline);
+    enc.put_opt_f64(request.tol);
+}
+
+fn decode_route(dec: &mut Dec<'_>) -> Result<RouteEntry, CkptError> {
+    let shard = dec.usize_()?;
+    let local = dec.u64()?;
+    let request = SolveRequest {
+        seed: dec.u64()?,
+        n_steps: dec.usize_()?,
+        priority: dec.u8()?,
+        deadline: dec.opt_f64()?,
+        tol: dec.opt_f64()?,
+    };
+    Ok(RouteEntry {
+        shard,
+        local,
+        request,
+    })
+}
+
+// Both codec bodies bind one local per `LinkTraffic` field, under the
+// field's own name, for the same schema-drift cross-check.
+fn encode_traffic(enc: &mut Enc, t: &LinkTraffic) {
+    let steal_msgs = t.steal_msgs;
+    enc.put_u64(steal_msgs);
+    let steal_bytes = t.steal_bytes;
+    enc.put_f64(steal_bytes);
+    let replica_msgs = t.replica_msgs;
+    enc.put_u64(replica_msgs);
+    let replica_bytes = t.replica_bytes;
+    enc.put_f64(replica_bytes);
+    let link_time_s = t.link_time_s;
+    enc.put_f64(link_time_s);
+}
+
+fn decode_traffic(dec: &mut Dec<'_>) -> Result<LinkTraffic, CkptError> {
+    let steal_msgs = dec.u64()?;
+    let steal_bytes = dec.f64()?;
+    let replica_msgs = dec.u64()?;
+    let replica_bytes = dec.f64()?;
+    let link_time_s = dec.f64()?;
+    Ok(LinkTraffic {
+        steal_msgs,
+        steal_bytes,
+        replica_msgs,
+        replica_bytes,
+        link_time_s,
+    })
+}
+
+impl ClusterCheckpoint {
+    /// Serialize into the sectioned `hetsolve-ckpt` format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        let mut meta = Enc::new();
+        let fingerprint = self.fingerprint;
+        meta.put_u64(fingerprint.0);
+        let ticks = self.ticks;
+        meta.put_usize(ticks);
+        let admissions = self.admissions;
+        meta.put_usize(admissions);
+        let replica_writes = self.replica_writes;
+        meta.put_usize(replica_writes);
+        let replica_skipped = self.replica_skipped;
+        meta.put_usize(replica_skipped);
+        w.section(TAG_META, &meta.into_bytes());
+
+        let mut rt = Enc::new();
+        let routes = &self.routes;
+        rt.put_usize(routes.len());
+        for r in routes {
+            encode_route(&mut rt, r);
+        }
+        w.section(TAG_ROUTES, &rt.into_bytes());
+
+        let mut lo = Enc::new();
+        let lost = &self.lost;
+        lo.put_usize(lost.len());
+        for t in lost {
+            match t {
+                Some(rec) => {
+                    lo.put_bool(true);
+                    encode_record(&mut lo, rec);
+                }
+                None => lo.put_bool(false),
+            }
+        }
+        w.section(TAG_LOST, &lo.into_bytes());
+
+        let mut st = Enc::new();
+        let stats = &self.stats;
+        encode_stats(&mut st, stats);
+        w.section(TAG_STATS, &st.into_bytes());
+
+        let mut tr = Enc::new();
+        let traffic = &self.traffic;
+        encode_traffic(&mut tr, traffic);
+        w.section(TAG_TRAFFIC, &tr.into_bytes());
+
+        let mut rc = Enc::new();
+        let recovery_s = &self.recovery_s;
+        rc.put_f64s(recovery_s);
+        w.section(TAG_RECOVERY, &rc.into_bytes());
+
+        let mut fl = Enc::new();
+        let flight = &self.flight;
+        encode_flight(&mut fl, flight);
+        w.section(TAG_FLIGHT, &fl.into_bytes());
+
+        let mut sh = Enc::new();
+        let shards = &self.shards;
+        sh.put_usize(shards.len());
+        for image in shards {
+            sh.put_bytes(image);
+        }
+        w.section(TAG_SHARDS, &sh.into_bytes());
+        w.finish()
+    }
+
+    /// Parse and validate a snapshot. A fingerprint mismatch is typed
+    /// corruption — the snapshot belongs to a different cluster setup.
+    pub fn from_bytes(bytes: &[u8], expect: ClusterFingerprint) -> Result<Self, CkptError> {
+        let r = SectionReader::parse(bytes)?;
+        let mut meta = Dec::new(r.section(TAG_META)?);
+        let fingerprint = ClusterFingerprint(meta.u64()?);
+        let ticks = meta.usize_()?;
+        let admissions = meta.usize_()?;
+        let replica_writes = meta.usize_()?;
+        let replica_skipped = meta.usize_()?;
+        meta.finish()?;
+        if fingerprint != expect {
+            return Err(CkptError::Corrupt(format!(
+                "cluster fingerprint mismatch: checkpoint {:#018x}, cluster {:#018x}",
+                fingerprint.0, expect.0
+            )));
+        }
+
+        let mut rd = Dec::new(r.section(TAG_ROUTES)?);
+        let n = rd.usize_()?;
+        let mut routes = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            routes.push(decode_route(&mut rd)?);
+        }
+        rd.finish()?;
+
+        let mut ld = Dec::new(r.section(TAG_LOST)?);
+        let n = ld.usize_()?;
+        let mut lost = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            lost.push(if ld.bool_()? {
+                Some(decode_record(&mut ld)?)
+            } else {
+                None
+            });
+        }
+        ld.finish()?;
+
+        let mut sd = Dec::new(r.section(TAG_STATS)?);
+        let stats = decode_stats(&mut sd)?;
+        sd.finish()?;
+
+        let mut td = Dec::new(r.section(TAG_TRAFFIC)?);
+        let traffic = decode_traffic(&mut td)?;
+        td.finish()?;
+
+        let mut cd = Dec::new(r.section(TAG_RECOVERY)?);
+        let recovery_s = cd.f64s()?;
+        cd.finish()?;
+
+        let mut fd = Dec::new(r.section(TAG_FLIGHT)?);
+        let flight = decode_flight(&mut fd)?;
+        fd.finish()?;
+
+        let mut hd = Dec::new(r.section(TAG_SHARDS)?);
+        let n = hd.usize_()?;
+        let mut shards = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            shards.push(hd.bytes_()?);
+        }
+        hd.finish()?;
+
+        Ok(ClusterCheckpoint {
+            fingerprint,
+            ticks,
+            admissions,
+            routes,
+            lost,
+            stats,
+            replica_writes,
+            replica_skipped,
+            recovery_s,
+            traffic,
+            flight,
+            shards,
+        })
+    }
+}
+
+impl<'b, F: FaultInjector> ClusterServer<'b, F> {
+    /// Snapshot the cluster as it stands at a tick boundary.
+    pub fn checkpoint(&self) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            fingerprint: ClusterFingerprint::of(self.backend, &self.cfg),
+            ticks: self.ticks,
+            admissions: self.admissions,
+            routes: self.routes.clone(),
+            lost: self.lost.clone(),
+            stats: self.cluster_stats.clone(),
+            replica_writes: self.replica_writes,
+            replica_skipped: self.replica_skipped,
+            recovery_s: self.recovery_s.clone(),
+            traffic: self.traffic,
+            flight: self.flight.clone(),
+            shards: self.shards.iter().map(|s| s.checkpoint_bytes()).collect(),
+        }
+    }
+
+    /// Serialized snapshot, ready for [`CheckpointStore::save`].
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        self.checkpoint().to_bytes()
+    }
+
+    /// Atomically write a snapshot to `store`, sequenced by the cluster
+    /// tick count.
+    pub fn save_checkpoint(&mut self, store: &CheckpointStore) -> io::Result<PathBuf> {
+        let bytes = self.checkpoint_bytes();
+        let path = store.save(self.ticks as u64, &bytes)?;
+        self.flight.record(
+            self.elapsed(),
+            "ckpt_write",
+            None,
+            None,
+            Some(self.ticks as u64),
+            format!("cluster snapshot, {} bytes", bytes.len()),
+        );
+        Ok(path)
+    }
+
+    /// Rebuild a cluster from a parsed snapshot. Each shard image is
+    /// validated and restored through the shard's own checkpoint path;
+    /// peer replica stores start empty and refill at the next mirror
+    /// boundary.
+    pub fn from_checkpoint(
+        backend: &'b Backend,
+        cfg: ClusterConfig,
+        faults: F,
+        ck: ClusterCheckpoint,
+    ) -> Result<Self, CkptError> {
+        if ck.shards.len() != cfg.shards {
+            return Err(CkptError::Corrupt(format!(
+                "shard count mismatch: checkpoint {}, config {}",
+                ck.shards.len(),
+                cfg.shards
+            )));
+        }
+        let mut cluster = Self::with_faults(backend, cfg, faults);
+        for (i, image) in ck.shards.iter().enumerate() {
+            cluster.shards[i] = EnsembleServer::restore_with_faults(
+                backend,
+                cluster.cfg.shard_cfg(i),
+                NoopFaults,
+                image,
+            )?;
+        }
+        cluster.routes = ck.routes;
+        cluster.lost = ck.lost;
+        cluster.cluster_stats = ck.stats;
+        cluster.traffic = ck.traffic;
+        cluster.flight = ck.flight;
+        cluster.admissions = ck.admissions;
+        cluster.ticks = ck.ticks;
+        cluster.replica_writes = ck.replica_writes;
+        cluster.replica_skipped = ck.replica_skipped;
+        cluster.recovery_s = ck.recovery_s;
+        cluster.flight.record(
+            cluster.elapsed(),
+            "restored",
+            None,
+            None,
+            Some(cluster.ticks as u64),
+            "cluster rebuilt from checkpoint",
+        );
+        Ok(cluster)
+    }
+
+    /// Parse `bytes` (validating the fingerprint against `(backend, cfg)`)
+    /// and rebuild the cluster.
+    pub fn restore_with_faults(
+        backend: &'b Backend,
+        cfg: ClusterConfig,
+        faults: F,
+        bytes: &[u8],
+    ) -> Result<Self, CkptError> {
+        let fp = ClusterFingerprint::of(backend, &cfg);
+        let ck = ClusterCheckpoint::from_bytes(bytes, fp)?;
+        Self::from_checkpoint(backend, cfg, faults, ck)
+    }
+
+    /// Restore from the newest valid cluster checkpoint in `store`,
+    /// falling back past torn or corrupt files. `None` when no valid
+    /// checkpoint exists.
+    pub fn restore_latest(
+        backend: &'b Backend,
+        cfg: ClusterConfig,
+        faults: F,
+        store: &CheckpointStore,
+    ) -> (Option<(u64, Self)>, RestoreReport) {
+        let fp = ClusterFingerprint::of(backend, &cfg);
+        let (found, mut report) =
+            store.load_latest_valid(|_, bytes| ClusterCheckpoint::from_bytes(bytes, fp));
+        match found {
+            Some((seq, ck)) => match Self::from_checkpoint(backend, cfg, faults, ck) {
+                Ok(cluster) => (Some((seq, cluster)), report),
+                Err(error) => {
+                    report.skipped.push(hetsolve_ckpt::SkippedCheckpoint {
+                        seq,
+                        path: store.path_for(seq),
+                        error,
+                    });
+                    (None, report)
+                }
+            },
+            None => (None, report),
+        }
+    }
+}
+
+impl<'b> ClusterServer<'b, NoopFaults> {
+    /// [`restore_with_faults`](Self::restore_with_faults) without
+    /// injection.
+    pub fn restore(
+        backend: &'b Backend,
+        cfg: ClusterConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CkptError> {
+        Self::restore_with_faults(backend, cfg, NoopFaults, bytes)
+    }
+}

@@ -9,20 +9,41 @@
 //! scheduler/lane timeline as Chrome-trace JSON (`HETSOLVE_TRACE` /
 //! `HETSOLVE_METRICS` override the paths).
 //!
+//! With `--shards N` the same workload is served by a [`ClusterServer`]:
+//! N node-local shards behind the deterministic router, work stealing
+//! across the modeled interconnect, and each shard's checkpoint mirrored
+//! to a peer. Add `--kill-node NODE` (optionally `--kill-at TICK`,
+//! default 2) to crash a node mid-run and watch restart-on-peer recover
+//! every in-flight case; cluster artifacts (metrics, Prometheus page,
+//! flight ring) land under `target/artifacts/`.
+//!
 //! ```bash
 //! cargo run --release --example serve_demo
 //! cargo run --release --example serve_demo -- --resume
 //! cargo run --release --example serve_demo -- --resume path/to/ckpt_dir
+//! cargo run --release --example serve_demo -- --shards 4
+//! cargo run --release --example serve_demo -- --shards 4 --kill-node 1
 //! ```
+//!
+//! [`ClusterServer`]: hetsolve::serve::ClusterServer
 
 use hetsolve::ckpt::CheckpointStore;
 use hetsolve::fem::{FemProblem, RandomLoadSpec};
-use hetsolve::machine::single_gh200;
+use hetsolve::machine::{alps_node, single_gh200};
 use hetsolve::mesh::{GroundModelSpec, InterfaceShape};
 use hetsolve::obs::{Json, MetricsSink};
 use hetsolve::prelude::*;
+use hetsolve::serve::{ClusterConfig, ClusterServer, RequestId};
 
 const CKPT_EVERY_TICKS: usize = 4;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -32,6 +53,16 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "target/artifacts/serve_ckpt".into())
     });
+    if let Some(shards) = flag_value(&args, "--shards") {
+        let shards: usize = shards.parse().expect("--shards takes a count");
+        let kill_node = flag_value(&args, "--kill-node")
+            .map(|n| n.parse::<usize>().expect("--kill-node takes a node index"));
+        let kill_at = flag_value(&args, "--kill-at")
+            .map(|t| t.parse::<usize>().expect("--kill-at takes a tick"))
+            .unwrap_or(2);
+        cluster_demo(shards, kill_node, kill_at);
+        return;
+    }
 
     let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
     let backend = Backend::new(FemProblem::paper_like(&spec), false, false);
@@ -169,4 +200,126 @@ fn main() {
          on watchdog breach, eviction, or crash)",
         server.flight().len()
     );
+}
+
+/// The `--shards` path: the same mixed workload on a sharded cluster
+/// (Alps node model, so cross-node traffic costs modeled link time),
+/// optionally killing a node mid-run to demonstrate restart-on-peer.
+fn cluster_demo(shards: usize, kill_node: Option<usize>, kill_at: usize) {
+    let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
+    let backend = Backend::new(FemProblem::paper_like(&spec), false, false);
+
+    let mut serve = ServeConfig::new(alps_node());
+    serve.run.r = 4;
+    serve.run.s_max = 6;
+    serve.run.region_dofs = 300;
+    serve.run.load = RandomLoadSpec {
+        n_sources: 4,
+        impulses_per_source: 2.0,
+        amplitude: 1e6,
+        active_window: 0.2,
+    };
+    let cfg = ClusterConfig::new(serve, shards);
+
+    let mut cluster = match kill_node {
+        Some(node) => {
+            assert!(
+                node < shards,
+                "--kill-node {node} out of range for --shards {shards}"
+            );
+            println!("will crash node {node} at cluster boundary {kill_at}\n");
+            ClusterServer::with_faults(&backend, cfg, FaultPlan::new(1).crash_node(kill_at, node))
+        }
+        None => ClusterServer::with_faults(&backend, cfg, FaultPlan::new(1)),
+    };
+
+    for (seed, n_steps, prio) in [(42u64, 12usize, 9u8), (43, 12, 9)] {
+        cluster
+            .admit(SolveRequest::new(seed, n_steps).with_priority(prio))
+            .expect("admit long");
+    }
+    for k in 0..4 * shards as u64 {
+        cluster
+            .admit(SolveRequest::new(1_000 + k, 4).with_priority(3))
+            .expect("admit short");
+    }
+    match cluster.admit(SolveRequest::new(3_000, 0)) {
+        Err(err) => println!("admission control: {err}"),
+        Ok(id) => unreachable!("zero-step request admitted as {id}"),
+    }
+
+    let ticks = cluster.run_until_idle();
+    let stats = cluster.stats();
+    println!(
+        "served {} requests on {} shard(s) in {} boundaries ({:.4} modeled s):\n",
+        cluster.admitted(),
+        shards,
+        ticks,
+        cluster.elapsed()
+    );
+    println!(
+        "{:>8} | {:>6} | {:>9} | {:>12}",
+        "request", "shard", "state", "latency (s)"
+    );
+    for gid in 0..cluster.admitted() as u64 {
+        let id = RequestId(gid);
+        let rec = cluster.record(id);
+        println!(
+            "{:>8} | {:>6} | {:>9} | {:>12}",
+            format!("{id}"),
+            cluster.route(id).0,
+            rec.state.label(),
+            rec.latency()
+                .map_or_else(|| "-".into(), |l| format!("{l:.5}")),
+        );
+    }
+    println!(
+        "\n{:.2} cases/s, {} stolen, {} replica write(s), link time {:.3e} s",
+        stats.cases_per_sec(),
+        stats.stolen(),
+        cluster
+            .metrics_registry()
+            .counter("serve_replica_writes_total"),
+        cluster.traffic().link_time_s,
+    );
+    if stats.node_crashes() > 0 {
+        for (node, report) in cluster.failover_reports() {
+            println!("node {node} crashed: restore scan {report}");
+        }
+        match cluster.recovery_latencies().first() {
+            Some(r) => println!(
+                "failover: restored on peer, recovery latency {r:.3e} modeled s, \
+                 {} completed / {} evicted",
+                stats.completed(),
+                stats.evicted()
+            ),
+            None => println!(
+                "failover impossible (no valid replica): {} request(s) evicted as node_lost",
+                stats.evicted()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all("target/artifacts").expect("create artifact dir");
+    let metrics_path = std::env::var("HETSOLVE_METRICS")
+        .unwrap_or_else(|_| "target/artifacts/cluster_metrics.json".into());
+    let mut metrics = MetricsSink::new();
+    metrics.set_meta("generator", Json::from("example serve_demo --shards"));
+    metrics.set_meta("shards", Json::from(shards));
+    metrics.set_meta("n_dofs", Json::from(backend.n_dofs()));
+    metrics.set_section("serve", stats.to_json());
+    metrics.set_section("registry", cluster.metrics_registry().to_json());
+    metrics.write_to(&metrics_path).expect("write metrics");
+    let prom_path = std::env::var("HETSOLVE_PROM")
+        .unwrap_or_else(|_| "target/artifacts/cluster_metrics.prom".into());
+    std::fs::write(&prom_path, cluster.metrics_registry().to_prometheus_text())
+        .expect("write metrics page");
+    let flight_path = "target/artifacts/cluster_flight.json";
+    cluster
+        .flight()
+        .dump_to(std::path::Path::new(flight_path), "demo end")
+        .expect("write flight ring");
+    println!("\nwrote {metrics_path} (cluster serve section, bench-snapshot schema)");
+    println!("wrote {prom_path} (Prometheus text exposition of the cluster registry)");
+    println!("wrote {flight_path} (cluster flight ring: routing, steals, crashes, failovers)");
 }

@@ -12,8 +12,8 @@ use hetsolve::fem::FemProblem;
 use hetsolve::machine::ManualClock;
 use hetsolve::prelude::*;
 use hetsolve::serve::{
-    EnsembleServer, EvictReason, RequestState, ServeConfig, ServerCheckpoint, SolveRequest,
-    WatchdogAction, WatchdogConfig,
+    ClusterConfig, ClusterServer, EnsembleServer, EvictReason, RequestId, RequestState,
+    ServeConfig, ServerCheckpoint, SolveRequest, WatchdogAction, WatchdogConfig,
 };
 
 fn backend() -> Backend {
@@ -634,4 +634,240 @@ fn healthy_run_under_watchdog_is_bitwise_unchanged() {
         let b = supervised.result(hetsolve::serve::RequestId(id)).unwrap();
         assert_bitwise_eq(&[a.to_vec()], &[b.to_vec()], &format!("request {id}"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster serving: node-crash failover (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// The cluster-serving request mix shared by the failover tests: seeds and
+/// step counts are what a request's trajectory is a function of, so the
+/// same list admitted to a solo server pins the bitwise baseline.
+fn cluster_requests() -> Vec<SolveRequest> {
+    (0..5u64)
+        .map(|c| SolveRequest::new(900 + c, 3 + (c as usize % 2)))
+        .collect()
+}
+
+fn cluster_cfg(shards: usize) -> ClusterConfig {
+    ClusterConfig::new(serve_cfg(2), shards)
+}
+
+/// Solo-server baseline results for [`cluster_requests`], in admission
+/// order. The serve suite already proves these equal solo `run_ensemble`
+/// bits, so matching them transitively proves cluster == solo.
+fn solo_baseline(backend: &Backend, requests: &[SolveRequest]) -> Vec<Vec<f64>> {
+    let mut solo = EnsembleServer::new(backend, serve_cfg(2));
+    let ids: Vec<RequestId> = requests
+        .iter()
+        .map(|&r| solo.admit(r).expect("solo admit"))
+        .collect();
+    solo.run_until_idle();
+    ids.iter()
+        .map(|&id| solo.result(id).expect("solo result").to_vec())
+        .collect()
+}
+
+/// The cluster tentpole property: kill *each* node at *every* cluster
+/// boundary in turn, across 1, 2 and 4 shards. Every in-flight case must
+/// finish through restart-on-peer — one crash, one failover, zero
+/// evictions — bitwise-identical to a solo server of the same seeds.
+#[test]
+fn cluster_kill_any_node_at_any_boundary_recovers_bitwise() {
+    let backend = backend();
+    let requests = cluster_requests();
+    let solo = solo_baseline(&backend, &requests);
+
+    for shards in [1usize, 2, 4] {
+        // fault-free cluster run: pins the boundary count to sweep and
+        // re-asserts the serve-equivalence claim at the cluster level
+        let mut plain = ClusterServer::new(&backend, cluster_cfg(shards));
+        let ids: Vec<RequestId> = requests
+            .iter()
+            .map(|&r| plain.admit(r).expect("cluster admit"))
+            .collect();
+        plain.run_until_idle();
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(plain.state(id), RequestState::Done);
+            assert_bitwise_eq(
+                &[plain.result(id).expect("cluster result")],
+                &[solo[k].clone()],
+                &format!("{shards} shards fault-free, request {k}"),
+            );
+        }
+        let boundaries = plain.ticks();
+        assert!(boundaries > 0);
+
+        for boundary in 0..boundaries {
+            for node in 0..shards {
+                let ctx = format!("{shards} shards, node {node} killed at boundary {boundary}");
+                let plan = FaultPlan::new(11).crash_node(boundary, node);
+                let mut cluster = ClusterServer::with_faults(&backend, cluster_cfg(shards), plan);
+                let ids: Vec<RequestId> = requests
+                    .iter()
+                    .map(|&r| cluster.admit(r).expect("cluster admit"))
+                    .collect();
+                cluster.run_until_idle();
+                assert!(cluster.is_idle(), "{ctx}: cluster never drained");
+
+                let stats = cluster.stats();
+                assert_eq!(stats.node_crashes(), 1, "{ctx}: crash must fire");
+                assert_eq!(
+                    stats.failovers(),
+                    1,
+                    "{ctx}: restart-on-peer must succeed, not evict"
+                );
+                assert_eq!(stats.evicted(), 0, "{ctx}: eviction is last resort only");
+                assert_eq!(
+                    stats.completed(),
+                    requests.len(),
+                    "{ctx}: every case completes exactly once"
+                );
+                assert_eq!(cluster.recovery_latencies().len(), 1, "{ctx}");
+                assert!(cluster.recovery_latencies()[0] >= 0.0, "{ctx}");
+
+                for (k, &id) in ids.iter().enumerate() {
+                    assert_eq!(
+                        cluster.state(id),
+                        RequestState::Done,
+                        "{ctx}: request {k} lost"
+                    );
+                    assert_bitwise_eq(
+                        &[cluster.result(id).expect("result after failover")],
+                        &[solo[k].clone()],
+                        &format!("{ctx}, request {k}"),
+                    );
+                }
+
+                let kinds: std::collections::HashSet<&str> =
+                    cluster.flight().events().map(|e| e.kind.as_str()).collect();
+                assert!(kinds.contains("node_crash"), "{ctx}: no crash flight event");
+                assert!(
+                    kinds.contains("failover"),
+                    "{ctx}: no failover flight event"
+                );
+                assert!(kinds.contains("replica_mirrored"), "{ctx}");
+            }
+        }
+    }
+}
+
+/// Torn-replica fallback: the freshest peer replica is torn mid-mirror,
+/// the node dies at that same boundary, and failover must fall back to
+/// the previous replica — reported, typed, and still bitwise-correct.
+#[test]
+fn cluster_torn_replica_falls_back_to_older_copy() {
+    let backend = backend();
+    let requests: Vec<SolveRequest> = (0..5u64).map(|c| SolveRequest::new(920 + c, 4)).collect();
+    let solo = solo_baseline(&backend, &requests);
+
+    // shard 0 mirrors with seq = its tick count; tear the seq-3 image
+    // pushed at the same boundary the node dies on
+    let plan = FaultPlan::new(13)
+        .corrupt_replica(0, 3, 0.4)
+        .crash_node(3, 0);
+    let mut cluster = ClusterServer::with_faults(&backend, cluster_cfg(2), plan);
+    let ids: Vec<RequestId> = requests
+        .iter()
+        .map(|&r| cluster.admit(r).expect("admit"))
+        .collect();
+    cluster.run_until_idle();
+
+    let stats = cluster.stats();
+    assert_eq!(stats.node_crashes(), 1);
+    assert_eq!(stats.failovers(), 1, "fallback must restore, not evict");
+    assert_eq!(stats.evicted(), 0);
+
+    let reports = cluster.failover_reports();
+    assert_eq!(reports.len(), 1);
+    let (node, report) = &reports[0];
+    assert_eq!(*node, 0);
+    assert!(
+        !report.clean(),
+        "restore scan must record the torn replica it skipped"
+    );
+    assert_eq!(
+        report.skipped[0].seq, 3,
+        "the torn newest replica is skipped first: {report}"
+    );
+
+    for (k, &id) in ids.iter().enumerate() {
+        assert_eq!(cluster.state(id), RequestState::Done, "request {k}");
+        assert_bitwise_eq(
+            &[cluster.result(id).expect("result")],
+            &[solo[k].clone()],
+            &format!("torn-replica fallback, request {k}"),
+        );
+    }
+    let kinds: std::collections::HashSet<&str> =
+        cluster.flight().events().map(|e| e.kind.as_str()).collect();
+    assert!(kinds.contains("replica_torn"));
+    assert!(kinds.contains("replica_invalid"));
+    assert!(kinds.contains("failover"));
+}
+
+/// Eviction really is the last resort: with *every* retained replica of
+/// the dead node torn, failover cannot restore — the node's requests are
+/// tombstoned `NodeLost` (typed, no panic) and every other node's work
+/// still finishes bitwise-identical to solo.
+#[test]
+fn cluster_all_replicas_torn_evicts_node_lost() {
+    let backend = backend();
+    let requests: Vec<SolveRequest> = (0..4u64).map(|c| SolveRequest::new(940 + c, 4)).collect();
+    let solo = solo_baseline(&backend, &requests);
+
+    // replica_keep = 2: at boundary 3 the store holds seqs {2, 3}; tear both
+    let plan = FaultPlan::new(17)
+        .corrupt_replica(0, 2, 0.2)
+        .corrupt_replica(0, 3, 0.2)
+        .crash_node(3, 0);
+    let mut cluster = ClusterServer::with_faults(&backend, cluster_cfg(2), plan);
+    let ids: Vec<RequestId> = requests
+        .iter()
+        .map(|&r| cluster.admit(r).expect("admit"))
+        .collect();
+    cluster.run_until_idle();
+
+    let stats = cluster.stats();
+    assert_eq!(stats.node_crashes(), 1);
+    assert_eq!(
+        stats.failovers(),
+        0,
+        "no valid replica: restore must not fake success"
+    );
+    assert!(stats.evicted() > 0, "the lost node's requests are evicted");
+    assert!(cluster.recovery_latencies().is_empty());
+
+    let (_, report) = &cluster.failover_reports()[0];
+    assert_eq!(
+        report.skipped.len(),
+        2,
+        "both torn copies rejected: {report}"
+    );
+
+    let mut done = 0;
+    for (k, &id) in ids.iter().enumerate() {
+        let rec = cluster.record(id);
+        match rec.state {
+            RequestState::Done => {
+                assert_bitwise_eq(
+                    &[cluster.result(id).expect("result")],
+                    &[solo[k].clone()],
+                    &format!("surviving request {k}"),
+                );
+                done += 1;
+            }
+            RequestState::Evicted => {
+                assert_eq!(rec.evict_reason, Some(EvictReason::NodeLost), "request {k}");
+                assert!(cluster.result(id).is_none(), "request {k}: no fake result");
+            }
+            other => panic!("request {k} left in non-terminal state {other:?}"),
+        }
+    }
+    assert_eq!(done + stats.evicted(), requests.len());
+    assert!(done > 0, "the surviving node's work must still complete");
+    assert!(
+        cluster.flight().events().any(|e| e.kind == "node_evicted"),
+        "eviction must hit the flight ring"
+    );
 }

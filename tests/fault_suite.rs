@@ -295,3 +295,71 @@ fn realtime_driver_recovers_from_nan_guess() {
     let d = rel_distance(&u_base, &u_fault);
     assert!(d < 1e-4, "realtime recovery drifted {d:e} from fault-free");
 }
+
+// ---------------------------------------------------------------------------
+// Cluster-fault hooks: crash_node / corrupt_replica / partition_link
+// ---------------------------------------------------------------------------
+//
+// Negative tests for the cluster-level injections (DESIGN.md §15): each
+// hook fires only on its exact coordinates, exactly once, and a plan with
+// unfired faults says so through `all_fired`.
+
+#[test]
+fn crash_node_ignores_wrong_tick_and_node_and_is_one_shot() {
+    let mut plan = FaultPlan::new(31).crash_node(4, 1);
+    // wrong node at the right tick, right node at the wrong tick: no fire
+    assert!(!plan.node_crash_fault(4, 0));
+    assert!(!plan.node_crash_fault(4, 2));
+    assert!(!plan.node_crash_fault(3, 1));
+    assert!(!plan.node_crash_fault(5, 1));
+    assert!(!plan.all_fired(), "misses must not consume the fault");
+    // exact coordinates fire exactly once
+    assert!(plan.node_crash_fault(4, 1));
+    assert!(
+        !plan.node_crash_fault(4, 1),
+        "a failed-over shard replaying the boundary must not re-crash"
+    );
+    assert!(plan.all_fired());
+}
+
+#[test]
+fn corrupt_replica_is_keyed_by_node_and_sequence() {
+    let mut plan = FaultPlan::new(37).corrupt_replica(2, 7, 0.5);
+    // wrong node, wrong seq: the mirror stays intact
+    assert!(plan.replica_corruption_fault(1, 7).is_none());
+    assert!(plan.replica_corruption_fault(3, 7).is_none());
+    assert!(plan.replica_corruption_fault(2, 6).is_none());
+    assert!(plan.replica_corruption_fault(2, 8).is_none());
+    assert!(!plan.all_fired());
+    let torn = plan
+        .replica_corruption_fault(2, 7)
+        .expect("exact (node, seq) must fire");
+    assert_eq!(torn.keep_frac, 0.5);
+    assert!(
+        plan.replica_corruption_fault(2, 7).is_none(),
+        "the re-mirrored replica at the same seq must survive"
+    );
+    assert!(plan.all_fired());
+}
+
+#[test]
+fn partition_link_is_symmetric_and_heals_next_tick() {
+    let mut plan = FaultPlan::new(41).partition_link(3, 0, 2);
+    // other links and other ticks are unaffected
+    assert!(!plan.link_partition_fault(3, 0, 1));
+    assert!(!plan.link_partition_fault(3, 1, 2));
+    assert!(!plan.link_partition_fault(2, 0, 2));
+    assert!(!plan.link_partition_fault(4, 0, 2));
+    assert!(!plan.all_fired());
+    // symmetric in (a, b), then healed: one-shot means the next query —
+    // the next tick's — sees the link back up
+    assert!(
+        plan.link_partition_fault(3, 2, 0),
+        "severed link is symmetric"
+    );
+    assert!(
+        !plan.link_partition_fault(3, 0, 2),
+        "link heals after the partitioned boundary"
+    );
+    assert!(plan.all_fired());
+}

@@ -40,6 +40,7 @@ struct CodecPair {
 
 const CORE_CKPT: &str = "crates/core/src/checkpoint.rs";
 const SERVE_CKPT: &str = "crates/serve/src/checkpoint.rs";
+const SHARD_CKPT: &str = "crates/serve/src/shard/checkpoint.rs";
 
 /// Registry of every struct that flows through a checkpoint codec.
 const PAIRS: &[CodecPair] = &[
@@ -139,6 +140,27 @@ const PAIRS: &[CodecPair] = &[
         def_file: "crates/obs/src/flight.rs",
         encode: (SERVE_CKPT, "encode_flight"),
         decode: (SERVE_CKPT, "decode_flight"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "ClusterCheckpoint",
+        def_file: SHARD_CKPT,
+        encode: (SHARD_CKPT, "to_bytes"),
+        decode: (SHARD_CKPT, "from_bytes"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "RouteEntry",
+        def_file: "crates/serve/src/shard/cluster.rs",
+        encode: (SHARD_CKPT, "encode_route"),
+        decode: (SHARD_CKPT, "decode_route"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "LinkTraffic",
+        def_file: "crates/machine/src/cluster.rs",
+        encode: (SHARD_CKPT, "encode_traffic"),
+        decode: (SHARD_CKPT, "decode_traffic"),
         aliases: &[],
     },
 ];

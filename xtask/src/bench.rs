@@ -12,12 +12,14 @@ use hetsolve_core::{
     run_durable, run_traced, Backend, CheckpointPolicy, MethodKind, PartitionedProblem, RunConfig,
     StepTracer,
 };
-use hetsolve_fault::NoopFaults;
+use hetsolve_fault::{FaultPlan, NoopFaults};
 use hetsolve_fem::{FemProblem, RandomLoadSpec};
-use hetsolve_machine::single_gh200;
+use hetsolve_machine::{alps_node, single_gh200};
 use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
 use hetsolve_obs::{FlightRecorder, Json, MethodMetrics, MetricsRegistry, MetricsSink};
-use hetsolve_serve::{BatchPolicy, EnsembleServer, ServeConfig, SolveRequest};
+use hetsolve_serve::{
+    BatchPolicy, ClusterConfig, ClusterServer, EnsembleServer, ServeConfig, SolveRequest,
+};
 
 /// Reference-problem shape: small enough for a debug-profile run in
 /// seconds, large enough that the four methods order as in the paper.
@@ -96,6 +98,11 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
         ),
     ]);
     sink.set_section("serve", serve);
+
+    // distributed serving: weak-scaling throughput across 1/2/4 shards on
+    // the Alps node model and the modeled node-crash failover latency, so
+    // the snapshot tracks what sharding buys and what a crash costs
+    sink.set_section("cluster", cluster_stats(&backend));
 
     // durability: checkpoint write/restore cost on the reference run,
     // so the snapshot tracks the overhead of crash consistency
@@ -258,6 +265,89 @@ fn serve_stats(backend: &Backend, policy: BatchPolicy) -> Json {
         stats.latency_percentile(0.95),
     );
     stats.to_json()
+}
+
+/// One cluster-serving config on the Alps node model (real interconnect,
+/// so steals and replica mirrors cost modeled link time).
+fn cluster_cfg(shards: usize) -> ClusterConfig {
+    let mut cfg = ServeConfig::new(alps_node());
+    cfg.run = bench_config(MethodKind::EbeMcgCpuGpu);
+    cfg.run.node = alps_node();
+    cfg.run.r = 4;
+    cfg.run.s_max = 1; // uniform per-step iterations: isolates scheduling
+    ClusterConfig::new(cfg, shards)
+}
+
+/// Weak scaling of the sharded serving cluster (8 requests per shard, so
+/// per-node work is constant) plus one modeled node-crash failover, for
+/// the snapshot's `cluster` section.
+fn cluster_stats(backend: &Backend) -> Json {
+    let mut scaling = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut cluster = ClusterServer::new(backend, cluster_cfg(shards));
+        for i in 0..8 * shards {
+            cluster
+                .admit(SolveRequest::new(9_500 + i as u64, 6))
+                .expect("admit cluster bench request");
+        }
+        cluster.run_until_idle();
+        let stats = cluster.stats();
+        println!(
+            "bench-snapshot: cluster/{shards}-shard   {:.1} cases/s, {} stolen, {:.3e} s link time",
+            stats.cases_per_sec(),
+            stats.stolen(),
+            cluster.traffic().link_time_s,
+        );
+        scaling.push(Json::obj([
+            ("shards", Json::from(shards)),
+            ("cases", Json::from(stats.completed())),
+            ("cases_per_sec", Json::from(stats.cases_per_sec())),
+            ("elapsed_s", Json::from(stats.elapsed_s())),
+            ("stolen", Json::from(stats.stolen())),
+            (
+                "replica_writes",
+                cluster
+                    .metrics_registry()
+                    .counter("serve_replica_writes_total")
+                    .into(),
+            ),
+            ("link_time_s", Json::from(cluster.traffic().link_time_s)),
+        ]));
+    }
+
+    // failover: kill node 0 of a 2-shard cluster mid-run and record the
+    // modeled node-loss → serving-again latency of restart-on-peer
+    let plan = FaultPlan::new(5).crash_node(2, 0);
+    let mut cluster = ClusterServer::with_faults(backend, cluster_cfg(2), plan);
+    for i in 0..16usize {
+        cluster
+            .admit(SolveRequest::new(9_700 + i as u64, 6))
+            .expect("admit failover bench request");
+    }
+    cluster.run_until_idle();
+    let stats = cluster.stats();
+    assert_eq!(stats.failovers(), 1, "bench failover must restore on peer");
+    assert_eq!(stats.completed(), 16, "bench failover must lose no case");
+    let recovery_s = cluster.recovery_latencies()[0];
+    println!(
+        "bench-snapshot: cluster/failover  recovery {recovery_s:.3e} s, {} replica writes skipped",
+        cluster
+            .metrics_registry()
+            .counter("serve_replica_skipped_total"),
+    );
+    Json::obj([
+        ("weak_scaling", Json::Arr(scaling)),
+        (
+            "failover",
+            Json::obj([
+                ("shards", Json::from(2usize)),
+                ("recovery_s", Json::from(recovery_s)),
+                ("node_crashes", Json::from(stats.node_crashes())),
+                ("failovers", Json::from(stats.failovers())),
+                ("evicted", Json::from(stats.evicted())),
+            ]),
+        ),
+    ])
 }
 
 /// Measure the durable driver on the reference EBE-MCG run: a fresh run
