@@ -194,6 +194,17 @@ pub enum FaultKind {
         a: usize,
         b: usize,
     },
+    /// One tenant floods the serving layer with `count` self-admitted
+    /// requests at tick `step` (one-shot): the QoS layer's typed sheds and
+    /// fair-share scheduling must keep other tenants unharmed.
+    TenantBurst {
+        tenant: u32,
+        count: u32,
+    },
+    /// Force the autoscaler to drain its highest lane at tick `step` even
+    /// under load (one-shot): exercises the scale-down path while columns
+    /// are still in flight, as decommissioning a stuck lane would.
+    StuckLaneScaledown,
 }
 
 /// A fault that actually fired: the step it hit plus what it did.
@@ -280,6 +291,21 @@ pub trait FaultInjector {
     /// tick `tick`. Symmetric in `(a, b)` and one-shot: the link heals at
     /// the next tick.
     fn link_partition_fault(&mut self, _tick: usize, _a: usize, _b: usize) -> bool {
+        false
+    }
+
+    /// Flood the serving layer at tick `tick`: returns `(tenant, count)`
+    /// for a burst of self-admitted requests from one tenant (one-shot in
+    /// [`FaultPlan`]). The server admits them through the normal QoS path,
+    /// so typed sheds are expected — and the point.
+    fn tenant_burst_fault(&mut self, _tick: usize) -> Option<(u32, u32)> {
+        None
+    }
+
+    /// Force the autoscaler to start draining its highest lane at tick
+    /// `tick` regardless of load (one-shot in [`FaultPlan`]): the chaos
+    /// probe for the scale-down path with columns still in flight.
+    fn stuck_scaledown_fault(&mut self, _tick: usize) -> bool {
         false
     }
 }
@@ -509,6 +535,26 @@ impl FaultPlan {
         self
     }
 
+    /// Flood the server with `count` requests from `tenant` at tick `tick`
+    /// (one-shot).
+    pub fn tenant_burst(mut self, tick: usize, tenant: u32, count: u32) -> Self {
+        self.planned.push(FaultRecord {
+            step: tick,
+            kind: FaultKind::TenantBurst { tenant, count },
+        });
+        self
+    }
+
+    /// Force the autoscaler to drain its highest lane at tick `tick` even
+    /// under load (one-shot).
+    pub fn stuck_lane_scaledown(mut self, tick: usize) -> Self {
+        self.planned.push(FaultRecord {
+            step: tick,
+            kind: FaultKind::StuckLaneScaledown,
+        });
+        self
+    }
+
     /// Faults scheduled in this plan.
     pub fn planned(&self) -> &[FaultRecord] {
         &self.planned
@@ -662,6 +708,25 @@ impl FaultInjector for FaultPlan {
         // but `all_fired` compares records literally
         if let Some(kind) = hit {
             self.log(tick, kind);
+        }
+        hit.is_some()
+    }
+
+    fn tenant_burst_fault(&mut self, tick: usize) -> Option<(u32, u32)> {
+        let kind = self
+            .take_one_shot(|p| matches!(p.kind, FaultKind::TenantBurst { .. }) && p.step == tick)?;
+        let FaultKind::TenantBurst { tenant, count } = kind else {
+            unreachable!("one-shot matcher filtered on TenantBurst");
+        };
+        self.log(tick, kind);
+        Some((tenant, count))
+    }
+
+    fn stuck_scaledown_fault(&mut self, tick: usize) -> bool {
+        let hit = self
+            .take_one_shot(|p| matches!(p.kind, FaultKind::StuckLaneScaledown) && p.step == tick);
+        if hit.is_some() {
+            self.log(tick, FaultKind::StuckLaneScaledown);
         }
         hit.is_some()
     }
@@ -859,6 +924,23 @@ mod tests {
         assert!(!noop.node_crash_fault(0, 0));
         assert!(noop.replica_corruption_fault(0, 0).is_none());
         assert!(!noop.link_partition_fault(0, 0, 1));
+    }
+
+    #[test]
+    fn tenant_burst_and_stuck_scaledown_are_one_shot() {
+        let mut plan = FaultPlan::new(1)
+            .tenant_burst(4, 2, 50)
+            .stuck_lane_scaledown(6);
+        assert!(plan.tenant_burst_fault(3).is_none(), "wrong tick");
+        assert_eq!(plan.tenant_burst_fault(4), Some((2, 50)));
+        assert!(plan.tenant_burst_fault(4).is_none(), "burst consumed");
+        assert!(!plan.stuck_scaledown_fault(5), "wrong tick");
+        assert!(plan.stuck_scaledown_fault(6));
+        assert!(!plan.stuck_scaledown_fault(6), "scaledown consumed");
+        assert!(plan.all_fired());
+        let mut noop = NoopFaults;
+        assert!(noop.tenant_burst_fault(0).is_none());
+        assert!(!noop.stuck_scaledown_fault(0));
     }
 
     #[test]

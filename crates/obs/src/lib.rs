@@ -48,7 +48,7 @@ pub use json::{parse_json, Json};
 pub use metrics::{MethodMetrics, MetricsSink, BENCH_SCHEMA};
 pub use observer::{NoopObserver, ResidualLog, SolveObserver, Termination};
 pub use registry::{LogHistogram, MetricsRegistry, HIST_BUCKETS};
-pub use serve::ServeStats;
+pub use serve::{ServeStats, TenantStats};
 pub use trace::{
     flow_id_for_request, validate_lane_serialization, TraceBuilder, TraceEvent, TRACE_SCHEMA,
 };

@@ -39,6 +39,13 @@ pub const METRICS: &[(&str, &str)] = &[
     ("serve_requests_shed_total", "counter"),
     ("serve_watchdog_breaches_total", "counter"),
     ("serve_watchdog_restarts_total", "counter"),
+    // multi-tenant QoS: early (provably-unmeetable) sheds, requests that
+    // missed their deadline or their tenant's SLO target, lane-scaling
+    // events taken by the autoscaler
+    ("serve_shed_early_total", "counter"),
+    ("serve_deadline_miss_total", "counter"),
+    ("serve_slo_miss_total", "counter"),
+    ("serve_autoscale_events_total", "counter"),
     // cluster serving layer: node loss, restart-on-peer failover,
     // cross-node work stealing and replica mirroring
     ("serve_node_crashes_total", "counter"),
@@ -49,6 +56,8 @@ pub const METRICS: &[(&str, &str)] = &[
     // serving layer gauges
     ("serve_queue_depth", "gauge"),
     ("serve_lane_occupancy", "gauge"),
+    ("serve_lanes", "gauge"),
+    ("serve_tenants", "gauge"),
     ("serve_elapsed_s", "gauge"),
     ("serve_shards", "gauge"),
     ("serve_link_time_s", "gauge"),

@@ -12,6 +12,73 @@
 use crate::json::Json;
 use crate::registry::{LogHistogram, MetricsRegistry};
 
+/// Per-tenant serving outcomes: the QoS layer's accounting unit. One
+/// entry exists per tenant id that was ever observed (dense ids expected;
+/// the vec grows to cover the largest). Checkpointed with [`ServeStats`]
+/// and registered in the xtask schema-drift table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Tenant id this row accounts for.
+    pub tenant: u32,
+    pub completed: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub evicted: u64,
+    /// Requests that missed their deadline: expired while queued, shed as
+    /// provably unmeetable, or completed past the deadline.
+    pub deadline_miss: u64,
+    /// Completions slower than the tenant's configured SLO target.
+    pub slo_miss: u64,
+    /// Case steps served to completion (the DRR fair-share currency —
+    /// fairness is measured in served work, not request count).
+    pub served_steps: u64,
+    /// Admit→done latency histogram for this tenant alone (tail
+    /// percentiles per tenant are the QoS report's headline numbers).
+    pub latency: LogHistogram,
+}
+
+impl TenantStats {
+    pub fn new(tenant: u32) -> Self {
+        TenantStats {
+            tenant,
+            ..Default::default()
+        }
+    }
+
+    /// This tenant's latency percentile (same bucket error bound as the
+    /// aggregate histogram).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        self.latency.quantile(p)
+    }
+
+    fn merge(&mut self, other: &TenantStats) {
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.evicted += other.evicted;
+        self.deadline_miss += other.deadline_miss;
+        self.slo_miss += other.slo_miss;
+        self.served_steps += other.served_steps;
+        self.latency.merge(&other.latency);
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tenant", Json::from(self.tenant as usize)),
+            ("completed", Json::from(self.completed as usize)),
+            ("rejected", Json::from(self.rejected as usize)),
+            ("shed", Json::from(self.shed as usize)),
+            ("evicted", Json::from(self.evicted as usize)),
+            ("deadline_miss", Json::from(self.deadline_miss as usize)),
+            ("slo_miss", Json::from(self.slo_miss as usize)),
+            ("served_steps", Json::from(self.served_steps as usize)),
+            ("latency_p50_s", Json::Num(self.latency_percentile(0.5))),
+            ("latency_p99_s", Json::Num(self.latency_percentile(0.99))),
+            ("latency_max_s", Json::Num(self.latency_percentile(1.0))),
+        ])
+    }
+}
+
 /// Counters and samples collected by a serving run.
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
@@ -45,6 +112,17 @@ pub struct ServeStats {
     stolen: usize,
     /// Modeled wall time (s) the serving run spanned.
     elapsed_s: f64,
+    /// Queued requests shed at a step boundary because their deadline
+    /// became provably unmeetable (subset of `evicted`).
+    shed_early: usize,
+    /// Requests that missed their deadline (evicted for it, or done late).
+    deadline_miss: usize,
+    /// Completions slower than their tenant's SLO target.
+    slo_miss: usize,
+    /// Lane-scaling events the autoscaler took.
+    autoscale_events: usize,
+    /// Per-tenant rows, dense by tenant id (grown on first observation).
+    tenants: Vec<TenantStats>,
 }
 
 impl ServeStats {
@@ -111,6 +189,58 @@ impl ServeStats {
         self.elapsed_s = elapsed_s;
     }
 
+    pub fn record_shed_early(&mut self) {
+        self.shed_early += 1;
+    }
+
+    pub fn record_autoscale(&mut self) {
+        self.autoscale_events += 1;
+    }
+
+    /// The per-tenant row for `tenant`, growing the dense table as needed.
+    fn tenant_mut(&mut self, tenant: u32) -> &mut TenantStats {
+        let i = tenant as usize;
+        while self.tenants.len() <= i {
+            let id = self.tenants.len() as u32;
+            self.tenants.push(TenantStats::new(id));
+        }
+        &mut self.tenants[i]
+    }
+
+    /// A tenant's request completed after `latency_s`, having served
+    /// `steps` case steps (the fair-share currency).
+    pub fn tenant_completion(&mut self, tenant: u32, latency_s: f64, steps: u64) {
+        let t = self.tenant_mut(tenant);
+        t.completed += 1;
+        t.served_steps += steps;
+        t.latency.observe(latency_s);
+    }
+
+    pub fn tenant_rejection(&mut self, tenant: u32) {
+        self.tenant_mut(tenant).rejected += 1;
+    }
+
+    pub fn tenant_shed(&mut self, tenant: u32) {
+        self.tenant_mut(tenant).shed += 1;
+    }
+
+    pub fn tenant_eviction(&mut self, tenant: u32) {
+        self.tenant_mut(tenant).evicted += 1;
+    }
+
+    /// A tenant's request missed its deadline (also bumps the aggregate).
+    pub fn tenant_deadline_miss(&mut self, tenant: u32) {
+        self.deadline_miss += 1;
+        self.tenant_mut(tenant).deadline_miss += 1;
+    }
+
+    /// A tenant's completion blew its SLO target (also bumps the
+    /// aggregate).
+    pub fn tenant_slo_miss(&mut self, tenant: u32) {
+        self.slo_miss += 1;
+        self.tenant_mut(tenant).slo_miss += 1;
+    }
+
     pub fn completed(&self) -> usize {
         self.completed
     }
@@ -153,6 +283,43 @@ impl ServeStats {
 
     pub fn elapsed_s(&self) -> f64 {
         self.elapsed_s
+    }
+
+    pub fn shed_early(&self) -> usize {
+        self.shed_early
+    }
+
+    pub fn deadline_miss(&self) -> usize {
+        self.deadline_miss
+    }
+
+    pub fn slo_miss(&self) -> usize {
+        self.slo_miss
+    }
+
+    pub fn autoscale_events(&self) -> usize {
+        self.autoscale_events
+    }
+
+    /// Per-tenant rows, dense by tenant id.
+    pub fn tenants(&self) -> &[TenantStats] {
+        &self.tenants
+    }
+
+    /// This tenant's row, if it was ever observed.
+    pub fn tenant(&self, tenant: u32) -> Option<&TenantStats> {
+        self.tenants.get(tenant as usize)
+    }
+
+    /// Fraction of terminally-decided requests that missed their deadline
+    /// (the soak report's deadline-miss rate). Requests without deadlines
+    /// dilute the denominator by design: the rate is over all outcomes.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let outcomes = self.completed + self.failed + self.evicted;
+        if outcomes == 0 {
+            return 0.0;
+        }
+        self.deadline_miss as f64 / outcomes as f64
     }
 
     /// Raw queue-depth samples, in boundary order (checkpoint access).
@@ -205,7 +372,33 @@ impl ServeStats {
             failovers,
             stolen,
             elapsed_s,
+            shed_early: 0,
+            deadline_miss: 0,
+            slo_miss: 0,
+            autoscale_events: 0,
+            tenants: Vec::new(),
         }
+    }
+
+    /// Attach the QoS-era fields to stats rebuilt by
+    /// [`ServeStats::from_parts`] — the restore-side inverse of the
+    /// `shed_early` / `deadline_miss` / `slo_miss` / `autoscale_events` /
+    /// `tenants` accessors. Split from `from_parts` so pre-QoS checkpoints
+    /// (no `QOS\0` section) restore with clean zeros.
+    pub fn with_qos_parts(
+        mut self,
+        shed_early: usize,
+        deadline_miss: usize,
+        slo_miss: usize,
+        autoscale_events: usize,
+        tenants: Vec<TenantStats>,
+    ) -> Self {
+        self.shed_early = shed_early;
+        self.deadline_miss = deadline_miss;
+        self.slo_miss = slo_miss;
+        self.autoscale_events = autoscale_events;
+        self.tenants = tenants;
+        self
     }
 
     /// Fold another shard's stats into this one without double-counting:
@@ -229,6 +422,13 @@ impl ServeStats {
         self.failovers += other.failovers;
         self.stolen += other.stolen;
         self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
+        self.shed_early += other.shed_early;
+        self.deadline_miss += other.deadline_miss;
+        self.slo_miss += other.slo_miss;
+        self.autoscale_events += other.autoscale_events;
+        for t in &other.tenants {
+            self.tenant_mut(t.tenant).merge(t);
+        }
     }
 
     /// Mean queue depth over all boundary samples.
@@ -291,6 +491,10 @@ impl ServeStats {
         registry.inc("serve_node_crashes_total", self.node_crashes as f64);
         registry.inc("serve_failovers_total", self.failovers as f64);
         registry.inc("serve_requests_stolen_total", self.stolen as f64);
+        registry.inc("serve_shed_early_total", self.shed_early as f64);
+        registry.inc("serve_deadline_miss_total", self.deadline_miss as f64);
+        registry.inc("serve_slo_miss_total", self.slo_miss as f64);
+        registry.inc("serve_autoscale_events_total", self.autoscale_events as f64);
         registry.gauge_set("serve_queue_depth", self.mean_queue_depth());
         registry.gauge_set("serve_lane_occupancy", self.mean_occupancy());
         registry.gauge_set("serve_elapsed_s", self.elapsed_s);
@@ -325,6 +529,15 @@ impl ServeStats {
             (
                 "queue_latency_max_s",
                 Json::Num(self.latency_percentile(1.0)),
+            ),
+            ("shed_early", Json::from(self.shed_early)),
+            ("deadline_miss", Json::from(self.deadline_miss)),
+            ("slo_miss", Json::from(self.slo_miss)),
+            ("autoscale_events", Json::from(self.autoscale_events)),
+            ("deadline_miss_rate", Json::Num(self.deadline_miss_rate())),
+            (
+                "tenants",
+                Json::Arr(self.tenants.iter().map(TenantStats::to_json).collect()),
             ),
         ])
     }
@@ -453,6 +666,54 @@ mod tests {
         let h = r.histogram("serve_request_latency_s").unwrap();
         assert_eq!(h.total(), 2);
         assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn tenant_rows_track_and_merge_independently() {
+        let mut s = ServeStats::new();
+        s.tenant_completion(0, 0.5, 10);
+        s.tenant_completion(2, 1.0, 4);
+        s.tenant_rejection(2);
+        s.tenant_deadline_miss(2);
+        s.tenant_slo_miss(0);
+        assert_eq!(s.tenants().len(), 3, "dense table grows to cover id 2");
+        assert_eq!(s.tenant(0).unwrap().served_steps, 10);
+        assert_eq!(s.tenant(1).unwrap().completed, 0, "gap row stays zero");
+        assert_eq!(s.tenant(2).unwrap().rejected, 1);
+        assert_eq!(s.deadline_miss(), 1, "tenant miss bumps the aggregate");
+        assert_eq!(s.slo_miss(), 1);
+
+        let mut other = ServeStats::new();
+        other.tenant_completion(2, 2.0, 6);
+        other.record_shed_early();
+        other.record_autoscale();
+        s.merge(&other);
+        assert_eq!(s.tenant(2).unwrap().completed, 2);
+        assert_eq!(s.tenant(2).unwrap().served_steps, 10);
+        assert_eq!(s.shed_early(), 1);
+        assert_eq!(s.autoscale_events(), 1);
+        assert_eq!(s.tenant(2).unwrap().latency_percentile(1.0), 2.0);
+
+        let restored = ServeStats::new().with_qos_parts(
+            s.shed_early(),
+            s.deadline_miss(),
+            s.slo_miss(),
+            s.autoscale_events(),
+            s.tenants().to_vec(),
+        );
+        assert_eq!(restored.tenants(), s.tenants());
+        assert_eq!(restored.deadline_miss(), s.deadline_miss());
+    }
+
+    #[test]
+    fn deadline_miss_rate_is_over_outcomes() {
+        let mut s = ServeStats::new();
+        assert_eq!(s.deadline_miss_rate(), 0.0);
+        s.record_completion(0.1);
+        s.record_completion(0.1);
+        s.record_eviction();
+        s.tenant_deadline_miss(0);
+        assert!((s.deadline_miss_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

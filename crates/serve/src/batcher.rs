@@ -78,6 +78,10 @@ pub struct Batcher {
     lanes: Vec<Lane>,
     width: usize,
     policy: BatchPolicy,
+    /// Lanes ≥ this index are draining for scale-down: backfill skips
+    /// them, so they empty naturally and can be removed at a step
+    /// boundary. `None` = no drain in progress.
+    draining_from: Option<usize>,
 }
 
 impl Batcher {
@@ -91,11 +95,49 @@ impl Batcher {
                 .collect(),
             width: width.max(1),
             policy,
+            draining_from: None,
         }
     }
 
     pub fn n_lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Append one empty lane (autoscale scale-up at a step boundary).
+    /// Returns the new lane's index.
+    pub fn add_lane(&mut self) -> usize {
+        self.lanes.push(Lane {
+            key: None,
+            slots: vec![None; self.width],
+        });
+        self.lanes.len() - 1
+    }
+
+    /// Mark the highest lane as draining (autoscale scale-down): backfill
+    /// stops feeding it, in-flight columns keep running untouched.
+    pub fn drain_last(&mut self) {
+        self.draining_from = Some(self.lanes.len().saturating_sub(1));
+    }
+
+    /// Cancel a pending drain (scale-up pressure returned first).
+    pub fn cancel_drain(&mut self) {
+        self.draining_from = None;
+    }
+
+    /// Is lane `lane` currently draining?
+    pub fn is_draining(&self, lane: usize) -> bool {
+        self.draining_from.is_some_and(|d| lane >= d)
+    }
+
+    /// Remove the highest lane. Panics if it still holds work — the
+    /// autoscaler only removes a drained (empty) lane, so a non-empty
+    /// removal is a scheduling bug, not a runtime condition.
+    pub fn remove_last_lane(&mut self) {
+        assert!(self.lanes.len() > 1, "cannot remove the only lane");
+        let last = self.lanes.last().expect("non-empty lane vec"); // PANIC-OK: len > 1 asserted above
+        assert!(last.is_empty(), "removing a lane that still holds work");
+        self.lanes.pop();
+        self.draining_from = None;
     }
 
     pub fn width(&self) -> usize {
@@ -161,7 +203,12 @@ impl Batcher {
     /// slots are never written. Returns the assignments made, in order.
     pub fn backfill(&mut self, queue: &mut AdmissionQueue) -> Vec<Assignment> {
         let mut out = Vec::new();
+        let draining_from = self.draining_from;
         for (li, lane) in self.lanes.iter_mut().enumerate() {
+            if draining_from.is_some_and(|d| li >= d) {
+                // scale-down in progress: let this lane empty out
+                continue;
+            }
             let empty = lane.is_empty();
             if empty {
                 lane.key = None;
@@ -197,11 +244,14 @@ impl Batcher {
 mod tests {
     use super::*;
 
+    use crate::request::TenantId;
+
     fn queue_with(ids: &[(u64, u64, u8)]) -> AdmissionQueue {
         // (id, key, priority)
         let mut q = AdmissionQueue::new(64, 42);
         for &(id, key, prio) in ids {
-            q.push(RequestId(id), CompatKey(key), prio, None).unwrap();
+            q.push(RequestId(id), CompatKey(key), prio, None, TenantId(0), 1)
+                .unwrap();
         }
         q
     }
@@ -264,5 +314,41 @@ mod tests {
         let k = CompatKey::from_tol(1e-8);
         assert_eq!(k.tol(), 1e-8);
         assert_ne!(k, CompatKey::from_tol(1e-6));
+    }
+
+    #[test]
+    fn draining_lane_is_skipped_then_removed() {
+        let mut b = Batcher::new(2, 2, BatchPolicy::Continuous);
+        let mut q = queue_with(&[(0, 1, 9), (1, 1, 8), (2, 1, 7), (3, 1, 6)]);
+        b.backfill(&mut q);
+        assert_eq!(b.occupied_count(0) + b.occupied_count(1), 4);
+        b.drain_last();
+        assert!(b.is_draining(1));
+        assert!(!b.is_draining(0));
+        // free lane 1's columns; backfill must not refill them
+        b.free(1, 0);
+        b.free(1, 1);
+        let mut q2 = queue_with(&[(9, 1, 5)]);
+        let a = b.backfill(&mut q2);
+        assert!(
+            a.iter().all(|x| x.lane != 1),
+            "draining lane must not be backfilled"
+        );
+        b.remove_last_lane();
+        assert_eq!(b.n_lanes(), 1);
+        assert!(!b.is_draining(0), "drain mark clears on removal");
+        // scale back up: new empty lane takes work again
+        assert_eq!(b.add_lane(), 1);
+        let a = b.backfill(&mut q2);
+        assert!(a.iter().any(|x| x.lane == 1) || q2.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "still holds work")]
+    fn removing_an_occupied_lane_panics() {
+        let mut b = Batcher::new(2, 2, BatchPolicy::Continuous);
+        let mut q = queue_with(&[(0, 1, 9), (1, 1, 8), (2, 1, 7)]);
+        b.backfill(&mut q);
+        b.remove_last_lane();
     }
 }

@@ -28,11 +28,12 @@ use hetsolve_core::{
 };
 use hetsolve_fault::{FaultInjector, NoopFaults};
 use hetsolve_machine::ClockState;
-use hetsolve_obs::{FlightEvent, FlightRecorder, LogHistogram, ServeStats};
+use hetsolve_obs::{FlightEvent, FlightRecorder, LogHistogram, ServeStats, TenantStats};
 
 use crate::batcher::{BatchPolicy, CompatKey};
-use crate::queue::QueueEntrySnapshot;
-use crate::request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest};
+use crate::qos::{AutoscalerState, TenantQuota};
+use crate::queue::{DrrState, QueueEntrySnapshot};
+use crate::request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest, TenantId};
 use crate::server::{EnsembleServer, ServeConfig};
 
 /// Section tags of the server-checkpoint format.
@@ -46,6 +47,10 @@ const TAG_RECOVERIES: [u8; 4] = *b"RCVR";
 /// Flight-recorder ring (added in telemetry v2). Optional on decode so
 /// pre-v2 snapshots restore with an empty ring instead of failing typed.
 const TAG_FLIGHT: [u8; 4] = *b"FLIT";
+/// Multi-tenant QoS state (DRR deficits/cursor, autoscaler state, and the
+/// quota table the run was configured with). Optional on decode so
+/// pre-QoS snapshots restore with clean scheduler state.
+const TAG_QOS: [u8; 4] = *b"QOS\0";
 
 /// Hash of everything that determines a serving run's trajectory but is
 /// rebuilt from `(backend, cfg)` on restore: the core run fingerprint
@@ -76,6 +81,32 @@ impl ServeFingerprint {
                 h = mix64(h, wd.backoff_factor.to_bits());
             }
         }
+        match &cfg.qos {
+            None => h = mix64(h, 0),
+            Some(q) => {
+                h = mix64(h, 1);
+                h = mix64(h, q.quantum);
+                h = mix64(h, q.tenants.len() as u64);
+                for t in &q.tenants {
+                    h = mix64(h, t.weight);
+                    h = mix64(h, t.max_in_flight as u64);
+                    h = mix64(h, t.queue_share.to_bits());
+                    h = mix64(h, t.slo_latency_s.map_or(0, f64::to_bits));
+                }
+            }
+        }
+        match cfg.autoscale {
+            None => h = mix64(h, 0),
+            Some(a) => {
+                h = mix64(h, 1);
+                h = mix64(h, a.min_lanes as u64);
+                h = mix64(h, a.max_lanes as u64);
+                h = mix64(h, a.scale_up_queue_per_lane as u64);
+                h = mix64(h, a.scale_down_occupancy.to_bits());
+                h = mix64(h, a.cooldown_ticks);
+            }
+        }
+        h = mix64(h, u64::from(cfg.keep_results));
         ServeFingerprint(h)
     }
 }
@@ -103,6 +134,13 @@ pub struct ServerCheckpoint {
     pub stats: ServeStats,
     pub recoveries: Vec<RecoveryEvent>,
     pub flight: FlightRecorder,
+    /// DRR fair-share cursor and per-tenant deficits at the boundary.
+    pub drr: DrrState,
+    /// Autoscaler cooldown/drain state at the boundary.
+    pub autoscaler: AutoscalerState,
+    /// The quota table the run was configured with (informational —
+    /// the fingerprint already rejects restores into different quotas).
+    pub quotas: Vec<TenantQuota>,
 }
 
 fn encode_queue_entry(enc: &mut Enc, e: &QueueEntrySnapshot) {
@@ -111,6 +149,8 @@ fn encode_queue_entry(enc: &mut Enc, e: &QueueEntrySnapshot) {
     enc.put_u8(e.priority);
     enc.put_opt_f64(e.deadline);
     enc.put_u64(e.tie);
+    enc.put_u32(e.tenant.0);
+    enc.put_u32(e.cost);
 }
 
 fn decode_queue_entry(dec: &mut Dec<'_>) -> Result<QueueEntrySnapshot, CkptError> {
@@ -120,6 +160,8 @@ fn decode_queue_entry(dec: &mut Dec<'_>) -> Result<QueueEntrySnapshot, CkptError
         priority: dec.u8()?,
         deadline: dec.opt_f64()?,
         tie: dec.u64()?,
+        tenant: TenantId(dec.u32()?),
+        cost: dec.u32()?,
     })
 }
 
@@ -130,6 +172,7 @@ pub(crate) fn encode_record(enc: &mut Enc, r: &RequestRecord) {
     enc.put_u8(r.request.priority);
     enc.put_opt_f64(r.request.deadline);
     enc.put_opt_f64(r.request.tol);
+    enc.put_u32(r.request.tenant.0);
     enc.put_u8(r.state.code());
     enc.put_f64(r.admitted_at);
     enc.put_opt_f64(r.finished_at);
@@ -157,6 +200,7 @@ pub(crate) fn decode_record(dec: &mut Dec<'_>) -> Result<RequestRecord, CkptErro
         priority: dec.u8()?,
         deadline: dec.opt_f64()?,
         tol: dec.opt_f64()?,
+        tenant: TenantId(dec.u32()?),
     };
     let state = RequestState::from_code(dec.u8()?)
         .ok_or_else(|| CkptError::Corrupt("unknown request-state code".into()))?;
@@ -219,6 +263,121 @@ fn decode_histogram(dec: &mut Dec<'_>) -> Result<LogHistogram, CkptError> {
     let min = dec.f64()?;
     let max = dec.f64()?;
     Ok(LogHistogram::from_parts(counts, total, sum, min, max))
+}
+
+// Both codec bodies bind one local per `TenantStats` field, under the
+// field's own name, for the schema-drift pass.
+fn encode_tenant_stats(enc: &mut Enc, t: &TenantStats) {
+    let tenant = t.tenant;
+    enc.put_u32(tenant);
+    let completed = t.completed;
+    enc.put_u64(completed);
+    let rejected = t.rejected;
+    enc.put_u64(rejected);
+    let shed = t.shed;
+    enc.put_u64(shed);
+    let evicted = t.evicted;
+    enc.put_u64(evicted);
+    let deadline_miss = t.deadline_miss;
+    enc.put_u64(deadline_miss);
+    let slo_miss = t.slo_miss;
+    enc.put_u64(slo_miss);
+    let served_steps = t.served_steps;
+    enc.put_u64(served_steps);
+    let latency = &t.latency;
+    encode_histogram(enc, latency);
+}
+
+fn decode_tenant_stats(dec: &mut Dec<'_>) -> Result<TenantStats, CkptError> {
+    let tenant = dec.u32()?;
+    let completed = dec.u64()?;
+    let rejected = dec.u64()?;
+    let shed = dec.u64()?;
+    let evicted = dec.u64()?;
+    let deadline_miss = dec.u64()?;
+    let slo_miss = dec.u64()?;
+    let served_steps = dec.u64()?;
+    let latency = decode_histogram(dec)?;
+    let mut t = TenantStats::new(tenant);
+    t.completed = completed;
+    t.rejected = rejected;
+    t.shed = shed;
+    t.evicted = evicted;
+    t.deadline_miss = deadline_miss;
+    t.slo_miss = slo_miss;
+    t.served_steps = served_steps;
+    t.latency = latency;
+    Ok(t)
+}
+
+// Both codec bodies bind one local per `DrrState` field, under the
+// field's own name, for the schema-drift pass.
+pub(crate) fn encode_drr_state(enc: &mut Enc, d: &DrrState) {
+    let deficits = &d.deficits;
+    enc.put_usize(deficits.len());
+    for &x in deficits {
+        enc.put_u64(x);
+    }
+    let cursor = d.cursor;
+    enc.put_usize(cursor);
+}
+
+pub(crate) fn decode_drr_state(dec: &mut Dec<'_>) -> Result<DrrState, CkptError> {
+    let n = dec.usize_()?;
+    let mut deficits = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        deficits.push(dec.u64()?);
+    }
+    let cursor = dec.usize_()?;
+    Ok(DrrState { deficits, cursor })
+}
+
+// Both codec bodies bind one local per `AutoscalerState` field, under
+// the field's own name, for the schema-drift pass.
+pub(crate) fn encode_autoscaler_state(enc: &mut Enc, a: &AutoscalerState) {
+    let cooldown = a.cooldown;
+    enc.put_u64(cooldown);
+    let draining = a.draining;
+    enc.put_bool(draining);
+    let events = a.events;
+    enc.put_u64(events);
+}
+
+pub(crate) fn decode_autoscaler_state(dec: &mut Dec<'_>) -> Result<AutoscalerState, CkptError> {
+    let cooldown = dec.u64()?;
+    let draining = dec.bool_()?;
+    let events = dec.u64()?;
+    Ok(AutoscalerState {
+        cooldown,
+        draining,
+        events,
+    })
+}
+
+// Both codec bodies bind one local per `TenantQuota` field, under the
+// field's own name, for the schema-drift pass.
+fn encode_tenant_quota(enc: &mut Enc, q: &TenantQuota) {
+    let weight = q.weight;
+    enc.put_u64(weight);
+    let max_in_flight = q.max_in_flight;
+    enc.put_usize(max_in_flight);
+    let queue_share = q.queue_share;
+    enc.put_f64(queue_share);
+    let slo_latency_s = q.slo_latency_s;
+    enc.put_opt_f64(slo_latency_s);
+}
+
+fn decode_tenant_quota(dec: &mut Dec<'_>) -> Result<TenantQuota, CkptError> {
+    let weight = dec.u64()?;
+    let max_in_flight = dec.usize_()?;
+    let queue_share = dec.f64()?;
+    let slo_latency_s = dec.opt_f64()?;
+    Ok(TenantQuota {
+        weight,
+        max_in_flight,
+        queue_share,
+        slo_latency_s,
+    })
 }
 
 fn encode_flight_event(enc: &mut Enc, e: &FlightEvent) {
@@ -314,6 +473,19 @@ pub(crate) fn encode_stats(enc: &mut Enc, s: &ServeStats) {
     enc.put_usize(s.failovers());
     enc.put_usize(s.stolen());
     enc.put_f64(s.elapsed_s());
+    let shed_early = s.shed_early();
+    enc.put_usize(shed_early);
+    let deadline_miss = s.deadline_miss();
+    enc.put_usize(deadline_miss);
+    let slo_miss = s.slo_miss();
+    enc.put_usize(slo_miss);
+    let autoscale_events = s.autoscale_events();
+    enc.put_usize(autoscale_events);
+    let tenants = s.tenants();
+    enc.put_usize(tenants.len());
+    for t in tenants {
+        encode_tenant_stats(enc, t);
+    }
 }
 
 pub(crate) fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
@@ -339,6 +511,15 @@ pub(crate) fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
     let failovers = dec.usize_()?;
     let stolen = dec.usize_()?;
     let elapsed_s = dec.f64()?;
+    let shed_early = dec.usize_()?;
+    let deadline_miss = dec.usize_()?;
+    let slo_miss = dec.usize_()?;
+    let autoscale_events = dec.usize_()?;
+    let n = dec.usize_()?;
+    let mut tenants = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        tenants.push(decode_tenant_stats(dec)?);
+    }
     Ok(ServeStats::from_parts(
         queue_depth,
         occupancy,
@@ -354,6 +535,13 @@ pub(crate) fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
         failovers,
         stolen,
         elapsed_s,
+    )
+    .with_qos_parts(
+        shed_early,
+        deadline_miss,
+        slo_miss,
+        autoscale_events,
+        tenants,
     ))
 }
 
@@ -418,6 +606,15 @@ impl ServerCheckpoint {
         let mut flt = Enc::new();
         encode_flight(&mut flt, &self.flight);
         w.section(TAG_FLIGHT, &flt.into_bytes());
+
+        let mut qos = Enc::new();
+        encode_drr_state(&mut qos, &self.drr);
+        encode_autoscaler_state(&mut qos, &self.autoscaler);
+        qos.put_usize(self.quotas.len());
+        for q in &self.quotas {
+            encode_tenant_quota(&mut qos, q);
+        }
+        w.section(TAG_QOS, &qos.into_bytes());
         w.finish()
     }
 
@@ -500,6 +697,22 @@ impl ServerCheckpoint {
             FlightRecorder::default()
         };
 
+        // optional: pre-QoS snapshots restore with clean scheduler state
+        let (drr, autoscaler, quotas) = if r.has(TAG_QOS) {
+            let mut qd = Dec::new(r.section(TAG_QOS)?);
+            let drr = decode_drr_state(&mut qd)?;
+            let autoscaler = decode_autoscaler_state(&mut qd)?;
+            let n = qd.usize_()?;
+            let mut quotas = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                quotas.push(decode_tenant_quota(&mut qd)?);
+            }
+            qd.finish()?;
+            (drr, autoscaler, quotas)
+        } else {
+            (DrrState::default(), AutoscalerState::default(), Vec::new())
+        };
+
         Ok(ServerCheckpoint {
             fingerprint,
             ticks,
@@ -511,6 +724,9 @@ impl ServerCheckpoint {
             stats,
             recoveries,
             flight,
+            drr,
+            autoscaler,
+            quotas,
         })
     }
 }
@@ -546,6 +762,13 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             stats: self.stats.clone(),
             recoveries: self.recoveries.clone(),
             flight: self.flight.clone(),
+            drr: self.queue.drr_state().clone(),
+            autoscaler: self.autoscaler,
+            quotas: self
+                .cfg
+                .qos
+                .as_ref()
+                .map_or_else(Vec::new, |q| q.tenants.clone()),
         }
     }
 
@@ -582,15 +805,45 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         ck: ServerCheckpoint,
     ) -> Result<Self, CkptError> {
         let mut server = Self::with_faults(backend, cfg, faults);
-        if ck.lanes.len() != server.batcher.n_lanes()
-            || ck
-                .lanes
-                .iter()
-                .any(|l| l.slots.len() != server.batcher.width())
+        if ck
+            .lanes
+            .iter()
+            .any(|l| l.slots.len() != server.batcher.width())
         {
             return Err(CkptError::Corrupt("lane geometry mismatch".into()));
         }
+        if ck.lanes.len() != server.batcher.n_lanes() {
+            // With autoscaling the snapshot may hold any lane count within
+            // the configured [min, max] band (a fresh server starts at
+            // `min_lanes`, so only growth is ever needed); anything else —
+            // including any mismatch without autoscaling — is corruption.
+            let within_band = server
+                .cfg
+                .autoscale
+                .is_some_and(|a| (a.min_lanes.max(1)..=a.max_lanes).contains(&ck.lanes.len()));
+            if !within_band {
+                return Err(CkptError::Corrupt("lane geometry mismatch".into()));
+            }
+            while server.batcher.n_lanes() < ck.lanes.len() {
+                server.batcher.add_lane();
+                let r = server.batcher.width();
+                server.slots.push((0..r).map(|_| None).collect());
+                server.watchdog_breach.push(0);
+                server.lane_ckpt.push((0..r).map(|_| None).collect());
+            }
+        }
         server.queue.restore(ck.queue);
+        server.queue.restore_drr(ck.drr);
+        server.autoscaler = ck.autoscaler;
+        if server.autoscaler.draining {
+            if server.batcher.n_lanes() > 1 {
+                // Re-mark the drain (the batcher's drain flag is derived —
+                // it always targets the highest lane).
+                server.batcher.drain_last();
+            } else {
+                server.autoscaler.draining = false;
+            }
+        }
         for (lane, lc) in ck.lanes.iter().enumerate() {
             server.watchdog_breach[lane] = lc.breach;
             for (slot, entry) in lc.slots.iter().enumerate() {

@@ -26,6 +26,11 @@
 //!   through the predictor@CPU / fused-MCG@GPU pipeline with per-lane
 //!   occupancy masks, the resumable recovery ladder, serving metrics
 //!   ([`hetsolve_obs::ServeStats`]) and optional Chrome-trace export,
+//! * [`qos`] — multi-tenant quality of service: per-tenant quotas
+//!   ([`TenantQuota`]) with deficit-round-robin fair share, queue-share
+//!   and max-in-flight caps, SLO tracking, and lane autoscaling
+//!   ([`AutoscaleConfig`]) that floats the fused-lane count at step
+//!   boundaries without ever touching in-flight trajectories,
 //! * [`watchdog`] — deadline-based lane supervision with the
 //!   retry-with-backoff → restart-from-checkpoint → evict escalation
 //!   ladder ([`WatchdogConfig`], [`WatchdogEvent`]),
@@ -47,6 +52,7 @@
 
 pub mod batcher;
 pub mod checkpoint;
+pub mod qos;
 pub mod queue;
 pub mod request;
 pub mod server;
@@ -55,8 +61,13 @@ pub mod watchdog;
 
 pub use batcher::{Assignment, BatchPolicy, Batcher, CompatKey};
 pub use checkpoint::{ServeFingerprint, ServerCheckpoint};
-pub use queue::{AdmissionQueue, AdmitError, QueueEntrySnapshot, RejectReason};
-pub use request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest};
+pub use qos::{
+    AutoscaleConfig, AutoscaleEvent, AutoscalerState, QosConfig, ScaleDirection, TenantQuota,
+};
+pub use queue::{
+    AdmissionQueue, AdmitError, DrrState, QueueEntrySnapshot, RejectReason, TenantPolicy,
+};
+pub use request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest, TenantId};
 pub use server::{EnsembleServer, ServeConfig};
 pub use shard::{ClusterCheckpoint, ClusterConfig, ClusterFingerprint, ClusterServer, RouteEntry};
 pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};

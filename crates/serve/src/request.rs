@@ -40,6 +40,12 @@ pub struct SolveRequest {
     /// only share a fused lane when their effective tolerances are
     /// bit-identical (one `CgConfig` drives all columns of a lane).
     pub tol: Option<f64>,
+    /// Submitting tenant. Tenant 0 is the default; when the server runs
+    /// with a [`QosConfig`](crate::qos::QosConfig) the id must name a
+    /// configured quota, and fair-share scheduling + per-tenant limits
+    /// apply. Tenancy is a scheduling dimension only — it never touches
+    /// the numerics of the solve.
+    pub tenant: TenantId,
 }
 
 impl SolveRequest {
@@ -50,6 +56,7 @@ impl SolveRequest {
             priority: 0,
             deadline: None,
             tol: None,
+            tenant: TenantId(0),
         }
     }
 
@@ -66,6 +73,22 @@ impl SolveRequest {
     pub fn with_tol(mut self, tol: f64) -> Self {
         self.tol = Some(tol);
         self
+    }
+
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+}
+
+/// Identity of a submitting tenant (dense: index into the server's
+/// configured quota table when QoS is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
     }
 }
 
@@ -155,6 +178,12 @@ pub enum EvictReason {
     /// The request's cluster node died and no valid peer replica existed
     /// to fail over from — the extended ladder's true last resort.
     NodeLost,
+    /// Shed at a step boundary because its deadline became *provably*
+    /// unmeetable while queued: even at the modeled per-step floor cost
+    /// the remaining steps cannot finish before the deadline, so the
+    /// request is shed early instead of occupying queue share until
+    /// `expire` catches it.
+    DeadlineUnmeetable,
 }
 
 impl EvictReason {
@@ -164,6 +193,7 @@ impl EvictReason {
             EvictReason::Injected => "injected",
             EvictReason::Watchdog => "watchdog",
             EvictReason::NodeLost => "node_lost",
+            EvictReason::DeadlineUnmeetable => "deadline_unmeetable",
         }
     }
 
@@ -174,6 +204,7 @@ impl EvictReason {
             EvictReason::Injected => 1,
             EvictReason::Watchdog => 2,
             EvictReason::NodeLost => 3,
+            EvictReason::DeadlineUnmeetable => 4,
         }
     }
 
@@ -184,6 +215,7 @@ impl EvictReason {
             1 => EvictReason::Injected,
             2 => EvictReason::Watchdog,
             3 => EvictReason::NodeLost,
+            4 => EvictReason::DeadlineUnmeetable,
             _ => return None,
         })
     }
@@ -221,10 +253,22 @@ mod tests {
         let r = SolveRequest::new(42, 10)
             .with_priority(3)
             .with_deadline(1.5)
-            .with_tol(1e-6);
+            .with_tol(1e-6)
+            .with_tenant(TenantId(2));
         assert_eq!(r.priority, 3);
         assert_eq!(r.deadline, Some(1.5));
         assert_eq!(r.tol, Some(1e-6));
+        assert_eq!(r.tenant, TenantId(2));
+        assert_eq!(SolveRequest::new(1, 1).tenant, TenantId(0));
+        assert_eq!(TenantId(3).to_string(), "tenant#3");
+        assert_eq!(
+            EvictReason::DeadlineUnmeetable.label(),
+            "deadline_unmeetable"
+        );
+        assert_eq!(
+            EvictReason::from_code(EvictReason::DeadlineUnmeetable.code()),
+            Some(EvictReason::DeadlineUnmeetable)
+        );
         assert!(!RequestState::Solving.is_terminal());
         assert!(RequestState::Evicted.is_terminal());
         assert_eq!(RequestState::Done.label(), "done");

@@ -37,13 +37,15 @@ use hetsolve_obs::{
 use hetsolve_sparse::vecops::{extract_case, insert_case};
 
 use crate::batcher::{BatchPolicy, Batcher, CompatKey};
-use crate::queue::{AdmissionQueue, AdmitError, RejectReason};
-use crate::request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest};
+use crate::qos::{AutoscaleConfig, AutoscaleEvent, AutoscalerState, QosConfig, ScaleDirection};
+use crate::queue::{splitmix64, AdmissionQueue, AdmitError, RejectReason, TenantPolicy};
+use crate::request::{EvictReason, RequestId, RequestRecord, RequestState, SolveRequest, TenantId};
 use crate::watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};
 
-/// Process sets the server schedules over (the paper's 2-process layout:
-/// while one set solves on the GPU, the other's predictors run on the CPU).
-const N_LANES: usize = 2;
+/// Default process-set count (the paper's 2-process layout: while one set
+/// solves on the GPU, the other's predictors run on the CPU). With an
+/// [`AutoscaleConfig`] the lane count floats between its bounds instead.
+const DEFAULT_LANES: usize = 2;
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +77,18 @@ pub struct ServeConfig {
     /// injected crash (convention: under `target/artifacts/`). `None`
     /// keeps the ring in memory only.
     pub flight_dump: Option<PathBuf>,
+    /// Multi-tenant QoS: per-tenant quotas and deficit-round-robin fair
+    /// share. `None` runs single-tenant (all requests under `TenantId(0)`,
+    /// no quota checks). Scheduling-only — never touches numerics.
+    pub qos: Option<QosConfig>,
+    /// Lane autoscaling: float the fused-lane count between bounds from
+    /// queue depth and modeled occupancy, at step boundaries only. `None`
+    /// keeps the paper's fixed 2-lane layout.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Store each `Done` request's final displacement in its record.
+    /// Soak runs over 10^5+ requests turn this off — results are O(n_dofs)
+    /// each and the load generator only audits scheduling outcomes.
+    pub keep_results: bool,
 }
 
 impl ServeConfig {
@@ -91,7 +105,31 @@ impl ServeConfig {
             checkpoint_every: 4,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             flight_dump: None,
+            qos: None,
+            autoscale: None,
+            keep_results: true,
         }
+    }
+
+    pub fn with_qos(mut self, qos: QosConfig) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    pub fn with_keep_results(mut self, keep_results: bool) -> Self {
+        self.keep_results = keep_results;
+        self
+    }
+
+    /// Lane count the server starts with: the autoscaler's floor when one
+    /// is configured, the paper's 2-process layout otherwise.
+    pub fn initial_lanes(&self) -> usize {
+        self.autoscale.map_or(DEFAULT_LANES, |a| a.min_lanes)
     }
 }
 
@@ -137,6 +175,16 @@ pub struct EnsembleServer<'b, F: FaultInjector = NoopFaults> {
     /// Set by an injected `crash_fault`: the server stops ticking (the
     /// modeled `kill -9`) until restored from a checkpoint.
     crashed: bool,
+    /// Autoscaler dynamic state (cooldown / drain-in-progress / event
+    /// count); checkpointed in the optional `QOS\0` section.
+    pub(crate) autoscaler: AutoscalerState,
+    /// Every lane-scaling event taken, in order (telemetry, not
+    /// checkpointed — the monotone count in `autoscaler.events` is).
+    scale_events: Vec<AutoscaleEvent>,
+    /// Modeled lower bound on one served step's duration (the per-step
+    /// exchange transfer at the configured width) — the provable floor the
+    /// unmeetable-deadline shedder multiplies by remaining steps.
+    step_floor: f64,
 }
 
 impl<'b> EnsembleServer<'b, NoopFaults> {
@@ -152,14 +200,29 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         cfg.run.window = WindowPolicy::FullWindow;
         let r = cfg.run.r.max(1);
         cfg.run.r = r;
+        let lanes = cfg.initial_lanes();
         let clock = ModuleClock::new(cfg.run.node.module, cfg.run.cpu_threads, true);
+        // provable per-step floor: every served step charges at least the
+        // exchange transfer at width r, so remaining_steps × floor is a
+        // lower bound on any queued request's service time
+        let step_floor = {
+            let mut probe = clock.clone();
+            probe.transfer(2.0 * (backend.n_dofs() * r) as f64 * 8.0)
+        };
+        let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.sched_seed);
+        if let Some(qos) = &cfg.qos {
+            let pairs: Vec<(u64, f64)> = qos
+                .tenants
+                .iter()
+                .map(|q| (q.weight, q.queue_share))
+                .collect();
+            queue = queue.with_policy(TenantPolicy::new(&pairs, qos.quantum, cfg.queue_capacity));
+        }
         EnsembleServer {
             backend,
-            queue: AdmissionQueue::new(cfg.queue_capacity, cfg.sched_seed),
-            batcher: Batcher::new(N_LANES, r, cfg.policy),
-            slots: (0..N_LANES)
-                .map(|_| (0..r).map(|_| None).collect())
-                .collect(),
+            queue,
+            batcher: Batcher::new(lanes, r, cfg.policy),
+            slots: (0..lanes).map(|_| (0..r).map(|_| None).collect()).collect(),
             records: Vec::new(),
             clock,
             scratch: RhsScratch::new(backend.n_dofs()),
@@ -170,13 +233,14 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             ticks: 0,
             trace: None,
             wall: Box::new(SystemClock::new()),
-            watchdog_breach: vec![0; N_LANES],
+            watchdog_breach: vec![0; lanes],
             watchdog_events: Vec::new(),
-            lane_ckpt: (0..N_LANES)
-                .map(|_| (0..r).map(|_| None).collect())
-                .collect(),
+            lane_ckpt: (0..lanes).map(|_| (0..r).map(|_| None).collect()).collect(),
             flight: FlightRecorder::new(cfg.flight_capacity),
             crashed: false,
+            autoscaler: AutoscalerState::default(),
+            scale_events: Vec::new(),
+            step_floor,
             cfg,
         }
     }
@@ -193,7 +257,10 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         let mut t = TraceBuilder::new();
         t.set_meta("subsystem", Json::from("hetsolve-serve"));
         t.name_process(0, "scheduler");
-        for lane in 0..N_LANES {
+        let max_lanes = self.cfg.autoscale.map_or(self.batcher.n_lanes(), |a| {
+            a.max_lanes.max(self.batcher.n_lanes())
+        });
+        for lane in 0..max_lanes {
             let pid = 1 + lane;
             t.name_process(pid, &format!("process set {lane}"));
             t.name_thread(pid, TID_CPU, "CPU (predictors)");
@@ -216,15 +283,18 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         let index = self.admissions;
         self.admissions += 1;
         let now = self.clock.elapsed();
+        let tenant = request.tenant;
         match self.faults.admission_fault(index) {
             Some(AdmissionFault::Reject) => {
                 self.stats.record_rejection();
+                self.stats.tenant_rejection(tenant.0);
                 self.flight
                     .record(now, "admit_rejected", None, None, None, "fault injected");
                 return Err(AdmitError::Rejected(RejectReason::FaultInjected));
             }
             Some(AdmissionFault::Shed) => {
                 self.stats.record_shed();
+                self.stats.tenant_shed(tenant.0);
                 self.flight
                     .record(now, "admit_shed", None, None, None, "fault injected");
                 return Err(AdmitError::ShedLoad {
@@ -236,6 +306,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         }
         if request.n_steps == 0 {
             self.stats.record_rejection();
+            self.stats.tenant_rejection(tenant.0);
             self.flight
                 .record(now, "admit_rejected", None, None, None, "zero steps");
             return Err(AdmitError::Rejected(RejectReason::ZeroSteps));
@@ -243,9 +314,31 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         let tol = request.tol.unwrap_or(self.cfg.run.tol);
         if !tol.is_finite() || tol <= 0.0 {
             self.stats.record_rejection();
+            self.stats.tenant_rejection(tenant.0);
             self.flight
                 .record(now, "admit_rejected", None, None, None, "invalid tol");
             return Err(AdmitError::Rejected(RejectReason::InvalidTol));
+        }
+        if let Some(qos) = &self.cfg.qos {
+            match qos.quota(tenant) {
+                None => {
+                    self.stats.record_rejection();
+                    self.stats.tenant_rejection(tenant.0);
+                    self.flight
+                        .record(now, "admit_rejected", None, None, None, "unknown tenant");
+                    return Err(AdmitError::Rejected(RejectReason::UnknownTenant));
+                }
+                Some(q) if q.weight == 0 => {
+                    // a zero-weight tenant can never win a DRR round —
+                    // reject typed instead of admitting into starvation
+                    self.stats.record_rejection();
+                    self.stats.tenant_rejection(tenant.0);
+                    self.flight
+                        .record(now, "admit_rejected", None, None, None, "zero quota");
+                    return Err(AdmitError::Rejected(RejectReason::ZeroQuota));
+                }
+                Some(_) => {}
+            }
         }
         let id = RequestId(self.records.len() as u64);
         if let Err(e) = self.queue.push(
@@ -253,8 +346,11 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             CompatKey::from_tol(tol),
             request.priority,
             request.deadline,
+            tenant,
+            request.n_steps.min(u32::MAX as usize) as u32,
         ) {
             self.stats.record_shed();
+            self.stats.tenant_shed(tenant.0);
             self.flight
                 .record(now, "admit_shed", Some(id.0), None, None, "queue full");
             return Err(e);
@@ -312,15 +408,43 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             self.crashed = true;
             return;
         }
+        if let Some((tenant, count)) = self.faults.tenant_burst_fault(self.ticks) {
+            // chaos hook: one tenant floods the server at this boundary.
+            // Typed admission failures (shed / zero quota / unknown) are
+            // the point — the burst must not starve other tenants.
+            let base = splitmix64(0xb065_u64 ^ (self.ticks as u64) << 8 ^ u64::from(tenant));
+            for i in 0..count {
+                let seed = splitmix64(base ^ u64::from(i));
+                let _ = self.admit(SolveRequest::new(seed, 1).with_tenant(TenantId(tenant)));
+            }
+        }
         let mut dump_eviction = false;
         for id in self.queue.expire(now) {
             self.finish(id, RequestState::Evicted, now);
             self.records[id.0 as usize].evict_reason = Some(EvictReason::DeadlineExpired);
             self.stats.record_eviction();
+            let t = self.records[id.0 as usize].request.tenant.0;
+            self.stats.tenant_eviction(t);
+            self.stats.tenant_deadline_miss(t);
             self.record_eviction_event(id, None, EvictReason::DeadlineExpired, now);
             dump_eviction = true;
         }
-        for lane in 0..N_LANES {
+        // ShedLoad re-evaluation: a queued request whose remaining steps
+        // cannot fit before its deadline even at the modeled per-step
+        // floor is shed *now*, freeing its queue share for requests that
+        // can still win
+        for id in self.queue.shed_unmeetable(now, self.step_floor) {
+            self.finish(id, RequestState::Evicted, now);
+            self.records[id.0 as usize].evict_reason = Some(EvictReason::DeadlineUnmeetable);
+            self.stats.record_eviction();
+            self.stats.record_shed_early();
+            let t = self.records[id.0 as usize].request.tenant.0;
+            self.stats.tenant_eviction(t);
+            self.stats.tenant_deadline_miss(t);
+            self.record_eviction_event(id, None, EvictReason::DeadlineUnmeetable, now);
+            dump_eviction = true;
+        }
+        for lane in 0..self.batcher.n_lanes() {
             for slot in 0..self.batcher.width() {
                 let Some(id) = self.batcher.slot(lane, slot) else {
                     continue;
@@ -335,6 +459,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                     self.finish(id, RequestState::Evicted, now);
                     self.records[id.0 as usize].evict_reason = Some(EvictReason::Injected);
                     self.stats.record_eviction();
+                    self.stats
+                        .tenant_eviction(self.records[id.0 as usize].request.tenant.0);
                     self.record_eviction_event(id, Some(lane), EvictReason::Injected, now);
                     dump_eviction = true;
                 }
@@ -343,6 +469,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         if dump_eviction {
             self.dump_flight("eviction");
         }
+        self.autoscale_step(now);
+        self.refresh_tenant_budgets();
         for a in self.batcher.backfill(&mut self.queue) {
             let req = self.records[a.id.0 as usize].request;
             self.slots[a.lane][a.slot] = Some(CaseSlot::with_seed(
@@ -380,7 +508,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         let capture = supervised.is_some()
             && self.cfg.checkpoint_every > 0
             && self.ticks.is_multiple_of(self.cfg.checkpoint_every);
-        for lane in 0..N_LANES {
+        for lane in 0..self.batcher.n_lanes() {
             if capture {
                 self.capture_lane(lane);
             }
@@ -404,6 +532,143 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         }
         self.stats.set_elapsed(self.clock.elapsed());
         self.ticks += 1;
+    }
+
+    /// One autoscaling decision at a step boundary. Scale-up appends an
+    /// empty lane (backfilled this same tick); scale-down marks the
+    /// highest lane draining and removes it at the first boundary where it
+    /// is empty — in-flight trajectories are never touched, which is what
+    /// keeps scaling invisible to the numerics.
+    fn autoscale_step(&mut self, now: f64) {
+        let Some(a) = self.cfg.autoscale else {
+            return;
+        };
+        if self.autoscaler.draining {
+            let last = self.batcher.n_lanes() - 1;
+            if self.batcher.occupied_count(last) == 0 && self.batcher.n_lanes() > a.min_lanes.max(1)
+            {
+                self.batcher.remove_last_lane();
+                self.slots.pop();
+                self.watchdog_breach.pop();
+                self.lane_ckpt.pop();
+                self.autoscaler.draining = false;
+                self.record_scale_event(ScaleDirection::Down, now);
+            } else if self.batcher.n_lanes() <= a.min_lanes.max(1) {
+                // a restored checkpoint may carry a drain mark the bounds
+                // no longer allow; drop it instead of eating the only lane
+                self.batcher.cancel_drain();
+                self.autoscaler.draining = false;
+            }
+            return;
+        }
+        let stuck = self.faults.stuck_scaledown_fault(self.ticks);
+        if self.autoscaler.cooldown > 0 {
+            self.autoscaler.cooldown -= 1;
+            if !stuck {
+                return;
+            }
+        }
+        let lanes = self.batcher.n_lanes();
+        if stuck && lanes > a.min_lanes {
+            // chaos hook: force a drain while columns are still in flight,
+            // exercising the shrink path under load (the drained lane
+            // keeps running until its occupants finish)
+            self.batcher.drain_last();
+            self.autoscaler.draining = true;
+            self.flight.record(
+                now,
+                "scale_drain",
+                None,
+                Some((lanes - 1) as u64),
+                Some(self.ticks as u64),
+                "injected stuck_lane_scaledown",
+            );
+            return;
+        }
+        let depth = self.queue.len();
+        if depth > a.scale_up_queue_per_lane * lanes && lanes < a.max_lanes {
+            let li = self.batcher.add_lane();
+            let r = self.batcher.width();
+            self.slots.push((0..r).map(|_| None).collect());
+            self.watchdog_breach.push(0);
+            self.lane_ckpt.push((0..r).map(|_| None).collect());
+            let _ = li;
+            self.record_scale_event(ScaleDirection::Up, now);
+            return;
+        }
+        if depth == 0 && lanes > a.min_lanes {
+            let total = lanes * self.batcher.width();
+            let occ: usize = (0..lanes).map(|l| self.batcher.occupied_count(l)).sum();
+            if (occ as f64) < a.scale_down_occupancy * total as f64 {
+                self.batcher.drain_last();
+                self.autoscaler.draining = true;
+                self.flight.record(
+                    now,
+                    "scale_drain",
+                    None,
+                    Some((lanes - 1) as u64),
+                    Some(self.ticks as u64),
+                    format!("occupancy {occ}/{total} below threshold"),
+                );
+            }
+        }
+    }
+
+    /// Bookkeeping shared by both scaling directions: cooldown, monotone
+    /// event count, telemetry.
+    fn record_scale_event(&mut self, direction: ScaleDirection, now: f64) {
+        let a = self.cfg.autoscale.unwrap_or(AutoscaleConfig::new(1, 1));
+        let lanes = self.batcher.n_lanes();
+        let before = match direction {
+            ScaleDirection::Up => lanes - 1,
+            ScaleDirection::Down => lanes + 1,
+        };
+        self.autoscaler.cooldown = a.cooldown_ticks;
+        self.autoscaler.events += 1;
+        self.stats.record_autoscale();
+        self.scale_events.push(AutoscaleEvent {
+            tick: self.ticks as u64,
+            direction,
+            lanes_before: before,
+            lanes_after: lanes,
+        });
+        self.flight.record(
+            now,
+            match direction {
+                ScaleDirection::Up => "scale_up",
+                ScaleDirection::Down => "scale_down",
+            },
+            None,
+            Some(lanes as u64),
+            Some(self.ticks as u64),
+            format!("lanes {before} -> {lanes}"),
+        );
+    }
+
+    /// Recompute each tenant's pop budget (max_in_flight minus columns it
+    /// already occupies) for this step boundary's backfill.
+    fn refresh_tenant_budgets(&mut self) {
+        let Some(qos) = &self.cfg.qos else {
+            return;
+        };
+        let mut in_flight = vec![0usize; qos.n_tenants()];
+        for lane in 0..self.batcher.n_lanes() {
+            for slot in 0..self.batcher.width() {
+                if let Some(id) = self.batcher.slot(lane, slot) {
+                    let t = self.records[id.0 as usize].request.tenant.0 as usize;
+                    if let Some(c) = in_flight.get_mut(t) {
+                        *c += 1;
+                    }
+                }
+            }
+        }
+        let budgets = qos
+            .tenants
+            .iter()
+            .zip(&in_flight)
+            .map(|(q, &used)| q.max_in_flight.saturating_sub(used))
+            .collect();
+        self.queue.set_budgets(budgets);
     }
 
     /// Tick until the queue and every lane are empty; returns the ticks
@@ -476,6 +741,11 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         let mut reg = MetricsRegistry::new();
         reg.inc("serve_requests_admitted_total", self.records.len() as f64);
         self.stats.to_registry(&mut reg);
+        reg.gauge_set("serve_lanes", self.batcher.n_lanes() as f64);
+        reg.gauge_set(
+            "serve_tenants",
+            self.cfg.qos.as_ref().map_or(1, QosConfig::n_tenants) as f64,
+        );
         reg.inc("flight_events_dropped_total", self.flight.dropped() as f64);
         reg
     }
@@ -590,14 +860,35 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 .expect("occupied slot has a case");
             case.advance(self.backend, &x, &ab_guesses[k], None);
             if case.is_done() {
-                let result = case.displacement().to_vec();
+                let result = if self.cfg.keep_results {
+                    Some(case.displacement().to_vec())
+                } else {
+                    None
+                };
                 self.slots[lane][k] = None;
                 self.batcher.free(lane, k);
                 let done_at = self.clock.elapsed();
+                let req = self.records[id.0 as usize].request;
                 let latency = done_at - self.records[id.0 as usize].admitted_at;
                 self.finish(id, RequestState::Done, done_at);
-                self.records[id.0 as usize].result = Some(result);
+                self.records[id.0 as usize].result = result;
                 self.stats.record_completion(latency);
+                self.stats
+                    .tenant_completion(req.tenant.0, latency, req.n_steps as u64);
+                if req.deadline.is_some_and(|d| done_at > d) {
+                    self.stats.tenant_deadline_miss(req.tenant.0);
+                }
+                if let Some(slo) = self
+                    .cfg
+                    .qos
+                    .as_ref()
+                    .and_then(|q| q.quota(req.tenant))
+                    .and_then(|q| q.slo_latency_s)
+                {
+                    if latency > slo {
+                        self.stats.tenant_slo_miss(req.tenant.0);
+                    }
+                }
                 self.flight.record(
                     done_at,
                     "done",
@@ -806,6 +1097,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             self.finish(id, RequestState::Evicted, now);
             self.records[id.0 as usize].evict_reason = Some(EvictReason::Watchdog);
             self.stats.record_eviction();
+            self.stats
+                .tenant_eviction(self.records[id.0 as usize].request.tenant.0);
             self.record_eviction_event(id, Some(lane), EvictReason::Watchdog, now);
             evicted += 1;
         }
@@ -871,7 +1164,45 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
 
     /// Requests currently occupying lane slots.
     pub fn in_flight(&self) -> usize {
-        (0..N_LANES).map(|l| self.batcher.occupied_count(l)).sum()
+        (0..self.batcher.n_lanes())
+            .map(|l| self.batcher.occupied_count(l))
+            .sum()
+    }
+
+    /// Fused lanes currently spun up (fixed at 2 without autoscaling).
+    pub fn lanes(&self) -> usize {
+        self.batcher.n_lanes()
+    }
+
+    /// Lane-scaling events taken so far, in order.
+    pub fn scale_events(&self) -> &[AutoscaleEvent] {
+        &self.scale_events
+    }
+
+    /// Autoscaler dynamic state (cooldown / draining / monotone count).
+    pub fn autoscaler(&self) -> &AutoscalerState {
+        &self.autoscaler
+    }
+
+    /// Nothing queued and nothing in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.batcher.is_idle()
+    }
+
+    /// Modeled per-step floor the unmeetable-deadline shedder uses.
+    pub fn step_floor_s(&self) -> f64 {
+        self.step_floor
+    }
+
+    /// Advance the modeled clock by `dt` seconds without running any work
+    /// — the open-loop load generator's "wait for the next arrival" while
+    /// the server is idle. Charged to the link lane so both device
+    /// timelines (and [`Self::elapsed`]) move together.
+    pub fn advance_idle(&mut self, dt: f64) {
+        if dt > 0.0 {
+            self.clock.stall(LaneKind::Link, dt);
+            self.stats.set_elapsed(self.clock.elapsed());
+        }
     }
 
     pub fn config(&self) -> &ServeConfig {

@@ -26,7 +26,7 @@ use crate::checkpoint::{
     decode_flight, decode_record, decode_stats, encode_flight, encode_record, encode_stats,
     ServeFingerprint,
 };
-use crate::request::{RequestRecord, SolveRequest};
+use crate::request::{RequestRecord, SolveRequest, TenantId};
 use crate::server::EnsembleServer;
 use crate::shard::cluster::{ClusterConfig, ClusterServer, RouteEntry};
 
@@ -94,6 +94,7 @@ fn encode_route(enc: &mut Enc, r: &RouteEntry) {
     enc.put_u8(request.priority);
     enc.put_opt_f64(request.deadline);
     enc.put_opt_f64(request.tol);
+    enc.put_u32(request.tenant.0);
 }
 
 fn decode_route(dec: &mut Dec<'_>) -> Result<RouteEntry, CkptError> {
@@ -105,6 +106,7 @@ fn decode_route(dec: &mut Dec<'_>) -> Result<RouteEntry, CkptError> {
         priority: dec.u8()?,
         deadline: dec.opt_f64()?,
         tol: dec.opt_f64()?,
+        tenant: TenantId(dec.u32()?),
     };
     Ok(RouteEntry {
         shard,

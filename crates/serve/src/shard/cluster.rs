@@ -250,7 +250,11 @@ impl<'b, F: FaultInjector> ClusterServer<'b, F> {
                     return Ok(RequestId(gid));
                 }
                 Err(e @ AdmitError::Rejected(_)) => return Err(e),
-                Err(e @ AdmitError::ShedLoad { .. }) => last_shed = Some(e),
+                // a shard at global capacity or at this tenant's queue
+                // share both mean "try the next shard"
+                Err(e @ (AdmitError::ShedLoad { .. } | AdmitError::TenantShed { .. })) => {
+                    last_shed = Some(e);
+                }
             }
         }
         self.flight.record(
@@ -342,6 +346,15 @@ impl<'b, F: FaultInjector> ClusterServer<'b, F> {
             .all(|s| s.queue.is_empty() && s.batcher.is_idle())
     }
 
+    /// Advance the modeled cluster clock by `dt` without scheduling any
+    /// work: every shard idles in lock-step, so open-loop load generators
+    /// can wait out gaps between arrivals on the modeled timeline.
+    pub fn advance_idle(&mut self, dt: f64) {
+        for sh in &mut self.shards {
+            sh.advance_idle(dt);
+        }
+    }
+
     fn is_severed(severed: &[(usize, usize)], x: usize, y: usize) -> bool {
         severed
             .iter()
@@ -414,6 +427,8 @@ impl<'b, F: FaultInjector> ClusterServer<'b, F> {
                         key,
                         request.priority,
                         request.deadline,
+                        request.tenant,
+                        request.n_steps.min(u32::MAX as usize) as u32,
                     );
                 }
             }

@@ -12,7 +12,9 @@
 
 use std::collections::HashMap;
 
-use hetsolve_serve::{AdmissionQueue, BatchPolicy, Batcher, CompatKey, RequestId};
+use hetsolve_serve::{
+    AdmissionQueue, AdmitError, BatchPolicy, Batcher, CompatKey, RequestId, TenantId, TenantPolicy,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -41,7 +43,7 @@ proptest! {
         let mut keys = Vec::new();
         for (i, &(key, prio)) in reqs.iter().enumerate() {
             let k = CompatKey(key);
-            q.push(RequestId(i as u64), k, prio, None).unwrap();
+            q.push(RequestId(i as u64), k, prio, None, TenantId(0), 1).unwrap();
             keys.push(k);
         }
         let mut b = Batcher::new(n_lanes, width, policy);
@@ -114,7 +116,7 @@ proptest! {
         let mut q = AdmissionQueue::new(prios.len(), 7);
         let deadline = if with_deadline { Some(1e9) } else { None };
         for (i, &p) in prios.iter().enumerate() {
-            q.push(RequestId(i as u64), CompatKey(1), p, deadline).unwrap();
+            q.push(RequestId(i as u64), CompatKey(1), p, deadline, TenantId(0), 1).unwrap();
         }
         let mut b = Batcher::new(n_lanes, width, BatchPolicy::Continuous);
         let mut order: Vec<u8> = Vec::new();
@@ -149,7 +151,7 @@ proptest! {
         let n_req = 2 * width + extra;
         let mut q = AdmissionQueue::new(n_req, 3);
         for i in 0..n_req {
-            q.push(RequestId(i as u64), CompatKey(0), 0, None).unwrap();
+            q.push(RequestId(i as u64), CompatKey(0), 0, None, TenantId(0), 1).unwrap();
         }
         let mut b = Batcher::new(2, width, BatchPolicy::Continuous);
         let assigned = b.backfill(&mut q);
@@ -173,7 +175,7 @@ proptest! {
         let mut position: HashMap<u64, usize> = HashMap::new();
         for &(slot, push_two) in &seq {
             for _ in 0..if push_two { 2 } else { 1 } {
-                q.push(RequestId(next_id), CompatKey(0), 0, None).unwrap();
+                q.push(RequestId(next_id), CompatKey(0), 0, None, TenantId(0), 1).unwrap();
                 next_id += 1;
             }
             let s = slot % width;
@@ -188,5 +190,116 @@ proptest! {
                 prop_assert_eq!(b.slot(0, s), Some(RequestId(id)), "column moved");
             }
         }
+    }
+
+    /// Two saturated tenants: served *work* (cost-weighted pops) converges
+    /// to the quota-weight ratio within ±10%, for arbitrary weights,
+    /// quanta, and per-tenant costs. Both backlogs are kept deep enough
+    /// that neither tenant ever idles (idle tenants forfeit deficit by
+    /// design, which would skew the share).
+    #[test]
+    fn drr_served_work_tracks_weights_under_saturation(
+        w0 in 1u64..=4,
+        w1 in 1u64..=4,
+        quantum in 1u64..=3,
+        c0 in 1u32..=2,
+        c1 in 1u32..=2,
+        seed in any::<u64>(),
+    ) {
+        let policy = TenantPolicy::new(&[(w0, 1.0), (w1, 1.0)], quantum, 4096);
+        let mut q = AdmissionQueue::new(4096, seed).with_policy(policy);
+        let per_tenant = 1300u64;
+        for i in 0..per_tenant {
+            q.push(RequestId(2 * i), CompatKey(0), 0, None, TenantId(0), c0).unwrap();
+            q.push(RequestId(2 * i + 1), CompatKey(0), 0, None, TenantId(1), c1).unwrap();
+        }
+        // 48 full rotations: one rotation's grant granularity (plus a
+        // carried deficit of at most quantum×w + cost) is ≲2% of the
+        // total, well inside the ±10% tolerance
+        let target = 48 * quantum * (w0 + w1);
+        let mut served = [0u64; 2];
+        while served[0] + served[1] < target {
+            let (id, _) = q.pop_best().unwrap();
+            if id.0 % 2 == 0 {
+                served[0] += u64::from(c0);
+            } else {
+                served[1] += u64::from(c1);
+            }
+        }
+        let share = served[0] as f64 / (served[0] + served[1]) as f64;
+        let want = w0 as f64 / (w0 + w1) as f64;
+        prop_assert!(
+            (share - want).abs() <= 0.10 * want,
+            "served-work share {share:.3} strays from weight share {want:.3} \
+             (w {w0}:{w1}, quantum {quantum}, costs {c0}/{c1})"
+        );
+    }
+
+    /// No positive-weight tenant is starved: whatever the weight spread,
+    /// every backlogged tenant gets its first pop within a couple of DRR
+    /// rotations, and the queue drains completely.
+    #[test]
+    fn drr_never_starves_a_positive_weight_tenant(
+        weights in vec(1u64..=4, 2..5),
+        quantum in 1u64..=4,
+        seed in any::<u64>(),
+    ) {
+        let n = weights.len();
+        let tens: Vec<(u64, f64)> = weights.iter().map(|&w| (w, 1.0)).collect();
+        let policy = TenantPolicy::new(&tens, quantum, 256);
+        let mut q = AdmissionQueue::new(256, seed).with_policy(policy);
+        let per = 8u64;
+        let mut id = 0u64;
+        for t in 0..n {
+            for _ in 0..per {
+                q.push(RequestId(id), CompatKey(0), 0, None, TenantId(t as u32), 4).unwrap();
+                id += 1;
+            }
+        }
+        let mut first_pop = vec![None; n];
+        let mut pops = 0u64;
+        while let Some((rid, _)) = q.pop_best() {
+            let t = (rid.0 / per) as usize;
+            first_pop[t].get_or_insert(pops);
+            pops += 1;
+        }
+        prop_assert_eq!(pops, per * n as u64, "queue did not drain");
+        for (t, first) in first_pop.iter().enumerate() {
+            let first = first.expect("tenant never served");
+            prop_assert!(
+                first < 8 * n as u64,
+                "tenant {t} (weight {}) waited {first} pops for its first \
+                 serve",
+                weights[t]
+            );
+        }
+    }
+
+    /// Share caps shed exactly the tenant that overfilled, typed with its
+    /// own occupancy — the other tenant keeps admitting into the rest of
+    /// the queue.
+    #[test]
+    fn share_caps_shed_the_overfull_tenant_typed(
+        share_pct in 1u32..=50,
+        capacity in 8usize..=32,
+        seed in any::<u64>(),
+    ) {
+        let share = f64::from(share_pct) / 100.0;
+        let policy = TenantPolicy::new(&[(1, share), (1, 1.0)], 4, capacity);
+        let mut q = AdmissionQueue::new(capacity, seed).with_policy(policy);
+        let cap0 = ((capacity as f64 * share).ceil() as usize).max(1);
+        for i in 0..cap0 {
+            q.push(RequestId(i as u64), CompatKey(0), 0, None, TenantId(0), 1).unwrap();
+        }
+        match q.push(RequestId(1000), CompatKey(0), 0, None, TenantId(0), 1) {
+            Err(AdmitError::TenantShed { tenant, queued, share: cap }) => {
+                prop_assert_eq!(tenant, TenantId(0));
+                prop_assert_eq!(queued, cap0);
+                prop_assert_eq!(cap, cap0);
+            }
+            other => prop_assert!(false, "expected TenantShed, got {other:?}"),
+        }
+        // tenant 1 is unaffected by tenant 0's full share
+        q.push(RequestId(2000), CompatKey(0), 0, None, TenantId(1), 1).unwrap();
     }
 }

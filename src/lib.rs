@@ -39,6 +39,7 @@ pub use hetsolve_ckpt as ckpt;
 pub use hetsolve_core as core;
 pub use hetsolve_fault as fault;
 pub use hetsolve_fem as fem;
+pub use hetsolve_load as load;
 pub use hetsolve_machine as machine;
 pub use hetsolve_mesh as mesh;
 pub use hetsolve_obs as obs;

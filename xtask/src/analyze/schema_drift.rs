@@ -41,6 +41,7 @@ struct CodecPair {
 const CORE_CKPT: &str = "crates/core/src/checkpoint.rs";
 const SERVE_CKPT: &str = "crates/serve/src/checkpoint.rs";
 const SHARD_CKPT: &str = "crates/serve/src/shard/checkpoint.rs";
+const LOAD_CKPT: &str = "crates/load/src/checkpoint.rs";
 
 /// Registry of every struct that flows through a checkpoint codec.
 const PAIRS: &[CodecPair] = &[
@@ -161,6 +162,69 @@ const PAIRS: &[CodecPair] = &[
         def_file: "crates/machine/src/cluster.rs",
         encode: (SHARD_CKPT, "encode_traffic"),
         decode: (SHARD_CKPT, "decode_traffic"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "TenantStats",
+        def_file: "crates/obs/src/serve.rs",
+        encode: (SERVE_CKPT, "encode_tenant_stats"),
+        decode: (SERVE_CKPT, "decode_tenant_stats"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "DrrState",
+        def_file: "crates/serve/src/queue.rs",
+        encode: (SERVE_CKPT, "encode_drr_state"),
+        decode: (SERVE_CKPT, "decode_drr_state"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "AutoscalerState",
+        def_file: "crates/serve/src/qos.rs",
+        encode: (SERVE_CKPT, "encode_autoscaler_state"),
+        decode: (SERVE_CKPT, "decode_autoscaler_state"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "TenantQuota",
+        def_file: "crates/serve/src/qos.rs",
+        encode: (SERVE_CKPT, "encode_tenant_quota"),
+        decode: (SERVE_CKPT, "decode_tenant_quota"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "LoadConfig",
+        def_file: "crates/load/src/gen.rs",
+        encode: (LOAD_CKPT, "encode_load_config"),
+        decode: (LOAD_CKPT, "decode_load_config"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "Arrival",
+        def_file: "crates/load/src/gen.rs",
+        encode: (LOAD_CKPT, "encode_arrival"),
+        decode: (LOAD_CKPT, "decode_arrival"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "ArrivalLog",
+        def_file: "crates/load/src/gen.rs",
+        encode: (LOAD_CKPT, "arrival_log_to_bytes"),
+        decode: (LOAD_CKPT, "arrival_log_from_bytes"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "TenantLatency",
+        def_file: "crates/load/src/soak.rs",
+        encode: (LOAD_CKPT, "encode_tenant_latency"),
+        decode: (LOAD_CKPT, "decode_tenant_latency"),
+        aliases: &[],
+    },
+    CodecPair {
+        name: "SoakReport",
+        def_file: "crates/load/src/soak.rs",
+        encode: (LOAD_CKPT, "soak_report_to_bytes"),
+        decode: (LOAD_CKPT, "soak_report_from_bytes"),
         aliases: &[],
     },
 ];

@@ -14,11 +14,13 @@ use hetsolve_core::{
 };
 use hetsolve_fault::{FaultPlan, NoopFaults};
 use hetsolve_fem::{FemProblem, RandomLoadSpec};
+use hetsolve_load::{soak_server, ArrivalLog, LoadConfig, TrafficShape};
 use hetsolve_machine::{alps_node, single_gh200};
 use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
 use hetsolve_obs::{FlightRecorder, Json, MethodMetrics, MetricsRegistry, MetricsSink};
 use hetsolve_serve::{
-    BatchPolicy, ClusterConfig, ClusterServer, EnsembleServer, ServeConfig, SolveRequest,
+    AutoscaleConfig, BatchPolicy, ClusterConfig, ClusterServer, EnsembleServer, QosConfig,
+    ServeConfig, SolveRequest, TenantQuota,
 };
 
 /// Reference-problem shape: small enough for a debug-profile run in
@@ -103,6 +105,11 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
     // the Alps node model and the modeled node-crash failover latency, so
     // the snapshot tracks what sharding buys and what a crash costs
     sink.set_section("cluster", cluster_stats(&backend));
+
+    // multi-tenant QoS: a seeded bursty three-tenant soak through the
+    // fair-share scheduler and lane autoscaler, so the snapshot carries
+    // tail latency, shed rate, and scaling activity across PRs
+    sink.set_section("qos", qos_stats(&backend));
 
     // durability: checkpoint write/restore cost on the reference run,
     // so the snapshot tracks the overhead of crash consistency
@@ -346,6 +353,94 @@ fn cluster_stats(backend: &Backend) -> Json {
                 ("failovers", Json::from(stats.failovers())),
                 ("evicted", Json::from(stats.evicted())),
             ]),
+        ),
+    ])
+}
+
+/// Soak the QoS-enabled server with a seeded three-tenant flash-crowd
+/// stream — small requests so the debug-profile bench stays in seconds —
+/// and distill tail latency, shed rate, and autoscaler activity. The
+/// arrival rates are derived from the server's own modeled step floor so
+/// the burst overloads it by construction on any reference problem.
+/// xtask is outside the determinism scope, so wall-clock timing is fine.
+fn qos_stats(backend: &Backend) -> Json {
+    let mut cfg = ServeConfig::new(single_gh200());
+    cfg.run = bench_config(MethodKind::EbeMcgCpuGpu);
+    cfg.run.r = 4;
+    cfg.run.s_max = 1; // uniform per-step iterations: isolates scheduling
+    cfg.queue_capacity = 256;
+    let cfg = cfg
+        .with_qos(QosConfig::new(vec![
+            TenantQuota::new(4),
+            TenantQuota::new(2).with_queue_share(0.5),
+            TenantQuota::new(1)
+                .with_queue_share(0.25)
+                .with_max_in_flight(4),
+        ]))
+        .with_autoscale(AutoscaleConfig::new(1, 4))
+        .with_keep_results(false);
+    let mut server = EnsembleServer::new(backend, cfg);
+
+    // lanes time-share the device, so throughput is set by the fused
+    // width r per step floor (halved for transfer/refill overhead), not
+    // by lanes × r
+    let floor = server.step_floor_s();
+    let mean_steps = 2.5;
+    let capacity_rps = 2.0 / (mean_steps * floor);
+    const N_REQUESTS: usize = 800;
+    let base_rps = 0.6 * capacity_rps;
+    let horizon_s = N_REQUESTS as f64 / base_rps;
+    let load = LoadConfig::new(0x9a05, N_REQUESTS, base_rps)
+        .with_shape(TrafficShape::Burst {
+            base_rps,
+            burst_rps: 2.5 * capacity_rps,
+            start_s: 0.35 * horizon_s,
+            len_s: 0.1 * horizon_s,
+        })
+        .with_tenants(3, 1.1)
+        .with_steps(2, 3)
+        .with_priorities(3)
+        .with_deadline_slack(400.0 * floor);
+    let log = ArrivalLog::generate(&load);
+
+    let t0 = std::time::Instant::now();
+    let report = soak_server(&mut server, &log);
+    let soak_wall_s = t0.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let shed_rate = (report.shed + report.shed_early) as f64 / report.n_arrivals.max(1) as f64;
+    println!(
+        "bench-snapshot: qos               {} arrivals in {soak_wall_s:.2} s wall, p99 {:.3e} s, \
+         shed rate {:.3}, {} autoscale events",
+        report.n_arrivals,
+        stats.latency_percentile(0.99),
+        shed_rate,
+        report.autoscale_events,
+    );
+    Json::obj([
+        ("n_arrivals", Json::from(report.n_arrivals)),
+        ("admitted", Json::from(report.admitted)),
+        ("completed", Json::from(report.completed)),
+        ("shed", Json::from(report.shed)),
+        ("shed_early", Json::from(report.shed_early)),
+        ("shed_rate", Json::from(shed_rate)),
+        ("p50_s", Json::from(stats.latency_percentile(0.50))),
+        ("p99_s", Json::from(stats.latency_percentile(0.99))),
+        ("p999_s", Json::from(stats.latency_percentile(0.999))),
+        ("deadline_miss_rate", Json::from(report.deadline_miss_rate)),
+        ("autoscale_events", Json::from(report.autoscale_events)),
+        ("peak_queue_depth", Json::from(report.peak_queue_depth)),
+        ("ticks", Json::from(report.ticks)),
+        ("modeled_elapsed_s", Json::from(report.modeled_elapsed_s)),
+        ("soak_wall_s", Json::from(soak_wall_s)),
+        (
+            "tenant_served_steps",
+            Json::Arr(
+                report
+                    .tenants
+                    .iter()
+                    .map(|t| Json::from(t.served_steps as usize))
+                    .collect(),
+            ),
         ),
     ])
 }

@@ -30,6 +30,7 @@ const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/ckpt/src/lib.rs",
     "crates/core/src/lib.rs",
     "crates/fault/src/lib.rs",
+    "crates/load/src/lib.rs",
     "crates/machine/src/lib.rs",
     "crates/mesh/src/lib.rs",
     "crates/obs/src/lib.rs",

@@ -97,6 +97,13 @@ fn unserialized_checkpoint_field_fires() {
     assert!(stderr.contains("unserialized_extra"), "{stderr}");
     // the consistent SlotState pair must not produce noise
     assert!(!stderr.contains("SlotState"), "{stderr}");
+    // the load-crate registry entries must fire too: LoadConfig grew a
+    // knob its encode fn ignores, while the consistent Arrival and
+    // ArrivalLog pairs stay quiet
+    assert!(stderr.contains("LoadConfig"), "{stderr}");
+    assert!(stderr.contains("unserialized_knob"), "{stderr}");
+    assert!(!stderr.contains("`Arrival`"), "{stderr}");
+    assert!(!stderr.contains("ArrivalLog"), "{stderr}");
 }
 
 #[test]
@@ -116,6 +123,11 @@ fn unregistered_metric_names_fire() {
     );
     assert!(stderr.contains("demo_typo_total"), "{stderr}");
     assert!(stderr.contains("declared as a gauge"), "{stderr}");
+    // QoS vocabulary misuses: an undeclared shed counter and the
+    // autoscale counter written through the gauge API
+    assert!(stderr.contains("serve_shed_early_total"), "{stderr}");
+    assert!(stderr.contains("serve_autoscale_events_total"), "{stderr}");
+    assert!(stderr.contains("declared as a counter"), "{stderr}");
     // the clean call site and the commented example must not fire
     assert!(!stderr.contains("lib.rs:3"), "{stderr}");
     assert!(!stderr.contains("demo_ghost_total"), "{stderr}");

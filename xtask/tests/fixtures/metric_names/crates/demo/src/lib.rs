@@ -3,5 +3,7 @@ pub fn observe_things(r: &mut hetsolve_obs::MetricsRegistry) {
     r.inc("demo_steps_total", 1.0);
     r.inc("demo_typo_total", 1.0);
     r.observe("demo_depth", 0.5);
+    r.inc("serve_shed_early_total", 1.0);
+    r.gauge_set("serve_autoscale_events_total", 3.0);
     // commented example must not fire: r.inc("demo_ghost_total", 1.0)
 }

@@ -4,4 +4,5 @@ pub const METRICS: &[(&str, &str)] = &[
     ("demo_depth", "gauge"),
     ("demo_steps_total", "counter"),
     ("demo_latency_s", "summary"),
+    ("serve_autoscale_events_total", "counter"),
 ];

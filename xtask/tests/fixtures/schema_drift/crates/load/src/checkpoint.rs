@@ -1,0 +1,47 @@
+//! Fixture codecs for the load-crate pairs. `encode_load_config` forgot
+//! `unserialized_knob` (the decode path mentions it via the struct
+//! literal, so exactly the encode side must fire); everything else
+//! round-trips every field.
+
+use crate::gen::{Arrival, ArrivalLog, LoadConfig};
+
+pub fn encode_load_config(out: &mut Vec<u8>, c: &LoadConfig) {
+    out.extend_from_slice(&c.seed.to_le_bytes());
+}
+
+pub fn decode_load_config(bytes: &[u8]) -> LoadConfig {
+    let seed = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    LoadConfig {
+        seed,
+        unserialized_knob: 0.0,
+    }
+}
+
+pub fn encode_arrival(out: &mut Vec<u8>, a: &Arrival) {
+    out.extend_from_slice(&a.t_s.to_bits().to_le_bytes());
+}
+
+pub fn decode_arrival(bytes: &[u8]) -> Arrival {
+    let t_s = f64::from_bits(u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
+    Arrival { t_s }
+}
+
+pub fn arrival_log_to_bytes(log: &ArrivalLog) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_load_config(&mut out, &log.config);
+    out.extend_from_slice(&(log.arrivals.len() as u64).to_le_bytes());
+    for a in &log.arrivals {
+        encode_arrival(&mut out, a);
+    }
+    out
+}
+
+pub fn arrival_log_from_bytes(bytes: &[u8]) -> ArrivalLog {
+    let config = decode_load_config(&bytes[0..8]);
+    let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let mut arrivals = Vec::new();
+    for i in 0..n {
+        arrivals.push(decode_arrival(&bytes[16 + 8 * i..]));
+    }
+    ArrivalLog { config, arrivals }
+}

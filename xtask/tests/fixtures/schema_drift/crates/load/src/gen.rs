@@ -1,0 +1,17 @@
+//! Bad fixture for the load-crate codec pairs: `LoadConfig` grew a knob
+//! (`unserialized_knob`) its codec never encodes, while `Arrival` and
+//! `ArrivalLog` stay consistent so they produce no noise.
+
+pub struct LoadConfig {
+    pub seed: u64,
+    pub unserialized_knob: f64,
+}
+
+pub struct Arrival {
+    pub t_s: f64,
+}
+
+pub struct ArrivalLog {
+    pub config: LoadConfig,
+    pub arrivals: Vec<Arrival>,
+}
