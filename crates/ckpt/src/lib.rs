@@ -29,8 +29,8 @@ mod replica;
 mod store;
 
 pub use format::{
-    crc32, fnv1a, mix64, write_atomic, CkptError, Dec, Enc, SectionReader, SectionWriter, MAGIC,
-    VERSION,
+    crc32, fnv1a, mix64, write_atomic, CkptError, Crc32, Dec, Enc, SectionReader, SectionWriter,
+    MAGIC, VERSION,
 };
 pub use replica::ReplicaStore;
 pub use store::{tear, CheckpointStore, RestoreReport, SkippedCheckpoint};

@@ -105,6 +105,26 @@ impl ReplicaStore {
         true
     }
 
+    /// Chaos hook: flip one bit of the replica image at `seq` — a silent
+    /// in-memory corruption, as opposed to [`ReplicaStore::tear`]'s torn
+    /// write. The byte offset is `bit / 8 % len`, so any `bit` value
+    /// addresses a valid position. The per-section CRC32 of the snapshot
+    /// format guarantees the flipped image fails validation on read and
+    /// is skipped like a torn one. Returns `false` when no replica with
+    /// that sequence exists or it is empty.
+    pub fn flip_bit(&mut self, seq: u64, bit: u64) -> bool {
+        let Ok(i) = self.entries.binary_search_by_key(&seq, |&(s, _)| s) else {
+            return false;
+        };
+        let bytes = &mut self.entries[i].1;
+        if bytes.is_empty() {
+            return false;
+        }
+        let idx = ((bit / 8) % bytes.len() as u64) as usize;
+        bytes[idx] ^= 1u8 << (bit % 8);
+        true
+    }
+
     /// Walk replicas newest-first, handing each image to `parse`, and
     /// return the first that validates. Invalid images are skipped with a
     /// typed [`RestoreReport`] entry — the same torn-write fallback
@@ -199,6 +219,38 @@ mod tests {
         let (found, report) = rep.load_latest_valid(|_, b| parse_payload(b));
         assert!(found.is_none());
         assert_eq!(report.skipped.len(), 2, "{report}");
+    }
+
+    #[test]
+    fn flipped_bit_fails_validation_and_falls_back() {
+        let mut rep = ReplicaStore::new(3);
+        rep.mirror(1, &payload(1));
+        rep.mirror(2, &payload(2));
+        // flip a payload bit in the newest replica (header is 12 bytes,
+        // section header 16 — aim well past both)
+        assert!(rep.flip_bit(2, (12 + 16 + 4) * 8));
+        assert!(!rep.flip_bit(9, 0), "no such seq");
+        let (found, report) = rep.load_latest_valid(|_, b| parse_payload(b));
+        assert_eq!(found, Some((1, 1)), "fell back past the corrupt replica");
+        assert_eq!(report.skipped.len(), 1);
+        assert!(matches!(
+            report.skipped[0].error,
+            CkptError::ChecksumMismatch { .. } | CkptError::Truncated | CkptError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_replica_is_detected() {
+        // exhaustive over the whole image: no bit position yields a
+        // replica that still validates AND decodes to the same value
+        let image = payload(7);
+        for bit in 0..(image.len() as u64 * 8) {
+            let mut rep = ReplicaStore::new(2);
+            rep.mirror(1, &image);
+            assert!(rep.flip_bit(1, bit));
+            let (found, _) = rep.load_latest_valid(|_, b| parse_payload(b));
+            assert!(found.is_none(), "bit {bit} flip went undetected");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use hetsolve_machine::ClockState;
 use hetsolve_obs::Termination;
 
 use crate::backend::Backend;
+use crate::integrity::{CorruptTarget, CorruptionAction, CorruptionReport};
 use crate::methods::{EbeRunState, RunConfig, StepRecord, WindowPolicy};
 use crate::recovery::{GuessSource, RecoveryEvent};
 use crate::slot::CaseSlot;
@@ -30,6 +31,10 @@ const TAG_ADAPTIVE: [u8; 4] = *b"ADPT";
 const TAG_CLOCK: [u8; 4] = *b"CLK\0";
 const TAG_RECORDS: [u8; 4] = *b"RECS";
 const TAG_RECOVERIES: [u8; 4] = *b"RCVR";
+/// Integrity section (corruption reports) — optional for backward
+/// compatibility: checkpoints written before the SDC defense simply have
+/// no reports.
+const TAG_INTEGRITY: [u8; 4] = *b"INTG";
 
 /// Hash of everything that determines a run's trajectory but is *not*
 /// stored in the checkpoint (it is rebuilt from `(backend, cfg)` on
@@ -164,6 +169,32 @@ pub fn decode_recovery_event(dec: &mut Dec<'_>) -> Result<RecoveryEvent, CkptErr
     })
 }
 
+/// Encode one [`CorruptionReport`] (shared with the serve-layer
+/// checkpoint).
+pub fn encode_corruption_report(enc: &mut Enc, rep: &CorruptionReport) {
+    enc.put_usize(rep.step);
+    enc.put_opt_u64(rep.case.map(|c| c as u64));
+    enc.put_u8(rep.target.code());
+    enc.put_u8(rep.action.code());
+}
+
+/// Decode one [`CorruptionReport`]; unknown wire codes are typed
+/// corruption.
+pub fn decode_corruption_report(dec: &mut Dec<'_>) -> Result<CorruptionReport, CkptError> {
+    let step = dec.usize_()?;
+    let case = dec.opt_u64()?.map(|c| c as usize);
+    let target = CorruptTarget::from_code(dec.u8()?)
+        .ok_or_else(|| CkptError::Corrupt("unknown corruption-target code".into()))?;
+    let action = CorruptionAction::from_code(dec.u8()?)
+        .ok_or_else(|| CkptError::Corrupt("unknown corruption-action code".into()))?;
+    Ok(CorruptionReport {
+        step,
+        case,
+        target,
+        action,
+    })
+}
+
 /// Encode one [`ClockState`] (shared with the serve-layer checkpoint).
 pub fn encode_clock_state(enc: &mut Enc, cs: &ClockState) {
     enc.put_f64(cs.cpu_time);
@@ -198,6 +229,7 @@ pub struct RunCheckpoint {
     pub clock: ClockState,
     pub records: Vec<StepRecord>,
     pub recoveries: Vec<RecoveryEvent>,
+    pub corruptions: Vec<CorruptionReport>,
 }
 
 impl RunCheckpoint {
@@ -213,6 +245,7 @@ impl RunCheckpoint {
             clock: st.clock.state(),
             records: st.records.clone(),
             recoveries: st.recoveries.clone(),
+            corruptions: st.corruptions.clone(),
         }
     }
 
@@ -253,6 +286,13 @@ impl RunCheckpoint {
             encode_recovery_event(&mut rcvr, ev);
         }
         w.section(TAG_RECOVERIES, &rcvr.into_bytes());
+
+        let mut intg = Enc::new();
+        intg.put_usize(self.corruptions.len());
+        for rep in &self.corruptions {
+            encode_corruption_report(&mut intg, rep);
+        }
+        w.section(TAG_INTEGRITY, &intg.into_bytes());
         w.finish()
     }
 
@@ -306,6 +346,18 @@ impl RunCheckpoint {
         }
         vd.finish()?;
 
+        // INTG is optional: pre-SDC checkpoints restore with no reports
+        let mut corruptions = Vec::new();
+        if r.has(TAG_INTEGRITY) {
+            let mut id = Dec::new(r.section(TAG_INTEGRITY)?);
+            let n_intg = id.usize_()?;
+            corruptions.reserve(n_intg.min(1 << 20));
+            for _ in 0..n_intg {
+                corruptions.push(decode_corruption_report(&mut id)?);
+            }
+            id.finish()?;
+        }
+
         Ok(RunCheckpoint {
             fingerprint,
             step,
@@ -315,6 +367,7 @@ impl RunCheckpoint {
             clock,
             records,
             recoveries,
+            corruptions,
         })
     }
 
@@ -332,6 +385,7 @@ impl RunCheckpoint {
             .restore_state(self.adaptive_s, self.adaptive_unit_cost);
         st.records = self.records;
         st.recoveries = self.recoveries;
+        st.corruptions = self.corruptions;
         st.step = self.step;
         st
     }

@@ -155,6 +155,7 @@ pub fn run_durable_clocked<F: FaultInjector, C: WallClock + ?Sized>(
         if st.step >= run_cfg.n_steps {
             break;
         }
+        let corruptions_before = st.corruptions.len();
         if let Err(e) = st.step_once(backend, &run_cfg, tracer, faults, &ctx) {
             tracer.flight_event(
                 st.clock.elapsed(),
@@ -164,6 +165,20 @@ pub fn run_durable_clocked<F: FaultInjector, C: WallClock + ?Sized>(
             );
             let _ = tracer.dump_flight("run_error");
             return Err(e);
+        }
+        // every report appended by step_once is a detection that was also
+        // recovered in place (unrecoverable corruption returns Err above)
+        for rep in &st.corruptions[corruptions_before..] {
+            tracer.flight_event(
+                st.clock.elapsed(),
+                "sdc_recovered",
+                Some(rep.step as u64),
+                format!("{rep}"),
+            );
+            if let Some(reg) = tracer.registry_mut() {
+                reg.inc("core_sdc_detected_total", 1.0);
+                reg.inc("core_sdc_recovered_total", 1.0);
+            }
         }
         if policy.every > 0 && st.step % policy.every == 0 && st.step < run_cfg.n_steps {
             let bytes = RunCheckpoint::capture(&st, fp).to_bytes();

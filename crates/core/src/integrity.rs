@@ -1,0 +1,839 @@
+//! Silent-data-corruption defense: ABFT checksums, step-boundary state
+//! guards, and the detect-rollback-recover ladder.
+//!
+//! A bit flip in solver state is the one fault class the recovery ladder
+//! of [`crate::recovery`] cannot see: the solve converges, the numbers are
+//! finite, and the answer is silently wrong. This module adds the
+//! algorithm-based fault-tolerance layer the drivers thread through every
+//! step boundary:
+//!
+//! * **Checksums over mutable state** — [`StateGuard`] captures a CRC32
+//!   per component (`u`/`v`/`a`, Adams history, predictor basis) plus the
+//!   rollback snapshot at each boundary; any single-bit flip between
+//!   capture and verify is detected with certainty (CRC32 has Hamming
+//!   distance ≥ 2 at these lengths) and pinpointed to its component.
+//! * **Checksums over immutable data** — the operator payload (EBE element
+//!   data or assembled CRS blocks) is checksummed once at run start and
+//!   re-verified every step boundary; a corrupted working copy is dropped
+//!   and the pristine payload reused ([`operator_guard`]).
+//! * **RHS verification** — the assembled Newmark right-hand side is
+//!   checksummed between assembly and the solve; a mismatch triggers a
+//!   bitwise recompute from the (guarded, intact) inputs ([`rhs_guard`]).
+//! * **Invariant sentinels** — the CG solvers audit their own recursive
+//!   residual against the recomputed true residual (see
+//!   `hetsolve-sparse::CgConfig::sentinel_every`); the predictor basis is
+//!   periodically audited through its MGS orthogonality defect
+//!   ([`basis_sentinel`]) and non-finite state is scrubbed at every step
+//!   boundary ([`scrub_state`]).
+//!
+//! The recovery ladder is graded: recompute (RHS), restore (state
+//! snapshot), rebuild (operator from pristine source), reset (predictor
+//! history — the basis is an accelerator, never a correctness dependency),
+//! and — in the serving layer — restart the lane from its checkpoint or
+//! evict the request typed. Every rung that fires is a
+//! [`CorruptionReport`] in the run result; corruption the ladder cannot
+//! repair surfaces as `RunError::Corruption`, never as a silently wrong
+//! answer.
+//!
+//! Everything here is read-only until a checksum actually mismatches, so a
+//! clean run with detection enabled is bitwise-identical to one with
+//! detection disabled (asserted by `tests/sdc_suite.rs`).
+
+use std::fmt;
+
+use hetsolve_ckpt::Crc32;
+use hetsolve_fault::{BitFlip, FaultInjector, StateField};
+use hetsolve_fem::CompactElements;
+use hetsolve_sparse::Bcrs3;
+
+use crate::backend::{Backend, RhsScratch};
+use crate::slot::CaseSlot;
+
+/// Default period (in steps) of the predictor-basis orthogonality audit.
+pub const DEFAULT_BASIS_CHECK_EVERY: usize = 32;
+
+/// Default bound on the MGS orthogonality defect of the predictor basis.
+/// A healthy re-orthonormalized basis sits at rounding level (~1e-14);
+/// past this bound the history is reset rather than trusted.
+pub const DEFAULT_BASIS_DEFECT_TOL: f64 = 1e-6;
+
+/// Integrity-layer configuration carried by `RunConfig`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityConfig {
+    /// Master switch: capture/verify state guards, RHS and operator
+    /// checksums, non-finite scrubbing. Detection is read-only on clean
+    /// data, so enabling it leaves clean results bitwise-unchanged.
+    pub detect: bool,
+    /// Audit the predictor basis (MGS orthogonality defect) every this
+    /// many steps; `0` disables the audit.
+    pub basis_check_every: usize,
+    /// Defect bound for the basis audit.
+    pub basis_defect_tol: f64,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            detect: true,
+            basis_check_every: DEFAULT_BASIS_CHECK_EVERY,
+            basis_defect_tol: DEFAULT_BASIS_DEFECT_TOL,
+        }
+    }
+}
+
+impl IntegrityConfig {
+    /// Detection fully off — the baseline configuration the overhead
+    /// benchmark compares against.
+    pub fn disabled() -> Self {
+        IntegrityConfig {
+            detect: false,
+            basis_check_every: 0,
+            basis_defect_tol: DEFAULT_BASIS_DEFECT_TOL,
+        }
+    }
+}
+
+/// What a detected corruption hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptTarget {
+    /// A Newmark state vector (`u`, `v` or `a`).
+    State(StateField),
+    /// The Adams-Bashforth velocity history.
+    AdamsHistory,
+    /// The data-driven predictor's correction history (the MGS basis
+    /// source).
+    BasisHistory,
+    /// The assembled Newmark right-hand side.
+    Rhs,
+    /// The operator payload (EBE element data or CRS blocks).
+    Operator,
+}
+
+impl CorruptTarget {
+    pub fn label(&self) -> &'static str {
+        match self {
+            CorruptTarget::State(StateField::U) => "state_u",
+            CorruptTarget::State(StateField::V) => "state_v",
+            CorruptTarget::State(StateField::A) => "state_a",
+            CorruptTarget::AdamsHistory => "adams_history",
+            CorruptTarget::BasisHistory => "basis_history",
+            CorruptTarget::Rhs => "rhs",
+            CorruptTarget::Operator => "operator",
+        }
+    }
+
+    /// Stable wire code for checkpoint encoding (append-only).
+    pub fn code(&self) -> u8 {
+        match self {
+            CorruptTarget::State(StateField::U) => 0,
+            CorruptTarget::State(StateField::V) => 1,
+            CorruptTarget::State(StateField::A) => 2,
+            CorruptTarget::AdamsHistory => 3,
+            CorruptTarget::BasisHistory => 4,
+            CorruptTarget::Rhs => 5,
+            CorruptTarget::Operator => 6,
+        }
+    }
+
+    /// Inverse of [`CorruptTarget::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => CorruptTarget::State(StateField::U),
+            1 => CorruptTarget::State(StateField::V),
+            2 => CorruptTarget::State(StateField::A),
+            3 => CorruptTarget::AdamsHistory,
+            4 => CorruptTarget::BasisHistory,
+            5 => CorruptTarget::Rhs,
+            6 => CorruptTarget::Operator,
+            _ => return None,
+        })
+    }
+}
+
+/// Which ladder rung repaired a detected corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionAction {
+    /// State rolled back to the boundary snapshot (bitwise).
+    RestoredState,
+    /// RHS recomputed from the intact `f`/`u`/`v`/`a` (bitwise).
+    RecomputedRhs,
+    /// Corrupted operator working copy dropped; solve uses the pristine
+    /// checksummed payload.
+    RebuiltOperator,
+    /// Predictor history reset — the next steps fall back to plain
+    /// Adams-Bashforth until the basis re-accumulates.
+    ResetPredictor,
+    /// Serving layer: the lane was restarted from its last checkpoint.
+    RestartedLane,
+    /// Serving layer: persistent corruption — the request was evicted
+    /// typed instead of retried forever.
+    Evicted,
+}
+
+impl CorruptionAction {
+    pub fn label(&self) -> &'static str {
+        match self {
+            CorruptionAction::RestoredState => "restored_state",
+            CorruptionAction::RecomputedRhs => "recomputed_rhs",
+            CorruptionAction::RebuiltOperator => "rebuilt_operator",
+            CorruptionAction::ResetPredictor => "reset_predictor",
+            CorruptionAction::RestartedLane => "restarted_lane",
+            CorruptionAction::Evicted => "evicted",
+        }
+    }
+
+    /// Stable wire code for checkpoint encoding (append-only).
+    pub fn code(&self) -> u8 {
+        match self {
+            CorruptionAction::RestoredState => 0,
+            CorruptionAction::RecomputedRhs => 1,
+            CorruptionAction::RebuiltOperator => 2,
+            CorruptionAction::ResetPredictor => 3,
+            CorruptionAction::RestartedLane => 4,
+            CorruptionAction::Evicted => 5,
+        }
+    }
+
+    /// Inverse of [`CorruptionAction::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => CorruptionAction::RestoredState,
+            1 => CorruptionAction::RecomputedRhs,
+            2 => CorruptionAction::RebuiltOperator,
+            3 => CorruptionAction::ResetPredictor,
+            4 => CorruptionAction::RestartedLane,
+            5 => CorruptionAction::Evicted,
+            _ => return None,
+        })
+    }
+}
+
+/// One corruption the integrity layer detected and repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// Time step the corruption was detected at.
+    pub step: usize,
+    /// Affected case (global index / request id); `None` for run-wide
+    /// targets like the operator payload.
+    pub case: Option<usize>,
+    pub target: CorruptTarget,
+    pub action: CorruptionAction,
+}
+
+impl fmt::Display for CorruptionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}{}: {} corruption detected, {}",
+            self.step,
+            match self.case {
+                Some(c) => format!(" case {c}"),
+                None => String::new(),
+            },
+            self.target.label(),
+            self.action.label(),
+        )
+    }
+}
+
+/// CRC32 of an `f64` slice by IEEE-754 bit pattern.
+pub fn crc_f64s(v: &[f64]) -> u32 {
+    let mut c = Crc32::new();
+    c.update_f64s(v);
+    c.finish()
+}
+
+/// CRC32 over a sequence of `f64` columns; column boundaries are folded in
+/// so reshaping the same values is not checksum-neutral.
+pub fn crc_cols<'a>(cols: impl Iterator<Item = &'a [f64]>) -> u32 {
+    let mut c = Crc32::new();
+    for col in cols {
+        c.update_u64(col.len() as u64);
+        c.update_f64s(col);
+    }
+    c.finish()
+}
+
+/// The operator payload a run's ABFT checksum covers.
+#[derive(Clone, Copy)]
+pub enum OperatorPayload<'a> {
+    /// Matrix-free EBE: the compact per-element geometry data.
+    Ebe(&'a CompactElements),
+    /// Assembled BCRS: structure plus block values.
+    Crs(&'a Bcrs3),
+}
+
+/// Construction-time checksum of the immutable operator payload — the
+/// reference every step boundary re-verifies against.
+pub fn operator_crc(payload: OperatorPayload<'_>) -> u32 {
+    let mut c = Crc32::new();
+    match payload {
+        OperatorPayload::Ebe(compact) => {
+            c.update_u64(compact.n_elems as u64);
+            c.update_f64s(&compact.geo);
+        }
+        OperatorPayload::Crs(m) => {
+            c.update_u64(m.n_brows as u64);
+            for &p in &m.row_ptr {
+                c.update_u64(p as u64);
+            }
+            for &j in &m.cols {
+                c.update_u64(j as u64);
+            }
+            for b in &m.blocks {
+                c.update_f64s(b);
+            }
+        }
+    }
+    c.finish()
+}
+
+/// Step-boundary guard of one case: per-component checksums plus the
+/// rollback snapshot. Captured before faults can land at a boundary and
+/// verified right after; any mismatch pinpoints the component and
+/// [`StateGuard::restore_into`] rolls the slot back bitwise. The waveform
+/// and load are deliberately outside the guard: neither is an input to the
+/// step about to execute.
+pub struct StateGuard {
+    step: usize,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    a: Vec<f64>,
+    adams_hist: Vec<Vec<f64>>,
+    dd_hist: Vec<Vec<f64>>,
+    crc_u: u32,
+    crc_v: u32,
+    crc_a: u32,
+    crc_adams: u32,
+    crc_dd: u32,
+}
+
+impl StateGuard {
+    /// Checksum and snapshot `slot`'s boundary state.
+    pub fn capture(slot: &CaseSlot) -> Self {
+        StateGuard {
+            step: slot.time.step,
+            u: slot.time.u.clone(),
+            v: slot.time.v.clone(),
+            a: slot.time.a.clone(),
+            adams_hist: slot.adams.history(),
+            dd_hist: slot.dd.history(),
+            crc_u: crc_f64s(&slot.time.u),
+            crc_v: crc_f64s(&slot.time.v),
+            crc_a: crc_f64s(&slot.time.a),
+            crc_adams: crc_cols(slot.adams.history_cols()),
+            crc_dd: crc_cols(slot.dd.history_cols()),
+        }
+    }
+
+    /// Re-checksum the slot; `Some(target)` names the first component
+    /// whose bits changed since capture.
+    pub fn verify(&self, slot: &CaseSlot) -> Option<CorruptTarget> {
+        if crc_f64s(&slot.time.u) != self.crc_u {
+            return Some(CorruptTarget::State(StateField::U));
+        }
+        if crc_f64s(&slot.time.v) != self.crc_v {
+            return Some(CorruptTarget::State(StateField::V));
+        }
+        if crc_f64s(&slot.time.a) != self.crc_a {
+            return Some(CorruptTarget::State(StateField::A));
+        }
+        if crc_cols(slot.adams.history_cols()) != self.crc_adams {
+            return Some(CorruptTarget::AdamsHistory);
+        }
+        if crc_cols(slot.dd.history_cols()) != self.crc_dd {
+            return Some(CorruptTarget::BasisHistory);
+        }
+        None
+    }
+
+    /// Roll the slot back to the captured boundary state, bitwise. The
+    /// load, waveform and scratch are untouched — the first is immutable,
+    /// the latter two are not step inputs.
+    pub fn restore_into(&self, slot: &mut CaseSlot) {
+        slot.time.step = self.step;
+        slot.time.u.copy_from_slice(&self.u);
+        slot.time.v.copy_from_slice(&self.v);
+        slot.time.a.copy_from_slice(&self.a);
+        slot.adams.restore_history(self.adams_hist.clone());
+        slot.dd.restore_history(self.dd_hist.clone());
+    }
+}
+
+/// Apply an injected single-bit flip to one state vector of `slot` — the
+/// fault layer's memory-soft-error model.
+pub fn inject_state_flip(slot: &mut CaseSlot, field: StateField, flip: BitFlip) {
+    let v = match field {
+        StateField::U => &mut slot.time.u,
+        StateField::V => &mut slot.time.v,
+        StateField::A => &mut slot.time.a,
+    };
+    flip.apply(v);
+}
+
+/// Apply an injected single-bit flip to the newest column of `slot`'s
+/// predictor history; a no-op while the history is empty.
+pub fn inject_basis_flip(slot: &mut CaseSlot, flip: BitFlip) -> bool {
+    let newest = slot.dd.available_s();
+    match slot.dd.column_mut(newest) {
+        Some(col) => flip.apply(col).is_some(),
+        None => false,
+    }
+}
+
+/// The step-boundary guard cycle of one case: capture → (injected state /
+/// basis flips land here) → verify → rollback. With detection off the
+/// injected flips land unguarded — the baseline that demonstrates silent
+/// corruption; with detection on and no fault this is pure read-only
+/// overhead, so clean runs stay bitwise-identical.
+pub fn boundary_guard<F: FaultInjector>(
+    slot: &mut CaseSlot,
+    faults: &mut F,
+    step: usize,
+    case: usize,
+    detect: bool,
+    reports: &mut Vec<CorruptionReport>,
+) {
+    let guard = if detect {
+        Some(StateGuard::capture(slot))
+    } else {
+        None
+    };
+    if let Some((field, flip)) = faults.state_flip_fault(step, case) {
+        inject_state_flip(slot, field, flip);
+    }
+    if let Some(flip) = faults.basis_flip_fault(step, case) {
+        inject_basis_flip(slot, flip);
+    }
+    if let Some(guard) = guard {
+        if let Some(target) = guard.verify(slot) {
+            guard.restore_into(slot);
+            reports.push(CorruptionReport {
+                step,
+                case: Some(case),
+                target,
+                action: CorruptionAction::RestoredState,
+            });
+        }
+    }
+}
+
+/// RHS checksum between assembly and the solve: an injected flip of the
+/// assembled right-hand side is detected and the column recomputed —
+/// bitwise, because the guarded `f`/`u`/`v`/`a` inputs are still intact.
+#[allow(clippy::too_many_arguments)]
+pub fn rhs_guard<F: FaultInjector>(
+    backend: &Backend,
+    slot: &mut CaseSlot,
+    scratch: &mut RhsScratch,
+    faults: &mut F,
+    step: usize,
+    case: usize,
+    detect: bool,
+    reports: &mut Vec<CorruptionReport>,
+) {
+    let crc = if detect {
+        Some(crc_f64s(&slot.rhs))
+    } else {
+        None
+    };
+    if let Some(flip) = faults.rhs_flip_fault(step, case) {
+        flip.apply(&mut slot.rhs);
+    }
+    if let Some(crc) = crc {
+        if crc_f64s(&slot.rhs) != crc {
+            backend.newmark_rhs(
+                &slot.f,
+                &slot.time.u,
+                &slot.time.v,
+                &slot.time.a,
+                &mut slot.rhs,
+                scratch,
+            );
+            reports.push(CorruptionReport {
+                step,
+                case: Some(case),
+                target: CorruptTarget::Rhs,
+                action: CorruptionAction::RecomputedRhs,
+            });
+        }
+    }
+}
+
+/// Per-step ABFT audit of the operator payload. An injected flip corrupts
+/// a shadow copy of the payload values (the modeled device copy; the
+/// pristine host payload is immutable); the checksum catches the mismatch
+/// before the copy is used and the solve proceeds on the pristine data.
+/// Returns `Some(report)` when a corrupted copy was dropped; the pristine
+/// payload failing its own baseline would be unrecoverable host-memory
+/// corruption, surfaced by the caller as `RunError::Corruption`.
+pub fn operator_guard<F: FaultInjector>(
+    payload: OperatorPayload<'_>,
+    baseline: u32,
+    faults: &mut F,
+    step: usize,
+    detect: bool,
+    reports: &mut Vec<CorruptionReport>,
+) -> Result<(), CorruptTarget> {
+    if let Some(flip) = faults.operator_flip_fault(step) {
+        let corrupted_copy_detected = match payload {
+            OperatorPayload::Ebe(compact) => {
+                let mut shadow = compact.geo.clone();
+                flip.apply(&mut shadow);
+                let mut c = Crc32::new();
+                c.update_u64(compact.n_elems as u64);
+                c.update_f64s(&shadow);
+                c.finish() != baseline
+            }
+            OperatorPayload::Crs(m) => {
+                let mut shadow: Vec<f64> = m.blocks.iter().flatten().copied().collect();
+                flip.apply(&mut shadow);
+                let mut c = Crc32::new();
+                c.update_u64(m.n_brows as u64);
+                for &p in &m.row_ptr {
+                    c.update_u64(p as u64);
+                }
+                for &j in &m.cols {
+                    c.update_u64(j as u64);
+                }
+                c.update_f64s(&shadow);
+                c.finish() != baseline
+            }
+        };
+        if detect && corrupted_copy_detected {
+            reports.push(CorruptionReport {
+                step,
+                case: None,
+                target: CorruptTarget::Operator,
+                action: CorruptionAction::RebuiltOperator,
+            });
+        }
+    }
+    // steady-state audit: the payload actually driving the solve must
+    // still match its construction-time checksum
+    if detect && operator_crc(payload) != baseline {
+        return Err(CorruptTarget::Operator);
+    }
+    Ok(())
+}
+
+/// Scrub the slot's boundary state for non-finite values; `Some` names the
+/// first poisoned vector. A corruption that reaches this point slipped
+/// past every checksum and sentinel — the caller surfaces it typed
+/// (`RunError::Corruption`) instead of carrying NaNs forward.
+pub fn scrub_state(slot: &CaseSlot) -> Option<StateField> {
+    if slot.time.u.iter().any(|x| !x.is_finite()) {
+        return Some(StateField::U);
+    }
+    if slot.time.v.iter().any(|x| !x.is_finite()) {
+        return Some(StateField::V);
+    }
+    if slot.time.a.iter().any(|x| !x.is_finite()) {
+        return Some(StateField::A);
+    }
+    None
+}
+
+/// Periodic predictor-basis audit: when the MGS orthogonality defect of
+/// the basis built from the current history exceeds `tol` (or turns
+/// non-finite), the history is reset — the predictor falls back to plain
+/// Adams-Bashforth and re-accumulates, which degrades speed, never
+/// accuracy. Returns the report when the reset fired.
+pub fn basis_sentinel(
+    slot: &mut CaseSlot,
+    step: usize,
+    case: usize,
+    tol: f64,
+) -> Option<CorruptionReport> {
+    let s = slot.dd.available_s();
+    let defect = slot.dd.basis_defect(s)?;
+    if defect.is_finite() && defect <= tol {
+        return None;
+    }
+    slot.dd.restore_history(Vec::new());
+    Some(CorruptionReport {
+        step,
+        case: Some(case),
+        target: CorruptTarget::BasisHistory,
+        action: CorruptionAction::ResetPredictor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsolve_fault::{FaultPlan, NoopFaults};
+    use hetsolve_fem::FemProblem;
+    use hetsolve_machine::single_gh200;
+    use hetsolve_mesh::{GroundModelSpec, InterfaceShape};
+
+    use crate::methods::{MethodKind, RunConfig};
+
+    fn small() -> (Backend, RunConfig) {
+        let spec = GroundModelSpec::paper_like(3, 3, 2, InterfaceShape::Stratified);
+        let backend = Backend::new(FemProblem::paper_like(&spec), true, false);
+        let mut cfg = RunConfig::new(MethodKind::EbeMcgCpuGpu, single_gh200(), 4);
+        cfg.r = 2;
+        cfg.s_max = 4;
+        cfg.region_dofs = 64;
+        (backend, cfg)
+    }
+
+    fn warmed_slot(backend: &Backend, cfg: &RunConfig, steps: usize) -> CaseSlot {
+        let mut slot = CaseSlot::with_seed(backend, cfg, 7, cfg.n_steps.max(steps), 0);
+        let mut scratch = RhsScratch::new(backend.n_dofs());
+        for _ in 0..steps {
+            let (ab, _) = slot.prepare_step(backend, &mut scratch, cfg.s_max);
+            // cheap fake solve: the guard logic only needs state evolution
+            let x: Vec<f64> = slot.guess().to_vec();
+            slot.advance(backend, &x, &ab, None);
+        }
+        slot
+    }
+
+    #[test]
+    fn labels_and_codes_round_trip() {
+        let targets = [
+            CorruptTarget::State(StateField::U),
+            CorruptTarget::State(StateField::V),
+            CorruptTarget::State(StateField::A),
+            CorruptTarget::AdamsHistory,
+            CorruptTarget::BasisHistory,
+            CorruptTarget::Rhs,
+            CorruptTarget::Operator,
+        ];
+        for t in targets {
+            assert_eq!(CorruptTarget::from_code(t.code()), Some(t), "{}", t.label());
+        }
+        assert_eq!(CorruptTarget::from_code(200), None);
+        let actions = [
+            CorruptionAction::RestoredState,
+            CorruptionAction::RecomputedRhs,
+            CorruptionAction::RebuiltOperator,
+            CorruptionAction::ResetPredictor,
+            CorruptionAction::RestartedLane,
+            CorruptionAction::Evicted,
+        ];
+        for a in actions {
+            assert_eq!(
+                CorruptionAction::from_code(a.code()),
+                Some(a),
+                "{}",
+                a.label()
+            );
+        }
+        assert_eq!(CorruptionAction::from_code(200), None);
+        let rep = CorruptionReport {
+            step: 5,
+            case: Some(2),
+            target: CorruptTarget::Rhs,
+            action: CorruptionAction::RecomputedRhs,
+        };
+        let s = rep.to_string();
+        assert!(s.contains("step 5") && s.contains("case 2"), "{s}");
+        assert!(s.contains("rhs") && s.contains("recomputed_rhs"), "{s}");
+    }
+
+    #[test]
+    fn crc_cols_sees_column_boundaries() {
+        let a = [vec![1.0, 2.0], vec![3.0]];
+        let b = [vec![1.0], vec![2.0, 3.0]];
+        assert_ne!(
+            crc_cols(a.iter().map(|v| v.as_slice())),
+            crc_cols(b.iter().map(|v| v.as_slice())),
+            "same values, different shape must differ"
+        );
+    }
+
+    #[test]
+    fn state_guard_detects_and_restores_every_target() {
+        let (backend, cfg) = small();
+        let slot = warmed_slot(&backend, &cfg, 6);
+        let reference = slot.state();
+        for (i, field) in [StateField::U, StateField::V, StateField::A]
+            .into_iter()
+            .enumerate()
+        {
+            let mut s = CaseSlot::from_state(&backend, &cfg, &reference);
+            let guard = StateGuard::capture(&s);
+            assert_eq!(guard.verify(&s), None, "clean slot must verify");
+            inject_state_flip(
+                &mut s,
+                field,
+                BitFlip {
+                    seed: 77 + i as u64,
+                },
+            );
+            assert_eq!(guard.verify(&s), Some(CorruptTarget::State(field)));
+            guard.restore_into(&mut s);
+            assert_eq!(guard.verify(&s), None, "restore must be bitwise");
+            assert_eq!(s.state(), reference);
+        }
+        // basis history flip
+        let mut s = CaseSlot::from_state(&backend, &cfg, &reference);
+        let guard = StateGuard::capture(&s);
+        assert!(inject_basis_flip(&mut s, BitFlip { seed: 991 }));
+        assert_eq!(guard.verify(&s), Some(CorruptTarget::BasisHistory));
+        guard.restore_into(&mut s);
+        assert_eq!(s.state(), reference);
+    }
+
+    #[test]
+    fn boundary_guard_rolls_back_injected_flips() {
+        let (backend, cfg) = small();
+        let slot = warmed_slot(&backend, &cfg, 5);
+        let reference = slot.state();
+        let step = slot.step_index();
+
+        let mut s = CaseSlot::from_state(&backend, &cfg, &reference);
+        let mut plan = FaultPlan::new(3).flip_state(step, 0, StateField::V);
+        let mut reports = Vec::new();
+        boundary_guard(&mut s, &mut plan, step, 0, true, &mut reports);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].target, CorruptTarget::State(StateField::V));
+        assert_eq!(reports[0].action, CorruptionAction::RestoredState);
+        assert_eq!(s.state(), reference, "rollback must be bitwise");
+        assert!(plan.all_fired());
+
+        // detection off: the same flip lands silently
+        let mut s = CaseSlot::from_state(&backend, &cfg, &reference);
+        let mut plan = FaultPlan::new(3).flip_state(step, 0, StateField::V);
+        let mut reports = Vec::new();
+        boundary_guard(&mut s, &mut plan, step, 0, false, &mut reports);
+        assert!(reports.is_empty());
+        assert_ne!(s.state(), reference, "unguarded flip must corrupt");
+
+        // no fault: guard is a read-only no-op
+        let mut s = CaseSlot::from_state(&backend, &cfg, &reference);
+        let mut reports = Vec::new();
+        boundary_guard(&mut s, &mut NoopFaults, step, 0, true, &mut reports);
+        assert!(reports.is_empty());
+        assert_eq!(s.state(), reference);
+    }
+
+    #[test]
+    fn rhs_guard_recomputes_bitwise() {
+        let (backend, cfg) = small();
+        let mut slot = warmed_slot(&backend, &cfg, 4);
+        let mut scratch = RhsScratch::new(backend.n_dofs());
+        let step = slot.step_index();
+        let _ = slot.prepare_step(&backend, &mut scratch, cfg.s_max);
+        let clean_rhs = slot.rhs().to_vec();
+
+        let mut plan = FaultPlan::new(5).flip_rhs(step, 0);
+        let mut reports = Vec::new();
+        rhs_guard(
+            &backend,
+            &mut slot,
+            &mut scratch,
+            &mut plan,
+            step,
+            0,
+            true,
+            &mut reports,
+        );
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].target, CorruptTarget::Rhs);
+        assert_eq!(reports[0].action, CorruptionAction::RecomputedRhs);
+        for (a, b) in slot.rhs().iter().zip(&clean_rhs) {
+            assert_eq!(a.to_bits(), b.to_bits(), "recompute must be bitwise");
+        }
+
+        // detection off: the flipped RHS survives
+        let mut plan = FaultPlan::new(5).flip_rhs(step, 0);
+        let mut reports = Vec::new();
+        rhs_guard(
+            &backend,
+            &mut slot,
+            &mut scratch,
+            &mut plan,
+            step,
+            0,
+            false,
+            &mut reports,
+        );
+        assert!(reports.is_empty());
+        assert!(slot
+            .rhs()
+            .iter()
+            .zip(&clean_rhs)
+            .any(|(a, b)| a.to_bits() != b.to_bits()));
+    }
+
+    #[test]
+    fn operator_guard_catches_flipped_copies_for_both_payloads() {
+        let (backend, _cfg) = small();
+        for payload in [
+            OperatorPayload::Ebe(&backend.compact),
+            OperatorPayload::Crs(backend.crs_a()),
+        ] {
+            let baseline = operator_crc(payload);
+            let mut plan = FaultPlan::new(9).flip_operator(3);
+            let mut reports = Vec::new();
+            operator_guard(payload, baseline, &mut plan, 3, true, &mut reports)
+                .expect("pristine payload must pass its own audit");
+            assert_eq!(reports.len(), 1, "flipped copy must be detected");
+            assert_eq!(reports[0].target, CorruptTarget::Operator);
+            assert_eq!(reports[0].action, CorruptionAction::RebuiltOperator);
+            // clean step: no fault, no report
+            let mut reports = Vec::new();
+            operator_guard(payload, baseline, &mut NoopFaults, 4, true, &mut reports).unwrap();
+            assert!(reports.is_empty());
+            // a wrong baseline means the payload itself is corrupt
+            assert!(operator_guard(
+                payload,
+                baseline ^ 1,
+                &mut NoopFaults,
+                5,
+                true,
+                &mut Vec::new()
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn scrub_flags_first_nonfinite_vector() {
+        let (backend, cfg) = small();
+        let slot = warmed_slot(&backend, &cfg, 3);
+        assert_eq!(scrub_state(&slot), None);
+        let mut st = slot.state();
+        st.v[1] = f64::NAN;
+        let poisoned = CaseSlot::from_state(&backend, &cfg, &st);
+        assert_eq!(scrub_state(&poisoned), Some(StateField::V));
+        let mut st2 = slot.state();
+        st2.a[0] = f64::INFINITY;
+        let poisoned = CaseSlot::from_state(&backend, &cfg, &st2);
+        assert_eq!(scrub_state(&poisoned), Some(StateField::A));
+    }
+
+    #[test]
+    fn basis_sentinel_resets_only_a_degenerate_basis() {
+        let (backend, cfg) = small();
+        let mut slot = warmed_slot(&backend, &cfg, 6);
+        assert!(slot.available_s() >= 1, "history must be warm");
+        assert!(
+            basis_sentinel(&mut slot, 6, 0, DEFAULT_BASIS_DEFECT_TOL).is_none(),
+            "healthy basis must not reset"
+        );
+        // poison the history with a NaN column: the defect turns
+        // non-finite and the sentinel resets the predictor
+        let newest = slot.dd.available_s();
+        slot.dd.column_mut(newest).unwrap()[0] = f64::NAN;
+        let rep = basis_sentinel(&mut slot, 7, 0, DEFAULT_BASIS_DEFECT_TOL)
+            .expect("poisoned basis must reset");
+        assert_eq!(rep.target, CorruptTarget::BasisHistory);
+        assert_eq!(rep.action, CorruptionAction::ResetPredictor);
+        assert_eq!(slot.available_s(), 0, "history cleared");
+    }
+
+    #[test]
+    fn integrity_config_defaults() {
+        let on = IntegrityConfig::default();
+        assert!(on.detect);
+        assert_eq!(on.basis_check_every, DEFAULT_BASIS_CHECK_EVERY);
+        let off = IntegrityConfig::disabled();
+        assert!(!off.detect);
+        assert_eq!(off.basis_check_every, 0);
+    }
+}

@@ -29,6 +29,7 @@ pub mod backend;
 pub mod checkpoint;
 pub mod durable;
 pub mod ensemble;
+pub mod integrity;
 pub mod methods;
 pub mod multinode;
 pub mod nonlinear_run;
@@ -41,13 +42,18 @@ pub mod trace;
 
 pub use backend::{Backend, RhsScratch};
 pub use checkpoint::{
-    decode_clock_state, decode_recovery_event, encode_clock_state, encode_recovery_event,
-    ConfigFingerprint, RunCheckpoint, SlotState,
+    decode_clock_state, decode_corruption_report, decode_recovery_event, encode_clock_state,
+    encode_corruption_report, encode_recovery_event, ConfigFingerprint, RunCheckpoint, SlotState,
 };
 pub use durable::{run_durable, run_durable_clocked, CheckpointPolicy, DurableOutcome};
 pub use ensemble::{
     run_ensemble, run_ensemble_durable, run_ensemble_for_model, EnsembleConfig,
     EnsembleConfigError, EnsembleResult,
+};
+pub use integrity::{
+    basis_sentinel, boundary_guard, crc_cols, crc_f64s, inject_basis_flip, inject_state_flip,
+    operator_crc, operator_guard, rhs_guard, scrub_state, CorruptTarget, CorruptionAction,
+    CorruptionReport, IntegrityConfig, OperatorPayload, StateGuard,
 };
 pub use methods::{
     driver_cg_config, run, run_faulted, run_traced, MethodKind, RunConfig, RunResult, StepRecord,

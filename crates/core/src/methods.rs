@@ -23,6 +23,10 @@ use hetsolve_predictor::AdaptiveWindow;
 use hetsolve_sparse::{CgConfig, KernelCounts};
 
 use crate::backend::{Backend, RhsScratch};
+use crate::integrity::{
+    basis_sentinel, boundary_guard, operator_crc, operator_guard, rhs_guard, scrub_state,
+    CorruptTarget, CorruptionReport, IntegrityConfig, OperatorPayload,
+};
 use crate::recovery::{solve_set_with_ladder, solve_with_ladder, RecoveryEvent, RunError};
 use crate::slot::CaseSlot;
 use crate::trace::StepTracer;
@@ -41,16 +45,43 @@ pub(crate) fn driver_guess_divergence(tol: f64) -> f64 {
     (tol / f64::EPSILON).max(1e6)
 }
 
+/// Invariant-sentinel period the drivers arm (ABFT true-residual audit
+/// every this many CG iterations, plus an exit audit on every claimed
+/// convergence). One extra operator application per 64 keeps the detection
+/// overhead under 2% of solver work; the sentinel is read-only, so clean
+/// solves stay bitwise-identical to a sentinel-off run.
+pub(crate) const DRIVER_SENTINEL_EVERY: usize = 64;
+
+/// Bounded-norm guard factor the drivers arm: an iterate whose norm grows
+/// a trillion-fold past its first-audit reference is a runaway, not a
+/// solution. Generous enough that no healthy solve can trip it.
+pub(crate) const DRIVER_NORM_BOUND: f64 = 1e12;
+
 /// The CG configuration every driver hands to the solvers for tolerance
 /// `tol`. Public so the serving layer solves with the exact same settings
 /// as the ensemble drivers (part of the bitwise-equivalence contract).
+/// SDC sentinels are armed (`sentinel_every`, `norm_bound`): they are
+/// read-only and excluded from modeled counts, so this remains
+/// bitwise-equivalent to the pre-sentinel configuration on healthy solves
+/// while corrupted solves now fail typed instead of lying.
 pub fn driver_cg_config(tol: f64) -> CgConfig {
     CgConfig {
         tol,
         max_iter: 100_000,
         stagnation_window: DRIVER_STAGNATION_WINDOW,
         guess_divergence: driver_guess_divergence(tol),
+        sentinel_every: DRIVER_SENTINEL_EVERY,
+        sentinel_drift: 0.0, // DEFAULT_SENTINEL_DRIFT
+        norm_bound: DRIVER_NORM_BOUND,
     }
+}
+
+/// Is this step one of the periodic predictor-basis audit boundaries?
+fn check_basis_at(integ: &IntegrityConfig, step: usize) -> bool {
+    integ.detect
+        && integ.basis_check_every > 0
+        && step > 0
+        && step.is_multiple_of(integ.basis_check_every)
 }
 
 /// Map a fault-plan lane onto the machine model's lane kind.
@@ -149,6 +180,10 @@ pub struct RunConfig {
     pub measure_from: usize,
     /// Record surface z-waveforms for FDD post-processing.
     pub record_surface: bool,
+    /// Silent-data-corruption defense (checksums, sentinels, rollback).
+    /// Detection is read-only on clean data, so the default-on setting
+    /// leaves clean results bitwise-unchanged.
+    pub integrity: IntegrityConfig,
 }
 
 impl RunConfig {
@@ -167,6 +202,7 @@ impl RunConfig {
             load: RandomLoadSpec::default(),
             measure_from: n_steps / 4,
             record_surface: false,
+            integrity: IntegrityConfig::default(),
         }
     }
 }
@@ -206,6 +242,9 @@ pub struct RunResult {
     /// Recovery-ladder events: steps that survived an abnormal solver
     /// termination on a downgraded guess. Empty on a healthy run.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Corruptions the integrity layer detected and repaired (rollback,
+    /// recompute, rebuild, reset). Empty on a clean run.
+    pub corruptions: Vec<CorruptionReport>,
 }
 
 impl RunResult {
@@ -334,10 +373,35 @@ fn run_crs_single<F: FaultInjector>(
     let cg_cfg = driver_cg_config(cfg.tol);
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut recoveries = Vec::new();
+    let mut corruptions = Vec::new();
     let a = backend.crs_a();
     let rhs_counts = backend.rhs_counts_crs();
+    let detect = cfg.integrity.detect;
+    let op_crc = operator_crc(OperatorPayload::Crs(a));
 
     for step in 0..cfg.n_steps {
+        boundary_guard(&mut case, faults, step, 0, detect, &mut corruptions);
+        if check_basis_at(&cfg.integrity, step) {
+            corruptions.extend(basis_sentinel(
+                &mut case,
+                step,
+                0,
+                cfg.integrity.basis_defect_tol,
+            ));
+        }
+        operator_guard(
+            OperatorPayload::Crs(a),
+            op_crc,
+            faults,
+            step,
+            detect,
+            &mut corruptions,
+        )
+        .map_err(|t| RunError::Corruption {
+            step,
+            case: None,
+            target: t.label(),
+        })?;
         case.load.force_into(step, &mut case.f);
         backend.problem.mask.project(&mut case.f);
         backend.newmark_rhs(
@@ -347,6 +411,16 @@ fn run_crs_single<F: FaultInjector>(
             &case.time.a,
             &mut case.rhs,
             &mut scratch,
+        );
+        rhs_guard(
+            backend,
+            &mut case,
+            &mut scratch,
+            faults,
+            step,
+            0,
+            detect,
+            &mut corruptions,
         );
         case.predict(backend, backend.problem.newmark.dt, false, 0);
         let ab_guess = case.guess.clone();
@@ -397,6 +471,15 @@ fn run_crs_single<F: FaultInjector>(
             t += tracer.charge_stall(&mut clock, 0, lane_kind(lf.lane), lf.seconds);
         }
         case.advance(backend, &x, &ab_guess, faults.snapshot_fault(step, 0));
+        if detect {
+            if let Some(field) = scrub_state(&case) {
+                return Err(RunError::Corruption {
+                    step,
+                    case: Some(0),
+                    target: CorruptTarget::State(field).label(),
+                });
+            }
+        }
         if cfg.record_surface {
             case.record_waveform(&obs);
         }
@@ -424,6 +507,7 @@ fn run_crs_single<F: FaultInjector>(
         },
         final_u: vec![case.time.u],
         recoveries,
+        corruptions,
     })
 }
 
@@ -448,10 +532,26 @@ fn run_crs_pipelined<F: FaultInjector>(
     let cg_cfg = driver_cg_config(cfg.tol);
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut recoveries = Vec::new();
+    let mut corruptions = Vec::new();
     let a = backend.crs_a();
     let rhs_counts = backend.rhs_counts_crs();
+    let detect = cfg.integrity.detect;
+    let op_crc = operator_crc(OperatorPayload::Crs(a));
 
     for step in 0..cfg.n_steps {
+        operator_guard(
+            OperatorPayload::Crs(a),
+            op_crc,
+            faults,
+            step,
+            detect,
+            &mut corruptions,
+        )
+        .map_err(|t| RunError::Corruption {
+            step,
+            case: None,
+            target: t.label(),
+        })?;
         // Adaptive shares one window across cases; FullWindow is
         // case-local (clamped to each case's own history below).
         let s_shared = match cfg.window {
@@ -472,6 +572,15 @@ fn run_crs_pipelined<F: FaultInjector>(
         let mut stall_pred = 0.0;
         let mut history_poisoned = false;
         for (set, case) in cases.iter_mut().enumerate() {
+            boundary_guard(case, faults, step, set, detect, &mut corruptions);
+            if check_basis_at(&cfg.integrity, step) {
+                corruptions.extend(basis_sentinel(
+                    case,
+                    step,
+                    set,
+                    cfg.integrity.basis_defect_tol,
+                ));
+            }
             case.load.force_into(step, &mut case.f);
             backend.problem.mask.project(&mut case.f);
             backend.newmark_rhs(
@@ -481,6 +590,16 @@ fn run_crs_pipelined<F: FaultInjector>(
                 &case.time.a,
                 &mut case.rhs,
                 &mut scratch,
+            );
+            rhs_guard(
+                backend,
+                case,
+                &mut scratch,
+                faults,
+                step,
+                set,
+                detect,
+                &mut corruptions,
             );
             // Adams guess first (kept for the correction snapshot)...
             case.predict(backend, backend.problem.newmark.dt, false, 0);
@@ -548,6 +667,15 @@ fn run_crs_pipelined<F: FaultInjector>(
             if !case.advance(backend, &x, &ab_guess, faults.snapshot_fault(step, set)) {
                 history_poisoned = true;
             }
+            if detect {
+                if let Some(field) = scrub_state(case) {
+                    return Err(RunError::Corruption {
+                        step,
+                        case: Some(set),
+                        target: CorruptTarget::State(field).label(),
+                    });
+                }
+            }
             if cfg.record_surface {
                 case.record_waveform(&obs);
             }
@@ -580,7 +708,15 @@ fn run_crs_pipelined<F: FaultInjector>(
         });
     }
 
-    Ok(finish(backend, cfg, cases, records, clock, recoveries))
+    Ok(finish(
+        backend,
+        cfg,
+        cases,
+        records,
+        clock,
+        recoveries,
+        corruptions,
+    ))
 }
 
 /// Algorithm 3 (the proposal): 2 sets × r cases, matrix-free multi-RHS CG
@@ -609,6 +745,9 @@ pub(crate) struct EbeRunCtx<'a> {
     rhs_counts: KernelCounts,
     cg_cfg: CgConfig,
     obs: Vec<usize>,
+    /// Construction-time ABFT checksum of the EBE operator payload,
+    /// re-verified at every step boundary.
+    op_crc: u32,
 }
 
 impl<'a> EbeRunCtx<'a> {
@@ -618,6 +757,7 @@ impl<'a> EbeRunCtx<'a> {
             rhs_counts: backend.rhs_counts_ebe(cfg.r),
             cg_cfg: driver_cg_config(cfg.tol),
             obs: backend.problem.surface_dofs_z(),
+            op_crc: operator_crc(OperatorPayload::Ebe(&backend.compact)),
         }
     }
 }
@@ -636,6 +776,7 @@ pub(crate) struct EbeRunState {
     pub(crate) adaptive: AdaptiveWindow,
     pub(crate) records: Vec<StepRecord>,
     pub(crate) recoveries: Vec<RecoveryEvent>,
+    pub(crate) corruptions: Vec<CorruptionReport>,
     /// Next step boundary to execute (`records.len()` on a healthy run).
     pub(crate) step: usize,
     scratch: RhsScratch,
@@ -661,6 +802,7 @@ impl EbeRunState {
             adaptive: AdaptiveWindow::new(1, cfg.s_max.max(1)),
             records: Vec::with_capacity(cfg.n_steps),
             recoveries: Vec::new(),
+            corruptions: Vec::new(),
             step: 0,
             scratch: RhsScratch::new(n),
             f_multi: vec![0.0; n * r],
@@ -696,6 +838,21 @@ impl EbeRunState {
         let mut stall_solver = 0.0;
         let mut stall_pred = 0.0;
         let mut history_poisoned = false;
+        let detect = cfg.integrity.detect;
+
+        operator_guard(
+            OperatorPayload::Ebe(&backend.compact),
+            ctx.op_crc,
+            faults,
+            step,
+            detect,
+            &mut self.corruptions,
+        )
+        .map_err(|t| RunError::Corruption {
+            step,
+            case: None,
+            target: t.label(),
+        })?;
 
         for set in 0..2 {
             let set_cases = set * r..(set + 1) * r;
@@ -703,8 +860,27 @@ impl EbeRunState {
             let mut ab_guesses: Vec<Vec<f64>> = Vec::with_capacity(r);
             for c in set_cases.clone() {
                 let case = &mut self.cases[c];
+                boundary_guard(case, faults, step, c, detect, &mut self.corruptions);
+                if check_basis_at(&cfg.integrity, step) {
+                    self.corruptions.extend(basis_sentinel(
+                        case,
+                        step,
+                        c,
+                        cfg.integrity.basis_defect_tol,
+                    ));
+                }
                 let s = s_shared.unwrap_or_else(|| cfg.s_max.max(1).min(case.dd.available_s()));
                 let (ab_guess, su) = case.prepare_step(backend, &mut self.scratch, s);
+                rhs_guard(
+                    backend,
+                    case,
+                    &mut self.scratch,
+                    faults,
+                    step,
+                    c,
+                    detect,
+                    &mut self.corruptions,
+                );
                 ab_guesses.push(ab_guess);
                 s_used = su;
                 if let Some(vf) = faults.guess_fault(step, c) {
@@ -779,6 +955,15 @@ impl EbeRunState {
                 ) {
                     history_poisoned = true;
                 }
+                if detect {
+                    if let Some(field) = scrub_state(&self.cases[c]) {
+                        return Err(RunError::Corruption {
+                            step,
+                            case: Some(c),
+                            target: CorruptTarget::State(field).label(),
+                        });
+                    }
+                }
                 if cfg.record_surface {
                     self.cases[c].record_waveform(&ctx.obs);
                 }
@@ -826,10 +1011,12 @@ impl EbeRunState {
             self.records,
             self.clock,
             self.recoveries,
+            self.corruptions,
         )
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     backend: &Backend,
     cfg: &RunConfig,
@@ -837,6 +1024,7 @@ fn finish(
     records: Vec<StepRecord>,
     clock: ModuleClock,
     recoveries: Vec<RecoveryEvent>,
+    corruptions: Vec<CorruptionReport>,
 ) -> RunResult {
     let _ = backend;
     let n_cases = cases.len();
@@ -856,6 +1044,7 @@ fn finish(
         waveforms,
         final_u,
         recoveries,
+        corruptions,
     }
 }
 

@@ -25,7 +25,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
-use crate::methods::{driver_guess_divergence, RunConfig, DRIVER_STAGNATION_WINDOW};
+use crate::methods::{driver_cg_config, RunConfig};
 use crate::recovery::{GuessSource, RecoveryEvent, RunError, ZERO_GUESS_ITER_FACTOR};
 use crate::trace::StepTracer;
 
@@ -113,12 +113,7 @@ pub fn run_nonlinear_traced(
     let mut f = vec![0.0; n];
     let mut rhs = vec![0.0; n];
     let mut guess = vec![0.0; n];
-    let cg_cfg = CgConfig {
-        tol: cfg.tol,
-        max_iter: 100_000,
-        stagnation_window: DRIVER_STAGNATION_WINDOW,
-        guess_divergence: driver_guess_divergence(cfg.tol),
-    };
+    let cg_cfg = driver_cg_config(cfg.tol);
     let mut records = Vec::with_capacity(cfg.n_steps);
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let mut clock = ModuleClock::new(node_of(cfg).module, cfg.cpu_threads, false);

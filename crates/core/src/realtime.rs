@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::backend::{Backend, RhsScratch};
-use crate::methods::{driver_guess_divergence, RunConfig, DRIVER_STAGNATION_WINDOW};
+use crate::methods::{driver_cg_config, RunConfig};
 use crate::recovery::{solve_set_with_ladder, RecoveryEvent, RunError};
 use crate::trace::{StepTracer, TID_CPU, TID_GPU};
 
@@ -171,12 +171,7 @@ impl SetState {
             insert_case(&mut f_multi, r, c, &self.rhs[c]);
             insert_case(&mut x_multi, r, c, &self.guesses[c]);
         }
-        let cg_cfg = CgConfig {
-            tol: cfg.tol,
-            max_iter: 100_000,
-            stagnation_window: DRIVER_STAGNATION_WINDOW,
-            guess_divergence: driver_guess_divergence(cfg.tol),
-        };
+        let cg_cfg = driver_cg_config(cfg.tol);
         let mut recoveries = Vec::new();
         let stats = solve_set_with_ladder(
             &op,
@@ -275,12 +270,7 @@ pub fn run_realtime_clocked<F: FaultInjector, C: WallClock + Sync>(
     let busy = Mutex::new((0.0f64, 0.0f64)); // (solver, predictor)
     let trace_on = tracer.is_enabled();
     let spans: Mutex<Vec<WallSpan>> = Mutex::new(Vec::new());
-    let cg_cfg = CgConfig {
-        tol: cfg.tol,
-        max_iter: 100_000,
-        stagnation_window: DRIVER_STAGNATION_WINDOW,
-        guess_divergence: driver_guess_divergence(cfg.tol),
-    };
+    let cg_cfg = driver_cg_config(cfg.tol);
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let t_start = wall.now();
     // run-relative timestamp of "now" on the injected clock

@@ -123,6 +123,17 @@ pub enum RunError {
     /// given (e.g. a CRS method on a backend built without assembled
     /// matrices); caught at driver entry instead of panicking mid-run.
     Config { message: String },
+    /// The integrity layer found corruption its ladder cannot repair:
+    /// non-finite state that slipped past every checksum and sentinel, or
+    /// the pristine operator payload failing its own construction-time
+    /// checksum (host-memory corruption). `target` is the
+    /// [`CorruptTarget`](crate::integrity::CorruptTarget) label. The run
+    /// stops typed instead of carrying a silently wrong answer forward.
+    Corruption {
+        step: usize,
+        case: Option<usize>,
+        target: &'static str,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -141,6 +152,16 @@ impl fmt::Display for RunError {
             RunError::Config { message } => {
                 write!(f, "invalid run configuration: {message}")
             }
+            RunError::Corruption { step, case, target } => {
+                write!(
+                    f,
+                    "unrecoverable data corruption at step {step}{}: {target}",
+                    match case {
+                        Some(c) => format!(" case {c}"),
+                        None => String::new(),
+                    }
+                )
+            }
         }
     }
 }
@@ -153,6 +174,7 @@ impl std::error::Error for RunError {
             RunError::Crashed { .. } => None,
             RunError::Checkpoint { .. } => None,
             RunError::Config { .. } => None,
+            RunError::Corruption { .. } => None,
         }
     }
 }

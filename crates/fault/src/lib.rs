@@ -88,6 +88,58 @@ impl VectorFault {
     }
 }
 
+/// Which state vector of a case a [`FaultKind::StateFlip`] corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateField {
+    /// Displacement `u`.
+    U,
+    /// Velocity `v`.
+    V,
+    /// Acceleration `a`.
+    A,
+}
+
+impl StateField {
+    pub fn label(&self) -> &'static str {
+        match self {
+            StateField::U => "u",
+            StateField::V => "v",
+            StateField::A => "a",
+        }
+    }
+}
+
+/// A single-bit corruption of one `f64` word — the atom of silent data
+/// corruption. The word index and bit position are derived from `seed`,
+/// so the same plan flips the same bit across runs; the flip is its own
+/// inverse, which the detection tests exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    pub seed: u64,
+}
+
+impl BitFlip {
+    /// `(word index, bit position)` this flip hits in a buffer of `words`
+    /// `f64`s; `None` for an empty buffer. Bits 0–51 land in the
+    /// mantissa, 52–62 in the exponent, 63 in the sign — the modulus
+    /// walks all of them as seeds vary.
+    pub fn target(&self, words: usize) -> Option<(usize, u32)> {
+        if words == 0 {
+            return None;
+        }
+        let idx = ((self.seed >> 6) % words as u64) as usize;
+        let bit = (self.seed & 63) as u32;
+        Some((idx, bit))
+    }
+
+    /// Flip the targeted bit in place; returns the `(word, bit)` hit.
+    pub fn apply(&self, v: &mut [f64]) -> Option<(usize, u32)> {
+        let (idx, bit) = self.target(v.len())?;
+        v[idx] = f64::from_bits(v[idx].to_bits() ^ (1u64 << bit));
+        Some((idx, bit))
+    }
+}
+
 /// Failure mode of one modeled halo exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExchangeFault {
@@ -205,6 +257,41 @@ pub enum FaultKind {
     /// under load (one-shot): exercises the scale-down path while columns
     /// are still in flight, as decommissioning a stuck lane would.
     StuckLaneScaledown,
+    /// Flip one bit of one word of `case`'s `field` state vector at the
+    /// `step` boundary — a memory soft error in solver state. The
+    /// integrity layer's state-guard checksum must catch it.
+    StateFlip {
+        case: usize,
+        field: StateField,
+        flip: BitFlip,
+    },
+    /// Flip one bit of `case`'s assembled RHS column at `step`, after
+    /// assembly but before it is packed for the solve.
+    RhsFlip {
+        case: usize,
+        flip: BitFlip,
+    },
+    /// Flip one bit of the immutable operator payload (EBE element data
+    /// or CRS block values) as seen from step `step` onward. The ABFT
+    /// operator checksum must catch it before the corrupted operator is
+    /// applied.
+    OperatorFlip {
+        flip: BitFlip,
+    },
+    /// Flip one bit of `case`'s data-driven predictor history (the MGS
+    /// basis source) at the `step` boundary.
+    BasisFlip {
+        case: usize,
+        flip: BitFlip,
+    },
+    /// Flip one bit of the in-memory replica of `node`'s checkpoint
+    /// mirrored with sequence number `step` (one-shot) — silent replica
+    /// corruption, as opposed to [`FaultKind::ReplicaCorrupt`]'s torn
+    /// mirror. The per-section CRC must fail the image on failover.
+    ReplicaFlip {
+        node: usize,
+        flip: BitFlip,
+    },
 }
 
 /// A fault that actually fired: the step it hit plus what it did.
@@ -307,6 +394,39 @@ pub trait FaultInjector {
     /// probe for the scale-down path with columns still in flight.
     fn stuck_scaledown_fault(&mut self, _tick: usize) -> bool {
         false
+    }
+
+    /// Flip one bit of one state vector (u/v/a) of `case` at the `step`
+    /// boundary, before the step's integrity verification runs.
+    fn state_flip_fault(&mut self, _step: usize, _case: usize) -> Option<(StateField, BitFlip)> {
+        None
+    }
+
+    /// Flip one bit of `case`'s assembled RHS at `step` (after assembly,
+    /// before the checksum-verified consume).
+    fn rhs_flip_fault(&mut self, _step: usize, _case: usize) -> Option<BitFlip> {
+        None
+    }
+
+    /// Flip one bit of the run's operator payload as of `step`. The
+    /// driver materializes a corrupted shadow of the operator data; the
+    /// pristine source stays untouched, mirroring a fault in device
+    /// memory with a clean host copy to recover from.
+    fn operator_flip_fault(&mut self, _step: usize) -> Option<BitFlip> {
+        None
+    }
+
+    /// Flip one bit of `case`'s predictor history (MGS basis source) at
+    /// the `step` boundary.
+    fn basis_flip_fault(&mut self, _step: usize, _case: usize) -> Option<BitFlip> {
+        None
+    }
+
+    /// Flip one bit of the in-memory replica of `node`'s checkpoint just
+    /// mirrored with sequence number `seq`. One-shot, keyed by
+    /// `(node, seq)` like [`FaultInjector::replica_corruption_fault`].
+    fn replica_flip_fault(&mut self, _node: usize, _seq: u64) -> Option<BitFlip> {
+        None
     }
 }
 
@@ -555,6 +675,72 @@ impl FaultPlan {
         self
     }
 
+    /// Flip one seeded bit of `case`'s `field` state vector at `step`.
+    pub fn flip_state(mut self, step: usize, case: usize, field: StateField) -> Self {
+        let seed = self.derive_seed(step, case).rotate_left(29);
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::StateFlip {
+                case,
+                field,
+                flip: BitFlip { seed },
+            },
+        });
+        self
+    }
+
+    /// Flip one seeded bit of `case`'s assembled RHS at `step`.
+    pub fn flip_rhs(mut self, step: usize, case: usize) -> Self {
+        let seed = self.derive_seed(step, case).rotate_left(41);
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::RhsFlip {
+                case,
+                flip: BitFlip { seed },
+            },
+        });
+        self
+    }
+
+    /// Flip one seeded bit of the operator payload as of `step`.
+    pub fn flip_operator(mut self, step: usize) -> Self {
+        let seed = self.derive_seed(step, 0).rotate_left(53);
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::OperatorFlip {
+                flip: BitFlip { seed },
+            },
+        });
+        self
+    }
+
+    /// Flip one seeded bit of `case`'s predictor history at `step`.
+    pub fn flip_basis(mut self, step: usize, case: usize) -> Self {
+        let seed = self.derive_seed(step, case).rotate_left(7);
+        self.planned.push(FaultRecord {
+            step,
+            kind: FaultKind::BasisFlip {
+                case,
+                flip: BitFlip { seed },
+            },
+        });
+        self
+    }
+
+    /// Flip one seeded bit of the replica of `node`'s checkpoint mirrored
+    /// with sequence number `seq` (one-shot).
+    pub fn flip_replica(mut self, node: usize, seq: u64) -> Self {
+        let seed = self.derive_seed(seq as usize, node).rotate_left(13);
+        self.planned.push(FaultRecord {
+            step: seq as usize,
+            kind: FaultKind::ReplicaFlip {
+                node,
+                flip: BitFlip { seed },
+            },
+        });
+        self
+    }
+
     /// Faults scheduled in this plan.
     pub fn planned(&self) -> &[FaultRecord] {
         &self.planned
@@ -729,6 +915,58 @@ impl FaultInjector for FaultPlan {
             self.log(tick, FaultKind::StuckLaneScaledown);
         }
         hit.is_some()
+    }
+
+    fn state_flip_fault(&mut self, step: usize, case: usize) -> Option<(StateField, BitFlip)> {
+        let (field, flip) = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::StateFlip {
+                case: c,
+                field,
+                flip,
+            } if p.step == step && c == case => Some((field, flip)),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::StateFlip { case, field, flip });
+        Some((field, flip))
+    }
+
+    fn rhs_flip_fault(&mut self, step: usize, case: usize) -> Option<BitFlip> {
+        let flip = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::RhsFlip { case: c, flip } if p.step == step && c == case => Some(flip),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::RhsFlip { case, flip });
+        Some(flip)
+    }
+
+    fn operator_flip_fault(&mut self, step: usize) -> Option<BitFlip> {
+        let flip = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::OperatorFlip { flip } if p.step == step => Some(flip),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::OperatorFlip { flip });
+        Some(flip)
+    }
+
+    fn basis_flip_fault(&mut self, step: usize, case: usize) -> Option<BitFlip> {
+        let flip = self.planned.iter().find_map(|p| match p.kind {
+            FaultKind::BasisFlip { case: c, flip } if p.step == step && c == case => Some(flip),
+            _ => None,
+        })?;
+        self.log(step, FaultKind::BasisFlip { case, flip });
+        Some(flip)
+    }
+
+    fn replica_flip_fault(&mut self, node: usize, seq: u64) -> Option<BitFlip> {
+        let kind = self.take_one_shot(|p| {
+            matches!(p.kind, FaultKind::ReplicaFlip { node: n, .. } if n == node)
+                && p.step == seq as usize
+        })?;
+        let FaultKind::ReplicaFlip { flip, .. } = kind else {
+            unreachable!("one-shot matcher filtered on ReplicaFlip");
+        };
+        self.log(seq as usize, kind);
+        Some(flip)
     }
 }
 
@@ -941,6 +1179,98 @@ mod tests {
         let mut noop = NoopFaults;
         assert!(noop.tenant_burst_fault(0).is_none());
         assert!(!noop.stuck_scaledown_fault(0));
+    }
+
+    #[test]
+    fn bit_flip_is_deterministic_and_self_inverse() {
+        let flip = BitFlip {
+            seed: 0xDEAD_BEEF_CAFE,
+        };
+        let clean = vec![1.0, -2.5, 3.25, 0.0, 5.5];
+        let mut v = clean.clone();
+        let (idx, bit) = flip.apply(&mut v).expect("non-empty");
+        assert_eq!(flip.target(v.len()), Some((idx, bit)));
+        assert!(bit < 64 && idx < v.len());
+        assert_ne!(
+            v[idx].to_bits(),
+            clean[idx].to_bits(),
+            "exactly one word changed"
+        );
+        assert_eq!(
+            v.iter()
+                .zip(&clean)
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count(),
+            1
+        );
+        // flipping again restores the original bit pattern
+        flip.apply(&mut v);
+        for (a, b) in v.iter().zip(&clean) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // empty buffers are a no-op, not a panic
+        assert!(flip.apply(&mut []).is_none());
+    }
+
+    #[test]
+    fn data_flip_faults_fire_on_target_only() {
+        let mut plan = FaultPlan::new(11)
+            .flip_state(3, 1, StateField::V)
+            .flip_rhs(4, 0)
+            .flip_operator(5)
+            .flip_basis(6, 2);
+        assert!(plan.state_flip_fault(3, 0).is_none(), "wrong case");
+        assert!(plan.state_flip_fault(2, 1).is_none(), "wrong step");
+        let (field, flip) = plan.state_flip_fault(3, 1).expect("scheduled");
+        assert_eq!(field, StateField::V);
+        assert!(plan.rhs_flip_fault(4, 1).is_none(), "wrong case");
+        let rhs = plan.rhs_flip_fault(4, 0).expect("scheduled");
+        assert_ne!(rhs.seed, flip.seed, "targets get independent seeds");
+        assert!(plan.operator_flip_fault(4).is_none(), "wrong step");
+        assert!(plan.operator_flip_fault(5).is_some());
+        assert!(plan.basis_flip_fault(6, 0).is_none(), "wrong case");
+        assert!(plan.basis_flip_fault(6, 2).is_some());
+        assert!(plan.all_fired());
+        let mut noop = NoopFaults;
+        assert!(noop.state_flip_fault(0, 0).is_none());
+        assert!(noop.rhs_flip_fault(0, 0).is_none());
+        assert!(noop.operator_flip_fault(0).is_none());
+        assert!(noop.basis_flip_fault(0, 0).is_none());
+        assert!(noop.replica_flip_fault(0, 0).is_none());
+    }
+
+    #[test]
+    fn replica_flip_is_one_shot_and_keyed_by_node_and_seq() {
+        let mut plan = FaultPlan::new(2).flip_replica(1, 6);
+        assert!(plan.replica_flip_fault(0, 6).is_none(), "wrong node");
+        assert!(plan.replica_flip_fault(1, 5).is_none(), "wrong seq");
+        assert!(
+            plan.replica_flip_fault(1, 6).is_some(),
+            "planned flip fires"
+        );
+        assert!(plan.replica_flip_fault(1, 6).is_none(), "consumed");
+        assert!(plan.all_fired());
+    }
+
+    #[test]
+    fn flip_seeds_are_stable_across_plan_instances() {
+        let mut p1 = FaultPlan::new(7).flip_state(2, 0, StateField::U);
+        let mut p2 = FaultPlan::new(7).flip_state(2, 0, StateField::U);
+        assert_eq!(p1.state_flip_fault(2, 0), p2.state_flip_fault(2, 0));
+        let mut p3 = FaultPlan::new(8).flip_state(2, 0, StateField::U);
+        assert_ne!(
+            p1.injected()[0],
+            p3.state_flip_fault(2, 0)
+                .map(|(field, flip)| FaultRecord {
+                    step: 2,
+                    kind: FaultKind::StateFlip {
+                        case: 0,
+                        field,
+                        flip
+                    },
+                })
+                .unwrap()
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub const METRICS: &[(&str, &str)] = &[
     ("core_recoveries_total", "counter"),
     ("core_ckpt_writes_total", "counter"),
     ("core_ckpt_restores_total", "counter"),
+    // silent-data-corruption defense: detections and completed recoveries
+    ("core_sdc_detected_total", "counter"),
+    ("core_sdc_recovered_total", "counter"),
     // adaptive snapshot window currently in force
     ("core_window_s", "gauge"),
     // serving layer counters (mirror the ServeStats JSON fields)
@@ -53,6 +56,11 @@ pub const METRICS: &[(&str, &str)] = &[
     ("serve_requests_stolen_total", "counter"),
     ("serve_replica_writes_total", "counter"),
     ("serve_replica_skipped_total", "counter"),
+    // serving-layer SDC ladder: detections, lane restarts and evictions
+    // forced by persistent corruption
+    ("serve_sdc_detected_total", "counter"),
+    ("serve_sdc_restarts_total", "counter"),
+    ("serve_sdc_evictions_total", "counter"),
     // serving layer gauges
     ("serve_queue_depth", "gauge"),
     ("serve_lane_occupancy", "gauge"),
@@ -65,6 +73,8 @@ pub const METRICS: &[(&str, &str)] = &[
     ("serve_request_latency_s", "histogram"),
     // modeled seconds from node loss to the shard serving again on a peer
     ("serve_failover_recovery_s", "histogram"),
+    // modeled seconds from corruption detection to the lane serving again
+    ("serve_sdc_recovery_s", "histogram"),
     // flight-recorder ring overflow
     ("flight_events_dropped_total", "counter"),
 ];

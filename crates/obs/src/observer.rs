@@ -30,6 +30,16 @@ pub enum Termination {
     /// "converge" while the true solution stays wrong (attainable accuracy
     /// in f64 is roughly `eps × initial residual`). Retry from a sane guess.
     DivergentGuess,
+    /// The invariant sentinel's periodically recomputed *true* residual
+    /// `‖f − A x‖` drifted past its bound relative to the recursive
+    /// residual the iteration carries — the CG invariant `r = f − A x`
+    /// no longer holds, the signature of silent data corruption in `x`,
+    /// `r`, or the operator between checks.
+    ResidualDrift,
+    /// The invariant sentinel's bounded-norm guard tripped: the iterate's
+    /// norm grew past its bound (or turned non-finite) — a runaway that
+    /// the recursive residual alone can fail to expose.
+    NormExploded,
 }
 
 impl Termination {
@@ -42,6 +52,8 @@ impl Termination {
             Termination::Stagnation => "stagnation",
             Termination::RhoBreakdown => "rho_breakdown",
             Termination::DivergentGuess => "divergent_guess",
+            Termination::ResidualDrift => "residual_drift",
+            Termination::NormExploded => "norm_exploded",
         }
     }
 
@@ -61,6 +73,8 @@ impl Termination {
             Termination::Stagnation => 4,
             Termination::RhoBreakdown => 5,
             Termination::DivergentGuess => 6,
+            Termination::ResidualDrift => 7,
+            Termination::NormExploded => 8,
         }
     }
 
@@ -75,6 +89,8 @@ impl Termination {
             4 => Termination::Stagnation,
             5 => Termination::RhoBreakdown,
             6 => Termination::DivergentGuess,
+            7 => Termination::ResidualDrift,
+            8 => Termination::NormExploded,
             _ => return None,
         })
     }
@@ -211,6 +227,11 @@ mod tests {
         assert_eq!(Termination::NanResidual.label(), "nan_residual");
         assert_eq!(Termination::Stagnation.label(), "stagnation");
         assert_eq!(Termination::RhoBreakdown.label(), "rho_breakdown");
+        assert_eq!(Termination::ResidualDrift.label(), "residual_drift");
+        assert_eq!(Termination::NormExploded.label(), "norm_exploded");
+        for t in [Termination::ResidualDrift, Termination::NormExploded] {
+            assert_eq!(Termination::from_code(t.code()), Some(t));
+        }
     }
 
     #[test]

@@ -123,6 +123,17 @@ pub struct ServeStats {
     autoscale_events: usize,
     /// Per-tenant rows, dense by tenant id (grown on first observation).
     tenants: Vec<TenantStats>,
+    /// Silent-data-corruption detections (checksum / sentinel trips) the
+    /// serving layer caught and recovered in place.
+    sdc_detected: usize,
+    /// Lane restarts the SDC ladder escalated to (recurring corruption).
+    sdc_restarts: usize,
+    /// Columns evicted by the SDC ladder's last rung (subset of
+    /// `evicted`).
+    sdc_evictions: usize,
+    /// Modeled seconds from corruption detection to the lane serving
+    /// again (the detect→rollback→recover turnaround).
+    sdc_recovery: LogHistogram,
 }
 
 impl ServeStats {
@@ -191,6 +202,24 @@ impl ServeStats {
 
     pub fn record_shed_early(&mut self) {
         self.shed_early += 1;
+    }
+
+    pub fn record_sdc_detection(&mut self) {
+        self.sdc_detected += 1;
+    }
+
+    pub fn record_sdc_restart(&mut self) {
+        self.sdc_restarts += 1;
+    }
+
+    pub fn record_sdc_eviction(&mut self) {
+        self.sdc_evictions += 1;
+    }
+
+    /// One detect→recover turnaround completed after `latency_s` modeled
+    /// seconds (detection boundary to the lane's next served step).
+    pub fn observe_sdc_recovery(&mut self, latency_s: f64) {
+        self.sdc_recovery.observe(latency_s);
     }
 
     pub fn record_autoscale(&mut self) {
@@ -301,6 +330,24 @@ impl ServeStats {
         self.autoscale_events
     }
 
+    pub fn sdc_detected(&self) -> usize {
+        self.sdc_detected
+    }
+
+    pub fn sdc_restarts(&self) -> usize {
+        self.sdc_restarts
+    }
+
+    pub fn sdc_evictions(&self) -> usize {
+        self.sdc_evictions
+    }
+
+    /// The detect→recover turnaround histogram (checkpoint + export
+    /// access).
+    pub fn sdc_recovery(&self) -> &LogHistogram {
+        &self.sdc_recovery
+    }
+
     /// Per-tenant rows, dense by tenant id.
     pub fn tenants(&self) -> &[TenantStats] {
         &self.tenants
@@ -377,6 +424,10 @@ impl ServeStats {
             slo_miss: 0,
             autoscale_events: 0,
             tenants: Vec::new(),
+            sdc_detected: 0,
+            sdc_restarts: 0,
+            sdc_evictions: 0,
+            sdc_recovery: LogHistogram::default(),
         }
     }
 
@@ -398,6 +449,25 @@ impl ServeStats {
         self.slo_miss = slo_miss;
         self.autoscale_events = autoscale_events;
         self.tenants = tenants;
+        self
+    }
+
+    /// Attach the SDC-era fields to stats rebuilt by
+    /// [`ServeStats::from_parts`] — the restore-side inverse of the
+    /// `sdc_detected` / `sdc_restarts` / `sdc_evictions` / `sdc_recovery`
+    /// accessors. Split out so pre-SDC checkpoints (no `INTG` section)
+    /// restore with clean zeros.
+    pub fn with_sdc_parts(
+        mut self,
+        sdc_detected: usize,
+        sdc_restarts: usize,
+        sdc_evictions: usize,
+        sdc_recovery: LogHistogram,
+    ) -> Self {
+        self.sdc_detected = sdc_detected;
+        self.sdc_restarts = sdc_restarts;
+        self.sdc_evictions = sdc_evictions;
+        self.sdc_recovery = sdc_recovery;
         self
     }
 
@@ -429,6 +499,10 @@ impl ServeStats {
         for t in &other.tenants {
             self.tenant_mut(t.tenant).merge(t);
         }
+        self.sdc_detected += other.sdc_detected;
+        self.sdc_restarts += other.sdc_restarts;
+        self.sdc_evictions += other.sdc_evictions;
+        self.sdc_recovery.merge(&other.sdc_recovery);
     }
 
     /// Mean queue depth over all boundary samples.
@@ -495,6 +569,10 @@ impl ServeStats {
         registry.inc("serve_deadline_miss_total", self.deadline_miss as f64);
         registry.inc("serve_slo_miss_total", self.slo_miss as f64);
         registry.inc("serve_autoscale_events_total", self.autoscale_events as f64);
+        registry.inc("serve_sdc_detected_total", self.sdc_detected as f64);
+        registry.inc("serve_sdc_restarts_total", self.sdc_restarts as f64);
+        registry.inc("serve_sdc_evictions_total", self.sdc_evictions as f64);
+        registry.merge_histogram("serve_sdc_recovery_s", &self.sdc_recovery);
         registry.gauge_set("serve_queue_depth", self.mean_queue_depth());
         registry.gauge_set("serve_lane_occupancy", self.mean_occupancy());
         registry.gauge_set("serve_elapsed_s", self.elapsed_s);
@@ -535,6 +613,17 @@ impl ServeStats {
             ("slo_miss", Json::from(self.slo_miss)),
             ("autoscale_events", Json::from(self.autoscale_events)),
             ("deadline_miss_rate", Json::Num(self.deadline_miss_rate())),
+            ("sdc_detected", Json::from(self.sdc_detected)),
+            ("sdc_restarts", Json::from(self.sdc_restarts)),
+            ("sdc_evictions", Json::from(self.sdc_evictions)),
+            (
+                "sdc_recovery_p50_s",
+                Json::Num(self.sdc_recovery.quantile(0.5)),
+            ),
+            (
+                "sdc_recovery_max_s",
+                Json::Num(self.sdc_recovery.quantile(1.0)),
+            ),
             (
                 "tenants",
                 Json::Arr(self.tenants.iter().map(TenantStats::to_json).collect()),

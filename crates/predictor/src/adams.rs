@@ -76,6 +76,12 @@ impl AdamsState {
         self.hist.iter().cloned().collect()
     }
 
+    /// Borrowing view of the stored history columns (oldest first) —
+    /// checksum and scrub passes walk these without cloning.
+    pub fn history_cols(&self) -> impl Iterator<Item = &[f64]> {
+        self.hist.iter().map(|v| v.as_slice())
+    }
+
     /// Restore a history snapshot taken by [`AdamsState::history`]
     /// (oldest first); only the newest 4 entries are kept.
     pub fn restore_history(&mut self, hist: Vec<Vec<f64>>) {

@@ -75,6 +75,18 @@ impl DataDrivenPredictor {
         self.history.iter().cloned().collect()
     }
 
+    /// Borrowing view of the stored correction columns (oldest first) —
+    /// checksum and scrub passes walk these without cloning.
+    pub fn history_cols(&self) -> impl Iterator<Item = &[f64]> {
+        self.history.iter().map(|v| v.as_slice())
+    }
+
+    /// Mutable access to stored column `idx` (oldest first) — the fault
+    /// layer's basis-corruption hook. Returns `None` when out of range.
+    pub fn column_mut(&mut self, idx: usize) -> Option<&mut [f64]> {
+        self.history.get_mut(idx).map(|v| v.as_mut_slice())
+    }
+
     /// Restore a history snapshot taken by
     /// [`DataDrivenPredictor::history`] (oldest first). Columns must be
     /// `n_dofs` long; only the newest `s_max + 1` are kept.
@@ -180,6 +192,49 @@ impl DataDrivenPredictor {
     /// Reset the stored history (e.g. between ensemble cases).
     pub fn clear(&mut self) {
         self.history.clear();
+    }
+
+    /// Invariant sentinel: factor the newest window-`s` snapshot matrix of
+    /// every region (exactly as [`DataDrivenPredictor::predict`] would)
+    /// and return the worst per-region
+    /// [orthogonality defect](crate::mgs::MgsQr::orthogonality_defect).
+    /// Any non-finite entry in the window (including the input column)
+    /// reports as `f64::INFINITY` — `mgs_qr` would silently drop such a
+    /// column and degrade rank, which is exactly the silent failure the
+    /// sentinel exists to surface. Bit flips that leave the history
+    /// finite are the state-guard checksum's to catch: MGS re-orthonorms
+    /// whatever it is given, so the defect cannot see them. `None` when
+    /// the history is too short for window `s`. Read-only — the predictor
+    /// state and any later prediction are untouched.
+    pub fn basis_defect(&self, s: usize) -> Option<f64> {
+        let s = s.min(self.s_max);
+        if s < 1 || self.history.len() < s + 1 {
+            return None;
+        }
+        let h = &self.history;
+        let len = h.len();
+        // window columns len-1-s .. len-1 (X plus the input column)
+        for i in 0..=s {
+            if h[len - 1 - s + i].iter().any(|v| !v.is_finite()) {
+                return Some(f64::INFINITY);
+            }
+        }
+        let rdofs = self.region_dofs;
+        let mut worst = 0.0f64;
+        for reg in 0..self.n_regions() {
+            let lo = reg * rdofs;
+            let m = rdofs.min(self.n_dofs - lo);
+            let mut x = vec![0.0; m * s];
+            for i in 0..s {
+                x[i * m..(i + 1) * m].copy_from_slice(&h[len - 1 - s + i][lo..lo + m]);
+            }
+            let qr = crate::mgs::mgs_qr(&x, m, s, self.tol);
+            worst = worst.max(qr.orthogonality_defect());
+            if !worst.is_finite() {
+                break;
+            }
+        }
+        Some(worst)
     }
 }
 
@@ -355,6 +410,39 @@ mod tests {
         assert_eq!(p.available_s(), 1);
         p.clear();
         assert_eq!(p.available_s(), 0);
+    }
+
+    #[test]
+    fn basis_defect_sentinel_flags_corruption_only() {
+        let n = 90;
+        let seq = modal_sequence(n, 20, 2);
+        let mut p = DataDrivenPredictor::new(n, 45, 16);
+        for d in &seq[..19] {
+            p.record(d);
+        }
+        assert!(p.basis_defect(64).is_some(), "window clamps to s_max");
+        let clean = p.basis_defect(8).expect("enough history");
+        assert!(clean < 1e-10, "clean defect {clean}");
+        // sentinel is read-only: prediction after the check is unchanged
+        let mut before = vec![0.0; n];
+        assert!(p.predict(8, &mut before));
+        p.basis_defect(8);
+        let mut after = vec![0.0; n];
+        assert!(p.predict(8, &mut after));
+        for (a, b) in after.iter().zip(&before) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // a non-finite entry in the window surfaces as an infinite defect
+        // (mgs_qr alone would silently drop the column and degrade rank)
+        let newest = p.available_s(); // history holds available_s()+1 columns
+        let col = p.column_mut(newest).expect("in range");
+        col[7] = f64::NAN;
+        let bad = p.basis_defect(8).expect("enough history");
+        assert!(bad.is_infinite(), "corrupt defect {bad}");
+        assert!(p.column_mut(99).is_none());
+        // too little history -> None, not a bogus 0
+        let q = DataDrivenPredictor::new(12, 12, 4);
+        assert!(q.basis_defect(2).is_none());
     }
 
     #[test]

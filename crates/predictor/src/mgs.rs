@@ -76,6 +76,30 @@ impl MgsQr {
         self.kept.len()
     }
 
+    /// Orthogonality defect of the computed basis:
+    /// `max_{i≤j} |⟨q_i, q_j⟩ − δ_ij|`. MGS leaves this at a few ulps for
+    /// well-conditioned inputs, so a defect far above machine precision is
+    /// the invariant-sentinel signature of a corrupted basis (a bit flip
+    /// in Q, or state corruption upstream of the factorization). `0.0`
+    /// for rank 0. Read-only: never perturbs the factorization.
+    pub fn orthogonality_defect(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.rank() {
+            let qi = &self.q[i * self.m..(i + 1) * self.m];
+            for j in i..self.rank() {
+                let qj = &self.q[j * self.m..(j + 1) * self.m];
+                let d: f64 = qi.iter().zip(qj).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                let defect = (d - expect).abs();
+                if !defect.is_finite() {
+                    return f64::INFINITY;
+                }
+                worst = worst.max(defect);
+            }
+        }
+        worst
+    }
+
     /// `c = Qᵀ v` (projection coefficients onto the orthonormal basis).
     pub fn project(&self, v: &[f64], c: &mut [f64]) {
         debug_assert_eq!(v.len(), self.m);
@@ -196,6 +220,32 @@ mod tests {
     fn zero_matrix_has_rank_zero() {
         let qr = mgs_qr(&[0.0; 20], 10, 2, 1e-12);
         assert_eq!(qr.rank(), 0);
+        assert_eq!(qr.orthogonality_defect(), 0.0);
+    }
+
+    #[test]
+    fn orthogonality_defect_near_machine_precision_for_clean_basis() {
+        let (m, s) = (40, 6);
+        let x = det_rand(m * s, 3);
+        let qr = mgs_qr(&x, m, s, 1e-12);
+        assert!(qr.orthogonality_defect() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_basis_column_raises_defect() {
+        let (m, s) = (40, 6);
+        let x = det_rand(m * s, 3);
+        let mut qr = mgs_qr(&x, m, s, 1e-12);
+        // flip a high mantissa/exponent bit of one Q entry — the SDC model
+        qr.q[2 * m + 5] = f64::from_bits(qr.q[2 * m + 5].to_bits() ^ (1u64 << 60));
+        assert!(
+            qr.orthogonality_defect() > 1e-6,
+            "defect {}",
+            qr.orthogonality_defect()
+        );
+        // a NaN in Q surfaces as an infinite defect, not a silent pass
+        qr.q[0] = f64::NAN;
+        assert!(qr.orthogonality_defect().is_infinite());
     }
 
     #[test]

@@ -23,8 +23,9 @@ use hetsolve_ckpt::{
     mix64, CheckpointStore, CkptError, Dec, Enc, RestoreReport, SectionReader, SectionWriter,
 };
 use hetsolve_core::{
-    decode_clock_state, decode_recovery_event, encode_clock_state, encode_recovery_event, Backend,
-    CaseSlot, ConfigFingerprint, RecoveryEvent, SlotState,
+    decode_clock_state, decode_corruption_report, decode_recovery_event, encode_clock_state,
+    encode_corruption_report, encode_recovery_event, Backend, CaseSlot, ConfigFingerprint,
+    CorruptionReport, RecoveryEvent, SlotState,
 };
 use hetsolve_fault::{FaultInjector, NoopFaults};
 use hetsolve_machine::ClockState;
@@ -51,6 +52,10 @@ const TAG_FLIGHT: [u8; 4] = *b"FLIT";
 /// quota table the run was configured with). Optional on decode so
 /// pre-QoS snapshots restore with clean scheduler state.
 const TAG_QOS: [u8; 4] = *b"QOS\0";
+/// Silent-data-corruption defense state: the corruption reports collected
+/// so far plus the per-lane SDC-ladder breach counters. Optional on
+/// decode so pre-SDC snapshots restore with clean zeros.
+const TAG_INTEGRITY: [u8; 4] = *b"INTG";
 
 /// Hash of everything that determines a serving run's trajectory but is
 /// rebuilt from `(backend, cfg)` on restore: the core run fingerprint
@@ -141,6 +146,10 @@ pub struct ServerCheckpoint {
     /// The quota table the run was configured with (informational —
     /// the fingerprint already rejects restores into different quotas).
     pub quotas: Vec<TenantQuota>,
+    /// Corruption detections (and recoveries) collected so far.
+    pub corruptions: Vec<CorruptionReport>,
+    /// Per-lane consecutive-corrupted-tick counters of the SDC ladder.
+    pub sdc_breach: Vec<u32>,
 }
 
 fn encode_queue_entry(enc: &mut Enc, e: &QueueEntrySnapshot) {
@@ -486,6 +495,14 @@ pub(crate) fn encode_stats(enc: &mut Enc, s: &ServeStats) {
     for t in tenants {
         encode_tenant_stats(enc, t);
     }
+    let sdc_detected = s.sdc_detected();
+    enc.put_usize(sdc_detected);
+    let sdc_restarts = s.sdc_restarts();
+    enc.put_usize(sdc_restarts);
+    let sdc_evictions = s.sdc_evictions();
+    enc.put_usize(sdc_evictions);
+    let sdc_recovery = s.sdc_recovery();
+    encode_histogram(enc, sdc_recovery);
 }
 
 pub(crate) fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
@@ -520,6 +537,18 @@ pub(crate) fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
     for _ in 0..n {
         tenants.push(decode_tenant_stats(dec)?);
     }
+    // SDC counters trail the QoS fields; a pre-SDC STAT payload simply
+    // ends here and the fields restore as clean zeros
+    let (sdc_detected, sdc_restarts, sdc_evictions, sdc_recovery) = if dec.remaining() > 0 {
+        (
+            dec.usize_()?,
+            dec.usize_()?,
+            dec.usize_()?,
+            decode_histogram(dec)?,
+        )
+    } else {
+        (0, 0, 0, LogHistogram::default())
+    };
     Ok(ServeStats::from_parts(
         queue_depth,
         occupancy,
@@ -542,7 +571,8 @@ pub(crate) fn decode_stats(dec: &mut Dec<'_>) -> Result<ServeStats, CkptError> {
         slo_miss,
         autoscale_events,
         tenants,
-    ))
+    )
+    .with_sdc_parts(sdc_detected, sdc_restarts, sdc_evictions, sdc_recovery))
 }
 
 impl ServerCheckpoint {
@@ -615,6 +645,17 @@ impl ServerCheckpoint {
             encode_tenant_quota(&mut qos, q);
         }
         w.section(TAG_QOS, &qos.into_bytes());
+
+        let mut intg = Enc::new();
+        intg.put_usize(self.corruptions.len());
+        for rep in &self.corruptions {
+            encode_corruption_report(&mut intg, rep);
+        }
+        intg.put_usize(self.sdc_breach.len());
+        for &b in &self.sdc_breach {
+            intg.put_u32(b);
+        }
+        w.section(TAG_INTEGRITY, &intg.into_bytes());
         w.finish()
     }
 
@@ -713,6 +754,26 @@ impl ServerCheckpoint {
             (DrrState::default(), AutoscalerState::default(), Vec::new())
         };
 
+        // optional: pre-SDC snapshots restore with no reports and clean
+        // ladder counters
+        let (corruptions, sdc_breach) = if r.has(TAG_INTEGRITY) {
+            let mut id = Dec::new(r.section(TAG_INTEGRITY)?);
+            let n = id.usize_()?;
+            let mut corruptions = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                corruptions.push(decode_corruption_report(&mut id)?);
+            }
+            let n = id.usize_()?;
+            let mut sdc_breach = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                sdc_breach.push(id.u32()?);
+            }
+            id.finish()?;
+            (corruptions, sdc_breach)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
         Ok(ServerCheckpoint {
             fingerprint,
             ticks,
@@ -727,6 +788,8 @@ impl ServerCheckpoint {
             drr,
             autoscaler,
             quotas,
+            corruptions,
+            sdc_breach,
         })
     }
 }
@@ -769,6 +832,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 .qos
                 .as_ref()
                 .map_or_else(Vec::new, |q| q.tenants.clone()),
+            corruptions: self.corruptions.clone(),
+            sdc_breach: self.sdc_breach.clone(),
         }
     }
 
@@ -829,6 +894,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 let r = server.batcher.width();
                 server.slots.push((0..r).map(|_| None).collect());
                 server.watchdog_breach.push(0);
+                server.sdc_breach.push(0);
                 server.lane_ckpt.push((0..r).map(|_| None).collect());
             }
         }
@@ -859,6 +925,12 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         server.clock.restore_state(&ck.clock);
         server.stats = ck.stats;
         server.recoveries = ck.recoveries;
+        server.corruptions = ck.corruptions;
+        for (lane, &b) in ck.sdc_breach.iter().enumerate() {
+            if lane < server.sdc_breach.len() {
+                server.sdc_breach[lane] = b;
+            }
+        }
         server.admissions = ck.admissions;
         server.ticks = ck.ticks;
         server.flight = ck.flight;

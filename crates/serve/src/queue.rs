@@ -37,6 +37,11 @@ pub enum RejectReason {
     /// administratively disabled and must hear that typed, not be
     /// admitted into a queue it can never drain from.
     ZeroQuota,
+    /// A floating-point field (deadline) is NaN or infinite. Admitting it
+    /// would poison every deadline comparison downstream — NaN compares
+    /// false against everything, so the request would neither expire nor
+    /// be shed as unmeetable. Rejected typed at the door instead.
+    NonFiniteInput,
 }
 
 impl RejectReason {
@@ -47,6 +52,7 @@ impl RejectReason {
             RejectReason::FaultInjected => "fault_injected",
             RejectReason::UnknownTenant => "unknown_tenant",
             RejectReason::ZeroQuota => "zero_quota",
+            RejectReason::NonFiniteInput => "non_finite_input",
         }
     }
 }

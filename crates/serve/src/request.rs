@@ -184,6 +184,10 @@ pub enum EvictReason {
     /// request is shed early instead of occupying queue share until
     /// `expire` catches it.
     DeadlineUnmeetable,
+    /// The SDC ladder exhausted itself on the request's column: corruption
+    /// kept recurring after rollback and a lane restart, so the column was
+    /// freed rather than serve a possibly-wrong answer.
+    Corruption,
 }
 
 impl EvictReason {
@@ -194,6 +198,7 @@ impl EvictReason {
             EvictReason::Watchdog => "watchdog",
             EvictReason::NodeLost => "node_lost",
             EvictReason::DeadlineUnmeetable => "deadline_unmeetable",
+            EvictReason::Corruption => "corruption",
         }
     }
 
@@ -205,6 +210,7 @@ impl EvictReason {
             EvictReason::Watchdog => 2,
             EvictReason::NodeLost => 3,
             EvictReason::DeadlineUnmeetable => 4,
+            EvictReason::Corruption => 5,
         }
     }
 
@@ -216,6 +222,7 @@ impl EvictReason {
             2 => EvictReason::Watchdog,
             3 => EvictReason::NodeLost,
             4 => EvictReason::DeadlineUnmeetable,
+            5 => EvictReason::Corruption,
             _ => return None,
         })
     }

@@ -25,8 +25,9 @@
 use std::path::PathBuf;
 
 use hetsolve_core::{
-    driver_cg_config, solve_set_resumable, Backend, CaseSlot, MethodKind, RecoveryEvent,
-    RhsScratch, RunConfig, SlotState, WindowPolicy, TID_CPU, TID_GPU, TID_LINK,
+    basis_sentinel, boundary_guard, driver_cg_config, rhs_guard, scrub_state, solve_set_resumable,
+    Backend, CaseSlot, CorruptionReport, MethodKind, RecoveryEvent, RhsScratch, RunConfig,
+    SlotState, WindowPolicy, TID_CPU, TID_GPU, TID_LINK,
 };
 use hetsolve_fault::{AdmissionFault, FaultInjector, FaultLane, NoopFaults};
 use hetsolve_machine::{LaneKind, ModuleClock, NodeSpec, SystemClock, WallClock};
@@ -46,6 +47,15 @@ use crate::watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};
 /// solves on the GPU, the other's predictors run on the CPU). With an
 /// [`AutoscaleConfig`] the lane count floats between its bounds instead.
 const DEFAULT_LANES: usize = 2;
+
+/// SDC ladder rung 2: after this many *consecutive* corrupted ticks on
+/// one lane, in-place recovery has clearly not cleared the fault — roll
+/// the whole lane back to its last in-memory checkpoint.
+const SDC_RESTART_AFTER: u32 = 3;
+
+/// SDC ladder rung 3: corruption recurring even after the lane restart —
+/// evict the lane's columns rather than serve a possibly-wrong answer.
+const SDC_EVICT_AFTER: u32 = 4;
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -150,6 +160,13 @@ pub struct EnsembleServer<'b, F: FaultInjector = NoopFaults> {
     pub(crate) scratch: RhsScratch,
     pub(crate) stats: ServeStats,
     pub(crate) recoveries: Vec<RecoveryEvent>,
+    /// Corruption detections + the recovery taken, in order (the serving
+    /// twin of `RunResult::corruptions`); checkpointed in the optional
+    /// `INTG` section.
+    pub(crate) corruptions: Vec<CorruptionReport>,
+    /// Consecutive corrupted ticks per lane — the SDC escalation ladder's
+    /// counter (in-place recovery → lane restart → evict).
+    pub(crate) sdc_breach: Vec<u32>,
     pub(crate) faults: F,
     /// Admission attempts made (rejected ones included) — the fault
     /// injector's admission index.
@@ -228,6 +245,8 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             scratch: RhsScratch::new(backend.n_dofs()),
             stats: ServeStats::new(),
             recoveries: Vec::new(),
+            corruptions: Vec::new(),
+            sdc_breach: vec![0; lanes],
             faults,
             admissions: 0,
             ticks: 0,
@@ -310,6 +329,21 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             self.flight
                 .record(now, "admit_rejected", None, None, None, "zero steps");
             return Err(AdmitError::Rejected(RejectReason::ZeroSteps));
+        }
+        if request.deadline.is_some_and(|d| !d.is_finite()) {
+            // a NaN/inf deadline would compare false against every clock
+            // reading — never expiring, never shed as unmeetable
+            self.stats.record_rejection();
+            self.stats.tenant_rejection(tenant.0);
+            self.flight.record(
+                now,
+                "admit_rejected",
+                None,
+                None,
+                None,
+                "non-finite deadline",
+            );
+            return Err(AdmitError::Rejected(RejectReason::NonFiniteInput));
         }
         let tol = request.tol.unwrap_or(self.cfg.run.tol);
         if !tol.is_finite() || tol <= 0.0 {
@@ -505,7 +539,10 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             t.counter(0, "queue", now * 1e6, &[("depth", self.queue.len() as f64)]);
         }
         let supervised = self.cfg.watchdog;
-        let capture = supervised.is_some()
+        // the SDC ladder's restart rung rolls back to the same lane
+        // checkpoint the watchdog uses, so detection alone keeps captures
+        // alive (they are read-only and charge no modeled time)
+        let capture = (supervised.is_some() || self.cfg.run.integrity.detect)
             && self.cfg.checkpoint_every > 0
             && self.ticks.is_multiple_of(self.cfg.checkpoint_every);
         for lane in 0..self.batcher.n_lanes() {
@@ -550,6 +587,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 self.batcher.remove_last_lane();
                 self.slots.pop();
                 self.watchdog_breach.pop();
+                self.sdc_breach.pop();
                 self.lane_ckpt.pop();
                 self.autoscaler.draining = false;
                 self.record_scale_event(ScaleDirection::Down, now);
@@ -591,6 +629,7 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             let r = self.batcher.width();
             self.slots.push((0..r).map(|_| None).collect());
             self.watchdog_breach.push(0);
+            self.sdc_breach.push(0);
             self.lane_ckpt.push((0..r).map(|_| None).collect());
             let _ = li;
             self.record_scale_event(ScaleDirection::Up, now);
@@ -761,6 +800,9 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
         if n_occ == 0 {
             return;
         }
+        let detect = self.cfg.run.integrity.detect;
+        let t_detect = self.clock.elapsed();
+        let mut lane_corruptions: Vec<CorruptionReport> = Vec::new();
         let r = self.batcher.width();
         let n = self.backend.n_dofs();
         self.stats.sample_occupancy(n_occ, r);
@@ -795,8 +837,40 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 // populated on admit, cleared on free — and `occupied[k]`
                 // held at the top of this loop body.
                 .expect("occupied slot has a case");
+            // SDC boundary guard: checksum the column's state, let any
+            // injected flips land, verify and roll back bitwise
+            boundary_guard(
+                case,
+                &mut self.faults,
+                self.ticks,
+                id.0 as usize,
+                detect,
+                &mut lane_corruptions,
+            );
+            let every = self.cfg.run.integrity.basis_check_every;
+            if detect && every > 0 && self.ticks > 0 && self.ticks.is_multiple_of(every) {
+                if let Some(rep) = basis_sentinel(
+                    case,
+                    self.ticks,
+                    id.0 as usize,
+                    self.cfg.run.integrity.basis_defect_tol,
+                ) {
+                    lane_corruptions.push(rep);
+                }
+            }
             let s = self.cfg.run.s_max.max(1).min(case.available_s());
             let (ab, s_used) = case.prepare_step(self.backend, &mut self.scratch, s);
+            // RHS checksum between assembly and the fused solve
+            rhs_guard(
+                self.backend,
+                case,
+                &mut self.scratch,
+                &mut self.faults,
+                self.ticks,
+                id.0 as usize,
+                detect,
+                &mut lane_corruptions,
+            );
             pred_t += self.clock.run_cpu(&case.predictor_cost(s_used.max(1)));
             insert_case(&mut f_multi, r, k, case.rhs());
             insert_case(&mut x_multi, r, k, case.guess());
@@ -859,6 +933,22 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                 // `continue`s after clearing, so this slot is still live.
                 .expect("occupied slot has a case");
             case.advance(self.backend, &x, &ab_guesses[k], None);
+            if detect && scrub_state(case).is_some() {
+                // non-finite state slipped past every checksum: free the
+                // column rather than carry NaNs forward (zero silent
+                // wrong answers)
+                self.slots[lane][k] = None;
+                self.batcher.free(lane, k);
+                let at = self.clock.elapsed();
+                self.finish(id, RequestState::Evicted, at);
+                self.records[id.0 as usize].evict_reason = Some(EvictReason::Corruption);
+                self.stats.record_eviction();
+                self.stats.record_sdc_eviction();
+                self.stats
+                    .tenant_eviction(self.records[id.0 as usize].request.tenant.0);
+                self.record_eviction_event(id, Some(lane), EvictReason::Corruption, at);
+                continue;
+            }
             if case.is_done() {
                 let result = if self.cfg.keep_results {
                     Some(case.displacement().to_vec())
@@ -965,6 +1055,58 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
                     _ => t.flow_step(pid, TID_GPU, "request", "step", hop_ts, fid),
                 }
             }
+        }
+
+        // SDC escalation ladder: every report above was recovered in
+        // place; what escalates is corruption *recurring* tick after tick
+        // on the same lane — in-place rollback, then a lane restart, then
+        // eviction rather than a possibly-wrong answer.
+        if lane_corruptions.is_empty() {
+            self.sdc_breach[lane] = 0;
+        } else {
+            self.sdc_breach[lane] += 1;
+            let breach = self.sdc_breach[lane];
+            let now = self.clock.elapsed();
+            for rep in &lane_corruptions {
+                self.stats.record_sdc_detection();
+                self.flight.record(
+                    now,
+                    "sdc_recovered",
+                    rep.case.map(|c| c as u64),
+                    Some(lane as u64),
+                    Some(self.ticks as u64),
+                    format!("{rep}"),
+                );
+            }
+            if breach == SDC_RESTART_AFTER {
+                let restored = self.restart_lane(lane);
+                self.stats.record_sdc_restart();
+                self.flight.record(
+                    now,
+                    "sdc_restart",
+                    None,
+                    Some(lane as u64),
+                    Some(self.ticks as u64),
+                    format!("breach {breach}: {restored} column(s) rolled back"),
+                );
+            } else if breach >= SDC_EVICT_AFTER {
+                let evicted = self.evict_lane_with(lane, EvictReason::Corruption);
+                for _ in 0..evicted {
+                    self.stats.record_sdc_eviction();
+                }
+                self.sdc_breach[lane] = 0;
+                self.flight.record(
+                    now,
+                    "sdc_evict",
+                    None,
+                    Some(lane as u64),
+                    Some(self.ticks as u64),
+                    format!("breach {breach}: {evicted} column(s) evicted"),
+                );
+                self.dump_flight("sdc_evict");
+            }
+            self.stats.observe_sdc_recovery(now - t_detect);
+            self.corruptions.extend(lane_corruptions);
         }
     }
 
@@ -1085,6 +1227,12 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
     /// Free every column of lane `lane`, marking its requests
     /// `Evicted`/`Watchdog`; returns how many were evicted.
     fn evict_lane(&mut self, lane: usize) -> usize {
+        self.evict_lane_with(lane, EvictReason::Watchdog)
+    }
+
+    /// [`Self::evict_lane`] with an explicit reason — the SDC ladder's
+    /// last rung evicts with [`EvictReason::Corruption`].
+    fn evict_lane_with(&mut self, lane: usize, reason: EvictReason) -> usize {
         let now = self.clock.elapsed();
         let mut evicted = 0;
         for slot in 0..self.batcher.width() {
@@ -1095,11 +1243,11 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
             self.slots[lane][slot] = None;
             self.lane_ckpt[lane][slot] = None;
             self.finish(id, RequestState::Evicted, now);
-            self.records[id.0 as usize].evict_reason = Some(EvictReason::Watchdog);
+            self.records[id.0 as usize].evict_reason = Some(reason);
             self.stats.record_eviction();
             self.stats
                 .tenant_eviction(self.records[id.0 as usize].request.tenant.0);
-            self.record_eviction_event(id, Some(lane), EvictReason::Watchdog, now);
+            self.record_eviction_event(id, Some(lane), reason, now);
             evicted += 1;
         }
         evicted
@@ -1145,6 +1293,11 @@ impl<'b, F: FaultInjector> EnsembleServer<'b, F> {
     /// Recovery-ladder events across all lanes so far.
     pub fn recoveries(&self) -> &[RecoveryEvent] {
         &self.recoveries
+    }
+
+    /// Corruption detections (and the recovery each took) so far.
+    pub fn corruptions(&self) -> &[CorruptionReport] {
+        &self.corruptions
     }
 
     /// Scheduling boundaries executed so far.

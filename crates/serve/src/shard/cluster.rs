@@ -460,6 +460,17 @@ impl<'b, F: FaultInjector> ClusterServer<'b, F> {
         self.shards[node].clock.stall(LaneKind::Link, t);
         self.replicas[node].mirror(seq, &bytes);
         self.replica_writes += 1;
+        if let Some(flip) = self.faults.replica_flip_fault(node, seq) {
+            self.replicas[node].flip_bit(seq, flip.seed);
+            self.flight.record(
+                self.shards[node].elapsed(),
+                "replica_flipped",
+                None,
+                Some(node as u64),
+                Some(self.ticks as u64),
+                format!("seq {seq} silently bit-flipped in the peer mirror"),
+            );
+        }
         if let Some(torn) = self.faults.replica_corruption_fault(node, seq) {
             self.replicas[node].tear(seq, torn.keep_frac);
             self.flight.record(

@@ -30,7 +30,36 @@ pub struct CgConfig {
     /// "converged" would be a lie; failing typed lets a recovery ladder
     /// retry from a sane guess. `0.0` disables the check (the default).
     pub guess_divergence: f64,
+    /// Invariant-sentinel period: every this many iterations the *true*
+    /// residual `f − A x` is recomputed into solver-private scratch and
+    /// compared against the recursive residual the iteration carries. A
+    /// silent bit flip in `x`, `r`, or the operator makes the two diverge —
+    /// the classic CG ABFT signature — and the solve stops typed with
+    /// [`Termination::ResidualDrift`]. The check is strictly read-only
+    /// (`x`, `r`, `p`, `q` untouched; sentinel work excluded from
+    /// [`CgStats::counts`] so the modeled timeline is unchanged), so a
+    /// clean solve is bitwise-identical with the sentinel on or off.
+    /// `0` disables it (the default).
+    pub sentinel_every: usize,
+    /// Drift bound for the sentinel: trip when
+    /// `rel_true > sentinel_drift × max(rel_recursive, tol)`. `<= 0.0`
+    /// falls back to [`DEFAULT_SENTINEL_DRIFT`] when the sentinel is armed.
+    pub sentinel_drift: f64,
+    /// Bounded-norm guard, checked at sentinel ticks: trip with
+    /// [`Termination::NormExploded`] when `‖x‖` exceeds this factor times
+    /// the reference norm (`max(‖x‖ at the first check, 1)`). Catches
+    /// runaway iterates whose recursive residual still looks plausible.
+    /// `0.0` disables it (the default).
+    pub norm_bound: f64,
 }
+
+/// Drift bound used when [`CgConfig::sentinel_every`] is armed but
+/// [`CgConfig::sentinel_drift`] is unset. Healthy CG keeps the recursive
+/// and true residuals within a small factor of each other until the
+/// attainable-accuracy floor; three orders of magnitude of slack keeps the
+/// false-positive rate at zero while still catching single bit flips,
+/// which perturb the invariant by many orders.
+pub const DEFAULT_SENTINEL_DRIFT: f64 = 1e3;
 
 impl Default for CgConfig {
     fn default() -> Self {
@@ -40,6 +69,9 @@ impl Default for CgConfig {
             max_iter: 10_000,
             stagnation_window: 0,
             guess_divergence: 0.0,
+            sentinel_every: 0,
+            sentinel_drift: 0.0,
+            norm_bound: 0.0,
         }
     }
 }
@@ -158,6 +190,11 @@ pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
     // Stagnation tracking: strict best-so-far with an improvement deadline.
     let mut best_rel = rel;
     let mut since_improve = 0usize;
+    // Invariant-sentinel scratch, allocated lazily so the sentinel-off path
+    // performs zero extra work. `norm_ref` is set at the first sentinel
+    // tick (0.0 = not yet captured).
+    let mut true_r: Vec<f64> = Vec::new();
+    let mut norm_ref = 0.0f64;
 
     // NaN initial residual (poisoned guess or RHS) fails the `rel >= tol`
     // comparison, skips the loop, and classifies as NanResidual below.
@@ -205,6 +242,42 @@ pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
             abnormal = Some(Termination::NanResidual);
             break;
         }
+        if cfg.sentinel_every > 0 && iterations % cfg.sentinel_every == 0 && rel >= cfg.tol {
+            // ABFT invariant sentinel: recompute the true residual into
+            // private scratch and compare with the recursive one. Reads
+            // x/f only, writes nothing the iteration uses, and its applies
+            // are deliberately NOT merged into `counts` — the modeled
+            // timeline must not shift when detection is enabled.
+            if true_r.is_empty() {
+                true_r = vec![0.0; n];
+            }
+            a.apply(x, &mut true_r);
+            let mut sq = 0.0;
+            for i in 0..n {
+                let d = f[i] - true_r[i];
+                sq += d * d;
+            }
+            let rel_true = sq.sqrt() / f_norm;
+            let drift = if cfg.sentinel_drift > 0.0 {
+                cfg.sentinel_drift
+            } else {
+                DEFAULT_SENTINEL_DRIFT
+            };
+            if !rel_true.is_finite() || rel_true > drift * rel.max(cfg.tol) {
+                abnormal = Some(Termination::ResidualDrift);
+                break;
+            }
+            if cfg.norm_bound > 0.0 {
+                let nx = norm2(x);
+                if norm_ref == 0.0 {
+                    norm_ref = nx.max(1.0);
+                }
+                if !nx.is_finite() || nx > cfg.norm_bound * norm_ref {
+                    abnormal = Some(Termination::NormExploded);
+                    break;
+                }
+            }
+        }
         if cfg.stagnation_window > 0 {
             if rel < best_rel {
                 best_rel = rel;
@@ -219,10 +292,38 @@ pub fn pcg_observed<A: LinearOperator, P: Preconditioner, O: SolveObserver>(
         }
     }
 
-    let termination = if rel < cfg.tol {
-        Termination::Converged
-    } else if let Some(t) = abnormal {
+    if cfg.sentinel_every > 0 && abnormal.is_none() && rel < cfg.tol && iterations > 0 {
+        // Exit audit: never report Converged on a corrupted iterate. A flip
+        // that shrinks the recursive residual below tol is the one corruption
+        // the periodic tick can miss, so convergence itself is verified once
+        // against the true residual (read-only, uncounted, like the tick).
+        if true_r.is_empty() {
+            true_r = vec![0.0; n];
+        }
+        a.apply(x, &mut true_r);
+        let mut sq = 0.0;
+        for i in 0..n {
+            let d = f[i] - true_r[i];
+            sq += d * d;
+        }
+        let rel_true = sq.sqrt() / f_norm;
+        let drift = if cfg.sentinel_drift > 0.0 {
+            cfg.sentinel_drift
+        } else {
+            DEFAULT_SENTINEL_DRIFT
+        };
+        if !rel_true.is_finite() || rel_true > drift * cfg.tol {
+            abnormal = Some(Termination::ResidualDrift);
+        }
+    }
+
+    // The abnormal cause wins over the residual test: every mid-loop break
+    // happens with `rel >= tol` (or non-finite), and the exit audit above
+    // sets it precisely because `rel < tol` cannot be trusted.
+    let termination = if let Some(t) = abnormal {
         t
+    } else if rel < cfg.tol {
+        Termination::Converged
     } else if !rel.is_finite() {
         Termination::NanResidual
     } else {
@@ -419,6 +520,143 @@ mod tests {
         );
         assert_eq!(stats.iterations, 3);
         assert!(!stats.converged);
+    }
+
+    /// Operator that computes correctly except for one transient glitch:
+    /// application number `glitch_at` (1-based) has its output perturbed —
+    /// the classic silent-data-corruption model (a particle strike during
+    /// one SpMV). Every other application, including the sentinel's own
+    /// true-residual recomputation, is exact.
+    struct GlitchOp<'a> {
+        inner: &'a crate::bcrs::Bcrs3,
+        applies: std::sync::atomic::AtomicUsize,
+        glitch_at: usize,
+        /// `None`: flip bit 61 of `y[0]`. `Some(s)`: scale all of `y` by `s`.
+        scale: Option<f64>,
+    }
+
+    impl LinearOperator for GlitchOp<'_> {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            let k = self
+                .applies
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+                + 1;
+            self.inner.apply(x, y);
+            if k == self.glitch_at {
+                match self.scale {
+                    None => y[0] = f64::from_bits(y[0].to_bits() ^ (1u64 << 61)),
+                    Some(s) => {
+                        for v in y.iter_mut() {
+                            *v *= s;
+                        }
+                    }
+                }
+            }
+        }
+        fn counts(&self) -> KernelCounts {
+            self.inner.counts()
+        }
+    }
+
+    #[test]
+    fn sentinel_catches_transient_operator_glitch() {
+        let m = spd_matrix(30);
+        let n = m.n();
+        let f: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let cfg = CgConfig {
+            sentinel_every: 2,
+            ..CgConfig::default()
+        };
+        // applies: #1 init residual, iter1 #2, iter2 #3 + sentinel #4,
+        // iter3 #5 (glitched), iter4 #6 + sentinel #7 -> drift detected
+        let op = GlitchOp {
+            inner: &m,
+            applies: std::sync::atomic::AtomicUsize::new(0),
+            glitch_at: 5,
+            scale: None,
+        };
+        let mut x = vec![0.0; n];
+        let stats = pcg(&op, &NoPrec(n), &f, &mut x, &cfg);
+        assert_eq!(stats.termination, Termination::ResidualDrift);
+        assert!(!stats.converged);
+        // without the sentinel the same glitch "converges" silently wrong:
+        // the recursive residual knows nothing about the corrupted update
+        let op2 = GlitchOp {
+            inner: &m,
+            applies: std::sync::atomic::AtomicUsize::new(0),
+            glitch_at: 5,
+            scale: None,
+        };
+        let mut x2 = vec![0.0; n];
+        let blind = pcg(&op2, &NoPrec(n), &f, &mut x2, &CgConfig::default());
+        if blind.converged {
+            let mut ax = vec![0.0; n];
+            m.apply(&x2, &mut ax);
+            let true_rel = (0..n).map(|i| (f[i] - ax[i]).powi(2)).sum::<f64>().sqrt() / norm2(&f);
+            assert!(
+                true_rel > 1e-4,
+                "glitch should have produced a wrong answer, got {true_rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_guard_catches_runaway_iterate() {
+        let m = spd_matrix(30);
+        let n = m.n();
+        let f: Vec<f64> = (0..n).map(|i| (i as f64 * 1.1).cos()).collect();
+        let cfg = CgConfig {
+            sentinel_every: 1,
+            // drift check neutralized so the norm guard is what trips
+            sentinel_drift: f64::INFINITY,
+            norm_bound: 1e6,
+            ..CgConfig::default()
+        };
+        // applies: #1 init, iter1 #2, sentinel #3 (captures norm_ref),
+        // iter2 #4 glitched to near-zero q => alpha explodes => ‖x‖ huge
+        let op = GlitchOp {
+            inner: &m,
+            applies: std::sync::atomic::AtomicUsize::new(0),
+            glitch_at: 4,
+            scale: Some(1e-30),
+        };
+        let mut x = vec![0.0; n];
+        let stats = pcg(&op, &NoPrec(n), &f, &mut x, &cfg);
+        assert_eq!(stats.termination, Termination::NormExploded);
+        assert!(!stats.converged);
+    }
+
+    #[test]
+    fn sentinel_is_bitwise_neutral_on_clean_solves() {
+        let m = spd_matrix(40);
+        let n = m.n();
+        let f: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
+        let mut x_off = vec![0.0; n];
+        let s_off = pcg(&m, &prec, &f, &mut x_off, &CgConfig::default());
+        let mut x_on = vec![0.0; n];
+        let s_on = pcg(
+            &m,
+            &prec,
+            &f,
+            &mut x_on,
+            &CgConfig {
+                sentinel_every: 2,
+                norm_bound: 1e9,
+                ..CgConfig::default()
+            },
+        );
+        assert!(s_off.converged && s_on.converged);
+        assert_eq!(s_off.iterations, s_on.iterations);
+        assert_eq!(s_off.history, s_on.history);
+        // modeled work must not shift when detection is armed
+        assert_eq!(s_off.counts.flops.to_bits(), s_on.counts.flops.to_bits());
+        for i in 0..n {
+            assert_eq!(x_off[i].to_bits(), x_on[i].to_bits(), "dof {i}");
+        }
     }
 
     #[test]

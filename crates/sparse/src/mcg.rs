@@ -13,7 +13,7 @@ use hetsolve_obs::{NoopObserver, SolveObserver, Termination};
 use crate::op::{KernelCounts, MultiOperator, Preconditioner};
 use crate::vecops::{axpy_multi, dot_multi, xpby_multi};
 
-use crate::cg::CgConfig;
+use crate::cg::{CgConfig, DEFAULT_SENTINEL_DRIFT};
 
 /// Outcome of a multi-RHS CG solve.
 #[derive(Debug, Clone)]
@@ -30,7 +30,8 @@ pub struct McgStats {
     pub converged: bool,
     /// Why the fused solve stopped: [`Termination::Converged`] when every
     /// case reached the tolerance, otherwise the most severe per-case cause
-    /// (NaN > rho-breakdown > breakdown > stagnation > max-iter).
+    /// (residual-drift > norm-exploded > NaN > rho-breakdown > breakdown >
+    /// stagnation > max-iter).
     pub termination: Termination,
     /// Why each case stopped. A faulted lane freezes with its own cause
     /// while healthy lanes iterate on — NaN never crosses cases.
@@ -185,6 +186,41 @@ pub fn mcg_masked_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver
     // Stagnation tracking: per-case strict best-so-far with a deadline.
     let mut best_rel = rel.clone();
     let mut since_improve = vec![0usize; r];
+    // Invariant-sentinel scratch, allocated lazily so the sentinel-off path
+    // performs zero extra work (see `pcg`). `norm_ref[c] == 0.0` means the
+    // reference norm for case `c` has not been captured yet.
+    let mut true_r: Vec<f64> = Vec::new();
+    let mut rel_true = vec![0.0; if cfg.sentinel_every > 0 { r } else { 0 }];
+    let mut norm_ref: Vec<f64> = vec![0.0; if cfg.norm_bound > 0.0 { r } else { 0 }];
+    let sentinel_drift = if cfg.sentinel_drift > 0.0 {
+        cfg.sentinel_drift
+    } else {
+        DEFAULT_SENTINEL_DRIFT
+    };
+    // Recompute per-case true residuals `‖f_c − A x_c‖ / ‖f_c‖` into
+    // solver-private scratch for the cases selected by `check`. Read-only
+    // on all iteration state; the applies are deliberately NOT merged into
+    // `counts` so the modeled timeline is unchanged by detection.
+    let audit = |x: &[f64], check: &[bool], true_r: &mut Vec<f64>, rel_true: &mut [f64]| {
+        if true_r.is_empty() {
+            *true_r = vec![0.0; n * r];
+        }
+        a.apply_multi(x, true_r);
+        let mut sq = vec![0.0; r];
+        for i in 0..n {
+            for c in 0..r {
+                if check[c] {
+                    let d = f[i * r + c] - true_r[i * r + c];
+                    sq[c] += d * d;
+                }
+            }
+        }
+        for c in 0..r {
+            if check[c] {
+                rel_true[c] = sq[c].sqrt() / f_norm[c];
+            }
+        }
+    };
 
     while active.iter().any(|&a| a) && fused_iterations < cfg.max_iter {
         prec.apply_multi(&r_vec, &mut z, r);
@@ -271,17 +307,74 @@ pub fn mcg_masked_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver
                 }
             }
         }
+        if cfg.sentinel_every > 0
+            && fused_iterations.is_multiple_of(cfg.sentinel_every)
+            && active.iter().any(|&a| a)
+        {
+            // ABFT invariant sentinel (see `pcg`): per-case true-residual
+            // drift and bounded-norm guards over the still-active lanes.
+            audit(x, &active, &mut true_r, &mut rel_true);
+            for c in 0..r {
+                if !active[c] {
+                    continue;
+                }
+                if !rel_true[c].is_finite() || rel_true[c] > sentinel_drift * rel[c].max(cfg.tol) {
+                    abnormal[c] = Some(Termination::ResidualDrift);
+                    active[c] = false;
+                } else if cfg.norm_bound > 0.0 {
+                    let mut sq = 0.0;
+                    for i in 0..n {
+                        sq += x[i * r + c] * x[i * r + c];
+                    }
+                    let nx = sq.sqrt();
+                    if norm_ref[c] == 0.0 {
+                        norm_ref[c] = nx.max(1.0);
+                    }
+                    if !nx.is_finite() || nx > cfg.norm_bound * norm_ref[c] {
+                        abnormal[c] = Some(Termination::NormExploded);
+                        active[c] = false;
+                    }
+                }
+            }
+        }
         obs.iteration(fused_iterations, &rel);
     }
 
-    // Per-case classification: convergence wins, then the recorded
-    // abnormal cause, then the iteration cap.
+    if cfg.sentinel_every > 0 && fused_iterations > 0 {
+        // Exit audit (see `pcg`): lanes that claim convergence are verified
+        // once against the true residual so a flip that fakes a small
+        // recursive residual cannot produce a silent wrong answer.
+        let check: Vec<bool> = (0..r)
+            .map(|c| {
+                occupied[c]
+                    && f_norm[c] != 0.0
+                    && abnormal[c].is_none()
+                    && rel[c] < cfg.tol
+                    && case_iterations[c] > 0
+            })
+            .collect();
+        if check.iter().any(|&c| c) {
+            audit(x, &check, &mut true_r, &mut rel_true);
+            for c in 0..r {
+                if check[c] && (!rel_true[c].is_finite() || rel_true[c] > sentinel_drift * cfg.tol)
+                {
+                    abnormal[c] = Some(Termination::ResidualDrift);
+                }
+            }
+        }
+    }
+
+    // Per-case classification: the recorded abnormal cause wins (the exit
+    // audit can veto a lane whose recursive residual claims convergence),
+    // then convergence, then the iteration cap.
     let case_termination: Vec<Termination> = (0..r)
         .map(|c| {
-            if !occupied[c] || f_norm[c] == 0.0 || rel[c] < cfg.tol {
+            if !occupied[c] || f_norm[c] == 0.0 {
                 Termination::Converged
             } else if let Some(t) = abnormal[c] {
                 t
+            } else if rel[c] < cfg.tol {
+                Termination::Converged
             } else {
                 Termination::MaxIter
             }
@@ -292,6 +385,10 @@ pub fn mcg_masked_observed<A: MultiOperator, P: Preconditioner, O: SolveObserver
         .all(|t| *t == Termination::Converged);
     // Most severe failure across lanes decides the fused cause.
     let severity = |t: &Termination| match t {
+        // corruption signals outrank everything: they mean the numbers in
+        // hand cannot be trusted, not merely that convergence is slow
+        Termination::ResidualDrift => 8,
+        Termination::NormExploded => 7,
         Termination::NanResidual => 6,
         Termination::RhoBreakdown => 5,
         Termination::Breakdown => 4,
@@ -561,6 +658,119 @@ mod tests {
             for i in 0..n {
                 assert!((x[i * r + c] - xc[i]).abs() < 1e-6);
             }
+        }
+    }
+
+    /// Multi-RHS wrapper with one transient glitch: application number
+    /// `glitch_at` (1-based) perturbs case `case`'s output column — the SDC
+    /// model for a particle strike during one fused SpMV. All other
+    /// applications, including the sentinel's audits, are exact.
+    struct GlitchMulti<'a, A: MultiOperator> {
+        a: &'a A,
+        applies: std::sync::atomic::AtomicUsize,
+        glitch_at: usize,
+        case: usize,
+    }
+
+    impl<A: MultiOperator> MultiOperator for GlitchMulti<'_, A> {
+        fn n(&self) -> usize {
+            self.a.n()
+        }
+        fn r(&self) -> usize {
+            self.a.r()
+        }
+        fn apply_multi(&self, x: &[f64], y: &mut [f64]) {
+            let k = self
+                .applies
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+                + 1;
+            self.a.apply_multi(x, y);
+            if k == self.glitch_at {
+                let r = self.a.r();
+                for i in 0..self.a.n() {
+                    let v = &mut y[i * r + self.case];
+                    *v = f64::from_bits(v.to_bits() ^ (1u64 << 61));
+                }
+            }
+        }
+        fn counts(&self) -> KernelCounts {
+            self.a.counts()
+        }
+    }
+
+    #[test]
+    fn sentinel_freezes_only_the_corrupted_case() {
+        let m = spd_matrix(25);
+        let n = m.n();
+        let r = 3;
+        let multi = LoopMulti { a: &m, r };
+        let glitched = GlitchMulti {
+            a: &multi,
+            applies: std::sync::atomic::AtomicUsize::new(0),
+            // apply sequence: #1 init, iter1 #2, iter2 #3, sentinel #4,
+            // iter3 #5 (glitched), iter4 #6, sentinel #7 detects the drift
+            glitch_at: 5,
+            case: 1,
+        };
+        let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
+        let cfg = CgConfig {
+            sentinel_every: 2,
+            ..CgConfig::default()
+        };
+        let mut f = vec![0.0; n * r];
+        for c in 0..r {
+            for i in 0..n {
+                f[i * r + c] = ((i * (c + 1)) as f64 * 0.29).sin();
+            }
+        }
+        let mut x = vec![0.0; n * r];
+        let stats = mcg(&glitched, &prec, &f, &mut x, &cfg);
+        assert_eq!(stats.case_termination[1], Termination::ResidualDrift);
+        assert_eq!(stats.termination, Termination::ResidualDrift);
+        assert!(!stats.converged);
+        // the healthy lanes are unaffected by their neighbor's corruption
+        for c in [0usize, 2] {
+            assert_eq!(
+                stats.case_termination[c],
+                Termination::Converged,
+                "case {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn sentinel_is_bitwise_neutral_for_clean_multi_solves() {
+        let m = spd_matrix(20);
+        let n = m.n();
+        let r = 4;
+        let multi = LoopMulti { a: &m, r };
+        let prec = BlockJacobi::from_blocks(&m.diagonal_blocks(), false);
+        let mut f = vec![0.0; n * r];
+        for c in 0..r {
+            for i in 0..n {
+                f[i * r + c] = ((i * (c + 2)) as f64 * 0.41).cos();
+            }
+        }
+        let mut x_off = vec![0.0; n * r];
+        let s_off = mcg(&multi, &prec, &f, &mut x_off, &CgConfig::default());
+        let mut x_on = vec![0.0; n * r];
+        let s_on = mcg(
+            &multi,
+            &prec,
+            &f,
+            &mut x_on,
+            &CgConfig {
+                sentinel_every: 2,
+                norm_bound: 1e9,
+                ..CgConfig::default()
+            },
+        );
+        assert!(s_off.converged && s_on.converged);
+        assert_eq!(s_off.fused_iterations, s_on.fused_iterations);
+        assert_eq!(s_off.case_iterations, s_on.case_iterations);
+        assert_eq!(s_off.counts.flops.to_bits(), s_on.counts.flops.to_bits());
+        for i in 0..n * r {
+            assert_eq!(x_off[i].to_bits(), x_on[i].to_bits());
         }
     }
 

@@ -74,6 +74,13 @@ const PAIRS: &[CodecPair] = &[
         aliases: &[],
     },
     CodecPair {
+        name: "CorruptionReport",
+        def_file: "crates/core/src/integrity.rs",
+        encode: (CORE_CKPT, "encode_corruption_report"),
+        decode: (CORE_CKPT, "decode_corruption_report"),
+        aliases: &[],
+    },
+    CodecPair {
         name: "RecoveryEvent",
         def_file: "crates/core/src/recovery.rs",
         encode: (CORE_CKPT, "encode_recovery_event"),

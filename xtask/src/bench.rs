@@ -9,10 +9,10 @@ use std::process::ExitCode;
 
 use hetsolve_ckpt::CheckpointStore;
 use hetsolve_core::{
-    run_durable, run_traced, Backend, CheckpointPolicy, MethodKind, PartitionedProblem, RunConfig,
-    StepTracer,
+    run_durable, run_faulted, run_traced, Backend, CheckpointPolicy, IntegrityConfig, MethodKind,
+    PartitionedProblem, RunConfig, StepTracer,
 };
-use hetsolve_fault::{FaultPlan, NoopFaults};
+use hetsolve_fault::{FaultPlan, NoopFaults, StateField};
 use hetsolve_fem::{FemProblem, RandomLoadSpec};
 use hetsolve_load::{soak_server, ArrivalLog, LoadConfig, TrafficShape};
 use hetsolve_machine::{alps_node, single_gh200};
@@ -115,6 +115,12 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
     // so the snapshot tracks the overhead of crash consistency
     sink.set_section("checkpoint", ckpt_stats(&backend));
 
+    // silent-data-corruption defense: detection overhead on a clean run
+    // (acceptance: ratio stays ≤ 1.05 and the result is bitwise-unchanged),
+    // detection/recovery rate under injected bit flips, and the modeled
+    // serve-side recovery latency
+    sink.set_section("sdc", sdc_stats(&backend));
+
     // telemetry: the measured cost of observing — registry attachment
     // overhead on the reference run (acceptance: ratio stays ≤ 1.05) and
     // the latency of dumping a full flight-recorder ring
@@ -135,6 +141,159 @@ pub fn bench_snapshot(dir: Option<String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Measure the silent-data-corruption defense on the reference EBE-MCG
+/// run: detection overhead (clean run, integrity on vs off, best-of-N wall
+/// time — the bitwise-unchanged claim is asserted, not just reported),
+/// detection + bitwise-recovery rate under seeded single-bit flips on
+/// every guarded target, and the modeled recovery latency of the serving
+/// layer's SDC ladder. xtask is outside the determinism scope, so
+/// `Instant` is fine here.
+fn sdc_stats(backend: &Backend) -> Json {
+    let on_cfg = bench_config(MethodKind::EbeMcgCpuGpu);
+    let mut off_cfg = on_cfg.clone();
+    off_cfg.integrity = IntegrityConfig::disabled();
+    const REPS: usize = 5;
+    let best_of = |cfg: &RunConfig| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = std::time::Instant::now();
+            run_traced(backend, cfg, &mut StepTracer::disabled()).expect("sdc bench run");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let off_s = best_of(&off_cfg);
+    let on_s = best_of(&on_cfg);
+    let overhead_ratio = if off_s > 0.0 { on_s / off_s } else { 1.0 };
+
+    // the acceptance number: wall-time overhead of detection on the serve
+    // path, where the guards run per occupied column per tick
+    let serve_best_of = |integrity: IntegrityConfig| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut cfg = ServeConfig::new(single_gh200());
+            cfg.run = bench_config(MethodKind::EbeMcgCpuGpu);
+            cfg.run.r = 4;
+            cfg.run.integrity = integrity;
+            let mut server = EnsembleServer::new(backend, cfg);
+            for i in 0..12u64 {
+                server
+                    .admit(SolveRequest::new(9_800 + i, 8))
+                    .expect("admit sdc overhead request");
+            }
+            let t0 = std::time::Instant::now();
+            server.run_until_idle();
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(server.stats().completed(), 12);
+        }
+        best
+    };
+    let serve_off_s = serve_best_of(IntegrityConfig::disabled());
+    let serve_on_s = serve_best_of(IntegrityConfig::default());
+    let serve_overhead_ratio = if serve_off_s > 0.0 {
+        serve_on_s / serve_off_s
+    } else {
+        1.0
+    };
+
+    let clean = run_traced(backend, &on_cfg, &mut StepTracer::disabled()).expect("sdc clean run");
+    let baseline =
+        run_traced(backend, &off_cfg, &mut StepTracer::disabled()).expect("sdc baseline");
+    assert!(
+        clean.corruptions.is_empty(),
+        "clean run must report nothing"
+    );
+    for (a, b) in clean.final_u.iter().zip(&baseline.final_u) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "detection must leave a clean run bitwise-unchanged"
+            );
+        }
+    }
+
+    // seeded single-bit flips on every guarded target at several step
+    // boundaries; each run must detect the flip and finish bitwise-equal
+    // to the clean baseline
+    let mut injected = 0usize;
+    let mut detected = 0usize;
+    let mut recovered = 0usize;
+    for step in [3usize, 9, 15] {
+        let plans: Vec<FaultPlan> = vec![
+            FaultPlan::new(0x5dc).flip_state(step, 0, StateField::U),
+            FaultPlan::new(0x5dc).flip_state(step, 0, StateField::V),
+            FaultPlan::new(0x5dc).flip_state(step, 0, StateField::A),
+            FaultPlan::new(0x5dc).flip_rhs(step, 0),
+            FaultPlan::new(0x5dc).flip_operator(step),
+            FaultPlan::new(0x5dc).flip_basis(step, 0),
+        ];
+        for mut plan in plans {
+            injected += 1;
+            let result = run_faulted(backend, &on_cfg, &mut StepTracer::disabled(), &mut plan)
+                .expect("sdc injected run must recover, not fail");
+            if !result.corruptions.is_empty() {
+                detected += 1;
+            }
+            let bitwise = result
+                .final_u
+                .iter()
+                .zip(&clean.final_u)
+                .all(|(a, b)| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            if bitwise {
+                recovered += 1;
+            }
+        }
+    }
+    assert_eq!(detected, injected, "every injected flip must be detected");
+    assert_eq!(recovered, injected, "every recovery must be bitwise");
+
+    // serving layer: flips landing on in-flight requests are detected and
+    // repaired in place; the modeled detect→recover latency is recorded
+    let mut cfg = ServeConfig::new(single_gh200());
+    cfg.run = bench_config(MethodKind::EbeMcgCpuGpu);
+    cfg.run.r = 4;
+    cfg.run.s_max = 1;
+    let plan = FaultPlan::new(0x5dc)
+        .flip_state(2, 0, StateField::U)
+        .flip_rhs(3, 1);
+    let mut server = EnsembleServer::with_faults(backend, cfg, plan);
+    for i in 0..4u64 {
+        server
+            .admit(SolveRequest::new(9_900 + i, 8))
+            .expect("admit sdc bench request");
+    }
+    server.run_until_idle();
+    let stats = server.stats();
+    assert!(
+        stats.sdc_detected() >= 2,
+        "both injected serve flips must be detected"
+    );
+    assert_eq!(stats.completed(), 4, "sdc bench must lose no request");
+    let recovery_p50 = stats.sdc_recovery().quantile(0.50);
+    println!(
+        "bench-snapshot: sdc               serve overhead x{serve_overhead_ratio:.3} (solo x{overhead_ratio:.3}), \
+         {detected}/{injected} detected, {recovered}/{injected} bitwise-recovered, \
+         serve recovery p50 {recovery_p50:.3e} s",
+    );
+    Json::obj([
+        ("baseline_s", Json::from(off_s)),
+        ("detect_s", Json::from(on_s)),
+        ("detect_overhead_ratio", Json::from(overhead_ratio)),
+        ("serve_baseline_s", Json::from(serve_off_s)),
+        ("serve_detect_s", Json::from(serve_on_s)),
+        (
+            "serve_detect_overhead_ratio",
+            Json::from(serve_overhead_ratio),
+        ),
+        ("flips_injected", Json::from(injected)),
+        ("flips_detected", Json::from(detected)),
+        ("flips_recovered_bitwise", Json::from(recovered)),
+        ("serve_sdc_detected", Json::from(stats.sdc_detected())),
+        ("serve_sdc_recovery_p50_s", Json::from(recovery_p50)),
+    ])
 }
 
 /// Measure what telemetry v2 costs: the observer overhead ratio (same
